@@ -1,0 +1,219 @@
+// Ablation experiments: DESIGN.md calls out three modelling decisions
+// that carry the paper's findings — the providers' private WANs, the
+// direct-peering fabric, and the platforms' probe-deployment skews.
+// Each ablation disables one and checks (and benchmarks) that the
+// corresponding finding disappears, which is the strongest evidence the
+// reproduction's shapes come from the modelled mechanism rather than
+// from accident.
+package cloudy_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/probes"
+	"repro/internal/stats"
+	"repro/internal/world"
+)
+
+// ablationRun is one campaign under a variant configuration.
+type ablationRun struct {
+	store     *dataset.Store
+	processed []pipeline.Processed
+	w         *world.World
+}
+
+func runVariant(worldCfg world.Config, simTweak func(*netsim.Simulator), probeCfg probes.Config) ablationRun {
+	w := world.MustBuild(worldCfg)
+	sim := netsim.New(w)
+	if simTweak != nil {
+		simTweak(sim)
+	}
+	fleet := probes.GenerateSpeedchecker(w, probeCfg)
+	cfg := measure.Config{
+		Seed: 9, Cycles: 3, ProbesPerCountry: 25, TargetsPerProbe: 6,
+		MinProbesPerCountry: 2, RequestsPerMinute: 1000, Workers: 8,
+		BothPingProtocols: true, Traceroutes: true, NeighborContinentTargets: true,
+	}
+	store, _, err := measure.New(sim, fleet, cfg).Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return ablationRun{store: store, processed: pipeline.NewProcessor(w).ProcessAll(store), w: w}
+}
+
+var (
+	baselineOnce sync.Once
+	baselineRun  ablationRun
+)
+
+func baseline() ablationRun {
+	baselineOnce.Do(func() {
+		baselineRun = runVariant(world.Config{Seed: 9}, nil, probes.Config{Seed: 9, Scale: 0.04})
+	})
+	return baselineRun
+}
+
+// jpIndiaPools extracts the JP→IN direct and transit RTT pools.
+func jpIndiaPools(run ablationRun) (direct, transit []float64) {
+	for i := range run.processed {
+		p := &run.processed[i]
+		if p.Record.VP.Country != "JP" || p.Record.Target.Country != "IN" ||
+			p.EndToEndRTTms <= 0 || p.Class == pipeline.ClassUnknown {
+			continue
+		}
+		if p.Class == pipeline.ClassDirect || p.Class == pipeline.ClassDirectIXP {
+			direct = append(direct, p.EndToEndRTTms)
+		} else {
+			transit = append(transit, p.EndToEndRTTms)
+		}
+	}
+	return
+}
+
+// TestAblationPrivateWAN: with the providers' private backbones
+// disabled, direct peering loses its tail-taming effect on the long
+// Asian routes (Fig 13b's mechanism).
+func TestAblationPrivateWAN(t *testing.T) {
+	base := baseline()
+	ablated := runVariant(world.Config{Seed: 9},
+		func(s *netsim.Simulator) { s.DisablePrivateWAN = true },
+		probes.Config{Seed: 9, Scale: 0.04})
+
+	bd, bt := jpIndiaPools(base)
+	ad, at := jpIndiaPools(ablated)
+	if len(bd) < 20 || len(bt) < 20 || len(ad) < 20 || len(at) < 20 {
+		t.Skipf("thin pools: base %d/%d, ablated %d/%d", len(bd), len(bt), len(ad), len(at))
+	}
+	bdBox, _ := stats.Summarize(bd)
+	btBox, _ := stats.Summarize(bt)
+	adBox, _ := stats.Summarize(ad)
+	atBox, _ := stats.Summarize(at)
+
+	baseAdvantage := btBox.IQR() - bdBox.IQR()
+	ablatedAdvantage := atBox.IQR() - adBox.IQR()
+	if baseAdvantage <= 0 {
+		t.Fatalf("baseline lost the Fig 13b effect: direct IQR %.1f vs transit %.1f", bdBox.IQR(), btBox.IQR())
+	}
+	if ablatedAdvantage > baseAdvantage*0.6 {
+		t.Errorf("without private WANs the tail advantage should collapse: base %.1f ms, ablated %.1f ms",
+			baseAdvantage, ablatedAdvantage)
+	}
+	// And direct medians should rise without the private backbone.
+	if adBox.Median <= bdBox.Median {
+		t.Errorf("ablated direct median %.0f should exceed baseline %.0f", adBox.Median, bdBox.Median)
+	}
+}
+
+// TestAblationPeeringFabric: with every pair forced onto the public
+// Internet, Figure 10 flattens — no provider has a direct majority.
+func TestAblationPeeringFabric(t *testing.T) {
+	ablated := runVariant(world.Config{Seed: 9, ForcePublicPeering: true}, nil,
+		probes.Config{Seed: 9, Scale: 0.04})
+	shares := analysis.Interconnections(ablated.processed)
+	if len(shares) == 0 {
+		t.Fatal("no interconnection shares")
+	}
+	for _, s := range shares {
+		if s.DirectPct > 10 {
+			t.Errorf("%s: direct %.1f%% despite force-public ablation", s.Provider, s.DirectPct)
+		}
+		if s.MultiASPct < 50 {
+			t.Errorf("%s: 2+AS only %.1f%% under force-public", s.Provider, s.MultiASPct)
+		}
+	}
+	// The baseline, by contrast, has hypergiant direct majorities.
+	for _, s := range analysis.Interconnections(baseline().processed) {
+		if s.Provider == "GCP" && s.DirectPct < 50 {
+			t.Errorf("baseline GCP direct = %.1f%%", s.DirectPct)
+		}
+	}
+}
+
+// TestAblationProbeSkew: with uniform per-country deployment, the South
+// American Speedchecker advantage of Fig 5 (driven by the Brazil-heavy
+// fleet) weakens or disappears.
+func TestAblationProbeSkew(t *testing.T) {
+	skewed := probes.GenerateSpeedchecker(baseline().w, probes.Config{Seed: 9, Scale: 0.2})
+	flat := probes.GenerateSpeedchecker(baseline().w, probes.Config{Seed: 9, Scale: 0.2, UniformWeights: true})
+	brShare := func(f *probes.Fleet) float64 {
+		sa := f.InContinent(geo.SA)
+		return float64(len(f.InCountry("BR"))) / float64(len(sa))
+	}
+	if s, u := brShare(skewed), brShare(flat); s < 0.7 || u > 0.35 {
+		t.Errorf("Brazil share: skewed %.2f (want >0.7), uniform %.2f (want <0.35)", s, u)
+	}
+	// Uniform fleets also lose the DE/GB/IR/JP density peaks.
+	if len(flat.InCountry("DE")) >= len(skewed.InCountry("DE"))/2 {
+		t.Errorf("uniform fleet kept the German density peak: %d vs %d",
+			len(flat.InCountry("DE")), len(skewed.InCountry("DE")))
+	}
+}
+
+// TestGeoDensityStatistic reproduces the §3.2 coverage ratios.
+func TestGeoDensityStatistic(t *testing.T) {
+	b := baseline()
+	sc := probes.GenerateSpeedchecker(b.w, probes.Config{Seed: 9, Scale: 1})
+	at := probes.GenerateAtlas(b.w, probes.Config{Seed: 9, Scale: 1})
+	dcs := map[geo.Continent]int{}
+	for _, r := range b.w.Inventory.Regions() {
+		dcs[r.Continent]++
+	}
+	gds := analysis.GeoDensities(analysis.Density(sc), analysis.Density(at), dcs, 1)
+	byCont := map[geo.Continent]analysis.GeoDensity{}
+	for _, g := range gds {
+		byCont[g.Continent] = g
+	}
+	// §3.2: ≈12× in EU, ≈6× in NA, much higher in developing regions.
+	if r := byCont[geo.EU].Ratio; r < 10 || r > 16 {
+		t.Errorf("EU geoDensity ratio = %.1f, want ≈12", r)
+	}
+	if r := byCont[geo.NA].Ratio; r < 4 || r > 9 {
+		t.Errorf("NA geoDensity ratio = %.1f, want ≈6", r)
+	}
+	if byCont[geo.AS].Ratio <= byCont[geo.NA].Ratio {
+		t.Error("developing-region coverage advantage should exceed NA")
+	}
+	// §4.1: Africa has by far the worst datacenter-to-landmass ratio.
+	if byCont[geo.AF].DCsPerMKm2 >= byCont[geo.EU].DCsPerMKm2/10 {
+		t.Errorf("AF DC density %.3f should be a tiny fraction of EU's %.3f",
+			byCont[geo.AF].DCsPerMKm2, byCont[geo.EU].DCsPerMKm2)
+	}
+}
+
+// ---- ablation benchmarks (DESIGN.md §5) ----
+
+func BenchmarkAblationPrivateWANOff(b *testing.B) {
+	base := baseline()
+	sim := netsim.New(base.w)
+	sim.DisablePrivateWAN = true
+	p := probes.GenerateSpeedchecker(base.w, probes.Config{Seed: 9, Scale: 0.01}).InCountry("JP")[0]
+	r := base.w.Inventory.RegionsOf("GCP")[0]
+	b.ResetTimer()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		sum += sim.Ping(p, r, dataset.TCP, i).RTTms
+	}
+	b.ReportMetric(sum/float64(b.N), "mean-rtt-ms")
+}
+
+func BenchmarkAblationForcePublicWorld(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		world.MustBuild(world.Config{Seed: int64(i), ForcePublicPeering: true})
+	}
+}
+
+func BenchmarkAblationUniformFleet(b *testing.B) {
+	base := baseline()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		probes.GenerateSpeedchecker(base.w, probes.Config{Seed: int64(i), Scale: 0.01, UniformWeights: true})
+	}
+}

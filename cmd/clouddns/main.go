@@ -1,0 +1,69 @@
+// Command clouddns serves the synthetic Internet's namespace over real
+// UDP DNS: A records for every cloud region's VM hostname (the
+// CloudHarmony catalogue of §3.1) and PTR records for router space.
+// Point dig at it:
+//
+//	clouddns -listen 127.0.0.1:5354 &
+//	dig @127.0.0.1 -p 5354 amzn-eu-dublin.compute.cloudy.test
+//	dig @127.0.0.1 -p 5354 -x 104.0.1.10
+//
+// With -catalogue it just prints the hostname catalogue and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+
+	"repro/internal/dnssim"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	listen := flag.String("listen", "127.0.0.1:5354", "UDP listen address")
+	catalogue := flag.Bool("catalogue", false, "print the hostname catalogue and exit")
+	flag.Parse()
+
+	w, err := world.Build(world.Config{Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clouddns:", err)
+		os.Exit(1)
+	}
+	zone := dnssim.NewZone(w)
+
+	if *catalogue {
+		names := zone.Hostnames()
+		sort.Strings(names)
+		for _, name := range names {
+			ip, _ := zone.LookupA(name)
+			fmt.Printf("%-50s %s\n", name, ip)
+		}
+		return
+	}
+
+	srv, err := dnssim.NewServer(zone, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clouddns:", err)
+		os.Exit(1)
+	}
+	tcpSrv, err := dnssim.NewTCPServer(zone, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "clouddns:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "clouddns: serving %d names on %s (udp+tcp, seed %d)\n",
+		len(zone.Hostnames()), srv.Addr(), *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	errs := make(chan error, 2)
+	go func() { errs <- srv.Serve(ctx) }()
+	go func() { errs <- tcpSrv.Serve(ctx) }()
+	if err := <-errs; err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "clouddns:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,122 @@
+// Command cloudping measures TCP-handshake round-trip latency to a live
+// endpoint — the paper's "TCP ping" (§3.3), runnable against any real
+// cloud VM or service.
+//
+//	cloudping [-c count] [-i interval] [-t timeout] host:port
+//	cloudping -icmp [-c count] [-t timeout] host
+//
+// The default mode times TCP handshakes; -icmp sends real ICMP echoes
+// (needs CAP_NET_RAW or an allowing ping_group_range). Either way it
+// prints one line per probe and a summary, classifying the median
+// against the paper's QoE thresholds (MTP 20 ms, HPL 100 ms, HRT 250 ms).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/icmp"
+	"repro/internal/stats"
+	"repro/internal/tcping"
+)
+
+func main() {
+	count := flag.Int("c", 4, "number of probes")
+	interval := flag.Duration("i", time.Second, "interval between probes")
+	timeout := flag.Duration("t", 3*time.Second, "per-probe timeout")
+	useICMP := flag.Bool("icmp", false, "send ICMP echoes instead of TCP handshakes")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: cloudping [-icmp] [-c count] [-i interval] [-t timeout] host[:port]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	addr := flag.Arg(0)
+	if *useICMP {
+		runICMP(addr, *count, *timeout)
+		return
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	p := tcping.Pinger{Address: addr, Count: *count, Interval: *interval, Timeout: *timeout}
+	results, sum, err := p.Run(ctx)
+	for _, r := range results {
+		if r.OK() {
+			fmt.Printf("seq=%d connected to %s rtt=%.2f ms\n", r.Seq, addr, ms(r.RTT))
+		} else {
+			fmt.Printf("seq=%d failed: %v\n", r.Seq, r.Err)
+		}
+	}
+	if err != nil && err != context.Canceled {
+		fmt.Fprintln(os.Stderr, "cloudping:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("--- %s tcping statistics ---\n", addr)
+	fmt.Printf("%d probes, %d succeeded, %.0f%% loss\n", sum.Sent, sum.Succeeded, sum.LossPct)
+	if sum.Succeeded > 0 {
+		fmt.Printf("rtt min/median/mean/max/stddev = %.2f/%.2f/%.2f/%.2f/%.2f ms\n",
+			ms(sum.Min), ms(sum.Median), ms(sum.Mean), ms(sum.Max), ms(sum.StdDev))
+		fmt.Printf("QoE: %s\n", qoe(ms(sum.Median)))
+	}
+	if sum.Succeeded == 0 {
+		os.Exit(1)
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// qoe classifies a median latency against the §2.1 thresholds.
+func qoe(medianMs float64) string {
+	switch {
+	case medianMs < analysis.MTPms:
+		return "meets MTP (immersive AR/VR feasible)"
+	case medianMs < analysis.HPLms:
+		return "meets HPL (cloud gaming feasible, MTP out of reach)"
+	case medianMs < analysis.HRTms:
+		return "meets HRT only (human-in-the-loop tasks)"
+	default:
+		return "misses all QoE thresholds"
+	}
+}
+
+// runICMP sends real ICMP echoes and reports like ping(8).
+func runICMP(addr string, count int, timeout time.Duration) {
+	p := icmp.Pinger{Addr: addr, Count: count, Timeout: timeout}
+	results, err := p.Run()
+	if errors.Is(err, icmp.ErrUnsupported) {
+		fmt.Fprintln(os.Stderr, "cloudping:", err)
+		fmt.Fprintln(os.Stderr, "hint: retry without -icmp for the TCP-handshake mode")
+		os.Exit(1)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudping:", err)
+		os.Exit(1)
+	}
+	var rtts []float64
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("icmp_seq=%d timeout/error: %v\n", r.Seq, r.Err)
+			continue
+		}
+		fmt.Printf("icmp_seq=%d rtt=%.2f ms\n", r.Seq, ms(r.RTT))
+		rtts = append(rtts, ms(r.RTT))
+	}
+	fmt.Printf("--- %s icmp statistics ---\n", addr)
+	fmt.Printf("%d probes, %d replies\n", len(results), len(rtts))
+	if len(rtts) == 0 {
+		os.Exit(1)
+	}
+	med, _ := stats.Median(rtts)
+	fmt.Printf("median %.2f ms — QoE: %s\n", med, qoe(med))
+}

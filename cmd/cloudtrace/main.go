@@ -1,0 +1,134 @@
+// Command cloudtrace runs one traceroute over the synthetic Internet
+// and prints the hop list, the resolved AS-level path, and the §6.1
+// interconnection classification — the full measurement-and-processing
+// path for a single <probe country, provider, region city> triple.
+//
+//	cloudtrace [-seed N] [-isp ASN] -from DE -provider GCP [-city Frankfurt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/cloud"
+	"repro/internal/dnssim"
+	"repro/internal/geo"
+	"repro/internal/geoip"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/probes"
+	"repro/internal/world"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "world seed")
+	from := flag.String("from", "DE", "probe country (ISO code)")
+	ispFlag := flag.Uint("isp", 0, "serving ISP ASN (0 = largest in country)")
+	provider := flag.String("provider", "GCP", "cloud provider code")
+	city := flag.String("city", "", "region city (default: closest)")
+	cycles := flag.Int("n", 1, "number of traces")
+	flag.Parse()
+
+	if err := run(*seed, *from, asn.Number(*ispFlag), *provider, *city, *cycles); err != nil {
+		fmt.Fprintln(os.Stderr, "cloudtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, from string, isp asn.Number, provider, city string, cycles int) error {
+	w, err := world.Build(world.Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	country, ok := geo.CountryByCode(strings.ToUpper(from))
+	if !ok {
+		return fmt.Errorf("unknown country %q", from)
+	}
+	sim := netsim.New(w)
+	fleet := probes.GenerateSpeedchecker(w, probes.Config{Seed: seed, Scale: 0.02})
+
+	var probe *probes.Probe
+	for _, p := range fleet.InCountry(country.Code) {
+		if isp == 0 || p.ISP.Number == isp {
+			probe = p
+			break
+		}
+	}
+	if probe == nil {
+		return fmt.Errorf("no probe in %s on AS%d", country.Code, isp)
+	}
+
+	region, err := pickRegion(w, provider, city, probe)
+	if err != nil {
+		return err
+	}
+	proc := pipeline.NewProcessor(w)
+	// Router geolocation with a realistic 10% database error rate; the
+	// paper's caveat about GeoIP accuracy applies here too.
+	geodb := geoip.Build(w, 0.1, seed)
+	zone := dnssim.NewZone(w)
+	fmt.Printf("probe %s (%s, %s, %s access) → %s (%s, %s)\n",
+		probe.ID, probe.ISP.Name, probe.Country, probe.Access, region.ID, region.City, region.Country)
+
+	for c := 0; c < cycles; c++ {
+		tr := sim.Traceroute(probe, region, c)
+		got := proc.Process(&tr)
+		fmt.Printf("\ntraceroute #%d to %s:\n", c+1, tr.Target.IP)
+		for _, h := range tr.Hops {
+			if !h.Responded {
+				fmt.Printf("%3d  *\n", h.TTL)
+				continue
+			}
+			owner := "?"
+			if a, ok := w.Registry.ResolveIP(h.IP); ok {
+				owner = fmt.Sprintf("%s (%s)", a.Name, a.Number)
+			} else if h.IP.IsPrivate() {
+				owner = "private"
+			}
+			where := ""
+			if loc, ok := geodb.Locate(h.IP); ok {
+				where = " [" + loc.Country + "]"
+			}
+			rdns := ""
+			if name, ok := zone.LookupPTR(h.IP); ok {
+				rdns = "  " + name
+			}
+			fmt.Printf("%3d  %-15s %8.2f ms  %s%s%s\n", h.TTL, h.IP, h.RTTms, owner, where, rdns)
+		}
+		var hops []string
+		for _, h := range got.ASPath {
+			hops = append(hops, fmt.Sprintf("%s[%s]", h.ASN, h.Type))
+		}
+		fmt.Printf("AS path: %s\n", strings.Join(hops, " → "))
+		fmt.Printf("classification: %s (%d intermediate ASes), pervasiveness %.2f, last-mile %s %.1f ms (%.0f%% of e2e)\n",
+			got.Class, got.Intermediates, got.Pervasiveness,
+			got.LastMile.Kind, got.LastMile.UserToISPms, 100*got.LastMile.ShareOfTotal)
+	}
+	return nil
+}
+
+func pickRegion(w *world.World, provider, city string, probe *probes.Probe) (*cloud.Region, error) {
+	regions := w.Inventory.RegionsOf(strings.ToUpper(provider))
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("unknown provider %q (try %s)",
+			provider, strings.Join(w.Inventory.ProviderCodes(), " "))
+	}
+	if city == "" {
+		best := regions[0]
+		for _, r := range regions[1:] {
+			if geo.DistanceKm(probe.Loc, r.Loc) < geo.DistanceKm(probe.Loc, best.Loc) {
+				best = r
+			}
+		}
+		return best, nil
+	}
+	for _, r := range regions {
+		if strings.EqualFold(r.City, city) {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("%s has no region in %q", provider, city)
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<18)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("run failed: %v", ferr)
+	}
+	return out
+}
+
+func TestRunTrace(t *testing.T) {
+	out := capture(t, func() error { return run(1, "JP", 0, "AMZN", "Tokyo", 1) })
+	for _, want := range []string{"traceroute #1", "AS path:", "classification:", "last-mile"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace output missing %q:\n%s", want, out)
+		}
+	}
+	// Closest-region default and ISP pinning also work.
+	out = capture(t, func() error { return run(1, "de", 3320, "GCP", "", 1) })
+	if !strings.Contains(out, "Deutsche Telekom") || !strings.Contains(out, "Frankfurt") {
+		t.Errorf("pinned trace output wrong:\n%s", out)
+	}
+}
+
+func TestRunTraceErrors(t *testing.T) {
+	if err := run(1, "XX", 0, "AMZN", "", 1); err == nil {
+		t.Error("unknown country should fail")
+	}
+	if err := run(1, "DE", 0, "NOPE", "", 1); err == nil {
+		t.Error("unknown provider should fail")
+	}
+	if err := run(1, "DE", 0, "AMZN", "Atlantis", 1); err == nil {
+		t.Error("unknown city should fail")
+	}
+	if err := run(1, "DE", 99999, "AMZN", "", 1); err == nil {
+		t.Error("unknown ISP should fail")
+	}
+}

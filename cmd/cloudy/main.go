@@ -1,0 +1,361 @@
+// Command cloudy runs the reproduction of "Cloudy with a Chance of
+// Short RTTs" end to end and prints the paper's tables and figures.
+//
+// Usage:
+//
+//	cloudy world  [-seed N]                      summarize the synthetic Internet
+//	cloudy report [-seed N] [-scale F] [-cycles N] [-figure ID]
+//	                                             run the study; print all (or one) figure
+//	cloudy export [-seed N] [-scale F] -pings F -traces F
+//	                                             run the study; write the dataset
+//
+// Figure IDs accepted by -figure: table1, fig3, fig4, fig5, fig6,
+// fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig15, fig16, fig17,
+// fig18, fig19, plus the extensions: flattening, providers, edge, 5g,
+// closeness, takeaway.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"repro/internal/analysis"
+	"repro/internal/atlasfmt"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/probes"
+	"repro/internal/report"
+	"repro/internal/world"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var err error
+	switch os.Args[1] {
+	case "world":
+		err = cmdWorld(os.Args[2:])
+	case "report":
+		err = cmdReport(ctx, os.Args[2:])
+	case "export":
+		err = cmdExport(ctx, os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cloudy:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  cloudy world   [-seed N]
+  cloudy report  [-seed N] [-scale F] [-cycles N] [-figure ID]
+  cloudy export  [-seed N] [-scale F] [-format csv|atlas] -pings FILE -traces FILE
+  cloudy analyze [-seed N] -pings FILE -traces FILE`)
+}
+
+func cmdWorld(args []string) error {
+	fs := flag.NewFlagSet("world", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "world seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := world.Build(world.Config{Seed: *seed})
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	report.Table1(out, w.Inventory)
+	fmt.Fprintf(out, "\nsynthetic Internet: %d ASes (%d tier-1 carriers, %d exchanges)\n",
+		w.Registry.Len(), len(w.Tier1s()), len(w.IXPs()))
+	access, tier2 := 0, 0
+	for _, c := range geo.AllCountries() {
+		access += len(w.AccessISPs(c.Code))
+		tier2 += len(w.Tier2s(c.Code))
+	}
+	fmt.Fprintf(out, "%d access ISPs and %d national transit providers across %d countries\n",
+		access, tier2, len(geo.AllCountries()))
+	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: *seed, Scale: 0.02})
+	fmt.Fprintf(out, "sample fleet at 2%% scale: %d speedchecker probes in %d countries\n",
+		sc.Len(), len(sc.Countries()))
+	return nil
+}
+
+type studyFlags struct {
+	seed   *int64
+	scale  *float64
+	cycles *int
+}
+
+func addStudyFlags(fs *flag.FlagSet) studyFlags {
+	return studyFlags{
+		seed:   fs.Int64("seed", 1, "study seed"),
+		scale:  fs.Float64("scale", 0.05, "fleet scale (1.0 = the paper's 115K probes)"),
+		cycles: fs.Int("cycles", 4, "country sweeps (the paper's six months ≈ 12)"),
+	}
+}
+
+func runStudy(ctx context.Context, f studyFlags) (*core.Study, core.Results, error) {
+	fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
+		*f.seed, *f.scale, *f.cycles)
+	study, err := core.Run(ctx, core.Config{Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles})
+	if err != nil {
+		return nil, core.Results{}, err
+	}
+	np, nt := study.Store.Len()
+	fmt.Fprintf(os.Stderr, "collected %d pings, %d traceroutes\n", np, nt)
+	return study, study.Analyze(core.AnalyzeConfig{}), nil
+}
+
+func cmdReport(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	figure := fs.String("figure", "", "render a single figure (e.g. fig10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	study, results, err := runStudy(ctx, f)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if *figure == "" {
+		study.WriteReport(out, results)
+		return nil
+	}
+	switch *figure {
+	case "table1":
+		report.Table1(out, study.World.Inventory)
+	case "fig1", "fig2", "fig14":
+		report.Density(out, results.SCDensity, 15)
+		report.Density(out, results.AtlasDensity, 15)
+	case "fig3":
+		report.LatencyMap(out, results.LatencyMap)
+	case "fig4":
+		report.ContinentCDFs(out, results.ContinentCDFs, 8)
+	case "fig5":
+		report.PlatformDiffs(out, results.PlatformDiffs)
+	case "fig6":
+		report.InterContinental(out, results.AfricaBoxes)
+		report.InterContinental(out, results.SouthAmericaBoxes)
+	case "fig7":
+		report.LastMile(out, results.LastMileAll, results.LastMileGlobal, "Figure 7")
+	case "fig8":
+		report.CvGroups(out, results.CvByContinent, "Figure 8")
+	case "fig9":
+		report.CvGroups(out, results.CvByCountry, "Figure 9")
+	case "fig10":
+		report.Interconnections(out, results.Interconnections)
+	case "fig11":
+		report.Pervasiveness(out, results.Pervasiveness)
+	case "fig12":
+		report.CaseStudy(out, results.GermanyUK.Matrix, results.GermanyUK.Latency, "Figure 12 (DE→UK)")
+	case "fig13":
+		report.CaseStudy(out, results.JapanIndia.Matrix, results.JapanIndia.Latency, "Figure 13 (JP→IN)")
+	case "fig15":
+		report.Protocols(out, results.Protocols)
+	case "fig16":
+		report.Matched(out, results.MatchedDiffs)
+	case "fig17":
+		report.CaseStudy(out, results.UkraineUK.Matrix, results.UkraineUK.Latency, "Figure 17 (UA→UK)")
+	case "fig18":
+		report.CaseStudy(out, results.BahrainIndia.Matrix, results.BahrainIndia.Latency, "Figure 18 (BH→IN)")
+	case "fig19":
+		report.LastMile(out, results.LastMileNearest, nil, "Figure 19")
+	case "flattening":
+		report.Flattening(out, results.Flattening)
+	case "providers":
+		report.ProviderConsistency(out, results.ProviderConsistency)
+	case "edge":
+		report.EdgeScenarios(out, results.EdgeScenarios, results.EdgeVerdicts)
+	case "5g":
+		report.FiveG(out, results.FiveGToday, results.FiveGPromised)
+	case "closeness":
+		report.Closeness(out, results.SCCloseness, 12)
+	case "takeaway":
+		s := analysis.Thresholds(results.LatencyMap)
+		fmt.Fprintf(out, "countries %d: <MTP %d, <HPL %d, <HRT %d\n",
+			s.Countries, s.UnderMTP, s.UnderHPL, s.UnderHRT)
+	default:
+		return fmt.Errorf("unknown figure %q", *figure)
+	}
+	return nil
+}
+
+func cmdExport(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	pingsPath := fs.String("pings", "", "ping output path (CSV or Atlas NDJSON)")
+	tracesPath := fs.String("traces", "", "traceroute output path (JSONL or Atlas NDJSON)")
+	format := fs.String("format", "csv", "output format: csv (published dataset) or atlas (RIPE Atlas NDJSON + meta sidecar)")
+	stream := fs.Bool("stream", false, "stream records to disk during the campaign (csv format only; constant memory, use for -scale 1)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pingsPath == "" || *tracesPath == "" {
+		return fmt.Errorf("export needs -pings and -traces paths")
+	}
+	if *format != "csv" && *format != "atlas" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *stream {
+		if *format != "csv" {
+			return fmt.Errorf("-stream supports only -format csv")
+		}
+		return streamExport(ctx, f, *pingsPath, *tracesPath)
+	}
+	study, _, err := runStudy(ctx, f)
+	if err != nil {
+		return err
+	}
+	pf, err := os.Create(*pingsPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	tf, err := os.Create(*tracesPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	switch *format {
+	case "csv":
+		if err := study.ExportDataset(pf, tf); err != nil {
+			return err
+		}
+	case "atlas":
+		meta := atlasfmt.NewMeta()
+		if err := atlasfmt.ExportPings(pf, study.Store.Pings, meta); err != nil {
+			return err
+		}
+		if err := atlasfmt.ExportTraces(tf, study.Store.Traces, meta); err != nil {
+			return err
+		}
+		mf, err := os.Create(*pingsPath + ".meta.json")
+		if err != nil {
+			return err
+		}
+		defer mf.Close()
+		if err := meta.WriteMeta(mf); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote sidecar %s\n", *pingsPath+".meta.json")
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s and %s\n", *pingsPath, *tracesPath)
+	return nil
+}
+
+// streamExport runs both campaigns with a file sink, never holding the
+// dataset in memory — the path for full-scale (-scale 1) runs.
+func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath string) error {
+	w, err := world.Build(world.Config{Seed: *f.seed})
+	if err != nil {
+		return err
+	}
+	sim := netsim.New(w)
+	pf, err := os.Create(pingsPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	tf, err := os.Create(tracesPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	bufP := bufio.NewWriterSize(pf, 1<<20)
+	bufT := bufio.NewWriterSize(tf, 1<<20)
+
+	base := measure.Config{
+		Seed: *f.seed, Cycles: *f.cycles, ProbesPerCountry: 40, TargetsPerProbe: 8,
+		MinProbesPerCountry: 2, RequestsPerMinute: 1000,
+		BothPingProtocols: true, Traceroutes: true, NeighborContinentTargets: true,
+	}
+	// One sink across both campaigns: a second sink would emit a second
+	// CSV header mid-file.
+	sink := dataset.NewFileSink(bufP, bufT)
+	run := func(fleet *probes.Fleet, cfg measure.Config) error {
+		cfg.Sink = sink
+		_, st, err := measure.New(sim, fleet, cfg).Run(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n", st.Pings, st.Traceroutes)
+		return nil
+	}
+	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: *f.seed, Scale: *f.scale})
+	if err := run(sc, base); err != nil {
+		return err
+	}
+	atCfg := base
+	atCfg.Cycles = 1
+	atCfg.ProbesPerCountry = 0
+	at := probes.GenerateAtlas(w, probes.Config{Seed: *f.seed, Scale: 1})
+	if err := run(at, atCfg); err != nil {
+		return err
+	}
+	if err := bufP.Flush(); err != nil {
+		return err
+	}
+	return bufT.Flush()
+}
+
+// cmdAnalyze re-runs every analysis over a previously exported dataset
+// (the "published dataset + scripts" reproducibility path).
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "seed the dataset was collected under")
+	pingsPath := fs.String("pings", "", "ping CSV path")
+	tracesPath := fs.String("traces", "", "traceroute JSONL path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *pingsPath == "" || *tracesPath == "" {
+		return fmt.Errorf("analyze needs -pings and -traces paths")
+	}
+	pf, err := os.Open(*pingsPath)
+	if err != nil {
+		return err
+	}
+	defer pf.Close()
+	pings, err := dataset.ReadPingsCSV(pf)
+	if err != nil {
+		return err
+	}
+	tf, err := os.Open(*tracesPath)
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	traces, err := dataset.ReadTracesJSONL(tf)
+	if err != nil {
+		return err
+	}
+	store := &dataset.Store{Pings: pings, Traces: traces}
+	fmt.Fprintf(os.Stderr, "loaded %d pings, %d traceroutes\n", len(pings), len(traces))
+	study, err := core.FromStore(core.Config{Seed: *seed}, store)
+	if err != nil {
+		return err
+	}
+	study.WriteReport(os.Stdout, study.Analyze(core.AnalyzeConfig{}))
+	return nil
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout redirects os.Stdout for the duration of fn.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out []byte
+		for {
+			n, err := r.Read(buf)
+			out = append(out, buf[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(out)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	r.Close()
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func TestCmdWorld(t *testing.T) {
+	out := captureStdout(t, func() error { return cmdWorld([]string{"-seed", "3"}) })
+	for _, want := range []string{"Table 1", "195", "tier-1 carriers", "access ISPs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("world output missing %q", want)
+		}
+	}
+}
+
+func TestExportAnalyzeRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full CLI round trip in -short mode")
+	}
+	dir := t.TempDir()
+	pings := filepath.Join(dir, "p.csv")
+	traces := filepath.Join(dir, "t.jsonl")
+
+	// Streamed export at a tiny scale.
+	err := cmdExport(context.Background(), []string{
+		"-seed", "3", "-scale", "0.01", "-cycles", "1", "-stream",
+		"-pings", pings, "-traces", traces,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi, err := os.Stat(pings); err != nil || fi.Size() == 0 {
+		t.Fatalf("ping export missing: %v", err)
+	}
+
+	// Re-analysis over the exported files.
+	out := captureStdout(t, func() error {
+		return cmdAnalyze([]string{"-seed", "3", "-pings", pings, "-traces", traces})
+	})
+	for _, want := range []string{"Figure 3", "Figure 10", "Figure 12"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q", want)
+		}
+	}
+}
+
+func TestExportValidation(t *testing.T) {
+	if err := cmdExport(context.Background(), []string{"-pings", "x"}); err == nil {
+		t.Error("missing -traces should fail")
+	}
+	if err := cmdExport(context.Background(), []string{
+		"-pings", "a", "-traces", "b", "-format", "xml"}); err == nil {
+		t.Error("unknown format should fail")
+	}
+	if err := cmdExport(context.Background(), []string{
+		"-pings", "a", "-traces", "b", "-format", "atlas", "-stream"}); err == nil {
+		t.Error("-stream with atlas format should fail")
+	}
+	if err := cmdAnalyze([]string{"-pings", "only"}); err == nil {
+		t.Error("analyze without -traces should fail")
+	}
+	if err := cmdAnalyze([]string{"-pings", "/nope/a", "-traces", "/nope/b"}); err == nil {
+		t.Error("analyze with missing files should fail")
+	}
+}

@@ -1,0 +1,164 @@
+// Package analysis computes every table and figure of the paper's
+// evaluation from a collected dataset: the latency geography of §4, the
+// platform comparison of §4.2, the wireless last-mile isolation of §5,
+// and the peering analyses of §6. Each figure has one typed entry point
+// so the benchmark harness and the report renderer share identical
+// results.
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// QoE thresholds of §2.1, in milliseconds.
+const (
+	MTPms = 20  // Motion-to-Photon: immersive AR/VR
+	HPLms = 100 // Human-Perceivable Latency: cloud gaming
+	HRTms = 250 // Human Reaction Time: human-controlled tasks
+)
+
+// Band is the latency group used by the Figure 3 world map.
+type Band uint8
+
+// Figure 3 latency bands.
+const (
+	BandUnder30 Band = iota
+	Band30to60
+	Band60to100
+	Band100to250
+	BandOver250
+)
+
+// String returns the legend label.
+func (b Band) String() string {
+	switch b {
+	case BandUnder30:
+		return "<30 ms"
+	case Band30to60:
+		return "30-60 ms"
+	case Band60to100:
+		return "60-100 ms"
+	case Band100to250:
+		return "100-250 ms"
+	default:
+		return ">250 ms"
+	}
+}
+
+// BandOf buckets a median latency.
+func BandOf(ms float64) Band {
+	switch {
+	case ms < 30:
+		return BandUnder30
+	case ms < 60:
+		return Band30to60
+	case ms < 100:
+		return Band60to100
+	case ms < 250:
+		return Band100to250
+	default:
+		return BandOver250
+	}
+}
+
+// nearestKey groups samples per <probe, region>.
+type nearestKey struct {
+	probe  string
+	region string
+}
+
+// NearestAssignment maps each probe to its closest datacenter —
+// "closest" defined as the paper does: the region with the lowest mean
+// latency over time (footnote 1, §4.1) among same-continent targets.
+type NearestAssignment struct {
+	// Region is the closest region ID per probe.
+	Region map[string]string
+	// Samples holds every RTT from the probe to its closest region.
+	Samples map[string][]float64
+	// Meta keeps one representative record per probe for grouping.
+	Meta map[string]dataset.VantagePoint
+}
+
+// Nearest computes the closest-datacenter assignment from pings of one
+// platform, considering only same-continent targets. Speedchecker uses
+// TCP and ICMP interchangeably, Atlas only TCP, exactly as §3.3
+// prescribes.
+func Nearest(store *dataset.Store, platform string) NearestAssignment {
+	sums := make(map[nearestKey]*stats.Welford)
+	meta := make(map[string]dataset.VantagePoint)
+	use := func(r *dataset.PingRecord) bool {
+		if r.VP.Platform != platform || r.Target.Continent != r.VP.Continent {
+			return false
+		}
+		return platform == "speedchecker" || r.Protocol == dataset.TCP
+	}
+	for i := range store.Pings {
+		r := &store.Pings[i]
+		if !use(r) {
+			continue
+		}
+		k := nearestKey{r.VP.ProbeID, r.Target.Region}
+		w := sums[k]
+		if w == nil {
+			w = &stats.Welford{}
+			sums[k] = w
+		}
+		w.Add(r.RTTms)
+		meta[r.VP.ProbeID] = r.VP
+	}
+	best := make(map[string]string)
+	bestMean := make(map[string]float64)
+	for k, w := range sums {
+		m, seen := bestMean[k.probe]
+		if !seen || w.Mean() < m || (w.Mean() == m && k.region < best[k.probe]) {
+			best[k.probe] = k.region
+			bestMean[k.probe] = w.Mean()
+		}
+	}
+	out := NearestAssignment{
+		Region:  best,
+		Samples: make(map[string][]float64, len(best)),
+		Meta:    meta,
+	}
+	for i := range store.Pings {
+		r := &store.Pings[i]
+		if !use(r) {
+			continue
+		}
+		if best[r.VP.ProbeID] == r.Target.Region {
+			out.Samples[r.VP.ProbeID] = append(out.Samples[r.VP.ProbeID], r.RTTms)
+		}
+	}
+	return out
+}
+
+// byCountry regroups nearest-DC samples per VP country.
+func (na NearestAssignment) byCountry() map[string][]float64 {
+	out := make(map[string][]float64)
+	for probe, xs := range na.Samples {
+		out[na.Meta[probe].Country] = append(out[na.Meta[probe].Country], xs...)
+	}
+	return out
+}
+
+// byContinent regroups nearest-DC samples per VP continent.
+func (na NearestAssignment) byContinent() map[geo.Continent][]float64 {
+	out := make(map[geo.Continent][]float64)
+	for probe, xs := range na.Samples {
+		out[na.Meta[probe].Continent] = append(out[na.Meta[probe].Continent], xs...)
+	}
+	return out
+}
+
+func sortedCountries(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}

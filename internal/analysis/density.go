@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/probes"
+	"repro/internal/stats"
+)
+
+// CountryDensity is one Figure 1b/2/14 entry.
+type CountryDensity struct {
+	Country string
+	Probes  int
+}
+
+// FleetDensity summarizes a fleet's geographic deployment: counts per
+// continent (the headline numbers of Figures 1b and 2) and per country,
+// densest first (the Figure 14 "closeness" view).
+type FleetDensity struct {
+	Platform     string
+	Total        int
+	PerContinent map[geo.Continent]int
+	PerCountry   []CountryDensity
+}
+
+// GeoDensity is the §3.2 coverage comparison for one continent:
+// probes per million km² on each platform and their ratio (the paper
+// reports Speedchecker at ≈12× Atlas in EU, ≈6× in NA, and 30-40× in
+// developing regions).
+type GeoDensity struct {
+	Continent    geo.Continent
+	SCPerMKm2    float64
+	AtlasPerMKm2 float64
+	Ratio        float64
+	DCsPerMKm2   float64 // §4.1: datacenter-to-landmass provisioning
+	SCProbes     int
+	AtlasProbes  int
+	Datacenters  int
+}
+
+// GeoDensities compares two fleets' geographic coverage per continent,
+// optionally folding in datacenter provisioning (pass counts per
+// continent, or nil). scScale is the Speedchecker fleet's sampling
+// scale: a study run at Scale 0.1 extrapolates its probe counts by 10×
+// so the ratios reflect the full platforms.
+func GeoDensities(sc, atlas FleetDensity, dcs map[geo.Continent]int, scScale float64) []GeoDensity {
+	if scScale <= 0 {
+		scScale = 1
+	}
+	var out []GeoDensity
+	for _, cont := range geo.Continents() {
+		area := cont.AreaMKm2()
+		if area == 0 {
+			continue
+		}
+		scFull := float64(sc.PerContinent[cont]) / scScale
+		g := GeoDensity{
+			Continent: cont,
+			SCProbes:  int(scFull), AtlasProbes: atlas.PerContinent[cont],
+			SCPerMKm2:    scFull / area,
+			AtlasPerMKm2: float64(atlas.PerContinent[cont]) / area,
+		}
+		if g.AtlasProbes > 0 {
+			g.Ratio = scFull / float64(g.AtlasProbes)
+		}
+		if dcs != nil {
+			g.Datacenters = dcs[cont]
+			g.DCsPerMKm2 = float64(dcs[cont]) / area
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Density computes a fleet's deployment summary.
+func Density(f *probes.Fleet) FleetDensity {
+	d := FleetDensity{
+		Platform:     f.Platform.String(),
+		Total:        f.Len(),
+		PerContinent: f.CountByContinent(),
+	}
+	for _, cc := range f.Countries() {
+		d.PerCountry = append(d.PerCountry, CountryDensity{Country: cc, Probes: len(f.InCountry(cc))})
+	}
+	sort.Slice(d.PerCountry, func(i, j int) bool {
+		if d.PerCountry[i].Probes != d.PerCountry[j].Probes {
+			return d.PerCountry[i].Probes > d.PerCountry[j].Probes
+		}
+		return d.PerCountry[i].Country < d.PerCountry[j].Country
+	})
+	return d
+}
+
+// Closeness is the Appendix A.1 "geographical closeness" view of a
+// fleet: how tightly a country's probes cluster, measured as the median
+// distance from each probe to its nearest in-country neighbour. Lower
+// is denser.
+type Closeness struct {
+	Country  string
+	Probes   int
+	MedianNN float64 // km to the nearest neighbour, median over probes
+}
+
+// FleetCloseness computes per-country closeness for countries with at
+// least minProbes probes (quadratic per country; cap keeps it cheap).
+func FleetCloseness(f *probes.Fleet, minProbes int) []Closeness {
+	const cap = 300 // distances over more probes add nothing but time
+	var out []Closeness
+	for _, cc := range f.Countries() {
+		ps := f.InCountry(cc)
+		if len(ps) < minProbes {
+			continue
+		}
+		if len(ps) > cap {
+			ps = ps[:cap]
+		}
+		var nn []float64
+		for i, p := range ps {
+			best := -1.0
+			for j, q := range ps {
+				if i == j {
+					continue
+				}
+				if d := geo.DistanceKm(p.Loc, q.Loc); best < 0 || d < best {
+					best = d
+				}
+			}
+			if best >= 0 {
+				nn = append(nn, best)
+			}
+		}
+		med, err := stats.Median(nn)
+		if err != nil {
+			continue
+		}
+		out = append(out, Closeness{Country: cc, Probes: len(f.InCountry(cc)), MedianNN: med})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MedianNN != out[j].MedianNN {
+			return out[i].MedianNN < out[j].MedianNN
+		}
+		return out[i].Country < out[j].Country
+	})
+	return out
+}

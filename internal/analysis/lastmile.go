@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// LastMileCategory labels the four curves of Figure 7.
+type LastMileCategory string
+
+// Figure 7 categories.
+const (
+	CatHomeUserISP   LastMileCategory = "SC home (USR-ISP)"
+	CatCell          LastMileCategory = "SC cell"
+	CatHomeRouterISP LastMileCategory = "SC home (RTR-ISP)"
+	CatAtlas         LastMileCategory = "Atlas"
+)
+
+// LastMileImpact is one Figure 7 group: per continent and category, the
+// distribution of the last-mile share of the end-to-end latency (7a)
+// and of the absolute last-mile latency (7b).
+type LastMileImpact struct {
+	Continent geo.Continent
+	Category  LastMileCategory
+	SharePct  stats.FiveNum // share of total latency, percent
+	AbsMs     stats.FiveNum
+	N         int
+}
+
+// lastMileOf extracts (share%, absolute ms) per category from one
+// processed trace.
+func lastMileOf(p *pipeline.Processed, cat LastMileCategory) (float64, float64, bool) {
+	lm := p.LastMile
+	switch cat {
+	case CatHomeUserISP:
+		if p.Record.VP.Platform == "speedchecker" && lm.Kind == pipeline.KindHome {
+			return 100 * lm.ShareOfTotal, lm.UserToISPms, true
+		}
+	case CatCell:
+		if p.Record.VP.Platform == "speedchecker" && lm.Kind == pipeline.KindCell {
+			return 100 * lm.ShareOfTotal, lm.UserToISPms, true
+		}
+	case CatHomeRouterISP:
+		if p.Record.VP.Platform == "speedchecker" && lm.Kind == pipeline.KindHome && lm.RouterToISPms > 0 {
+			share := 0.0
+			if p.EndToEndRTTms > 0 {
+				share = 100 * lm.RouterToISPms / p.EndToEndRTTms
+			}
+			return share, lm.RouterToISPms, true
+		}
+	case CatAtlas:
+		if p.Record.VP.Platform == "atlas" && lm.Kind == pipeline.KindWired {
+			return 100 * lm.ShareOfTotal, lm.UserToISPms, true
+		}
+	}
+	return 0, 0, false
+}
+
+// LastMile computes Figure 7 (and, with nearestOnly, Figure 19) from
+// processed traceroutes. When nearestOnly is set, only traces towards
+// the probe's nearest datacenter count, where the last-mile share is
+// most pronounced (Appendix A.5).
+func LastMile(processed []pipeline.Processed, nearestOnly bool) []LastMileImpact {
+	nearest := map[string]string{}
+	if nearestOnly {
+		type pair struct{ probe, region string }
+		sums := map[pair]*stats.Welford{}
+		for i := range processed {
+			p := &processed[i]
+			if p.EndToEndRTTms <= 0 || p.Record.Target.Continent != p.Record.VP.Continent {
+				continue
+			}
+			k := pair{p.Record.VP.ProbeID, p.Record.Target.Region}
+			w := sums[k]
+			if w == nil {
+				w = &stats.Welford{}
+				sums[k] = w
+			}
+			w.Add(p.EndToEndRTTms)
+		}
+		bestMean := map[string]float64{}
+		for k, w := range sums {
+			if m, ok := bestMean[k.probe]; !ok || w.Mean() < m || (w.Mean() == m && k.region < nearest[k.probe]) {
+				nearest[k.probe] = k.region
+				bestMean[k.probe] = w.Mean()
+			}
+		}
+	}
+
+	type key struct {
+		cont geo.Continent
+		cat  LastMileCategory
+	}
+	shares := map[key][]float64{}
+	abs := map[key][]float64{}
+	cats := []LastMileCategory{CatHomeUserISP, CatCell, CatHomeRouterISP, CatAtlas}
+	for i := range processed {
+		p := &processed[i]
+		if p.EndToEndRTTms <= 0 || p.LastMile.Kind == pipeline.KindUnknown {
+			continue
+		}
+		if nearestOnly && nearest[p.Record.VP.ProbeID] != p.Record.Target.Region {
+			continue
+		}
+		for _, cat := range cats {
+			if s, a, ok := lastMileOf(p, cat); ok {
+				k := key{p.Record.VP.Continent, cat}
+				shares[k] = append(shares[k], s)
+				abs[k] = append(abs[k], a)
+			}
+		}
+	}
+	var out []LastMileImpact
+	for _, cont := range geo.Continents() {
+		for _, cat := range cats {
+			k := key{cont, cat}
+			if len(shares[k]) == 0 {
+				continue
+			}
+			sBox, err1 := stats.Summarize(shares[k])
+			aBox, err2 := stats.Summarize(abs[k])
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			out = append(out, LastMileImpact{
+				Continent: cont, Category: cat,
+				SharePct: sBox, AbsMs: aBox, N: len(shares[k]),
+			})
+		}
+	}
+	return out
+}
+
+// GlobalLastMile aggregates Figure 7's "Global" column.
+func GlobalLastMile(processed []pipeline.Processed) []LastMileImpact {
+	var shares, abs [4][]float64
+	cats := []LastMileCategory{CatHomeUserISP, CatCell, CatHomeRouterISP, CatAtlas}
+	for i := range processed {
+		p := &processed[i]
+		if p.EndToEndRTTms <= 0 {
+			continue
+		}
+		for ci, cat := range cats {
+			if s, a, ok := lastMileOf(p, cat); ok {
+				shares[ci] = append(shares[ci], s)
+				abs[ci] = append(abs[ci], a)
+			}
+		}
+	}
+	var out []LastMileImpact
+	for ci, cat := range cats {
+		if len(shares[ci]) == 0 {
+			continue
+		}
+		sBox, err1 := stats.Summarize(shares[ci])
+		aBox, err2 := stats.Summarize(abs[ci])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, LastMileImpact{
+			Continent: geo.ContinentUnknown, Category: cat,
+			SharePct: sBox, AbsMs: aBox, N: len(shares[ci]),
+		})
+	}
+	return out
+}
+
+// CvGroup is one Figure 8/9 box: the distribution of per-probe
+// last-mile coefficients of variation.
+type CvGroup struct {
+	// Continent is set for Figure 8, Country for Figure 9.
+	Continent geo.Continent
+	Country   string
+	Category  LastMileCategory // CatHomeUserISP or CatCell
+	Cvs       []float64
+	MedianCv  float64
+}
+
+// cvPerProbe computes Cv of the USR-ISP last-mile across each probe's
+// measurements, keeping probes with at least minSamples samples
+// (the paper used pairs with ≥10 samples).
+func cvPerProbe(processed []pipeline.Processed, minSamples int) map[string]*struct {
+	vpCountry string
+	vpCont    geo.Continent
+	kind      pipeline.ProbeKind
+	w         stats.Welford
+} {
+	type acc = struct {
+		vpCountry string
+		vpCont    geo.Continent
+		kind      pipeline.ProbeKind
+		w         stats.Welford
+	}
+	accs := map[string]*acc{}
+	for i := range processed {
+		p := &processed[i]
+		lm := p.LastMile
+		if p.Record.VP.Platform != "speedchecker" || lm.Kind == pipeline.KindUnknown || lm.Kind == pipeline.KindWired {
+			continue
+		}
+		a := accs[p.Record.VP.ProbeID]
+		if a == nil {
+			a = &acc{vpCountry: p.Record.VP.Country, vpCont: p.Record.VP.Continent, kind: lm.Kind}
+			accs[p.Record.VP.ProbeID] = a
+		}
+		a.w.Add(lm.UserToISPms)
+	}
+	for id, a := range accs {
+		if a.w.N() < minSamples {
+			delete(accs, id)
+		}
+	}
+	return accs
+}
+
+// LastMileCvByContinent computes Figure 8.
+func LastMileCvByContinent(processed []pipeline.Processed, minSamples int) []CvGroup {
+	accs := cvPerProbe(processed, minSamples)
+	type key struct {
+		cont geo.Continent
+		kind pipeline.ProbeKind
+	}
+	cvs := map[key][]float64{}
+	for _, a := range accs {
+		cvs[key{a.vpCont, a.kind}] = append(cvs[key{a.vpCont, a.kind}], a.w.Cv())
+	}
+	var out []CvGroup
+	for _, cont := range geo.Continents() {
+		for _, kc := range []struct {
+			kind pipeline.ProbeKind
+			cat  LastMileCategory
+		}{{pipeline.KindHome, CatHomeUserISP}, {pipeline.KindCell, CatCell}} {
+			xs := cvs[key{cont, kc.kind}]
+			if len(xs) == 0 {
+				continue
+			}
+			med, _ := stats.Median(xs)
+			out = append(out, CvGroup{Continent: cont, Category: kc.cat, Cvs: xs, MedianCv: med})
+		}
+	}
+	return out
+}
+
+// LastMileCvByCountry computes Figure 9 for the given representative
+// countries (the paper uses ZA MA JP IR GB UA US MX BR AR).
+func LastMileCvByCountry(processed []pipeline.Processed, countries []string, minSamples int) []CvGroup {
+	accs := cvPerProbe(processed, minSamples)
+	type key struct {
+		country string
+		kind    pipeline.ProbeKind
+	}
+	cvs := map[key][]float64{}
+	for _, a := range accs {
+		cvs[key{a.vpCountry, a.kind}] = append(cvs[key{a.vpCountry, a.kind}], a.w.Cv())
+	}
+	var out []CvGroup
+	for _, cc := range countries {
+		for _, kc := range []struct {
+			kind pipeline.ProbeKind
+			cat  LastMileCategory
+		}{{pipeline.KindHome, CatHomeUserISP}, {pipeline.KindCell, CatCell}} {
+			xs := cvs[key{cc, kc.kind}]
+			if len(xs) == 0 {
+				continue
+			}
+			med, _ := stats.Median(xs)
+			out = append(out, CvGroup{Country: cc, Category: kc.cat, Cvs: xs, MedianCv: med})
+		}
+	}
+	return out
+}
+
+// Fig9Countries is the paper's Figure 9 country list, two per
+// continent (AF, AS, EU, NA, SA).
+var Fig9Countries = []string{"ZA", "MA", "JP", "IR", "GB", "UA", "US", "MX", "BR", "AR"}

@@ -1,0 +1,243 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+)
+
+func impactFor(imps []LastMileImpact, cont geo.Continent, cat LastMileCategory) (LastMileImpact, bool) {
+	for _, im := range imps {
+		if im.Continent == cont && im.Category == cat {
+			return im, true
+		}
+	}
+	return LastMileImpact{}, false
+}
+
+func TestLastMileShareFig7a(t *testing.T) {
+	f := testData(t)
+	imps := LastMile(f.processed, false)
+	if len(imps) < 12 {
+		t.Fatalf("only %d last-mile groups", len(imps))
+	}
+	for _, im := range imps {
+		if im.SharePct.Median < 0 || im.SharePct.Median > 100 {
+			t.Errorf("%v/%s: share median %.1f out of range", im.Continent, im.Category, im.SharePct.Median)
+		}
+	}
+	// Fig 7a: the share is substantial, and larger in well-provisioned
+	// continents (EU) than in Africa, where paths are long.
+	euHome, ok1 := impactFor(imps, geo.EU, CatHomeUserISP)
+	afCell, ok2 := impactFor(imps, geo.AF, CatCell)
+	euCell, ok3 := impactFor(imps, geo.EU, CatCell)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("missing EU/AF last-mile groups")
+	}
+	if euHome.SharePct.Median < 30 {
+		t.Errorf("EU home share = %.0f%%, want ≈ 40-60%%", euHome.SharePct.Median)
+	}
+	if afCell.SharePct.Median >= euCell.SharePct.Median {
+		t.Errorf("AF share (%.0f%%) should trail EU (%.0f%%): African paths are long", afCell.SharePct.Median, euCell.SharePct.Median)
+	}
+	// The RTR-ISP wired tail is a strictly smaller share than USR-ISP.
+	euWire, ok := impactFor(imps, geo.EU, CatHomeRouterISP)
+	if !ok {
+		t.Fatal("missing EU RTR-ISP group")
+	}
+	if euWire.SharePct.Median >= euHome.SharePct.Median {
+		t.Error("RTR-ISP share must sit below USR-ISP share")
+	}
+}
+
+func TestLastMileAbsoluteFig7b(t *testing.T) {
+	f := testData(t)
+	imps := LastMile(f.processed, false)
+	// Fig 7b: USR-ISP medians hover around 20-25 ms for both home and
+	// cell everywhere; Atlas sits near 10 ms, resembling the wired
+	// RTR-ISP tail.
+	for _, cont := range []geo.Continent{geo.EU, geo.NA, geo.AS} {
+		home, ok1 := impactFor(imps, cont, CatHomeUserISP)
+		cell, ok2 := impactFor(imps, cont, CatCell)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing %v groups", cont)
+		}
+		if home.AbsMs.Median < 12 || home.AbsMs.Median > 35 {
+			t.Errorf("%v home abs = %.1f ms, want ≈ 20-25", cont, home.AbsMs.Median)
+		}
+		if d := home.AbsMs.Median - cell.AbsMs.Median; d < -10 || d > 10 {
+			t.Errorf("%v: home %.1f vs cell %.1f differ too much", cont, home.AbsMs.Median, cell.AbsMs.Median)
+		}
+	}
+	euAtlas, ok := impactFor(imps, geo.EU, CatAtlas)
+	euHome, _ := impactFor(imps, geo.EU, CatHomeUserISP)
+	euWire, _ := impactFor(imps, geo.EU, CatHomeRouterISP)
+	if !ok {
+		t.Fatal("missing Atlas group")
+	}
+	if euAtlas.AbsMs.Median >= euHome.AbsMs.Median {
+		t.Errorf("Atlas last-mile (%.1f) must beat wireless (%.1f)", euAtlas.AbsMs.Median, euHome.AbsMs.Median)
+	}
+	// Atlas resembles the wired part of the home path (§5).
+	if d := euAtlas.AbsMs.Median - euWire.AbsMs.Median; d < -6 || d > 6 {
+		t.Errorf("Atlas (%.1f) should resemble SC RTR-ISP (%.1f)", euAtlas.AbsMs.Median, euWire.AbsMs.Median)
+	}
+	// Wireless accounts for 2-3× the wired access latency (§4.2).
+	ratio := euHome.AbsMs.Median / euAtlas.AbsMs.Median
+	if ratio < 1.5 || ratio > 4 {
+		t.Errorf("wireless/wired ratio = %.1f, want ≈ 2-3", ratio)
+	}
+}
+
+func TestLastMileNearestFig19(t *testing.T) {
+	f := testData(t)
+	all := LastMile(f.processed, false)
+	nearest := LastMile(f.processed, true)
+	// A.5: towards the closest DC the last-mile share grows, approaching
+	// half of the total latency globally.
+	allHome, ok1 := impactFor(all, geo.EU, CatHomeUserISP)
+	nearHome, ok2 := impactFor(nearest, geo.EU, CatHomeUserISP)
+	if !ok1 || !ok2 {
+		t.Fatal("missing EU home groups")
+	}
+	if nearHome.SharePct.Median <= allHome.SharePct.Median {
+		t.Errorf("nearest-DC share (%.0f%%) should exceed all-targets share (%.0f%%)",
+			nearHome.SharePct.Median, allHome.SharePct.Median)
+	}
+	if nearHome.SharePct.Median < 40 {
+		t.Errorf("nearest-DC EU home share = %.0f%%, want ≈ 50%%+", nearHome.SharePct.Median)
+	}
+}
+
+func TestGlobalLastMile(t *testing.T) {
+	f := testData(t)
+	glob := GlobalLastMile(f.processed)
+	if len(glob) < 3 {
+		t.Fatalf("global groups = %d", len(glob))
+	}
+	var home, cell *LastMileImpact
+	for i := range glob {
+		if glob[i].Category == CatHomeUserISP {
+			home = &glob[i]
+		}
+		if glob[i].Category == CatCell {
+			cell = &glob[i]
+		}
+	}
+	if home == nil || cell == nil {
+		t.Fatal("missing global home/cell")
+	}
+	// §5: wireless takes ≈ 40-50% of the total median latency globally.
+	if home.SharePct.Median < 25 || home.SharePct.Median > 75 {
+		t.Errorf("global home share = %.0f%%, want ≈ 40-50%%", home.SharePct.Median)
+	}
+	if cell.SharePct.Median < 25 || cell.SharePct.Median > 75 {
+		t.Errorf("global cell share = %.0f%%, want ≈ 40-50%%", cell.SharePct.Median)
+	}
+}
+
+func TestLastMileCvFig8(t *testing.T) {
+	f := testData(t)
+	groups := LastMileCvByContinent(f.processed, 5)
+	if len(groups) < 8 {
+		t.Fatalf("cv groups = %d", len(groups))
+	}
+	for _, g := range groups {
+		if g.MedianCv <= 0 {
+			t.Errorf("%v/%s: non-positive Cv", g.Continent, g.Category)
+		}
+		// Fig 8: median Cv hovers around 0.5 everywhere, for both
+		// access types.
+		if g.MedianCv < 0.2 || g.MedianCv > 1.1 {
+			t.Errorf("%v/%s: median Cv = %.2f, want ≈ 0.5", g.Continent, g.Category, g.MedianCv)
+		}
+	}
+	// Home and cell are comparable per continent (§5).
+	for _, cont := range []geo.Continent{geo.EU, geo.AS} {
+		var home, cell float64
+		for _, g := range groups {
+			if g.Continent != cont {
+				continue
+			}
+			if g.Category == CatHomeUserISP {
+				home = g.MedianCv
+			} else if g.Category == CatCell {
+				cell = g.MedianCv
+			}
+		}
+		if home == 0 || cell == 0 {
+			t.Fatalf("missing %v home/cell Cv", cont)
+		}
+		if d := home - cell; d < -0.35 || d > 0.35 {
+			t.Errorf("%v: home Cv %.2f vs cell %.2f too far apart", cont, home, cell)
+		}
+	}
+}
+
+func TestLastMileCvFig9(t *testing.T) {
+	f := testData(t)
+	groups := LastMileCvByCountry(f.processed, Fig9Countries, 5)
+	if len(groups) < 8 {
+		t.Fatalf("country cv groups = %d", len(groups))
+	}
+	seen := map[string]bool{}
+	for _, g := range groups {
+		seen[g.Country] = true
+		if g.MedianCv < 0.15 || g.MedianCv > 1.2 {
+			t.Errorf("%s/%s: median Cv = %.2f, want comparable across the globe", g.Country, g.Category, g.MedianCv)
+		}
+	}
+	// Dense-probe countries must all be present.
+	for _, cc := range []string{"JP", "GB", "US", "BR"} {
+		if !seen[cc] {
+			t.Errorf("missing Fig 9 country %s", cc)
+		}
+	}
+	// Countries outside the list are excluded.
+	for _, g := range groups {
+		found := false
+		for _, cc := range Fig9Countries {
+			if g.Country == cc {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected country %s", g.Country)
+		}
+	}
+}
+
+func TestCvMinSamplesFilter(t *testing.T) {
+	f := testData(t)
+	loose := LastMileCvByContinent(f.processed, 2)
+	strict := LastMileCvByContinent(f.processed, 1000)
+	if len(strict) != 0 {
+		t.Errorf("impossible sample floor still yielded %d groups", len(strict))
+	}
+	total := func(gs []CvGroup) int {
+		n := 0
+		for _, g := range gs {
+			n += len(g.Cvs)
+		}
+		return n
+	}
+	if total(loose) == 0 {
+		t.Fatal("loose filter yielded nothing")
+	}
+}
+
+func TestLastMileEmptyInput(t *testing.T) {
+	if got := LastMile(nil, false); got != nil {
+		t.Errorf("empty input should yield nil, got %v", got)
+	}
+	if got := GlobalLastMile(nil); got != nil {
+		t.Errorf("empty input should yield nil, got %v", got)
+	}
+	if got := LastMileCvByContinent(nil, 1); got != nil {
+		t.Errorf("empty input should yield nil, got %v", got)
+	}
+	if got := LastMileCvByCountry([]pipeline.Processed{}, Fig9Countries, 1); got != nil {
+		t.Errorf("empty input should yield nil, got %v", got)
+	}
+}

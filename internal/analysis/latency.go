@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// CountryLatency is one Figure 3 map entry: the median RTT from a
+// country's probes to their closest same-continent datacenter.
+type CountryLatency struct {
+	Country   string
+	Continent geo.Continent
+	MedianMs  float64
+	// CILowMs and CIHighMs bound the median at 95% confidence
+	// (percentile bootstrap) — the per-country counterpart of the
+	// paper's §3.3 sample-size requirement.
+	CILowMs  float64
+	CIHighMs float64
+	Band     Band
+	Samples  int
+}
+
+// LatencyMap computes Figure 3 from Speedchecker TCP pings. Countries
+// with fewer than minSamples nearest-DC samples are skipped (the paper
+// required at least 100 probes per country).
+func LatencyMap(store *dataset.Store, minSamples int) []CountryLatency {
+	na := Nearest(store, "speedchecker")
+	byCountry := na.byCountry()
+	var out []CountryLatency
+	for _, cc := range sortedCountries(byCountry) {
+		xs := byCountry[cc]
+		if len(xs) < minSamples {
+			continue
+		}
+		med, err := stats.Median(xs)
+		if err != nil {
+			continue
+		}
+		c, ok := geo.CountryByCode(cc)
+		if !ok {
+			continue
+		}
+		lo, hi, err := stats.BootstrapMedianCI(xs, 200, 0.95, int64(len(xs)))
+		if err != nil {
+			lo, hi = med, med
+		}
+		out = append(out, CountryLatency{
+			Country: cc, Continent: c.Continent,
+			MedianMs: med, CILowMs: lo, CIHighMs: hi,
+			Band: BandOf(med), Samples: len(xs),
+		})
+	}
+	return out
+}
+
+// ThresholdSummary is the §4.1 takeaway: how many countries meet each
+// QoE threshold at the median.
+type ThresholdSummary struct {
+	Countries int
+	UnderMTP  int
+	UnderHPL  int
+	UnderHRT  int
+}
+
+// Thresholds summarizes a latency map against MTP/HPL/HRT.
+func Thresholds(entries []CountryLatency) ThresholdSummary {
+	s := ThresholdSummary{Countries: len(entries)}
+	for _, e := range entries {
+		if e.MedianMs < MTPms {
+			s.UnderMTP++
+		}
+		if e.MedianMs < HPLms {
+			s.UnderHPL++
+		}
+		if e.MedianMs < HRTms {
+			s.UnderHRT++
+		}
+	}
+	return s
+}
+
+// ContinentDistribution is one Figure 4 curve: the distribution of all
+// nearest-DC RTT samples from one continent.
+type ContinentDistribution struct {
+	Continent geo.Continent
+	CDF       stats.CDF
+	// Fractions of samples under each QoE threshold.
+	UnderMTP, UnderHPL, UnderHRT float64
+	N                            int
+}
+
+// ContinentDistributions computes Figure 4 for one platform.
+func ContinentDistributions(store *dataset.Store, platform string) []ContinentDistribution {
+	na := Nearest(store, platform)
+	byCont := na.byContinent()
+	var out []ContinentDistribution
+	for _, cont := range geo.Continents() {
+		xs := byCont[cont]
+		if len(xs) == 0 {
+			continue
+		}
+		cdf, err := stats.NewCDF(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, ContinentDistribution{
+			Continent: cont, CDF: cdf,
+			UnderMTP: cdf.At(MTPms), UnderHPL: cdf.At(HPLms), UnderHRT: cdf.At(HRTms),
+			N: len(xs),
+		})
+	}
+	return out
+}
+
+// InterContinentBox is one Figure 6 box: latency from one country's
+// probes to the nearest datacenter on one target continent.
+type InterContinentBox struct {
+	Country         string
+	TargetContinent geo.Continent
+	Box             stats.FiveNum
+}
+
+// InterContinental computes Figure 6a/6b: for each listed VP country,
+// the distribution of RTTs towards the closest DC on each target
+// continent. All Speedchecker samples (both protocols, as the paper
+// uses all recorded measurements here) are included.
+func InterContinental(store *dataset.Store, countries []string, targets []geo.Continent) []InterContinentBox {
+	type key struct {
+		country string
+		cont    geo.Continent
+		region  string
+	}
+	// Choose, per <country, target continent>, the region with the
+	// lowest mean RTT, then report the distribution of its samples.
+	sums := make(map[key]*stats.Welford)
+	for i := range store.Pings {
+		r := &store.Pings[i]
+		if r.VP.Platform != "speedchecker" {
+			continue
+		}
+		if !containsString(countries, r.VP.Country) || !containsContinent(targets, r.Target.Continent) {
+			continue
+		}
+		k := key{r.VP.Country, r.Target.Continent, r.Target.Region}
+		w := sums[k]
+		if w == nil {
+			w = &stats.Welford{}
+			sums[k] = w
+		}
+		w.Add(r.RTTms)
+	}
+	type group struct {
+		country string
+		cont    geo.Continent
+	}
+	best := make(map[group]string)
+	bestMean := make(map[group]float64)
+	for k, w := range sums {
+		g := group{k.country, k.cont}
+		if m, ok := bestMean[g]; !ok || w.Mean() < m || (w.Mean() == m && k.region < best[g]) {
+			best[g] = k.region
+			bestMean[g] = w.Mean()
+		}
+	}
+	samples := make(map[group][]float64)
+	for i := range store.Pings {
+		r := &store.Pings[i]
+		if r.VP.Platform != "speedchecker" {
+			continue
+		}
+		g := group{r.VP.Country, r.Target.Continent}
+		if best[g] == r.Target.Region {
+			samples[g] = append(samples[g], r.RTTms)
+		}
+	}
+	var out []InterContinentBox
+	for _, cc := range countries {
+		for _, tc := range targets {
+			xs := samples[group{cc, tc}]
+			if len(xs) == 0 {
+				continue
+			}
+			box, err := stats.Summarize(xs)
+			if err != nil {
+				continue
+			}
+			out = append(out, InterContinentBox{Country: cc, TargetContinent: tc, Box: box})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Country != out[j].Country {
+			return out[i].Country < out[j].Country
+		}
+		return out[i].TargetContinent < out[j].TargetContinent
+	})
+	return out
+}
+
+func containsString(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func containsContinent(s []geo.Continent, v geo.Continent) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

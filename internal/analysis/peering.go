@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/cloud"
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// InterconnectShare is one Figure 10 bar: the percentage of a
+// provider's observed paths in each interconnection category. Direct
+// folds in peerings established over IXP fabrics, as Figure 10 does
+// (IXPs are stripped from the AS-level topology, §6.1).
+type InterconnectShare struct {
+	Provider   string
+	DirectPct  float64
+	OneASPct   float64
+	MultiASPct float64
+	N          int
+}
+
+// Interconnections computes Figure 10 from processed Speedchecker
+// traceroutes.
+func Interconnections(processed []pipeline.Processed) []InterconnectShare {
+	counts := map[string]*InterconnectShare{}
+	for i := range processed {
+		p := &processed[i]
+		if p.Record.VP.Platform != "speedchecker" || p.Class == pipeline.ClassUnknown {
+			continue
+		}
+		prov := figureProvider(p.Record.Target.Provider)
+		if prov == "" {
+			continue
+		}
+		s := counts[prov]
+		if s == nil {
+			s = &InterconnectShare{Provider: prov}
+			counts[prov] = s
+		}
+		s.N++
+		switch p.Class {
+		case pipeline.ClassDirect, pipeline.ClassDirectIXP:
+			s.DirectPct++
+		case pipeline.ClassPrivate:
+			s.OneASPct++
+		case pipeline.ClassPublic:
+			s.MultiASPct++
+		}
+	}
+	var out []InterconnectShare
+	for _, code := range cloud.FigureProviderCodes() {
+		s := counts[code]
+		if s == nil {
+			continue
+		}
+		n := float64(s.N)
+		s.DirectPct = 100 * s.DirectPct / n
+		s.OneASPct = 100 * s.OneASPct / n
+		s.MultiASPct = 100 * s.MultiASPct / n
+		out = append(out, *s)
+	}
+	return out
+}
+
+// figureProvider folds Lightsail into Amazon, as the paper's peering
+// figures plot nine providers.
+func figureProvider(code string) string {
+	if code == "LTSL" {
+		return "AMZN"
+	}
+	for _, c := range cloud.FigureProviderCodes() {
+		if c == code {
+			return c
+		}
+	}
+	return ""
+}
+
+// PervasivenessRow is one Figure 11 group: the mean route pervasiveness
+// of one provider per VP continent.
+type PervasivenessRow struct {
+	Provider     string
+	PerContinent map[geo.Continent]float64
+	N            int
+}
+
+// Pervasiveness computes Figure 11: the ratio of provider-owned routers
+// to total path length, averaged per provider and VP continent.
+func Pervasiveness(processed []pipeline.Processed) []PervasivenessRow {
+	type key struct {
+		prov string
+		cont geo.Continent
+	}
+	sums := map[key]*stats.Welford{}
+	totals := map[string]int{}
+	for i := range processed {
+		p := &processed[i]
+		if p.Record.VP.Platform != "speedchecker" || !p.ReachedCloud {
+			continue
+		}
+		prov := figureProvider(p.Record.Target.Provider)
+		if prov == "" {
+			continue
+		}
+		k := key{prov, p.Record.VP.Continent}
+		w := sums[k]
+		if w == nil {
+			w = &stats.Welford{}
+			sums[k] = w
+		}
+		w.Add(p.Pervasiveness)
+		totals[prov]++
+	}
+	var out []PervasivenessRow
+	for _, code := range cloud.FigureProviderCodes() {
+		if totals[code] == 0 {
+			continue
+		}
+		row := PervasivenessRow{Provider: code, PerContinent: map[geo.Continent]float64{}, N: totals[code]}
+		for _, cont := range geo.Continents() {
+			if w := sums[key{code, cont}]; w != nil && w.N() > 0 {
+				row.PerContinent[cont] = w.Mean()
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// MatrixCell is one cell of a Figure 12a/13a/17a/18a peering matrix:
+// the majority interconnection type between one serving ISP and one
+// provider, with the share of paths using it.
+type MatrixCell struct {
+	Class pipeline.Class
+	Pct   float64
+	N     int
+}
+
+// ISPRow is one matrix row.
+type ISPRow struct {
+	ISP   asn.Number
+	Name  string
+	Cells map[string]MatrixCell // provider code → cell
+	N     int
+}
+
+// PeeringMatrix is one case-study matrix (e.g. German ISPs → UK DCs).
+type PeeringMatrix struct {
+	VPCountry string
+	DCCountry string
+	Rows      []ISPRow
+}
+
+// CaseStudyMatrix computes a Figure 12a-style matrix: the topN serving
+// ISPs of vpCountry (by recorded measurements) against all providers,
+// over paths towards datacenters in dcCountry.
+func CaseStudyMatrix(processed []pipeline.Processed, registry *asn.Registry, vpCountry, dcCountry string, topN int) PeeringMatrix {
+	type cellKey struct {
+		isp  asn.Number
+		prov string
+	}
+	classCounts := map[cellKey]map[pipeline.Class]int{}
+	ispCounts := map[asn.Number]int{}
+	for i := range processed {
+		p := &processed[i]
+		if p.Record.VP.Platform != "speedchecker" ||
+			p.Record.VP.Country != vpCountry ||
+			p.Record.Target.Country != dcCountry ||
+			p.Class == pipeline.ClassUnknown {
+			continue
+		}
+		prov := figureProvider(p.Record.Target.Provider)
+		if prov == "" {
+			continue
+		}
+		k := cellKey{p.Record.VP.ISP, prov}
+		if classCounts[k] == nil {
+			classCounts[k] = map[pipeline.Class]int{}
+		}
+		classCounts[k][p.Class]++
+		ispCounts[p.Record.VP.ISP]++
+	}
+	// Top-N ISPs by measurement volume (§6.2 footnote 2).
+	type rank struct {
+		isp asn.Number
+		n   int
+	}
+	var ranks []rank
+	for isp, n := range ispCounts {
+		ranks = append(ranks, rank{isp, n})
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].n != ranks[j].n {
+			return ranks[i].n > ranks[j].n
+		}
+		return ranks[i].isp < ranks[j].isp
+	})
+	if len(ranks) > topN {
+		ranks = ranks[:topN]
+	}
+	m := PeeringMatrix{VPCountry: vpCountry, DCCountry: dcCountry}
+	for _, r := range ranks {
+		row := ISPRow{ISP: r.isp, Cells: map[string]MatrixCell{}, N: r.n}
+		if a, ok := registry.Lookup(r.isp); ok {
+			row.Name = a.Name
+		}
+		for _, prov := range cloud.FigureProviderCodes() {
+			cc := classCounts[cellKey{r.isp, prov}]
+			if len(cc) == 0 {
+				continue
+			}
+			bestClass, bestN, total := pipeline.ClassUnknown, 0, 0
+			for cl, n := range cc {
+				total += n
+				if n > bestN || (n == bestN && cl < bestClass) {
+					bestClass, bestN = cl, n
+				}
+			}
+			row.Cells[prov] = MatrixCell{
+				Class: bestClass,
+				Pct:   100 * float64(bestN) / float64(total),
+				N:     total,
+			}
+		}
+		m.Rows = append(m.Rows, row)
+	}
+	return m
+}
+
+// PeeringLatency is one Figure 12b/13b/17b/18b provider entry: latency
+// boxes for paths with direct peering versus paths through intermediate
+// ASes.
+type PeeringLatency struct {
+	Provider string
+	Direct   stats.FiveNum
+	Transit  stats.FiveNum
+	NDirect  int
+	NTransit int
+}
+
+// CaseStudyLatency computes a Figure 12b-style comparison: end-to-end
+// traceroute RTTs from vpCountry towards dcCountry datacenters, split
+// by direct peering versus intermediate-AS paths. Provider groups with
+// fewer than minSamples on either side are dropped, as the paper only
+// shows pairs with at least 100 measurements.
+func CaseStudyLatency(processed []pipeline.Processed, vpCountry, dcCountry string, minSamples int) []PeeringLatency {
+	direct := map[string][]float64{}
+	transit := map[string][]float64{}
+	for i := range processed {
+		p := &processed[i]
+		if p.Record.VP.Platform != "speedchecker" ||
+			p.Record.VP.Country != vpCountry ||
+			p.Record.Target.Country != dcCountry ||
+			p.Class == pipeline.ClassUnknown || p.EndToEndRTTms <= 0 {
+			continue
+		}
+		prov := figureProvider(p.Record.Target.Provider)
+		if prov == "" {
+			continue
+		}
+		switch p.Class {
+		case pipeline.ClassDirect, pipeline.ClassDirectIXP:
+			direct[prov] = append(direct[prov], p.EndToEndRTTms)
+		default:
+			transit[prov] = append(transit[prov], p.EndToEndRTTms)
+		}
+	}
+	var out []PeeringLatency
+	for _, prov := range cloud.FigureProviderCodes() {
+		d, tr := direct[prov], transit[prov]
+		if len(d) < minSamples || len(tr) < minSamples {
+			continue
+		}
+		db, err1 := stats.Summarize(d)
+		tb, err2 := stats.Summarize(tr)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		out = append(out, PeeringLatency{
+			Provider: prov, Direct: db, Transit: tb,
+			NDirect: len(d), NTransit: len(tr),
+		})
+	}
+	return out
+}
+
+// Flattening is one provider's AS-path-length distribution — the
+// "flattening of the traditionally hierarchical Internet topology" the
+// paper builds on (§2.1): traffic to hypergiants crosses almost no
+// intermediate ASes, while small providers still live behind the
+// hierarchy.
+type Flattening struct {
+	Provider string
+	// MeanASes is the mean number of distinct ASes on the path
+	// (serving ISP and provider included).
+	MeanASes float64
+	Box      stats.FiveNum
+	N        int
+}
+
+// PathFlattening computes per-provider AS-path lengths from processed
+// Speedchecker traceroutes that reached the provider.
+func PathFlattening(processed []pipeline.Processed) []Flattening {
+	lengths := map[string][]float64{}
+	for i := range processed {
+		p := &processed[i]
+		if p.Record.VP.Platform != "speedchecker" || !p.ReachedCloud || p.Class == pipeline.ClassUnknown {
+			continue
+		}
+		prov := figureProvider(p.Record.Target.Provider)
+		if prov == "" {
+			continue
+		}
+		lengths[prov] = append(lengths[prov], float64(p.Intermediates+2))
+	}
+	var out []Flattening
+	for _, code := range cloud.FigureProviderCodes() {
+		xs := lengths[code]
+		if len(xs) == 0 {
+			continue
+		}
+		box, err := stats.Summarize(xs)
+		if err != nil {
+			continue
+		}
+		out = append(out, Flattening{Provider: code, MeanASes: box.Mean, Box: box, N: len(xs)})
+	}
+	return out
+}

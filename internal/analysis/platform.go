@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// PlatformDiff is one Figure 5 curve: the distribution of latency
+// differences (Speedchecker − Atlas) towards the nearest datacenter on
+// one continent. Negative values mean Speedchecker was faster.
+type PlatformDiff struct {
+	Continent geo.Continent
+	// Diffs are percentile-matched differences between the two
+	// platforms' nearest-DC distributions (1st..99th percentile).
+	Diffs []float64
+	// AtlasFasterShare is the fraction of the distribution where Atlas
+	// wins (diff > 0).
+	AtlasFasterShare float64
+	NSC, NAtlas      int
+}
+
+// PlatformComparison computes Figure 5. The two platforms measure from
+// different probes, so the comparison matches distributions percentile
+// by percentile, the standard approach for unpaired samples.
+func PlatformComparison(store *dataset.Store) []PlatformDiff {
+	sc := Nearest(store, "speedchecker").byContinent()
+	at := Nearest(store, "atlas").byContinent()
+	var out []PlatformDiff
+	for _, cont := range geo.Continents() {
+		xs, ys := sc[cont], at[cont]
+		if len(xs) == 0 || len(ys) == 0 {
+			continue
+		}
+		d := PlatformDiff{Continent: cont, NSC: len(xs), NAtlas: len(ys)}
+		atlasFaster := 0
+		for p := 1; p <= 99; p++ {
+			q := float64(p) / 100
+			a, _ := stats.Quantile(xs, q)
+			b, _ := stats.Quantile(ys, q)
+			diff := a - b
+			d.Diffs = append(d.Diffs, diff)
+			if diff > 0 {
+				atlasFaster++
+			}
+		}
+		d.AtlasFasterShare = float64(atlasFaster) / 99
+		out = append(out, d)
+	}
+	return out
+}
+
+// MatchedDiff is one Figure 16 curve: like Figure 5, but only over
+// probe groups present on both platforms with the same serving ISP in
+// the same country (the paper's <city, ASN> first-hop match). Continents
+// without enough matched groups are excluded, as in the paper (AF, SA,
+// OC).
+type MatchedDiff struct {
+	Continent     geo.Continent
+	Diffs         []float64
+	MatchedGroups int
+}
+
+// MatchedComparison computes Figure 16. minGroups is the minimum number
+// of matched <country, ISP> groups per continent (the paper found
+// enough only in EU, NA and AS).
+func MatchedComparison(store *dataset.Store, minGroups int) []MatchedDiff {
+	type group struct {
+		country string
+		isp     uint32
+	}
+	collect := func(platform string) map[group]map[geo.Continent][]float64 {
+		na := Nearest(store, platform)
+		out := make(map[group]map[geo.Continent][]float64)
+		for probe, xs := range na.Samples {
+			vp := na.Meta[probe]
+			g := group{vp.Country, uint32(vp.ISP)}
+			if out[g] == nil {
+				out[g] = make(map[geo.Continent][]float64)
+			}
+			out[g][vp.Continent] = append(out[g][vp.Continent], xs...)
+		}
+		return out
+	}
+	sc := collect("speedchecker")
+	at := collect("atlas")
+
+	perCont := make(map[geo.Continent][]float64)
+	groups := make(map[geo.Continent]int)
+	var keys []group
+	for g := range sc {
+		if _, ok := at[g]; ok {
+			keys = append(keys, g)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].country != keys[j].country {
+			return keys[i].country < keys[j].country
+		}
+		return keys[i].isp < keys[j].isp
+	})
+	for _, g := range keys {
+		for cont, xs := range sc[g] {
+			ys := at[g][cont]
+			if len(xs) == 0 || len(ys) == 0 {
+				continue
+			}
+			groups[cont]++
+			for p := 5; p <= 95; p += 5 {
+				q := float64(p) / 100
+				a, _ := stats.Quantile(xs, q)
+				b, _ := stats.Quantile(ys, q)
+				perCont[cont] = append(perCont[cont], a-b)
+			}
+		}
+	}
+	var out []MatchedDiff
+	for _, cont := range geo.Continents() {
+		if groups[cont] < minGroups {
+			continue
+		}
+		out = append(out, MatchedDiff{Continent: cont, Diffs: perCont[cont], MatchedGroups: groups[cont]})
+	}
+	return out
+}
+
+// ProtocolComparison is one Figure 15 pair of boxes: ICMP vs TCP
+// latency on one continent over Speedchecker, compared per
+// <country, datacenter> pair as §3.3 does.
+type ProtocolComparison struct {
+	Continent geo.Continent
+	// TCP and ICMP summarize the per-<country, datacenter> median
+	// latencies under each protocol.
+	TCP, ICMP stats.FiveNum
+	// MedianGapPct is the median over pairs of (ICMP−TCP)/TCP, in
+	// percent; §3.3 reports it within about 2% on Speedchecker.
+	MedianGapPct float64
+	Pairs        int
+}
+
+// ProtocolComparisons computes Figure 15. Comparing matched
+// <country, datacenter> pairs (rather than pooled samples) is what the
+// paper does, and it keeps the comparison meaningful on continents with
+// strongly multi-modal latency.
+func ProtocolComparisons(store *dataset.Store) []ProtocolComparison {
+	type pairKey struct {
+		country string
+		region  string
+	}
+	type contPair struct {
+		cont geo.Continent
+		key  pairKey
+	}
+	byProto := map[dataset.Protocol]map[contPair][]float64{
+		dataset.TCP:  {},
+		dataset.ICMP: {},
+	}
+	for i := range store.Pings {
+		r := &store.Pings[i]
+		if r.VP.Platform != "speedchecker" {
+			continue
+		}
+		cp := contPair{r.VP.Continent, pairKey{r.VP.Country, r.Target.Region}}
+		byProto[r.Protocol][cp] = append(byProto[r.Protocol][cp], r.RTTms)
+	}
+	perCont := map[geo.Continent]struct {
+		tcp, icmp []float64
+		gaps      []float64
+	}{}
+	for cp, tcpSamples := range byProto[dataset.TCP] {
+		icmpSamples := byProto[dataset.ICMP][cp]
+		if len(tcpSamples) == 0 || len(icmpSamples) == 0 {
+			continue
+		}
+		mt, err1 := stats.Median(tcpSamples)
+		mi, err2 := stats.Median(icmpSamples)
+		if err1 != nil || err2 != nil || mt <= 0 {
+			continue
+		}
+		agg := perCont[cp.cont]
+		agg.tcp = append(agg.tcp, mt)
+		agg.icmp = append(agg.icmp, mi)
+		agg.gaps = append(agg.gaps, 100*(mi-mt)/mt)
+		perCont[cp.cont] = agg
+	}
+	var out []ProtocolComparison
+	for _, cont := range geo.Continents() {
+		agg, ok := perCont[cont]
+		if !ok || len(agg.tcp) == 0 {
+			continue
+		}
+		bt, err1 := stats.Summarize(agg.tcp)
+		bi, err2 := stats.Summarize(agg.icmp)
+		gap, err3 := stats.Median(agg.gaps)
+		if err1 != nil || err2 != nil || err3 != nil {
+			continue
+		}
+		out = append(out, ProtocolComparison{
+			Continent: cont, TCP: bt, ICMP: bi,
+			MedianGapPct: gap, Pairs: len(agg.tcp),
+		})
+	}
+	return out
+}

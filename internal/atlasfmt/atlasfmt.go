@@ -1,0 +1,302 @@
+// Package atlasfmt encodes and decodes measurement results in the RIPE
+// Atlas JSON result format — the format the Corneo et al. dataset the
+// paper compares against is published in (§3.2, [30]).
+//
+// Atlas results identify probes by numeric IDs and carry no vantage
+// metadata; Atlas users join results against the probe-metadata API.
+// This package mirrors that split: exporting a store yields the NDJSON
+// results plus a Meta sidecar (probe ID ↔ vantage point, address ↔
+// target), and importing needs the sidecar back. Round trips are exact.
+package atlasfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/netaddr"
+)
+
+// epoch is the start of the paper's Atlas campaign (1 Sep 2019 UTC),
+// used to synthesize plausible timestamps from cycle indexes.
+const epoch = 1567296000
+
+// cycleSeconds is the two-week campaign cycle length (§3.3).
+const cycleSeconds = 14 * 24 * 3600
+
+// Measurement-ID bases: Atlas measurement IDs are opaque int64s, so the
+// exporter encodes the campaign cycle there for exact round trips.
+const (
+	pingMsmBase  = 1 << 32
+	traceMsmBase = 1 << 33
+)
+
+// PingResult is one Atlas-format ping measurement.
+type PingResult struct {
+	Fw        int         `json:"fw"`
+	MsmID     int64       `json:"msm_id"`
+	PrbID     int         `json:"prb_id"`
+	Timestamp int64       `json:"timestamp"`
+	Type      string      `json:"type"` // "ping"
+	DstAddr   string      `json:"dst_addr"`
+	Proto     string      `json:"proto"` // "TCP" or "ICMP"
+	Sent      int         `json:"sent"`
+	Rcvd      int         `json:"rcvd"`
+	Min       float64     `json:"min"`
+	Avg       float64     `json:"avg"`
+	Max       float64     `json:"max"`
+	Result    []PingReply `json:"result"`
+}
+
+// PingReply is one echo within a ping measurement: either an RTT or a
+// timeout marker {"x":"*"}.
+type PingReply struct {
+	RTT *float64 `json:"rtt,omitempty"`
+	X   string   `json:"x,omitempty"`
+}
+
+// TraceResult is one Atlas-format traceroute.
+type TraceResult struct {
+	Fw        int        `json:"fw"`
+	MsmID     int64      `json:"msm_id"`
+	PrbID     int        `json:"prb_id"`
+	Timestamp int64      `json:"timestamp"`
+	Type      string     `json:"type"` // "traceroute"
+	DstAddr   string     `json:"dst_addr"`
+	Proto     string     `json:"proto"`
+	Result    []TraceHop `json:"result"`
+}
+
+// TraceHop is one TTL step.
+type TraceHop struct {
+	Hop    int        `json:"hop"`
+	Result []HopReply `json:"result"`
+}
+
+// HopReply is one response at a TTL: a responding router or a timeout.
+type HopReply struct {
+	From string   `json:"from,omitempty"`
+	RTT  *float64 `json:"rtt,omitempty"`
+	X    string   `json:"x,omitempty"`
+}
+
+// Meta is the probe/target metadata sidecar (the probe-metadata API
+// equivalent) needed to reconstruct full records from Atlas results.
+type Meta struct {
+	Probes  map[int]dataset.VantagePoint `json:"probes"`
+	Targets map[string]dataset.Target    `json:"targets"` // keyed by dst_addr
+	// probeIDs maps our string probe IDs to Atlas numeric IDs during
+	// export.
+	probeIDs map[string]int
+}
+
+// NewMeta returns an empty sidecar ready for export.
+func NewMeta() *Meta {
+	return &Meta{
+		Probes:   make(map[int]dataset.VantagePoint),
+		Targets:  make(map[string]dataset.Target),
+		probeIDs: make(map[string]int),
+	}
+}
+
+// prbIDFor assigns stable numeric probe IDs in first-seen order.
+func (m *Meta) prbIDFor(vp dataset.VantagePoint) int {
+	if id, ok := m.probeIDs[vp.ProbeID]; ok {
+		return id
+	}
+	id := len(m.probeIDs) + 1000000 // Atlas-style 7-digit IDs
+	m.probeIDs[vp.ProbeID] = id
+	m.Probes[id] = vp
+	return id
+}
+
+func (m *Meta) register(t dataset.Target) string {
+	addr := t.IP.String()
+	if _, ok := m.Targets[addr]; !ok {
+		m.Targets[addr] = t
+	}
+	return addr
+}
+
+// WriteMeta serializes the sidecar as JSON.
+func (m *Meta) WriteMeta(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(m)
+}
+
+// ReadMeta parses a sidecar.
+func ReadMeta(r io.Reader) (*Meta, error) {
+	m := NewMeta()
+	if err := json.NewDecoder(r).Decode(m); err != nil {
+		return nil, fmt.Errorf("atlasfmt: reading meta: %w", err)
+	}
+	return m, nil
+}
+
+func protoName(p dataset.Protocol) string {
+	if p == dataset.ICMP {
+		return "ICMP"
+	}
+	return "TCP"
+}
+
+func parseProto(s string) (dataset.Protocol, error) {
+	switch s {
+	case "TCP":
+		return dataset.TCP, nil
+	case "ICMP":
+		return dataset.ICMP, nil
+	}
+	return 0, fmt.Errorf("atlasfmt: unknown proto %q", s)
+}
+
+// ExportPings writes ping records as Atlas NDJSON, filling the sidecar.
+func ExportPings(w io.Writer, recs []dataset.PingRecord, meta *Meta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		r := &recs[i]
+		rtt := r.RTTms
+		res := PingResult{
+			Fw: 5020, MsmID: pingMsmBase + int64(r.Cycle), PrbID: meta.prbIDFor(r.VP),
+			Timestamp: epoch + int64(r.Cycle)*cycleSeconds + int64(i%cycleSeconds),
+			Type:      "ping", DstAddr: meta.register(r.Target),
+			Proto: protoName(r.Protocol),
+			Sent:  1, Rcvd: 1, Min: rtt, Avg: rtt, Max: rtt,
+			Result: []PingReply{{RTT: &rtt}},
+		}
+		if err := enc.Encode(&res); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportPings parses Atlas NDJSON pings back into records, one per
+// received echo, joining against the sidecar. Results whose probe or
+// target is missing from the sidecar are skipped and counted.
+func ImportPings(r io.Reader, meta *Meta) (recs []dataset.PingRecord, skipped int, err error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 1; ; line++ {
+		var res PingResult
+		if err := dec.Decode(&res); err == io.EOF {
+			return recs, skipped, nil
+		} else if err != nil {
+			return recs, skipped, fmt.Errorf("atlasfmt: ping line %d: %w", line, err)
+		}
+		if res.Type != "ping" {
+			return recs, skipped, fmt.Errorf("atlasfmt: ping line %d: unexpected type %q", line, res.Type)
+		}
+		vp, okVP := meta.Probes[res.PrbID]
+		target, okT := meta.Targets[res.DstAddr]
+		if !okVP || !okT {
+			skipped++
+			continue
+		}
+		proto, err := parseProto(res.Proto)
+		if err != nil {
+			return recs, skipped, fmt.Errorf("atlasfmt: ping line %d: %w", line, err)
+		}
+		cycle := cycleOf(res.MsmID, pingMsmBase, res.Timestamp)
+		for _, reply := range res.Result {
+			if reply.RTT == nil {
+				continue // timeout
+			}
+			recs = append(recs, dataset.PingRecord{
+				VP: vp, Target: target, Protocol: proto,
+				RTTms: *reply.RTT, Cycle: cycle,
+			})
+		}
+	}
+}
+
+// ExportTraces writes traceroutes as Atlas NDJSON, filling the sidecar.
+func ExportTraces(w io.Writer, recs []dataset.TracerouteRecord, meta *Meta) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		r := &recs[i]
+		res := TraceResult{
+			Fw: 5020, MsmID: traceMsmBase + int64(r.Cycle), PrbID: meta.prbIDFor(r.VP),
+			Timestamp: epoch + int64(r.Cycle%4096)*cycleSeconds,
+			Type:      "traceroute", DstAddr: meta.register(r.Target),
+			Proto: "ICMP",
+		}
+		for _, h := range r.Hops {
+			hop := TraceHop{Hop: h.TTL}
+			if h.Responded {
+				rtt := h.RTTms
+				hop.Result = []HopReply{{From: h.IP.String(), RTT: &rtt}}
+			} else {
+				hop.Result = []HopReply{{X: "*"}}
+			}
+			res.Result = append(res.Result, hop)
+		}
+		if err := enc.Encode(&res); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportTraces parses Atlas NDJSON traceroutes, joining the sidecar.
+func ImportTraces(r io.Reader, meta *Meta) (recs []dataset.TracerouteRecord, skipped int, err error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for line := 1; ; line++ {
+		var res TraceResult
+		if err := dec.Decode(&res); err == io.EOF {
+			return recs, skipped, nil
+		} else if err != nil {
+			return recs, skipped, fmt.Errorf("atlasfmt: trace line %d: %w", line, err)
+		}
+		if res.Type != "traceroute" {
+			return recs, skipped, fmt.Errorf("atlasfmt: trace line %d: unexpected type %q", line, res.Type)
+		}
+		vp, okVP := meta.Probes[res.PrbID]
+		target, okT := meta.Targets[res.DstAddr]
+		if !okVP || !okT {
+			skipped++
+			continue
+		}
+		rec := dataset.TracerouteRecord{
+			VP: vp, Target: target,
+			Cycle: cycleOf(res.MsmID, traceMsmBase, res.Timestamp),
+		}
+		for _, hop := range res.Result {
+			h := dataset.Hop{TTL: hop.Hop}
+			if len(hop.Result) > 0 && hop.Result[0].RTT != nil {
+				ip, err := netaddr.ParseIP(hop.Result[0].From)
+				if err != nil {
+					return recs, skipped, fmt.Errorf("atlasfmt: trace line %d: %w", line, err)
+				}
+				h.IP, h.RTTms, h.Responded = ip, *hop.Result[0].RTT, true
+			}
+			rec.Hops = append(rec.Hops, h)
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// cycleOf recovers the campaign cycle: our exporter encodes it in the
+// measurement ID; foreign Atlas data falls back to the timestamp.
+func cycleOf(msmID, base, timestamp int64) int {
+	if msmID >= base {
+		return int(msmID - base)
+	}
+	return int((timestamp - epoch) / cycleSeconds)
+}
+
+// ProbeIDs returns the exported numeric probe IDs, sorted — useful for
+// joining against real Atlas probe metadata.
+func (m *Meta) ProbeIDs() []int {
+	out := make([]int, 0, len(m.Probes))
+	for id := range m.Probes {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,188 @@
+package atlasfmt
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+)
+
+func samplePing(probe string, cycle int, rtt float64) dataset.PingRecord {
+	return dataset.PingRecord{
+		VP: dataset.VantagePoint{
+			ProbeID: probe, Platform: "atlas", Country: "DE",
+			Continent: geo.EU, ISP: 3320, Access: lastmile.Wired,
+		},
+		Target: dataset.Target{
+			Region: "gcp-EU-frankfurt", Provider: "GCP", Country: "DE",
+			Continent: geo.EU, IP: netaddr.MustParseIP("104.16.1.10"),
+		},
+		Protocol: dataset.TCP, RTTms: rtt, Cycle: cycle,
+	}
+}
+
+func sampleTrace(probe string, cycle int) dataset.TracerouteRecord {
+	return dataset.TracerouteRecord{
+		VP: dataset.VantagePoint{
+			ProbeID: probe, Platform: "speedchecker", Country: "JP",
+			Continent: geo.AS, ISP: 2516, Access: lastmile.Cellular,
+		},
+		Target: dataset.Target{
+			Region: "amzn-AS-tokyo", Provider: "AMZN", Country: "JP",
+			Continent: geo.AS, IP: netaddr.MustParseIP("104.0.1.10"),
+		},
+		Cycle: cycle,
+		Hops: []dataset.Hop{
+			{TTL: 1, IP: netaddr.MustParseIP("60.0.0.20"), RTTms: 21.5, Responded: true},
+			{TTL: 2, Responded: false},
+			{TTL: 3, IP: netaddr.MustParseIP("104.0.1.10"), RTTms: 30.25, Responded: true},
+		},
+	}
+}
+
+func TestPingRoundTrip(t *testing.T) {
+	recs := []dataset.PingRecord{
+		samplePing("a", 0, 12.5),
+		samplePing("a", 3, 14.25),
+		samplePing("b", 1, 99.125),
+	}
+	meta := NewMeta()
+	var buf bytes.Buffer
+	if err := ExportPings(&buf, recs, meta); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Errorf("NDJSON lines = %d", lines)
+	}
+	got, skipped, err := ImportPings(&buf, meta)
+	if err != nil || skipped != 0 {
+		t.Fatalf("import: err %v, skipped %d", err, skipped)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := []dataset.TracerouteRecord{
+		sampleTrace("x", 2),
+		sampleTrace("y", 1<<20), // the parallel-campaign cycle offset
+	}
+	meta := NewMeta()
+	var buf bytes.Buffer
+	if err := ExportTraces(&buf, recs, meta); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ImportTraces(&buf, meta)
+	if err != nil || skipped != 0 {
+		t.Fatalf("import: err %v, skipped %d", err, skipped)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestMetaSidecarRoundTrip(t *testing.T) {
+	meta := NewMeta()
+	var buf bytes.Buffer
+	if err := ExportPings(&buf, []dataset.PingRecord{samplePing("a", 0, 5)}, meta); err != nil {
+		t.Fatal(err)
+	}
+	var metaBuf bytes.Buffer
+	if err := meta.WriteMeta(&metaBuf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadMeta(&metaBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := ImportPings(&buf, loaded)
+	if err != nil || skipped != 0 || len(got) != 1 {
+		t.Fatalf("import with loaded sidecar: %v, %d, %d records", err, skipped, len(got))
+	}
+	if got[0].VP.ProbeID != "a" || got[0].Target.Provider != "GCP" {
+		t.Errorf("joined record wrong: %+v", got[0])
+	}
+	if ids := loaded.ProbeIDs(); len(ids) != 1 || ids[0] < 1000000 {
+		t.Errorf("probe IDs = %v", ids)
+	}
+}
+
+func TestImportSkipsUnknownProbes(t *testing.T) {
+	meta := NewMeta()
+	var buf bytes.Buffer
+	if err := ExportPings(&buf, []dataset.PingRecord{samplePing("a", 0, 5)}, meta); err != nil {
+		t.Fatal(err)
+	}
+	// Import against an empty sidecar: everything is skipped, no error.
+	got, skipped, err := ImportPings(&buf, NewMeta())
+	if err != nil || len(got) != 0 || skipped != 1 {
+		t.Errorf("got %d records, %d skipped, err %v", len(got), skipped, err)
+	}
+}
+
+func TestImportRejectsWrongTypes(t *testing.T) {
+	meta := NewMeta()
+	if _, _, err := ImportPings(strings.NewReader(`{"type":"traceroute"}`+"\n"), meta); err == nil {
+		t.Error("ping importer accepted a traceroute")
+	}
+	if _, _, err := ImportTraces(strings.NewReader(`{"type":"ping"}`+"\n"), meta); err == nil {
+		t.Error("trace importer accepted a ping")
+	}
+	if _, _, err := ImportPings(strings.NewReader("{bad json"), meta); err == nil {
+		t.Error("bad JSON accepted")
+	}
+	var buf bytes.Buffer
+	if err := ExportPings(&buf, []dataset.PingRecord{samplePing("a", 0, 5)}, meta); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), `"TCP"`, `"GRE"`, 1)
+	if _, _, err := ImportPings(strings.NewReader(broken), meta); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestTimeoutsAndForeignData(t *testing.T) {
+	// A hand-written Atlas result with a timeout echo and a pre-existing
+	// (foreign) msm_id: the importer must keep the received echoes and
+	// fall back to timestamp-derived cycles.
+	meta := NewMeta()
+	meta.Probes[7] = samplePing("z", 0, 1).VP
+	meta.Targets["104.16.1.10"] = samplePing("z", 0, 1).Target
+	raw := `{"fw":4790,"msm_id":123,"prb_id":7,"timestamp":` +
+		// epoch + 2 cycles
+		"1569715200" + `,"type":"ping","dst_addr":"104.16.1.10","proto":"ICMP",` +
+		`"sent":3,"rcvd":2,"min":10,"avg":11,"max":12,` +
+		`"result":[{"rtt":10},{"x":"*"},{"rtt":12}]}` + "\n"
+	got, skipped, err := ImportPings(strings.NewReader(raw), meta)
+	if err != nil || skipped != 0 {
+		t.Fatalf("err %v skipped %d", err, skipped)
+	}
+	if len(got) != 2 {
+		t.Fatalf("records = %d, want 2 (timeout dropped)", len(got))
+	}
+	if got[0].Cycle != 2 || got[0].Protocol != dataset.ICMP {
+		t.Errorf("foreign record: %+v", got[0])
+	}
+}
+
+func TestAtlasShapeOnTheWire(t *testing.T) {
+	// The NDJSON must look like Atlas output: snake_case keys, "x":"*"
+	// timeout markers, per-hop result arrays.
+	meta := NewMeta()
+	var buf bytes.Buffer
+	if err := ExportTraces(&buf, []dataset.TracerouteRecord{sampleTrace("x", 0)}, meta); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"prb_id"`, `"dst_addr"`, `"msm_id"`, `"x":"*"`, `"hop":2`, `"from":"60.0.0.20"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Atlas wire format missing %s:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,28 @@
+package bgp_test
+
+import (
+	"fmt"
+
+	"repro/internal/bgp"
+)
+
+func ExampleGraph_Path() {
+	g := &bgp.Graph{}
+	// Two access ISPs under different regional transits, which both buy
+	// from the same Tier-1.
+	g.AddTransit(1, 10) // Tier-1 AS1 sells to regional AS10
+	g.AddTransit(1, 20)
+	g.AddTransit(10, 100) // regional AS10 sells to access AS100
+	g.AddTransit(20, 200)
+
+	path, ok := g.Path(100, 200)
+	fmt.Println(path, ok)
+
+	// A direct peering shortcut wins over the transit hierarchy.
+	g.AddPeering(100, 200)
+	path, _ = g.Path(100, 200)
+	fmt.Println(path)
+	// Output:
+	// [AS100 AS10 AS1 AS20 AS200] true
+	// [AS100 AS200]
+}

@@ -1,0 +1,195 @@
+package bgp
+
+import (
+	"sort"
+
+	"repro/internal/asn"
+)
+
+// Relationship is an inferred business relationship between two ASes.
+type Relationship uint8
+
+// Relationship kinds, as Gao's algorithm labels them.
+const (
+	RelUnknown Relationship = iota
+	RelProviderCustomer
+	RelPeerPeer
+)
+
+// String names the relationship.
+func (r Relationship) String() string {
+	switch r {
+	case RelProviderCustomer:
+		return "p2c"
+	case RelPeerPeer:
+		return "p2p"
+	default:
+		return "unknown"
+	}
+}
+
+// InferredEdge is one inferred adjacency. For RelProviderCustomer, A is
+// the provider and B the customer.
+type InferredEdge struct {
+	A, B asn.Number
+	Rel  Relationship
+}
+
+// InferRelationships implements the core of Gao's algorithm (the
+// paper's [35]): given observed AS paths, (1) rank ASes by degree, (2)
+// locate each path's top provider — the highest-degree AS — so the path
+// splits into an uphill and a downhill phase, (3) vote every uphill
+// link customer→provider and every downhill link provider→customer,
+// and (4) label links adjacent to the top whose endpoints have similar
+// degree as peer-peer.
+//
+// The study's pipeline consumes ground-truth relationships, but running
+// the inference against paths the world itself emitted — and scoring it
+// against the world's true graph — validates that the synthetic
+// topology carries the statistical structure real inference algorithms
+// depend on.
+func InferRelationships(paths [][]asn.Number) []InferredEdge {
+	// Degree from the paths themselves, as Gao does (no oracle).
+	neighbors := map[asn.Number]map[asn.Number]bool{}
+	addAdj := func(a, b asn.Number) {
+		if neighbors[a] == nil {
+			neighbors[a] = map[asn.Number]bool{}
+		}
+		neighbors[a][b] = true
+	}
+	for _, p := range paths {
+		for i := 0; i+1 < len(p); i++ {
+			addAdj(p[i], p[i+1])
+			addAdj(p[i+1], p[i])
+		}
+	}
+	degree := func(a asn.Number) int { return len(neighbors[a]) }
+
+	type pair struct{ lo, hi asn.Number }
+	key := func(a, b asn.Number) pair {
+		if a < b {
+			return pair{a, b}
+		}
+		return pair{b, a}
+	}
+	// Votes: how often (a,b) appeared with a acting as provider of b.
+	providerVotes := map[pair]map[asn.Number]int{}
+	vote := func(provider, customer asn.Number) {
+		k := key(provider, customer)
+		if providerVotes[k] == nil {
+			providerVotes[k] = map[asn.Number]int{}
+		}
+		providerVotes[k][provider]++
+	}
+	peerCandidates := map[pair]int{}
+
+	for _, p := range paths {
+		if len(p) < 2 {
+			continue
+		}
+		// Summit plateau: between the first and the last maximal-degree
+		// AS the path crosses the top of the hierarchy; links before it
+		// are uphill, links after it downhill, links inside it peering
+		// candidates (Gao's refinement for paths that traverse several
+		// comparable top providers).
+		maxDeg := 0
+		for _, a := range p {
+			if d := degree(a); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		top1, top2 := -1, -1
+		for i, a := range p {
+			if degree(a) == maxDeg {
+				if top1 < 0 {
+					top1 = i
+				}
+				top2 = i
+			}
+		}
+		for i := 0; i < top1; i++ {
+			vote(p[i+1], p[i]) // uphill: right side is the provider
+		}
+		for i := top2; i+1 < len(p); i++ {
+			vote(p[i], p[i+1]) // downhill: left side is the provider
+		}
+		for i := top1; i < top2; i++ {
+			peerCandidates[key(p[i], p[i+1])]++
+		}
+	}
+
+	emitted := map[pair]bool{}
+	var out []InferredEdge
+	for k, votes := range providerVotes {
+		emitted[k] = true
+		aVotes, bVotes := votes[k.lo], votes[k.hi]
+		e := InferredEdge{A: k.lo, B: k.hi}
+		switch {
+		case peerCandidates[k] > 0 && aVotes > 0 && bVotes > 0:
+			// Crosses summits and is seen as provider in both
+			// directions: peering.
+			e.Rel = RelPeerPeer
+		case aVotes > 0 && bVotes > 0 && similar(aVotes, bVotes):
+			e.Rel = RelPeerPeer
+		case aVotes >= bVotes:
+			e.Rel = RelProviderCustomer // lo provides hi
+		default:
+			e.Rel = RelProviderCustomer
+			e.A, e.B = k.hi, k.lo
+		}
+		out = append(out, e)
+	}
+	// Pairs only ever seen inside summit plateaus carry no directional
+	// evidence: similar degrees say peering, a clear degree gap says the
+	// bigger AS provides the smaller.
+	for k := range peerCandidates {
+		if emitted[k] {
+			continue
+		}
+		da, db := degree(k.lo), degree(k.hi)
+		e := InferredEdge{A: k.lo, B: k.hi, Rel: RelPeerPeer}
+		if !similar(da, db) {
+			e.Rel = RelProviderCustomer
+			if db > da {
+				e.A, e.B = k.hi, k.lo
+			}
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// similar reports whether two counts are within a factor of two of each
+// other — Gao's "comparable degree" heuristic.
+func similar(a, b int) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return a*2 >= b
+}
+
+// Score compares inferred edges against this graph's ground truth and
+// returns (correct, total) over edges that exist in the graph.
+func (g *Graph) Score(edges []InferredEdge) (correct, total int) {
+	for _, e := range edges {
+		switch {
+		case g.HasTransit(e.A, e.B) || g.HasTransit(e.B, e.A):
+			total++
+			if e.Rel == RelProviderCustomer && g.HasTransit(e.A, e.B) {
+				correct++
+			}
+		case g.HasPeering(e.A, e.B):
+			total++
+			if e.Rel == RelPeerPeer {
+				correct++
+			}
+		}
+	}
+	return correct, total
+}

@@ -1,0 +1,46 @@
+package bgp_test
+
+import (
+	"testing"
+
+	"repro/internal/asn"
+	"repro/internal/bgp"
+	"repro/internal/world"
+)
+
+func TestInferOnWorldPaths(t *testing.T) {
+	// The real validation loop: paths the synthetic Internet emits must
+	// let a real inference algorithm recover most of the hierarchy.
+	w := world.MustBuild(world.Config{Seed: 4})
+	var paths [][]asn.Number
+	countries := []string{"DE", "GB", "US", "JP", "BR", "ZA", "IN", "FR", "AU", "EG", "UA", "KR"}
+	for _, from := range countries {
+		for _, isp := range w.AccessISPs(from) {
+			for _, to := range countries {
+				for _, other := range w.AccessISPs(to) {
+					if other.Number == isp.Number {
+						continue
+					}
+					if p, ok := w.Graph.Path(isp.Number, other.Number); ok {
+						paths = append(paths, p)
+					}
+				}
+			}
+		}
+	}
+	if len(paths) < 1000 {
+		t.Fatalf("only %d training paths", len(paths))
+	}
+	edges := bgp.InferRelationships(paths)
+	correct, total := w.Graph.Score(edges)
+	if total < 100 {
+		t.Fatalf("scored only %d edges", total)
+	}
+	frac := float64(correct) / float64(total)
+	// Gao reports high (but imperfect) accuracy on real tables; the
+	// synthetic hierarchy should support at least that.
+	if frac < 0.8 {
+		t.Errorf("world inference accuracy = %.2f (%d/%d), want >= 0.8", frac, correct, total)
+	}
+	t.Logf("inference accuracy %.3f over %d edges from %d paths", frac, total, len(paths))
+}

@@ -1,0 +1,319 @@
+package cloud
+
+import "repro/internal/geo"
+
+// providerTable is Table 1, in the paper's row order, enriched with the
+// providers' well-known WAN ASNs and per-continent interconnection
+// policies. The policies are tuned so that the global AS-hop breakdown
+// reproduces Figure 10: hypergiants mostly direct, DO/IBM mostly one
+// private transit AS, LIN/VLTR/ORCL mostly public (2+ ASes), Alibaba
+// public outside China.
+var providerTable = []Provider{
+	{
+		Code: "AMZN", Name: "Amazon EC2", ASN: 16509, Backbone: BackbonePrivate,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.78, PrivateTransit: 0.15},
+			geo.NA: {Direct: 0.78, PrivateTransit: 0.15},
+			geo.AS: {Direct: 0.60, PrivateTransit: 0.25},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.55, PrivateTransit: 0.25},
+	},
+	{
+		Code: "GCP", Name: "Google Cloud Platform", ASN: 15169, Backbone: BackbonePrivate,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.82, PrivateTransit: 0.12},
+			geo.NA: {Direct: 0.82, PrivateTransit: 0.12},
+			geo.AS: {Direct: 0.65, PrivateTransit: 0.22},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.60, PrivateTransit: 0.22},
+	},
+	{
+		Code: "MSFT", Name: "Microsoft Azure", ASN: 8075, Backbone: BackbonePrivate,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.80, PrivateTransit: 0.13},
+			geo.NA: {Direct: 0.80, PrivateTransit: 0.13},
+			geo.AS: {Direct: 0.62, PrivateTransit: 0.24},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.58, PrivateTransit: 0.24},
+	},
+	{
+		Code: "DO", Name: "DigitalOcean", ASN: 14061, Backbone: BackboneSemi,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.18, PrivateTransit: 0.65},
+			geo.NA: {Direct: 0.18, PrivateTransit: 0.65},
+			// No PoP deployment in Asia: strictly public Internet there
+			// (observed in Fig 13a).
+			geo.AS: {Direct: 0.0, PrivateTransit: 0.05},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.08, PrivateTransit: 0.45},
+	},
+	{
+		Code: "BABA", Name: "Alibaba Cloud", ASN: 45102, Backbone: BackboneSemi,
+		HomeCountry: "CN",
+		// Outside China the datacenters are "islands" reached via public
+		// transit providers.
+		DefaultPeering: PeeringPolicy{Direct: 0.04, PrivateTransit: 0.12},
+	},
+	{
+		Code: "VLTR", Name: "Vultr", ASN: 20473, Backbone: BackbonePublic,
+		DefaultPeering: PeeringPolicy{Direct: 0.05, PrivateTransit: 0.22},
+	},
+	{
+		Code: "LIN", Name: "Linode", ASN: 63949, Backbone: BackbonePublic,
+		DefaultPeering: PeeringPolicy{Direct: 0.05, PrivateTransit: 0.25},
+	},
+	{
+		Code: "LTSL", Name: "Amazon Lightsail", ASN: 14618, Backbone: BackbonePrivate,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.75, PrivateTransit: 0.17},
+			geo.NA: {Direct: 0.75, PrivateTransit: 0.17},
+			geo.AS: {Direct: 0.58, PrivateTransit: 0.26},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.52, PrivateTransit: 0.26},
+	},
+	{
+		Code: "ORCL", Name: "Oracle Cloud", ASN: 31898, Backbone: BackbonePrivate,
+		// Oracle advertises a private backbone between regions but, per
+		// Fig 10, tenant paths mostly ride the public Internet.
+		DefaultPeering: PeeringPolicy{Direct: 0.08, PrivateTransit: 0.28},
+	},
+	{
+		Code: "IBM", Name: "IBM Cloud", ASN: 36351, Backbone: BackboneSemi,
+		Peering: map[geo.Continent]PeeringPolicy{
+			geo.EU: {Direct: 0.25, PrivateTransit: 0.55},
+			geo.NA: {Direct: 0.25, PrivateTransit: 0.55},
+			// Hybrid: public transit for the long Asian paths (§6.1).
+			geo.AS: {Direct: 0.05, PrivateTransit: 0.15},
+		},
+		DefaultPeering: PeeringPolicy{Direct: 0.10, PrivateTransit: 0.35},
+	},
+}
+
+// regionTable lists all 195 compute regions. Counts per provider per
+// continent match Table 1 exactly:
+//
+//	          EU NA SA AS AF OC
+//	AMZN       6  6  1  6  1  1
+//	GCP        6 10  1  8  -  1
+//	MSFT      14 10  1 15  2  4
+//	DO         4  6  -  1  -  -
+//	BABA       2  2  - 16  -  1
+//	VLTR       4  9  -  1  -  1
+//	LIN        2  5  -  3  -  1
+//	LTSL       4  4  -  4  -  1
+//	ORCL       4  4  1  7  -  2
+//	IBM        6  6  -  1  -  -
+//	Total     52 62  4 62  3 12   = 195
+var regionTable = []struct {
+	provider string
+	slug     string
+	city     string
+	country  string
+	lat, lon float64
+}{
+	// ---- Amazon EC2 (21) ----
+	{"AMZN", "dublin", "Dublin", "IE", 53.33, -6.25},
+	{"AMZN", "london", "London", "GB", 51.51, -0.13},
+	{"AMZN", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"AMZN", "paris", "Paris", "FR", 48.86, 2.35},
+	{"AMZN", "stockholm", "Stockholm", "SE", 59.33, 18.07},
+	{"AMZN", "milan", "Milan", "IT", 45.46, 9.19},
+	{"AMZN", "virginia", "Ashburn", "US", 39.04, -77.49},
+	{"AMZN", "ohio", "Columbus", "US", 39.96, -83.00},
+	{"AMZN", "california", "San Jose", "US", 37.34, -121.89},
+	{"AMZN", "oregon", "Boardman", "US", 45.84, -119.70},
+	{"AMZN", "montreal", "Montreal", "CA", 45.50, -73.57},
+	{"AMZN", "phoenix", "Phoenix", "US", 33.45, -112.07},
+	{"AMZN", "saopaulo", "Sao Paulo", "BR", -23.55, -46.63},
+	{"AMZN", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"AMZN", "seoul", "Seoul", "KR", 37.57, 126.98},
+	{"AMZN", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"AMZN", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"AMZN", "hongkong", "Hong Kong", "HK", 22.32, 114.17},
+	{"AMZN", "bahrain", "Manama", "BH", 26.23, 50.59},
+	{"AMZN", "capetown", "Cape Town", "ZA", -33.92, 18.42},
+	{"AMZN", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Google Cloud (26) ----
+	{"GCP", "belgium", "St. Ghislain", "BE", 50.45, 3.82},
+	{"GCP", "london", "London", "GB", 51.51, -0.13},
+	{"GCP", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"GCP", "netherlands", "Eemshaven", "NL", 53.44, 6.83},
+	{"GCP", "zurich", "Zurich", "CH", 47.38, 8.54},
+	{"GCP", "finland", "Hamina", "FI", 60.57, 27.20},
+	{"GCP", "iowa", "Council Bluffs", "US", 41.26, -95.86},
+	{"GCP", "scarolina", "Moncks Corner", "US", 33.20, -80.01},
+	{"GCP", "virginia", "Ashburn", "US", 39.04, -77.49},
+	{"GCP", "oregon", "The Dalles", "US", 45.59, -121.18},
+	{"GCP", "losangeles", "Los Angeles", "US", 34.05, -118.24},
+	{"GCP", "saltlake", "Salt Lake City", "US", 40.76, -111.89},
+	{"GCP", "lasvegas", "Las Vegas", "US", 36.17, -115.14},
+	{"GCP", "dallas", "Dallas", "US", 32.78, -96.80},
+	{"GCP", "montreal", "Montreal", "CA", 45.50, -73.57},
+	{"GCP", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"GCP", "saopaulo", "Osasco", "BR", -23.53, -46.79},
+	{"GCP", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"GCP", "osaka", "Osaka", "JP", 34.69, 135.50},
+	{"GCP", "seoul", "Seoul", "KR", 37.57, 126.98},
+	{"GCP", "taiwan", "Changhua", "TW", 24.08, 120.54},
+	{"GCP", "hongkong", "Hong Kong", "HK", 22.32, 114.17},
+	{"GCP", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"GCP", "jakarta", "Jakarta", "ID", -6.21, 106.85},
+	{"GCP", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"GCP", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Microsoft Azure (46) ----
+	{"MSFT", "dublin", "Dublin", "IE", 53.33, -6.25},
+	{"MSFT", "amsterdam", "Amsterdam", "NL", 52.37, 4.90},
+	{"MSFT", "london", "London", "GB", 51.51, -0.13},
+	{"MSFT", "cardiff", "Cardiff", "GB", 51.48, -3.18},
+	{"MSFT", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"MSFT", "berlin", "Berlin", "DE", 52.52, 13.40},
+	{"MSFT", "paris", "Paris", "FR", 48.86, 2.35},
+	{"MSFT", "marseille", "Marseille", "FR", 43.30, 5.37},
+	{"MSFT", "oslo", "Oslo", "NO", 59.91, 10.75},
+	{"MSFT", "stavanger", "Stavanger", "NO", 58.97, 5.73},
+	{"MSFT", "zurich", "Zurich", "CH", 47.38, 8.54},
+	{"MSFT", "geneva", "Geneva", "CH", 46.20, 6.14},
+	{"MSFT", "gavle", "Gavle", "SE", 60.67, 17.14},
+	{"MSFT", "milan", "Milan", "IT", 45.46, 9.19},
+	{"MSFT", "virginia", "Boydton", "US", 36.67, -78.39},
+	{"MSFT", "virginia2", "Ashburn", "US", 39.04, -77.49},
+	{"MSFT", "iowa", "Des Moines", "US", 41.59, -93.62},
+	{"MSFT", "chicago", "Chicago", "US", 41.88, -87.63},
+	{"MSFT", "sanantonio", "San Antonio", "US", 29.42, -98.49},
+	{"MSFT", "cheyenne", "Cheyenne", "US", 41.14, -104.82},
+	{"MSFT", "california", "San Francisco", "US", 37.77, -122.42},
+	{"MSFT", "quincy", "Quincy", "US", 47.23, -119.85},
+	{"MSFT", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"MSFT", "quebec", "Quebec City", "CA", 46.81, -71.21},
+	{"MSFT", "saopaulo", "Campinas", "BR", -22.91, -47.06},
+	{"MSFT", "hongkong", "Hong Kong", "HK", 22.32, 114.17},
+	{"MSFT", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"MSFT", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"MSFT", "osaka", "Osaka", "JP", 34.69, 135.50},
+	{"MSFT", "seoul", "Seoul", "KR", 37.57, 126.98},
+	{"MSFT", "busan", "Busan", "KR", 35.18, 129.08},
+	{"MSFT", "pune", "Pune", "IN", 18.52, 73.86},
+	{"MSFT", "chennai", "Chennai", "IN", 13.08, 80.27},
+	{"MSFT", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"MSFT", "dubai", "Dubai", "AE", 25.27, 55.30},
+	{"MSFT", "abudhabi", "Abu Dhabi", "AE", 24.45, 54.38},
+	{"MSFT", "shanghai", "Shanghai", "CN", 31.23, 121.47},
+	{"MSFT", "beijing", "Beijing", "CN", 39.90, 116.40},
+	{"MSFT", "jakarta", "Jakarta", "ID", -6.21, 106.85},
+	{"MSFT", "telaviv", "Tel Aviv", "IL", 32.07, 34.79},
+	{"MSFT", "johannesburg", "Johannesburg", "ZA", -26.20, 28.05},
+	{"MSFT", "capetown", "Cape Town", "ZA", -33.92, 18.42},
+	{"MSFT", "sydney", "Sydney", "AU", -33.87, 151.21},
+	{"MSFT", "melbourne", "Melbourne", "AU", -37.81, 144.96},
+	{"MSFT", "canberra", "Canberra", "AU", -35.28, 149.13},
+	{"MSFT", "canberra2", "Canberra 2", "AU", -35.31, 149.19},
+	// ---- DigitalOcean (11) ----
+	{"DO", "london", "London", "GB", 51.51, -0.13},
+	{"DO", "amsterdam2", "Amsterdam 2", "NL", 52.37, 4.90},
+	{"DO", "amsterdam3", "Amsterdam 3", "NL", 52.35, 4.94},
+	{"DO", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"DO", "newyork1", "New York 1", "US", 40.71, -74.01},
+	{"DO", "newyork2", "New York 2", "US", 40.73, -74.00},
+	{"DO", "newyork3", "New York 3", "US", 40.75, -73.99},
+	{"DO", "sanfrancisco2", "San Francisco 2", "US", 37.77, -122.42},
+	{"DO", "sanfrancisco3", "San Francisco 3", "US", 37.79, -122.40},
+	{"DO", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"DO", "bangalore", "Bangalore", "IN", 12.97, 77.59},
+	// ---- Alibaba Cloud (21) ----
+	{"BABA", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"BABA", "london", "London", "GB", 51.51, -0.13},
+	{"BABA", "virginia", "Ashburn", "US", 39.04, -77.49},
+	{"BABA", "siliconvalley", "San Mateo", "US", 37.56, -122.32},
+	{"BABA", "hangzhou", "Hangzhou", "CN", 30.27, 120.16},
+	{"BABA", "shanghai", "Shanghai", "CN", 31.23, 121.47},
+	{"BABA", "beijing", "Beijing", "CN", 39.90, 116.40},
+	{"BABA", "zhangjiakou", "Zhangjiakou", "CN", 40.77, 114.89},
+	{"BABA", "hohhot", "Hohhot", "CN", 40.84, 111.75},
+	{"BABA", "shenzhen", "Shenzhen", "CN", 22.54, 114.06},
+	{"BABA", "chengdu", "Chengdu", "CN", 30.57, 104.07},
+	{"BABA", "qingdao", "Qingdao", "CN", 36.07, 120.38},
+	{"BABA", "heyuan", "Heyuan", "CN", 23.74, 114.70},
+	{"BABA", "hongkong", "Hong Kong", "HK", 22.32, 114.17},
+	{"BABA", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"BABA", "kualalumpur", "Kuala Lumpur", "MY", 3.14, 101.69},
+	{"BABA", "jakarta", "Jakarta", "ID", -6.21, 106.85},
+	{"BABA", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"BABA", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"BABA", "dubai", "Dubai", "AE", 25.27, 55.30},
+	{"BABA", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Vultr (15) ----
+	{"VLTR", "london", "London", "GB", 51.51, -0.13},
+	{"VLTR", "amsterdam", "Amsterdam", "NL", 52.37, 4.90},
+	{"VLTR", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"VLTR", "paris", "Paris", "FR", 48.86, 2.35},
+	{"VLTR", "newjersey", "Piscataway", "US", 40.55, -74.46},
+	{"VLTR", "chicago", "Chicago", "US", 41.88, -87.63},
+	{"VLTR", "atlanta", "Atlanta", "US", 33.75, -84.39},
+	{"VLTR", "miami", "Miami", "US", 25.76, -80.19},
+	{"VLTR", "dallas", "Dallas", "US", 32.78, -96.80},
+	{"VLTR", "seattle", "Seattle", "US", 47.61, -122.33},
+	{"VLTR", "siliconvalley", "San Jose", "US", 37.34, -121.89},
+	{"VLTR", "losangeles", "Los Angeles", "US", 34.05, -118.24},
+	{"VLTR", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"VLTR", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"VLTR", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Linode (11) ----
+	{"LIN", "london", "London", "GB", 51.51, -0.13},
+	{"LIN", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"LIN", "newark", "Newark", "US", 40.74, -74.17},
+	{"LIN", "atlanta", "Atlanta", "US", 33.75, -84.39},
+	{"LIN", "dallas", "Dallas", "US", 32.78, -96.80},
+	{"LIN", "fremont", "Fremont", "US", 37.55, -121.99},
+	{"LIN", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"LIN", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"LIN", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"LIN", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"LIN", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Amazon Lightsail (13) ----
+	{"LTSL", "dublin", "Dublin", "IE", 53.33, -6.25},
+	{"LTSL", "london", "London", "GB", 51.51, -0.13},
+	{"LTSL", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"LTSL", "paris", "Paris", "FR", 48.86, 2.35},
+	{"LTSL", "virginia", "Ashburn", "US", 39.04, -77.49},
+	{"LTSL", "ohio", "Columbus", "US", 39.96, -83.00},
+	{"LTSL", "oregon", "Boardman", "US", 45.84, -119.70},
+	{"LTSL", "montreal", "Montreal", "CA", 45.50, -73.57},
+	{"LTSL", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"LTSL", "seoul", "Seoul", "KR", 37.57, 126.98},
+	{"LTSL", "singapore", "Singapore", "SG", 1.35, 103.82},
+	{"LTSL", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"LTSL", "sydney", "Sydney", "AU", -33.87, 151.21},
+	// ---- Oracle Cloud (18) ----
+	{"ORCL", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"ORCL", "london", "London", "GB", 51.51, -0.13},
+	{"ORCL", "amsterdam", "Amsterdam", "NL", 52.37, 4.90},
+	{"ORCL", "zurich", "Zurich", "CH", 47.38, 8.54},
+	{"ORCL", "ashburn", "Ashburn", "US", 39.04, -77.49},
+	{"ORCL", "phoenix", "Phoenix", "US", 33.45, -112.07},
+	{"ORCL", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"ORCL", "montreal", "Montreal", "CA", 45.50, -73.57},
+	{"ORCL", "saopaulo", "Sao Paulo", "BR", -23.55, -46.63},
+	{"ORCL", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+	{"ORCL", "osaka", "Osaka", "JP", 34.69, 135.50},
+	{"ORCL", "seoul", "Seoul", "KR", 37.57, 126.98},
+	{"ORCL", "chuncheon", "Chuncheon", "KR", 37.87, 127.73},
+	{"ORCL", "mumbai", "Mumbai", "IN", 19.08, 72.88},
+	{"ORCL", "hyderabad", "Hyderabad", "IN", 17.39, 78.49},
+	{"ORCL", "jeddah", "Jeddah", "SA", 21.49, 39.19},
+	{"ORCL", "sydney", "Sydney", "AU", -33.87, 151.21},
+	{"ORCL", "melbourne", "Melbourne", "AU", -37.81, 144.96},
+	// ---- IBM Cloud (13) ----
+	{"IBM", "london", "London", "GB", 51.51, -0.13},
+	{"IBM", "frankfurt", "Frankfurt", "DE", 50.11, 8.68},
+	{"IBM", "amsterdam", "Amsterdam", "NL", 52.37, 4.90},
+	{"IBM", "paris", "Paris", "FR", 48.86, 2.35},
+	{"IBM", "milan", "Milan", "IT", 45.46, 9.19},
+	{"IBM", "oslo", "Oslo", "NO", 59.91, 10.75},
+	{"IBM", "dallas", "Dallas", "US", 32.78, -96.80},
+	{"IBM", "washington", "Washington DC", "US", 38.91, -77.04},
+	{"IBM", "sanjose", "San Jose", "US", 37.34, -121.89},
+	{"IBM", "houston", "Houston", "US", 29.76, -95.37},
+	{"IBM", "toronto", "Toronto", "CA", 43.65, -79.38},
+	{"IBM", "montreal", "Montreal", "CA", 45.50, -73.57},
+	{"IBM", "tokyo", "Tokyo", "JP", 35.68, 139.69},
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+)
+
+// pingHeader is the CSV column set for ping records, matching the
+// published dataset's field inventory.
+var pingHeader = []string{
+	"probe", "platform", "vp_country", "vp_continent", "isp", "access",
+	"region", "provider", "dc_country", "dc_continent", "dc_ip",
+	"protocol", "rtt_ms", "cycle",
+}
+
+// WritePingsCSV streams ping records as CSV with a header row.
+func WritePingsCSV(w io.Writer, recs []PingRecord) error {
+	pw := NewPingWriter(w)
+	for i := range recs {
+		if err := pw.Write(recs[i]); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}
+
+// ReadPingsCSV parses the output of WritePingsCSV.
+func ReadPingsCSV(r io.Reader) ([]PingRecord, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading header: %w", err)
+	}
+	if len(header) != len(pingHeader) {
+		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(pingHeader))
+	}
+	var out []PingRecord
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		rec, err := parsePingRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parsePingRow(row []string) (PingRecord, error) {
+	var r PingRecord
+	vpCont, err := geo.ParseContinent(row[3])
+	if err != nil {
+		return r, err
+	}
+	ispNum, err := strconv.ParseUint(row[4], 10, 32)
+	if err != nil {
+		return r, fmt.Errorf("bad isp %q", row[4])
+	}
+	access, err := parseAccess(row[5])
+	if err != nil {
+		return r, err
+	}
+	dcCont, err := geo.ParseContinent(row[9])
+	if err != nil {
+		return r, err
+	}
+	ip, err := netaddr.ParseIP(row[10])
+	if err != nil {
+		return r, err
+	}
+	proto, err := ParseProtocol(row[11])
+	if err != nil {
+		return r, err
+	}
+	rtt, err := strconv.ParseFloat(row[12], 64)
+	if err != nil {
+		return r, fmt.Errorf("bad rtt %q", row[12])
+	}
+	cycle, err := strconv.Atoi(row[13])
+	if err != nil {
+		return r, fmt.Errorf("bad cycle %q", row[13])
+	}
+	r = PingRecord{
+		VP: VantagePoint{
+			ProbeID: row[0], Platform: row[1], Country: row[2],
+			Continent: vpCont, ISP: asn.Number(ispNum), Access: access,
+		},
+		Target: Target{
+			Region: row[6], Provider: row[7], Country: row[8],
+			Continent: dcCont, IP: ip,
+		},
+		Protocol: proto, RTTms: rtt, Cycle: cycle,
+	}
+	return r, nil
+}
+
+func parseAccess(s string) (lastmile.Access, error) {
+	switch s {
+	case "home":
+		return lastmile.WiFi, nil
+	case "cell":
+		return lastmile.Cellular, nil
+	case "wired":
+		return lastmile.Wired, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown access %q", s)
+}
+
+// jsonTrace is the JSONL wire form of a TracerouteRecord.
+type jsonTrace struct {
+	Probe     string    `json:"probe"`
+	Platform  string    `json:"platform"`
+	Country   string    `json:"vp_country"`
+	Continent string    `json:"vp_continent"`
+	ISP       uint32    `json:"isp"`
+	Access    string    `json:"access"`
+	Region    string    `json:"region"`
+	Provider  string    `json:"provider"`
+	DCCountry string    `json:"dc_country"`
+	DCCont    string    `json:"dc_continent"`
+	DCIP      string    `json:"dc_ip"`
+	Cycle     int       `json:"cycle"`
+	Hops      []jsonHop `json:"hops"`
+}
+
+type jsonHop struct {
+	TTL       int     `json:"ttl"`
+	IP        string  `json:"ip,omitempty"`
+	RTT       float64 `json:"rtt_ms"`
+	Responded bool    `json:"responded"`
+}
+
+// WriteTracesJSONL streams traceroutes as one JSON object per line.
+func WriteTracesJSONL(w io.Writer, recs []TracerouteRecord) error {
+	tw := NewTraceWriter(w)
+	for i := range recs {
+		if err := tw.Write(recs[i]); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// ReadTracesJSONL parses the output of WriteTracesJSONL.
+func ReadTracesJSONL(r io.Reader) ([]TracerouteRecord, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []TracerouteRecord
+	for line := 1; ; line++ {
+		var jt jsonTrace
+		if err := dec.Decode(&jt); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("dataset: trace line %d: %w", line, err)
+		}
+		vpCont, err := geo.ParseContinent(jt.Continent)
+		if err != nil {
+			return nil, err
+		}
+		dcCont, err := geo.ParseContinent(jt.DCCont)
+		if err != nil {
+			return nil, err
+		}
+		access, err := parseAccess(jt.Access)
+		if err != nil {
+			return nil, err
+		}
+		dcIP, err := netaddr.ParseIP(jt.DCIP)
+		if err != nil {
+			return nil, err
+		}
+		rec := TracerouteRecord{
+			VP: VantagePoint{
+				ProbeID: jt.Probe, Platform: jt.Platform, Country: jt.Country,
+				Continent: vpCont, ISP: asn.Number(jt.ISP), Access: access,
+			},
+			Target: Target{
+				Region: jt.Region, Provider: jt.Provider, Country: jt.DCCountry,
+				Continent: dcCont, IP: dcIP,
+			},
+			Cycle: jt.Cycle,
+		}
+		for _, jh := range jt.Hops {
+			h := Hop{TTL: jh.TTL, RTTms: jh.RTT, Responded: jh.Responded}
+			if jh.Responded {
+				ip, err := netaddr.ParseIP(jh.IP)
+				if err != nil {
+					return nil, err
+				}
+				h.IP = ip
+			}
+			rec.Hops = append(rec.Hops, h)
+		}
+		out = append(out, rec)
+	}
+}

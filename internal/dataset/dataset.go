@@ -1,0 +1,189 @@
+// Package dataset defines the measurement records the campaign
+// produces — ping data points and traceroutes, mirroring the fields of
+// the published dataset (§3.3) — together with an in-memory store and
+// CSV/JSONL codecs.
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+)
+
+// Protocol is the measurement protocol. The campaign runs TCP pings and
+// ICMP traceroutes in parallel (§3.3).
+type Protocol uint8
+
+// Protocols.
+const (
+	TCP Protocol = iota
+	ICMP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	if p == ICMP {
+		return "icmp"
+	}
+	return "tcp"
+}
+
+// ParseProtocol is the inverse of String.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "tcp":
+		return TCP, nil
+	case "icmp":
+		return ICMP, nil
+	}
+	return 0, fmt.Errorf("dataset: unknown protocol %q", s)
+}
+
+// VantagePoint captures the probe-side fields every record carries.
+type VantagePoint struct {
+	ProbeID   string
+	Platform  string // "speedchecker" or "atlas"
+	Country   string
+	Continent geo.Continent
+	ISP       asn.Number
+	Access    lastmile.Access
+}
+
+// Target captures the endpoint-side fields.
+type Target struct {
+	Region    string // region ID
+	Provider  string // provider code
+	Country   string
+	Continent geo.Continent
+	IP        netaddr.IP
+}
+
+// PingRecord is one round-trip measurement.
+type PingRecord struct {
+	VP       VantagePoint
+	Target   Target
+	Protocol Protocol
+	RTTms    float64
+	// Cycle is the measurement cycle index (the campaign cycles through
+	// all countries roughly every two weeks, §3.3).
+	Cycle int
+}
+
+// Hop is one traceroute hop as captured on the wire: the pipeline adds
+// AS attribution later.
+type Hop struct {
+	TTL       int
+	IP        netaddr.IP
+	RTTms     float64
+	Responded bool
+}
+
+// TracerouteRecord is one ICMP traceroute.
+type TracerouteRecord struct {
+	VP     VantagePoint
+	Target Target
+	Hops   []Hop
+	Cycle  int
+}
+
+// RTTms returns the end-to-end round trip of the traceroute — the RTT
+// reported by the final responding hop — or 0 when the trace never
+// reached a responder.
+func (t *TracerouteRecord) RTTms() float64 {
+	for i := len(t.Hops) - 1; i >= 0; i-- {
+		if t.Hops[i].Responded {
+			return t.Hops[i].RTTms
+		}
+	}
+	return 0
+}
+
+// Reached reports whether the trace reached the target address.
+func (t *TracerouteRecord) Reached() bool {
+	n := len(t.Hops)
+	return n > 0 && t.Hops[n-1].Responded && t.Hops[n-1].IP == t.Target.IP
+}
+
+// Store accumulates measurement records in memory. The zero value is
+// ready for use. Store is not safe for concurrent mutation; the
+// campaign engine serializes writes through a single collector.
+type Store struct {
+	Pings  []PingRecord
+	Traces []TracerouteRecord
+}
+
+// AddPing appends a ping record.
+func (s *Store) AddPing(r PingRecord) { s.Pings = append(s.Pings, r) }
+
+// AddTrace appends a traceroute record.
+func (s *Store) AddTrace(r TracerouteRecord) { s.Traces = append(s.Traces, r) }
+
+// PingFilter selects ping records; zero fields match everything.
+type PingFilter struct {
+	Platform        string
+	Protocol        *Protocol
+	VPContinent     geo.Continent
+	VPCountry       string
+	Provider        string
+	TargetContinent geo.Continent
+	TargetCountry   string
+}
+
+func (f PingFilter) match(r *PingRecord) bool {
+	if f.Platform != "" && r.VP.Platform != f.Platform {
+		return false
+	}
+	if f.Protocol != nil && r.Protocol != *f.Protocol {
+		return false
+	}
+	if f.VPContinent != geo.ContinentUnknown && r.VP.Continent != f.VPContinent {
+		return false
+	}
+	if f.VPCountry != "" && r.VP.Country != f.VPCountry {
+		return false
+	}
+	if f.Provider != "" && r.Target.Provider != f.Provider {
+		return false
+	}
+	if f.TargetContinent != geo.ContinentUnknown && r.Target.Continent != f.TargetContinent {
+		return false
+	}
+	if f.TargetCountry != "" && r.Target.Country != f.TargetCountry {
+		return false
+	}
+	return true
+}
+
+// FilterPings returns the ping records matching f, in insertion order.
+func (s *Store) FilterPings(f PingFilter) []PingRecord {
+	var out []PingRecord
+	for i := range s.Pings {
+		if f.match(&s.Pings[i]) {
+			out = append(out, s.Pings[i])
+		}
+	}
+	return out
+}
+
+// RTTs extracts the RTT series of the ping records matching f.
+func (s *Store) RTTs(f PingFilter) []float64 {
+	var out []float64
+	for i := range s.Pings {
+		if f.match(&s.Pings[i]) {
+			out = append(out, s.Pings[i].RTTms)
+		}
+	}
+	return out
+}
+
+// Len returns (pings, traceroutes) counts.
+func (s *Store) Len() (int, int) { return len(s.Pings), len(s.Traces) }
+
+// Merge appends all records of other into s.
+func (s *Store) Merge(other *Store) {
+	s.Pings = append(s.Pings, other.Pings...)
+	s.Traces = append(s.Traces, other.Traces...)
+}

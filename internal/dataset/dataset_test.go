@@ -1,0 +1,190 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+)
+
+func samplePing(i int) PingRecord {
+	return PingRecord{
+		VP: VantagePoint{
+			ProbeID: "sc-DE-00001", Platform: "speedchecker", Country: "DE",
+			Continent: geo.EU, ISP: 3320, Access: lastmile.WiFi,
+		},
+		Target: Target{
+			Region: "amzn-EU-frankfurt", Provider: "AMZN", Country: "DE",
+			Continent: geo.EU, IP: netaddr.MustParseIP("104.0.1.10"),
+		},
+		Protocol: TCP, RTTms: 31.25 + float64(i), Cycle: i,
+	}
+}
+
+func sampleTrace() TracerouteRecord {
+	return TracerouteRecord{
+		VP: VantagePoint{
+			ProbeID: "sc-JP-00002", Platform: "speedchecker", Country: "JP",
+			Continent: geo.AS, ISP: 2516, Access: lastmile.Cellular,
+		},
+		Target: Target{
+			Region: "gcp-AS-tokyo", Provider: "GCP", Country: "JP",
+			Continent: geo.AS, IP: netaddr.MustParseIP("104.16.1.10"),
+		},
+		Cycle: 3,
+		Hops: []Hop{
+			{TTL: 1, IP: netaddr.MustParseIP("62.99.0.1"), RTTms: 21.0, Responded: true},
+			{TTL: 2, Responded: false},
+			{TTL: 3, IP: netaddr.MustParseIP("104.16.0.9"), RTTms: 29.5, Responded: true},
+			{TTL: 4, IP: netaddr.MustParseIP("104.16.1.10"), RTTms: 33.2, Responded: true},
+		},
+	}
+}
+
+func TestPingCSVRoundTrip(t *testing.T) {
+	recs := []PingRecord{samplePing(0), samplePing(1), samplePing(2)}
+	var buf bytes.Buffer
+	if err := WritePingsCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPingsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestPingCSVErrors(t *testing.T) {
+	if _, err := ReadPingsCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := ReadPingsCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("short header should fail")
+	}
+	var buf bytes.Buffer
+	if err := WritePingsCSV(&buf, []PingRecord{samplePing(0)}); err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(buf.String(), "tcp", "gopher", 1)
+	if _, err := ReadPingsCSV(strings.NewReader(broken)); err == nil {
+		t.Error("bad protocol should fail")
+	}
+	broken = strings.Replace(buf.String(), "EU", "XX", 1)
+	if _, err := ReadPingsCSV(strings.NewReader(broken)); err == nil {
+		t.Error("bad continent should fail")
+	}
+}
+
+func TestTraceJSONLRoundTrip(t *testing.T) {
+	recs := []TracerouteRecord{sampleTrace(), sampleTrace()}
+	recs[1].VP.ProbeID = "sc-JP-00003"
+	var buf bytes.Buffer
+	if err := WriteTracesJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("JSONL lines = %d, want 2", lines)
+	}
+	got, err := ReadTracesJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, recs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, recs)
+	}
+}
+
+func TestTraceJSONLErrors(t *testing.T) {
+	if _, err := ReadTracesJSONL(strings.NewReader("{not json")); err == nil {
+		t.Error("bad json should fail")
+	}
+	if recs, err := ReadTracesJSONL(strings.NewReader("")); err != nil || len(recs) != 0 {
+		t.Error("empty input should yield no records")
+	}
+}
+
+func TestTraceDerivedFields(t *testing.T) {
+	tr := sampleTrace()
+	if got := tr.RTTms(); got != 33.2 {
+		t.Errorf("RTTms = %v", got)
+	}
+	if !tr.Reached() {
+		t.Error("trace should have reached target")
+	}
+	// Truncated trace: last responder is not the target.
+	tr.Hops = tr.Hops[:3]
+	if tr.Reached() {
+		t.Error("truncated trace should not be 'reached'")
+	}
+	if got := tr.RTTms(); got != 29.5 {
+		t.Errorf("truncated RTTms = %v", got)
+	}
+	empty := TracerouteRecord{}
+	if empty.RTTms() != 0 || empty.Reached() {
+		t.Error("empty trace should report zero RTT, not reached")
+	}
+}
+
+func TestStoreFilters(t *testing.T) {
+	var s Store
+	r1 := samplePing(0)
+	r2 := samplePing(1)
+	r2.VP.Country, r2.VP.Continent = "JP", geo.AS
+	r2.Protocol = ICMP
+	r3 := samplePing(2)
+	r3.Target.Provider = "GCP"
+	r3.VP.Platform = "atlas"
+	for _, r := range []PingRecord{r1, r2, r3} {
+		s.AddPing(r)
+	}
+	s.AddTrace(sampleTrace())
+
+	np, nt := s.Len()
+	if np != 3 || nt != 1 {
+		t.Fatalf("Len = %d, %d", np, nt)
+	}
+	if got := len(s.FilterPings(PingFilter{})); got != 3 {
+		t.Errorf("empty filter matched %d", got)
+	}
+	if got := len(s.FilterPings(PingFilter{VPCountry: "JP"})); got != 1 {
+		t.Errorf("country filter matched %d", got)
+	}
+	tcp := TCP
+	if got := len(s.FilterPings(PingFilter{Protocol: &tcp})); got != 2 {
+		t.Errorf("protocol filter matched %d", got)
+	}
+	if got := len(s.FilterPings(PingFilter{Provider: "GCP"})); got != 1 {
+		t.Errorf("provider filter matched %d", got)
+	}
+	if got := len(s.FilterPings(PingFilter{Platform: "atlas"})); got != 1 {
+		t.Errorf("platform filter matched %d", got)
+	}
+	if got := len(s.FilterPings(PingFilter{VPContinent: geo.EU, TargetContinent: geo.EU})); got != 2 {
+		t.Errorf("continent filter matched %d", got)
+	}
+	if got := len(s.FilterPings(PingFilter{TargetCountry: "FR"})); got != 0 {
+		t.Errorf("non-matching filter matched %d", got)
+	}
+	rtts := s.RTTs(PingFilter{VPCountry: "DE"})
+	if len(rtts) != 2 || rtts[0] != r1.RTTms || rtts[1] != r3.RTTms {
+		t.Errorf("RTTs = %v", rtts)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{TCP, ICMP} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("protocol round trip %v failed", p)
+		}
+	}
+	if _, err := ParseProtocol("udp"); err == nil {
+		t.Error("unknown protocol should fail")
+	}
+}

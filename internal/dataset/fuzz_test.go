@@ -1,0 +1,45 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadPingsCSV must never panic on arbitrary input, and must accept
+// its own writer's output.
+func FuzzReadPingsCSV(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WritePingsCSV(&buf, []PingRecord{samplePing(0)})
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("a,b,c\n1,2,3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, err := ReadPingsCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize and re-parse to the same
+		// record count.
+		var out bytes.Buffer
+		if err := WritePingsCSV(&out, recs); err != nil {
+			t.Fatalf("accepted records fail to serialize: %v", err)
+		}
+		back, err := ReadPingsCSV(&out)
+		if err != nil || len(back) != len(recs) {
+			t.Fatalf("round trip broke: %v, %d vs %d", err, len(back), len(recs))
+		}
+	})
+}
+
+// FuzzReadTracesJSONL must never panic on arbitrary input.
+func FuzzReadTracesJSONL(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteTracesJSONL(&buf, []TracerouteRecord{sampleTrace()})
+	f.Add(buf.String())
+	f.Add("")
+	f.Add("{}\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		_, _ = ReadTracesJSONL(strings.NewReader(s))
+	})
+}

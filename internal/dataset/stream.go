@@ -1,0 +1,134 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Sink consumes measurement records as they are produced. The campaign
+// engine calls it from a single collector goroutine, so implementations
+// need no locking. Close flushes buffered output.
+type Sink interface {
+	Ping(PingRecord) error
+	Trace(TracerouteRecord) error
+	Close() error
+}
+
+// PingWriter streams ping records as CSV, one call per record. It is
+// the incremental form of WritePingsCSV.
+type PingWriter struct {
+	cw          *csv.Writer
+	wroteHeader bool
+}
+
+// NewPingWriter wraps w.
+func NewPingWriter(w io.Writer) *PingWriter {
+	return &PingWriter{cw: csv.NewWriter(w)}
+}
+
+// Write appends one record (emitting the header first).
+func (pw *PingWriter) Write(r PingRecord) error {
+	if !pw.wroteHeader {
+		if err := pw.cw.Write(pingHeader); err != nil {
+			return err
+		}
+		pw.wroteHeader = true
+	}
+	return pw.cw.Write(pingRow(&r))
+}
+
+// Flush completes the stream.
+func (pw *PingWriter) Flush() error {
+	if !pw.wroteHeader {
+		// An empty dataset still gets a parseable header.
+		if err := pw.cw.Write(pingHeader); err != nil {
+			return err
+		}
+		pw.wroteHeader = true
+	}
+	pw.cw.Flush()
+	return pw.cw.Error()
+}
+
+func pingRow(r *PingRecord) []string {
+	return []string{
+		r.VP.ProbeID, r.VP.Platform, r.VP.Country, r.VP.Continent.String(),
+		strconv.FormatUint(uint64(r.VP.ISP), 10), r.VP.Access.String(),
+		r.Target.Region, r.Target.Provider, r.Target.Country,
+		r.Target.Continent.String(), r.Target.IP.String(),
+		r.Protocol.String(), strconv.FormatFloat(r.RTTms, 'f', 6, 64),
+		strconv.Itoa(r.Cycle),
+	}
+}
+
+// TraceWriter streams traceroutes as JSONL, one call per record.
+type TraceWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewTraceWriter wraps w.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write appends one traceroute.
+func (tw *TraceWriter) Write(r TracerouteRecord) error {
+	return tw.enc.Encode(traceToJSON(&r))
+}
+
+// Flush completes the stream.
+func (tw *TraceWriter) Flush() error { return tw.bw.Flush() }
+
+func traceToJSON(r *TracerouteRecord) *jsonTrace {
+	jt := &jsonTrace{
+		Probe: r.VP.ProbeID, Platform: r.VP.Platform, Country: r.VP.Country,
+		Continent: r.VP.Continent.String(), ISP: uint32(r.VP.ISP),
+		Access: r.VP.Access.String(), Region: r.Target.Region,
+		Provider: r.Target.Provider, DCCountry: r.Target.Country,
+		DCCont: r.Target.Continent.String(), DCIP: r.Target.IP.String(),
+		Cycle: r.Cycle,
+	}
+	for _, h := range r.Hops {
+		jh := jsonHop{TTL: h.TTL, RTT: h.RTTms, Responded: h.Responded}
+		if h.Responded {
+			jh.IP = h.IP.String()
+		}
+		jt.Hops = append(jt.Hops, jh)
+	}
+	return jt
+}
+
+// FileSink streams pings and traceroutes to two writers in the
+// published dataset's formats.
+type FileSink struct {
+	pings  *PingWriter
+	traces *TraceWriter
+}
+
+// NewFileSink wraps the two destinations.
+func NewFileSink(pings, traces io.Writer) *FileSink {
+	return &FileSink{pings: NewPingWriter(pings), traces: NewTraceWriter(traces)}
+}
+
+// Ping implements Sink.
+func (s *FileSink) Ping(r PingRecord) error { return s.pings.Write(r) }
+
+// Trace implements Sink.
+func (s *FileSink) Trace(r TracerouteRecord) error { return s.traces.Write(r) }
+
+// Close flushes both streams.
+func (s *FileSink) Close() error {
+	if err := s.pings.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing pings: %w", err)
+	}
+	if err := s.traces.Flush(); err != nil {
+		return fmt.Errorf("dataset: flushing traces: %w", err)
+	}
+	return nil
+}

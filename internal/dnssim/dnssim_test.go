@@ -1,0 +1,325 @@
+package dnssim
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 1})
+
+func TestWireRoundTrip(t *testing.T) {
+	rtt := []byte{1, 2, 3, 4}
+	msg := &Message{
+		ID: 0xBEEF, Response: true, Authoritative: true,
+		RecursionDesired: true, RecursionAvailable: true,
+		Questions: []Question{{Name: "vm.example.test", Type: TypeA, Class: ClassIN}},
+		Answers: []RR{
+			{Name: "vm.example.test", Type: TypeA, Class: ClassIN, TTL: 300, Data: rtt},
+		},
+	}
+	pkt, err := msg.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != msg.ID || !got.Response || !got.Authoritative ||
+		!got.RecursionDesired || !got.RecursionAvailable || got.Rcode != 0 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Questions) != 1 || got.Questions[0] != msg.Questions[0] {
+		t.Errorf("questions mismatch: %+v", got.Questions)
+	}
+	if len(got.Answers) != 1 || got.Answers[0].Name != "vm.example.test" ||
+		string(got.Answers[0].Data) != string(rtt) || got.Answers[0].TTL != 300 {
+		t.Errorf("answers mismatch: %+v", got.Answers)
+	}
+}
+
+func TestWireCompressionPointers(t *testing.T) {
+	// Hand-build a response using a compression pointer for the answer
+	// name (offset 12 = the question name), as real servers emit.
+	var pkt []byte
+	pkt = be16(pkt, 0x1234)
+	pkt = be16(pkt, flagQR)
+	pkt = be16(pkt, 1) // QD
+	pkt = be16(pkt, 1) // AN
+	pkt = be16(pkt, 0)
+	pkt = be16(pkt, 0)
+	name, _ := encodeName("a.bc.de")
+	pkt = append(pkt, name...)
+	pkt = be16(pkt, TypeA)
+	pkt = be16(pkt, ClassIN)
+	pkt = append(pkt, 0xc0, 12) // pointer to offset 12
+	pkt = be16(pkt, TypeA)
+	pkt = be16(pkt, ClassIN)
+	pkt = append(pkt, 0, 0, 1, 44) // TTL
+	pkt = be16(pkt, 4)
+	pkt = append(pkt, 9, 9, 9, 9)
+
+	m, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Answers[0].Name != "a.bc.de" {
+		t.Errorf("pointer-decoded name = %q", m.Answers[0].Name)
+	}
+	if m.Answers[0].TTL != 300 {
+		t.Errorf("TTL = %d", m.Answers[0].TTL)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("nil packet accepted")
+	}
+	if _, err := Decode(make([]byte, 5)); err == nil {
+		t.Error("short packet accepted")
+	}
+	// Compression loop: pointer to itself.
+	var pkt []byte
+	pkt = be16(pkt, 1)
+	pkt = be16(pkt, 0)
+	pkt = be16(pkt, 1)
+	pkt = be16(pkt, 0)
+	pkt = be16(pkt, 0)
+	pkt = be16(pkt, 0)
+	pkt = append(pkt, 0xc0, 12, 0, 1, 0, 1)
+	if _, err := Decode(pkt); err == nil {
+		t.Error("compression loop accepted")
+	}
+	// Bad label in encoding.
+	m := &Message{Questions: []Question{{Name: "a..b", Type: TypeA, Class: ClassIN}}}
+	if _, err := m.Encode(); err == nil {
+		t.Error("empty label accepted")
+	}
+}
+
+func TestWireDecodeFuzz(t *testing.T) {
+	// Random bytes must never panic the decoder.
+	f := func(b []byte) bool {
+		_, _ = Decode(b)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZoneForward(t *testing.T) {
+	z := NewZone(testW)
+	if len(z.Hostnames()) != 195 {
+		t.Fatalf("catalogue size = %d, want 195 regions", len(z.Hostnames()))
+	}
+	for _, r := range testW.Inventory.Regions() {
+		ip, ok := z.LookupA(RegionHostname(r.ID))
+		if !ok {
+			t.Fatalf("no A record for %s", r.ID)
+		}
+		if ip != testW.RegionIP(r) {
+			t.Fatalf("%s resolves to %v, want %v", r.ID, ip, testW.RegionIP(r))
+		}
+	}
+	if _, ok := z.LookupA("nope." + Suffix); ok {
+		t.Error("unknown name resolved")
+	}
+	// Case- and dot-insensitive.
+	name := strings.ToUpper(RegionHostname(testW.Inventory.Regions()[0].ID)) + "."
+	if _, ok := z.LookupA(name); !ok {
+		t.Error("lookup should be case-insensitive and accept trailing dots")
+	}
+}
+
+func TestZoneReverse(t *testing.T) {
+	z := NewZone(testW)
+	// A German ISP router: embedded country hint must say DE.
+	isp := testW.AccessISPs("DE")[0]
+	ptr, ok := z.LookupPTR(testW.RouterIP(isp.Number, 7))
+	if !ok {
+		t.Fatal("no PTR for a known router")
+	}
+	if cc, ok := CountryHint(ptr); !ok || cc != "DE" {
+		t.Errorf("PTR %q carries hint %q, want DE", ptr, cc)
+	}
+	if !strings.Contains(ptr, slugify(isp.Name)) {
+		t.Errorf("PTR %q does not name the operator %q", ptr, slugify(isp.Name))
+	}
+	// Private/unknown space has no name.
+	if _, ok := z.LookupPTR(netaddr.MustParseIP("192.168.0.1")); ok {
+		t.Error("private space has a PTR")
+	}
+	if _, ok := z.LookupPTR(netaddr.MustParseIP("8.8.8.8")); ok {
+		t.Error("unannounced space has a PTR")
+	}
+	// Multi-PoP carriers embed different countries in different slices.
+	telia := testW.Tier1s()[0]
+	prefix, _ := testW.Prefix(telia.Number)
+	hints := map[string]bool{}
+	step := prefix.NumAddresses() / 16
+	for i := uint64(0); i < 16; i++ {
+		if name, ok := z.LookupPTR(prefix.Nth(i * step)); ok {
+			if cc, ok := CountryHint(name); ok {
+				hints[cc] = true
+			}
+		}
+	}
+	if len(hints) < 4 {
+		t.Errorf("Tier-1 rDNS hints cover only %d countries", len(hints))
+	}
+}
+
+func TestCountryHintRejects(t *testing.T) {
+	for _, s := range []string{"", "foo", "r1.zz.carrier.net", "r1.de.carrier.org", "a.b"} {
+		if _, ok := CountryHint(s); ok {
+			t.Errorf("CountryHint(%q) should fail", s)
+		}
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	cases := map[string]string{
+		"Telia Carrier":         "telia-carrier",
+		"NTT Global IP Network": "ntt-global-ip-network",
+		"1&1 Versatel":          "1-1-versatel",
+		"Telefonica BR (Vivo)":  "telefonica-br-vivo",
+		"  weird   spacing  ":   "weird-spacing",
+	}
+	for in, want := range cases {
+		if got := slugify(in); got != want {
+			t.Errorf("slugify(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestReverseNameRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		ip := netaddr.IP(v)
+		got, ok := parseReverseName(ReverseName(ip))
+		return ok && got == ip
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, s := range []string{"x.in-addr.arpa", "1.2.3.in-addr.arpa", "1.2.3.4.ip6.arpa", "256.1.1.1.in-addr.arpa"} {
+		if _, ok := parseReverseName(s); ok {
+			t.Errorf("parseReverseName(%q) should fail", s)
+		}
+	}
+}
+
+// startServer runs a zone server on loopback for the duration of the
+// test.
+func startServer(t *testing.T) *Server {
+	t.Helper()
+	srv, err := NewServer(NewZone(testW), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return srv
+}
+
+func TestServerEndToEnd(t *testing.T) {
+	srv := startServer(t)
+	c := NewClient(srv.Addr())
+
+	region := testW.Inventory.Regions()[3]
+	ip, err := c.QueryA(RegionHostname(region.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != testW.RegionIP(region) {
+		t.Errorf("A answer %v, want %v", ip, testW.RegionIP(region))
+	}
+
+	ptr, err := c.QueryPTR(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ptr, ".net") {
+		t.Errorf("PTR answer %q", ptr)
+	}
+
+	if _, err := c.QueryA("missing." + Suffix); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("NXDOMAIN expected, got %v", err)
+	}
+	if _, err := c.QueryPTR(netaddr.MustParseIP("192.168.0.1")); !errors.Is(err, ErrNXDomain) {
+		t.Errorf("private PTR should be NXDOMAIN, got %v", err)
+	}
+}
+
+func TestServerConcurrentClients(t *testing.T) {
+	srv := startServer(t)
+	regions := testW.Inventory.Regions()
+	var wg sync.WaitGroup
+	errs := make(chan error, 20)
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(srv.Addr())
+			r := regions[i%len(regions)]
+			ip, err := c.QueryA(RegionHostname(r.ID))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if ip != testW.RegionIP(r) {
+				errs <- errors.New("wrong answer")
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestServerIgnoresGarbage(t *testing.T) {
+	srv := startServer(t)
+	// Raw garbage must be dropped without killing the server.
+	conn, err := net.Dial("udp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{1, 2, 3})
+	conn.Close()
+	time.Sleep(20 * time.Millisecond)
+	// Still answering afterwards.
+	c := NewClient(srv.Addr())
+	if _, err := c.QueryA(RegionHostname(testW.Inventory.Regions()[0].ID)); err != nil {
+		t.Fatalf("server died after garbage: %v", err)
+	}
+}
+
+func TestServerUnsupportedTypes(t *testing.T) {
+	srv := startServer(t)
+	c := NewClient(srv.Addr())
+	// Query an MX record (type 15): NOTIMPL.
+	_, err := c.roundTrip(Question{Name: "x." + Suffix, Type: 15, Class: ClassIN})
+	if err == nil || errors.Is(err, ErrNXDomain) {
+		t.Errorf("unsupported type should fail with rcode, got %v", err)
+	}
+}

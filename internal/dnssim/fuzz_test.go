@@ -1,0 +1,39 @@
+package dnssim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode drives the wire decoder with arbitrary datagrams; it must
+// never panic, and anything it accepts must re-encode losslessly enough
+// to decode again (idempotence of the accepted subset).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: a real query, a real response, and compression.
+	q := &Message{ID: 7, RecursionDesired: true,
+		Questions: []Question{{Name: "vm.cloudy.test", Type: TypeA, Class: ClassIN}}}
+	pkt, _ := q.Encode()
+	f.Add(pkt)
+	rtt := []byte{10, 0, 0, 1}
+	r := &Message{ID: 7, Response: true,
+		Questions: []Question{{Name: "vm.cloudy.test", Type: TypeA, Class: ClassIN}},
+		Answers:   []RR{{Name: "vm.cloudy.test", Type: TypeA, Class: ClassIN, TTL: 60, Data: rtt}}}
+	pkt2, _ := r.Encode()
+	f.Add(pkt2)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xc0}, 40)) // pointer storm
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		re, err := m.Encode()
+		if err != nil {
+			return // names with bad labels can't round-trip; fine
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded message no longer decodes: %v", err)
+		}
+	})
+}

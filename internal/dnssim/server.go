@@ -1,0 +1,262 @@
+package dnssim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/netaddr"
+)
+
+// Server answers A and PTR queries for a zone over UDP. Create with
+// NewServer, start with Serve, stop by cancelling the context.
+type Server struct {
+	zone *Zone
+	conn *net.UDPConn
+}
+
+// NewServer binds a UDP socket (use "127.0.0.1:0" in tests) and returns
+// the server. Serve must be called to start answering.
+func NewServer(zone *Zone, addr string) (*Server, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: resolving %q: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: listening: %w", err)
+	}
+	return &Server{zone: zone, conn: conn}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Serve answers queries until ctx is cancelled, then closes the socket.
+func (s *Server) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.conn.Close()
+	}()
+	buf := make([]byte, 1500)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dnssim: read: %w", err)
+		}
+		resp := s.handleUDP(buf[:n])
+		if resp == nil {
+			continue // unparseable: drop, like real servers under fuzz
+		}
+		if _, err := s.conn.WriteToUDP(resp, peer); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// handle builds the wire response for one query, or nil to drop.
+func (s *Server) handle(pkt []byte) []byte {
+	q, err := Decode(pkt)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return nil
+	}
+	resp := &Message{
+		ID: q.ID, Response: true, Authoritative: true,
+		RecursionDesired: q.RecursionDesired,
+		Questions:        q.Questions,
+	}
+	question := q.Questions[0]
+	switch {
+	case question.Class != ClassIN:
+		resp.Rcode = RcodeNotImpl
+	case question.Type == TypeA:
+		if ip, ok := s.zone.LookupA(question.Name); ok {
+			resp.Answers = append(resp.Answers, RR{
+				Name: question.Name, Type: TypeA, Class: ClassIN, TTL: 300,
+				Data: []byte{byte(ip >> 24), byte(ip >> 16), byte(ip >> 8), byte(ip)},
+			})
+		} else {
+			resp.Rcode = RcodeNXDomain
+		}
+	case question.Type == TypePTR:
+		ip, ok := parseReverseName(question.Name)
+		if !ok {
+			resp.Rcode = RcodeFormErr
+			break
+		}
+		name, ok := s.zone.LookupPTR(ip)
+		if !ok {
+			resp.Rcode = RcodeNXDomain
+			break
+		}
+		rdata, err := encodeName(name)
+		if err != nil {
+			resp.Rcode = RcodeFormErr
+			break
+		}
+		resp.Answers = append(resp.Answers, RR{
+			Name: question.Name, Type: TypePTR, Class: ClassIN, TTL: 300, Data: rdata,
+		})
+	default:
+		resp.Rcode = RcodeNotImpl
+	}
+	out, err := resp.Encode()
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// handleUDP applies the UDP payload limit on top of handle.
+func (s *Server) handleUDP(pkt []byte) []byte {
+	q, err := Decode(pkt)
+	if err != nil || q.Response || len(q.Questions) != 1 {
+		return nil
+	}
+	full := s.handle(pkt)
+	if full == nil {
+		return nil
+	}
+	if len(full) <= maxUDPPayload {
+		return full
+	}
+	m, err := Decode(full)
+	if err != nil {
+		return nil
+	}
+	out, err := truncateForUDP(m)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// parseReverseName converts "4.3.2.1.in-addr.arpa" to 1.2.3.4.
+func parseReverseName(name string) (netaddr.IP, bool) {
+	name = strings.TrimSuffix(strings.ToLower(name), ".")
+	const suffix = ".in-addr.arpa"
+	if !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	parts := strings.Split(strings.TrimSuffix(name, suffix), ".")
+	if len(parts) != 4 {
+		return 0, false
+	}
+	var ip uint32
+	for i := 3; i >= 0; i-- {
+		n, err := strconv.Atoi(parts[i])
+		if err != nil || n < 0 || n > 255 {
+			return 0, false
+		}
+		ip = ip<<8 | uint32(n)
+	}
+	return netaddr.IP(ip), true
+}
+
+// ReverseName formats an address for a PTR query.
+func ReverseName(ip netaddr.IP) string {
+	return fmt.Sprintf("%d.%d.%d.%d.in-addr.arpa",
+		byte(ip), byte(ip>>8), byte(ip>>16), byte(ip>>24))
+}
+
+// Client queries a dnssim server.
+type Client struct {
+	// Addr is the server's UDP address.
+	Addr string
+	// TCPAddr, when set, is used to retry queries whose UDP responses
+	// came back truncated (the standard TC-bit fallback).
+	TCPAddr string
+	// Timeout bounds each query (default 2s).
+	Timeout time.Duration
+	rng     *rand.Rand
+}
+
+// NewClient returns a client for the given server address.
+func NewClient(addr string) *Client {
+	return &Client{Addr: addr, Timeout: 2 * time.Second, rng: rand.New(rand.NewSource(1))}
+}
+
+// ErrNXDomain reports a name that does not exist.
+var ErrNXDomain = errors.New("dnssim: no such name")
+
+// QueryA resolves a hostname to its address.
+func (c *Client) QueryA(name string) (netaddr.IP, error) {
+	m, err := c.roundTrip(Question{Name: name, Type: TypeA, Class: ClassIN})
+	if err != nil {
+		return 0, err
+	}
+	for _, rr := range m.Answers {
+		if rr.Type == TypeA && len(rr.Data) == 4 {
+			return netaddr.IP(uint32(rr.Data[0])<<24 | uint32(rr.Data[1])<<16 |
+				uint32(rr.Data[2])<<8 | uint32(rr.Data[3])), nil
+		}
+	}
+	return 0, fmt.Errorf("dnssim: no A record for %q", name)
+}
+
+// QueryPTR resolves an address to its reverse name.
+func (c *Client) QueryPTR(ip netaddr.IP) (string, error) {
+	m, err := c.roundTrip(Question{Name: ReverseName(ip), Type: TypePTR, Class: ClassIN})
+	if err != nil {
+		return "", err
+	}
+	for _, rr := range m.Answers {
+		if rr.Type == TypePTR {
+			return DecodeName(rr.Data)
+		}
+	}
+	return "", fmt.Errorf("dnssim: no PTR record for %v", ip)
+}
+
+func (c *Client) roundTrip(q Question) (*Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.Dial("udp", c.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	id := uint16(c.rng.Intn(1 << 16))
+	req := &Message{ID: id, RecursionDesired: true, Questions: []Question{q}}
+	pkt, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(pkt); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 1500)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			return nil, err
+		}
+		m, err := Decode(buf[:n])
+		if err != nil || !m.Response || m.ID != id {
+			continue // stray or corrupt datagram; keep waiting
+		}
+		if m.Truncated && c.TCPAddr != "" {
+			return c.QueryTCP(c.TCPAddr, q)
+		}
+		if m.Rcode == RcodeNXDomain {
+			return nil, ErrNXDomain
+		}
+		if m.Rcode != RcodeNoError {
+			return nil, fmt.Errorf("dnssim: rcode %d", m.Rcode)
+		}
+		return m, nil
+	}
+}

@@ -1,0 +1,165 @@
+package dnssim
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+)
+
+// maxUDPPayload is the classic 512-byte DNS-over-UDP limit (RFC 1035
+// §4.2.1). Responses that would exceed it are truncated on UDP and the
+// client retries over TCP, exactly as real resolvers do.
+const maxUDPPayload = 512
+
+// flagTC is the truncation bit.
+const flagTC = 1 << 9
+
+// TCPServer answers the same zone over DNS's TCP transport: each
+// message is preceded by a two-byte length (RFC 1035 §4.2.2).
+type TCPServer struct {
+	zone *Zone
+	ln   net.Listener
+}
+
+// NewTCPServer binds a TCP listener for the zone.
+func NewTCPServer(zone *Zone, addr string) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dnssim: tcp listen: %w", err)
+	}
+	return &TCPServer{zone: zone, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *TCPServer) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until ctx is cancelled. Each connection may
+// carry multiple queries (DNS TCP pipelining).
+func (s *TCPServer) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		s.ln.Close()
+	}()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("dnssim: accept: %w", err)
+		}
+		go s.serveConn(ctx, conn)
+	}
+}
+
+func (s *TCPServer) serveConn(ctx context.Context, conn net.Conn) {
+	defer conn.Close()
+	srv := &Server{zone: s.zone}
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		pkt, err := readTCPMessage(conn)
+		if err != nil {
+			return // EOF or a broken frame: drop the connection
+		}
+		resp := srv.handle(pkt)
+		if resp == nil {
+			return
+		}
+		if err := writeTCPMessage(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var lenBuf [2]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(lenBuf[:])
+	if n == 0 {
+		return nil, fmt.Errorf("dnssim: zero-length frame")
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return msg, nil
+}
+
+func writeTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > 0xffff {
+		return fmt.Errorf("dnssim: message too large for TCP framing")
+	}
+	var lenBuf [2]byte
+	binary.BigEndian.PutUint16(lenBuf[:], uint16(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// truncateForUDP returns the response to send over UDP: if the encoded
+// message exceeds the 512-byte limit, the answers are dropped and the
+// TC bit set, telling the client to retry over TCP.
+func truncateForUDP(resp *Message) ([]byte, error) {
+	full, err := resp.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if len(full) <= maxUDPPayload {
+		return full, nil
+	}
+	trunc := *resp
+	trunc.Answers = nil
+	trunc.Truncated = true
+	return trunc.Encode()
+}
+
+// QueryTCP runs one query over the TCP transport.
+func (c *Client) QueryTCP(addr string, q Question) (*Message, error) {
+	timeout := c.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	id := uint16(c.rng.Intn(1 << 16))
+	req := &Message{ID: id, RecursionDesired: true, Questions: []Question{q}}
+	pkt, err := req.Encode()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeTCPMessage(conn, pkt); err != nil {
+		return nil, err
+	}
+	raw, err := readTCPMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	m, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !m.Response || m.ID != id {
+		return nil, fmt.Errorf("dnssim: mismatched TCP response")
+	}
+	if m.Rcode == RcodeNXDomain {
+		return nil, ErrNXDomain
+	}
+	if m.Rcode != RcodeNoError {
+		return nil, fmt.Errorf("dnssim: rcode %d", m.Rcode)
+	}
+	return m, nil
+}

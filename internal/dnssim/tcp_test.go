@@ -1,0 +1,184 @@
+package dnssim
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startTCPServer runs a TCP zone server on loopback for the test.
+func startTCPServer(t *testing.T) *TCPServer {
+	t.Helper()
+	srv, err := NewTCPServer(NewZone(testW), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		srv.Serve(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return srv
+}
+
+func TestTCPQuery(t *testing.T) {
+	srv := startTCPServer(t)
+	c := NewClient("")
+	region := testW.Inventory.Regions()[7]
+	m, err := c.QueryTCP(srv.Addr(), Question{
+		Name: RegionHostname(region.ID), Type: TypeA, Class: ClassIN,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Answers) != 1 || m.Answers[0].Type != TypeA {
+		t.Fatalf("answers = %+v", m.Answers)
+	}
+	// Multiple queries on one connection happen implicitly across calls;
+	// also check NXDOMAIN over TCP.
+	if _, err := c.QueryTCP(srv.Addr(), Question{
+		Name: "missing." + Suffix, Type: TypeA, Class: ClassIN,
+	}); err != ErrNXDomain {
+		t.Errorf("NXDOMAIN over TCP = %v", err)
+	}
+}
+
+func TestTCPPipelining(t *testing.T) {
+	srv := startTCPServer(t)
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(3 * time.Second))
+	// Send two framed queries back to back on one connection.
+	for i, region := range testW.Inventory.Regions()[:2] {
+		req := &Message{ID: uint16(100 + i), RecursionDesired: true,
+			Questions: []Question{{Name: RegionHostname(region.ID), Type: TypeA, Class: ClassIN}}}
+		pkt, _ := req.Encode()
+		if err := writeTCPMessage(conn, pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		raw, err := readTCPMessage(conn)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		m, err := Decode(raw)
+		if err != nil || m.Rcode != RcodeNoError || len(m.Answers) != 1 {
+			t.Fatalf("response %d malformed: %+v, %v", i, m, err)
+		}
+	}
+}
+
+func TestTruncationFallback(t *testing.T) {
+	// A hand-built oversized response must come back truncated on UDP,
+	// and the client must transparently retry over TCP.
+	var big Message
+	big.ID = 9
+	big.Response = true
+	q := Question{Name: "big." + Suffix, Type: TypeA, Class: ClassIN}
+	big.Questions = []Question{q}
+	for i := 0; i < 60; i++ {
+		big.Answers = append(big.Answers, RR{
+			Name: q.Name, Type: TypeA, Class: ClassIN, TTL: 60,
+			Data: []byte{10, 0, byte(i), 1},
+		})
+	}
+	pkt, err := truncateForUDP(&big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkt) > maxUDPPayload {
+		t.Fatalf("truncated packet still %d bytes", len(pkt))
+	}
+	m, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Truncated || len(m.Answers) != 0 {
+		t.Fatalf("truncation flags wrong: %+v", m)
+	}
+	// Small responses pass through untouched.
+	small := &Message{ID: 1, Response: true, Questions: []Question{q}}
+	pkt, err = truncateForUDP(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := Decode(pkt); got.Truncated {
+		t.Error("small response should not be truncated")
+	}
+}
+
+func TestClientRetriesOverTCP(t *testing.T) {
+	// Wire a fake UDP responder that always sets TC, plus a real TCP
+	// server; the client must fall back and succeed.
+	tcpSrv := startTCPServer(t)
+
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	go func() {
+		buf := make([]byte, 1500)
+		for {
+			n, peer, err := udp.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			q, err := Decode(buf[:n])
+			if err != nil {
+				continue
+			}
+			resp := &Message{ID: q.ID, Response: true, Truncated: true, Questions: q.Questions}
+			out, _ := resp.Encode()
+			udp.WriteToUDP(out, peer)
+		}
+	}()
+
+	c := NewClient(udp.LocalAddr().String())
+	c.TCPAddr = tcpSrv.Addr()
+	region := testW.Inventory.Regions()[0]
+	ip, err := c.QueryA(RegionHostname(region.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip != testW.RegionIP(region) {
+		t.Errorf("TCP-fallback answer %v, want %v", ip, testW.RegionIP(region))
+	}
+}
+
+func TestTCPFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msg := []byte{1, 2, 3, 4, 5}
+	if err := writeTCPMessage(&buf, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readTCPMessage(&buf)
+	if err != nil || !bytes.Equal(got, msg) {
+		t.Fatalf("framing round trip: %v, %v", got, err)
+	}
+	// Zero-length and short frames fail.
+	if _, err := readTCPMessage(bytes.NewReader([]byte{0, 0})); err == nil {
+		t.Error("zero-length frame accepted")
+	}
+	if _, err := readTCPMessage(bytes.NewReader([]byte{0, 5, 1})); err == nil {
+		t.Error("short frame accepted")
+	}
+	if err := writeTCPMessage(&buf, make([]byte, 1<<17)); err == nil ||
+		!strings.Contains(err.Error(), "too large") {
+		t.Errorf("oversized frame: %v", err)
+	}
+}

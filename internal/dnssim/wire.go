@@ -1,0 +1,264 @@
+// Package dnssim provides the naming plane of the synthetic Internet:
+// the per-region VM hostnames the paper retrieved from CloudHarmony
+// (§3.1), and reverse DNS for router addresses in the style operators
+// actually use (city code and carrier embedded in the name — the hint
+// source of hostname-based geolocation systems like HLOC, which the
+// paper cites).
+//
+// The package implements a minimal RFC 1035 wire codec (A and PTR
+// records), a resolver backed directly by a world, and a real UDP
+// server/client pair so the names are reachable the way a measurement
+// platform would reach them.
+package dnssim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// DNS record types and classes (RFC 1035).
+const (
+	TypeA   uint16 = 1
+	TypePTR uint16 = 12
+	ClassIN uint16 = 1
+)
+
+// Response codes.
+const (
+	RcodeNoError  = 0
+	RcodeFormErr  = 1
+	RcodeNXDomain = 3
+	RcodeNotImpl  = 4
+)
+
+// Header flag bits.
+const (
+	flagQR = 1 << 15
+	flagAA = 1 << 10
+	flagRD = 1 << 8
+	flagRA = 1 << 7
+)
+
+// (flagTC, the truncation bit, lives in tcp.go beside the transport
+// that handles it.)
+
+// Question is one DNS question.
+type Question struct {
+	Name  string
+	Type  uint16
+	Class uint16
+}
+
+// RR is one resource record. Data holds the RDATA: 4 address bytes for
+// A records, an encoded domain name for PTR records.
+type RR struct {
+	Name  string
+	Type  uint16
+	Class uint16
+	TTL   uint32
+	Data  []byte
+}
+
+// Message is a DNS message (header + sections; authority/additional are
+// not used by this resolver).
+type Message struct {
+	ID                 uint16
+	Response           bool
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	Rcode              int
+	Questions          []Question
+	Answers            []RR
+}
+
+// ErrTruncated reports a message that ended mid-field.
+var ErrTruncated = errors.New("dnssim: truncated message")
+
+// Encode serializes the message. Names are encoded without compression;
+// decoders that support compression (all of them) interoperate.
+func (m *Message) Encode() ([]byte, error) {
+	buf := make([]byte, 0, 512)
+	var flags uint16
+	if m.Response {
+		flags |= flagQR
+	}
+	if m.Authoritative {
+		flags |= flagAA
+	}
+	if m.Truncated {
+		flags |= flagTC
+	}
+	if m.RecursionDesired {
+		flags |= flagRD
+	}
+	if m.RecursionAvailable {
+		flags |= flagRA
+	}
+	flags |= uint16(m.Rcode & 0xf)
+	buf = be16(buf, m.ID)
+	buf = be16(buf, flags)
+	buf = be16(buf, uint16(len(m.Questions)))
+	buf = be16(buf, uint16(len(m.Answers)))
+	buf = be16(buf, 0) // NSCOUNT
+	buf = be16(buf, 0) // ARCOUNT
+	for _, q := range m.Questions {
+		n, err := encodeName(q.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, n...)
+		buf = be16(buf, q.Type)
+		buf = be16(buf, q.Class)
+	}
+	for _, rr := range m.Answers {
+		n, err := encodeName(rr.Name)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, n...)
+		buf = be16(buf, rr.Type)
+		buf = be16(buf, rr.Class)
+		buf = append(buf, byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+		buf = be16(buf, uint16(len(rr.Data)))
+		buf = append(buf, rr.Data...)
+	}
+	return buf, nil
+}
+
+func be16(b []byte, v uint16) []byte { return append(b, byte(v>>8), byte(v)) }
+
+// encodeName converts "a.b.c" into DNS label format.
+func encodeName(name string) ([]byte, error) {
+	name = strings.TrimSuffix(name, ".")
+	var out []byte
+	if name != "" {
+		for _, label := range strings.Split(name, ".") {
+			if len(label) == 0 || len(label) > 63 {
+				return nil, fmt.Errorf("dnssim: bad label %q in %q", label, name)
+			}
+			out = append(out, byte(len(label)))
+			out = append(out, label...)
+		}
+	}
+	if len(out) > 254 {
+		return nil, fmt.Errorf("dnssim: name too long: %q", name)
+	}
+	return append(out, 0), nil
+}
+
+// Decode parses a wire-format message, following compression pointers.
+func Decode(b []byte) (*Message, error) {
+	if len(b) < 12 {
+		return nil, ErrTruncated
+	}
+	m := &Message{
+		ID: uint16(b[0])<<8 | uint16(b[1]),
+	}
+	flags := uint16(b[2])<<8 | uint16(b[3])
+	m.Response = flags&flagQR != 0
+	m.Authoritative = flags&flagAA != 0
+	m.Truncated = flags&flagTC != 0
+	m.RecursionDesired = flags&flagRD != 0
+	m.RecursionAvailable = flags&flagRA != 0
+	m.Rcode = int(flags & 0xf)
+	qd := int(uint16(b[4])<<8 | uint16(b[5]))
+	an := int(uint16(b[6])<<8 | uint16(b[7]))
+	off := 12
+	for i := 0; i < qd; i++ {
+		name, next, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+4 > len(b) {
+			return nil, ErrTruncated
+		}
+		m.Questions = append(m.Questions, Question{
+			Name:  name,
+			Type:  uint16(b[next])<<8 | uint16(b[next+1]),
+			Class: uint16(b[next+2])<<8 | uint16(b[next+3]),
+		})
+		off = next + 4
+	}
+	for i := 0; i < an; i++ {
+		name, next, err := decodeName(b, off)
+		if err != nil {
+			return nil, err
+		}
+		if next+10 > len(b) {
+			return nil, ErrTruncated
+		}
+		rr := RR{
+			Name:  name,
+			Type:  uint16(b[next])<<8 | uint16(b[next+1]),
+			Class: uint16(b[next+2])<<8 | uint16(b[next+3]),
+			TTL: uint32(b[next+4])<<24 | uint32(b[next+5])<<16 |
+				uint32(b[next+6])<<8 | uint32(b[next+7]),
+		}
+		rdlen := int(uint16(b[next+8])<<8 | uint16(b[next+9]))
+		next += 10
+		if next+rdlen > len(b) {
+			return nil, ErrTruncated
+		}
+		rr.Data = append([]byte(nil), b[next:next+rdlen]...)
+		m.Answers = append(m.Answers, rr)
+		off = next + rdlen
+	}
+	return m, nil
+}
+
+// decodeName reads a (possibly compressed) name starting at off and
+// returns the dotted name plus the offset just past it.
+func decodeName(b []byte, off int) (string, int, error) {
+	var labels []string
+	jumped := false
+	next := off
+	hops := 0
+	for {
+		if off >= len(b) {
+			return "", 0, ErrTruncated
+		}
+		l := int(b[off])
+		switch {
+		case l == 0:
+			if !jumped {
+				next = off + 1
+			}
+			return strings.Join(labels, "."), next, nil
+		case l&0xc0 == 0xc0: // compression pointer
+			if off+1 >= len(b) {
+				return "", 0, ErrTruncated
+			}
+			ptr := (l&0x3f)<<8 | int(b[off+1])
+			if !jumped {
+				next = off + 2
+			}
+			jumped = true
+			off = ptr
+			hops++
+			if hops > 16 {
+				return "", 0, errors.New("dnssim: compression loop")
+			}
+		default:
+			if off+1+l > len(b) {
+				return "", 0, ErrTruncated
+			}
+			labels = append(labels, string(b[off+1:off+1+l]))
+			off += 1 + l
+			if len(labels) > 64 {
+				return "", 0, errors.New("dnssim: too many labels")
+			}
+		}
+	}
+}
+
+// DecodeName exposes name decoding for PTR RDATA (which holds an
+// encoded name, possibly with pointers into the enclosing message —
+// this package's encoder never emits those, so standalone decoding is
+// safe for its own output).
+func DecodeName(rdata []byte) (string, error) {
+	name, _, err := decodeName(rdata, 0)
+	return name, err
+}

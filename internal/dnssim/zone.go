@@ -1,0 +1,117 @@
+package dnssim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+// Suffix is the top-level domain of the synthetic namespace.
+const Suffix = "cloudy.test"
+
+// Zone resolves the synthetic namespace directly against a world:
+// forward A records for region VM hostnames (the CloudHarmony catalogue
+// of §3.1), and reverse PTR records for every router, probe and VM
+// address. PTR names embed the operator and the PoP country the way
+// real carrier rDNS does, which is what hostname-based geolocation
+// mines for hints.
+type Zone struct {
+	w       *world.World
+	forward map[string]netaddr.IP
+}
+
+// NewZone indexes a world's names.
+func NewZone(w *world.World) *Zone {
+	z := &Zone{w: w, forward: make(map[string]netaddr.IP)}
+	for _, r := range w.Inventory.Regions() {
+		z.forward[RegionHostname(r.ID)] = w.RegionIP(r)
+	}
+	return z
+}
+
+// RegionHostname returns the VM hostname for a region ID, e.g.
+// "amzn-eu-dublin.compute.cloudy.test".
+func RegionHostname(regionID string) string {
+	return strings.ToLower(regionID) + ".compute." + Suffix
+}
+
+// LookupA resolves a forward name. ok is false for unknown names.
+func (z *Zone) LookupA(name string) (netaddr.IP, bool) {
+	ip, ok := z.forward[strings.ToLower(strings.TrimSuffix(name, "."))]
+	return ip, ok
+}
+
+// Hostnames returns all forward names, for catalogue listings.
+func (z *Zone) Hostnames() []string {
+	out := make([]string, 0, len(z.forward))
+	for name := range z.forward {
+		out = append(out, name)
+	}
+	return out
+}
+
+// LookupPTR synthesizes the reverse name for an address: operator slug,
+// PoP country code and a host index, e.g. "r1042.de.telia-carrier.net"
+// for a Telia router whose nearest PoP is German. Private, CGN and
+// unattributed space has no reverse name.
+func (z *Zone) LookupPTR(ip netaddr.IP) (string, bool) {
+	if ip.IsPrivate() {
+		return "", false
+	}
+	a, ok := z.w.Registry.ResolveIP(ip)
+	if !ok {
+		return "", false
+	}
+	prefix, ok := z.w.Prefix(a.Number)
+	if !ok {
+		return "", false
+	}
+	host := uint64(ip - prefix.Addr)
+	cc := strings.ToLower(a.Country)
+	// Multi-PoP carriers name routers after the PoP the address slice
+	// maps to, mirroring how geoip assigns the same slices.
+	if pops := z.w.PoPs(a.Number); len(pops) > 0 {
+		slice := int(host * 64 / prefix.NumAddresses())
+		cc = strings.ToLower(pops[slice%len(pops)].Country)
+	}
+	return fmt.Sprintf("r%d.%s.%s.net", host, cc, slugify(a.Name)), true
+}
+
+// CountryHint extracts the embedded country code from a reverse name
+// produced by this zone — the HLOC-style geolocation hint.
+func CountryHint(ptr string) (string, bool) {
+	parts := strings.Split(strings.TrimSuffix(ptr, "."), ".")
+	if len(parts) < 4 || parts[len(parts)-1] != "net" {
+		return "", false
+	}
+	cc := strings.ToUpper(parts[1])
+	if _, ok := geo.CountryByCode(cc); !ok {
+		return "", false
+	}
+	return cc, true
+}
+
+// OwnerSlug returns the operator slug a reverse name carries.
+func OwnerSlug(a *asn.AS) string { return slugify(a.Name) }
+
+func slugify(name string) string {
+	var b strings.Builder
+	lastDash := true
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			lastDash = false
+		default:
+			if !lastDash {
+				b.WriteByte('-')
+				lastDash = true
+			}
+		}
+	}
+	return strings.TrimSuffix(b.String(), "-")
+}

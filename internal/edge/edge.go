@@ -1,0 +1,236 @@
+// Package edge answers the paper's §7 discussion questions
+// quantitatively: which networks would benefit from edge computing, and
+// which applications could an edge deployment actually enable?
+//
+// The paper argues from its measurements that (a) regions with dense
+// datacenter deployment gain little from edge servers because transit
+// latency is already minimal, (b) developing regions would gain from
+// even sparse regional edges, and (c) Motion-to-Photon applications
+// remain infeasible regardless of compute placement because the
+// wireless last-mile alone consumes the budget. This package replays
+// the collected measurements under three hypothetical deployments and
+// reports the attainable latencies per continent, making those three
+// claims checkable.
+package edge
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Placement is a hypothetical compute deployment.
+type Placement uint8
+
+// Placements, from the status quo to the physical optimum.
+const (
+	// PlacementCloud is the measured status quo: compute in the
+	// providers' datacenters.
+	PlacementCloud Placement = iota
+	// PlacementRegional puts a small datacenter in every country that
+	// hosts vantage points — the "regional edge" of §7: the last mile
+	// and the in-country aggregation remain.
+	PlacementRegional
+	// PlacementLastMile puts the server at the ISP's first hop — the
+	// densest edge physically possible: only the access link remains.
+	PlacementLastMile
+)
+
+// String names the placement.
+func (p Placement) String() string {
+	switch p {
+	case PlacementCloud:
+		return "cloud"
+	case PlacementRegional:
+		return "regional-edge"
+	case PlacementLastMile:
+		return "last-mile-edge"
+	default:
+		return "?"
+	}
+}
+
+// Scenario is the attainable latency distribution of one placement on
+// one continent.
+type Scenario struct {
+	Continent geo.Continent
+	Placement Placement
+	Latency   stats.FiveNum
+	// UnderMTP/HPL/HRT are sample fractions meeting each QoE threshold.
+	UnderMTP, UnderHPL, UnderHRT float64
+	N                            int
+}
+
+// Evaluate replays processed Speedchecker traceroutes under each
+// placement. The cloud scenario uses the measured end-to-end RTT; the
+// regional scenario keeps the last mile plus the measured in-ISP
+// segment and adds a short regional haul; the last-mile scenario keeps
+// only the access segment.
+//
+// regionalHaulMs is the round trip between the ISP aggregation point
+// and the hypothetical regional datacenter (§7 sketches "a regional
+// edge or a small datacenter"; 4 ms ≈ 200 fibre km is a reasonable
+// default).
+func Evaluate(processed []pipeline.Processed, regionalHaulMs float64) []Scenario {
+	type key struct {
+		cont geo.Continent
+		pl   Placement
+	}
+	samples := map[key][]float64{}
+	for i := range processed {
+		p := &processed[i]
+		lm := p.LastMile
+		if p.Record.VP.Platform != "speedchecker" || p.EndToEndRTTms <= 0 ||
+			lm.Kind == pipeline.KindUnknown || lm.UserToISPms <= 0 {
+			continue
+		}
+		cont := p.Record.VP.Continent
+		samples[key{cont, PlacementCloud}] = append(samples[key{cont, PlacementCloud}], p.EndToEndRTTms)
+		samples[key{cont, PlacementRegional}] = append(samples[key{cont, PlacementRegional}],
+			lm.UserToISPms+regionalHaulMs)
+		samples[key{cont, PlacementLastMile}] = append(samples[key{cont, PlacementLastMile}],
+			lm.UserToISPms)
+	}
+	var out []Scenario
+	for _, cont := range geo.Continents() {
+		for _, pl := range []Placement{PlacementCloud, PlacementRegional, PlacementLastMile} {
+			xs := samples[key{cont, pl}]
+			if len(xs) == 0 {
+				continue
+			}
+			box, err := stats.Summarize(xs)
+			if err != nil {
+				continue
+			}
+			cdf, err := stats.NewCDF(xs)
+			if err != nil {
+				continue
+			}
+			out = append(out, Scenario{
+				Continent: cont, Placement: pl, Latency: box,
+				UnderMTP: cdf.At(analysis.MTPms),
+				UnderHPL: cdf.At(analysis.HPLms),
+				UnderHRT: cdf.At(analysis.HRTms),
+				N:        len(xs),
+			})
+		}
+	}
+	return out
+}
+
+// Verdict condenses §7's conclusions for one continent.
+type Verdict struct {
+	Continent geo.Continent
+	// CloudMedianMs and EdgeMedianMs compare the status quo with the
+	// regional edge.
+	CloudMedianMs float64
+	EdgeMedianMs  float64
+	// GainMs is the median improvement a regional edge would deliver.
+	GainMs float64
+	// EdgeWorthwhile applies the paper's bar: a regional edge is worth
+	// building where it moves the median by more than the HPL-relative
+	// noise floor (a third of the threshold).
+	EdgeWorthwhile bool
+	// MTPFeasibleAtLastMile reports whether even a last-mile server
+	// meets MTP for the majority of accesses — §7 predicts it does not.
+	MTPFeasibleAtLastMile bool
+}
+
+// FiveG is the §7 wireless what-if: the paper closes by noting that
+// even 5G's promised latency reductions may not rescue MTP-class
+// applications. FiveG replays the measurements with the wireless
+// last-mile scaled by lastMileFactor (≈0.5 for measured early-5G
+// improvements, ≈0.05 for the promised 1 ms radio) and reports MTP
+// feasibility at the two placements that matter.
+type FiveG struct {
+	Continent geo.Continent
+	// MTPAtLastMile is the share of accesses under MTP with a server at
+	// the (scaled) last-mile hop.
+	MTPAtLastMile float64
+	// MTPViaCloud is the share under MTP keeping the measured wired
+	// path beyond the (scaled) last mile.
+	MTPViaCloud float64
+	N           int
+}
+
+// Evaluate5G computes the 5G what-if per continent.
+func Evaluate5G(processed []pipeline.Processed, lastMileFactor float64) []FiveG {
+	type agg struct {
+		lastMTP, cloudMTP, n int
+	}
+	byCont := map[geo.Continent]*agg{}
+	for i := range processed {
+		p := &processed[i]
+		lm := p.LastMile
+		if p.Record.VP.Platform != "speedchecker" || p.EndToEndRTTms <= 0 ||
+			lm.Kind == pipeline.KindUnknown || lm.UserToISPms <= 0 {
+			continue
+		}
+		a := byCont[p.Record.VP.Continent]
+		if a == nil {
+			a = &agg{}
+			byCont[p.Record.VP.Continent] = a
+		}
+		a.n++
+		scaledAccess := lm.UserToISPms * lastMileFactor
+		if scaledAccess < analysis.MTPms {
+			a.lastMTP++
+		}
+		wired := p.EndToEndRTTms - lm.UserToISPms
+		if scaledAccess+wired < analysis.MTPms {
+			a.cloudMTP++
+		}
+	}
+	var out []FiveG
+	for _, cont := range geo.Continents() {
+		a, ok := byCont[cont]
+		if !ok || a.n == 0 {
+			continue
+		}
+		out = append(out, FiveG{
+			Continent:     cont,
+			MTPAtLastMile: float64(a.lastMTP) / float64(a.n),
+			MTPViaCloud:   float64(a.cloudMTP) / float64(a.n),
+			N:             a.n,
+		})
+	}
+	return out
+}
+
+// Verdicts derives the §7 per-continent conclusions from scenarios.
+func Verdicts(scenarios []Scenario) []Verdict {
+	byKey := map[geo.Continent]map[Placement]Scenario{}
+	for _, s := range scenarios {
+		if byKey[s.Continent] == nil {
+			byKey[s.Continent] = map[Placement]Scenario{}
+		}
+		byKey[s.Continent][s.Placement] = s
+	}
+	var out []Verdict
+	for _, cont := range geo.Continents() {
+		ms, ok := byKey[cont]
+		if !ok {
+			continue
+		}
+		cloud, okC := ms[PlacementCloud]
+		regional, okR := ms[PlacementRegional]
+		last, okL := ms[PlacementLastMile]
+		if !okC || !okR || !okL {
+			continue
+		}
+		v := Verdict{
+			Continent:             cont,
+			CloudMedianMs:         cloud.Latency.Median,
+			EdgeMedianMs:          regional.Latency.Median,
+			GainMs:                cloud.Latency.Median - regional.Latency.Median,
+			MTPFeasibleAtLastMile: last.UnderMTP > 0.5,
+		}
+		v.EdgeWorthwhile = v.GainMs > analysis.HPLms/3
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].GainMs > out[j].GainMs })
+	return out
+}

@@ -1,0 +1,191 @@
+package edge
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/measure"
+	"repro/internal/netsim"
+	"repro/internal/pipeline"
+	"repro/internal/probes"
+	"repro/internal/world"
+)
+
+var (
+	dataOnce sync.Once
+	procData []pipeline.Processed
+)
+
+func testProcessed(t *testing.T) []pipeline.Processed {
+	t.Helper()
+	dataOnce.Do(func() {
+		w := world.MustBuild(world.Config{Seed: 2})
+		sim := netsim.New(w)
+		fleet := probes.GenerateSpeedchecker(w, probes.Config{Seed: 2, Scale: 0.04})
+		cfg := measure.Config{
+			Seed: 2, Cycles: 3, ProbesPerCountry: 25, TargetsPerProbe: 6,
+			MinProbesPerCountry: 2, RequestsPerMinute: 1000, Workers: 8,
+			Traceroutes: true, NeighborContinentTargets: true,
+		}
+		store, _, err := measure.New(sim, fleet, cfg).Run(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		procData = pipeline.NewProcessor(w).ProcessAll(store)
+	})
+	return procData
+}
+
+func scenarioFor(ss []Scenario, cont geo.Continent, pl Placement) (Scenario, bool) {
+	for _, s := range ss {
+		if s.Continent == cont && s.Placement == pl {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+func TestEvaluateOrdering(t *testing.T) {
+	ss := Evaluate(testProcessed(t), 4)
+	if len(ss) < 15 {
+		t.Fatalf("scenarios = %d", len(ss))
+	}
+	for _, cont := range []geo.Continent{geo.EU, geo.NA, geo.AS, geo.AF} {
+		cloud, ok1 := scenarioFor(ss, cont, PlacementCloud)
+		regional, ok2 := scenarioFor(ss, cont, PlacementRegional)
+		last, ok3 := scenarioFor(ss, cont, PlacementLastMile)
+		if !ok1 || !ok2 || !ok3 {
+			t.Fatalf("%v: missing scenarios", cont)
+		}
+		// Physics: each denser placement can only improve the median.
+		if !(last.Latency.Median <= regional.Latency.Median && regional.Latency.Median <= cloud.Latency.Median) {
+			t.Errorf("%v: medians not monotone: last %.1f, regional %.1f, cloud %.1f",
+				cont, last.Latency.Median, regional.Latency.Median, cloud.Latency.Median)
+		}
+		// Threshold fractions are monotone per scenario.
+		for _, s := range []Scenario{cloud, regional, last} {
+			if s.UnderMTP > s.UnderHPL || s.UnderHPL > s.UnderHRT {
+				t.Errorf("%v/%v: threshold fractions not monotone", cont, s.Placement)
+			}
+		}
+	}
+}
+
+func TestSection7Claims(t *testing.T) {
+	ss := Evaluate(testProcessed(t), 4)
+	// (c) MTP stays infeasible even at the last mile: the wireless
+	// access alone is ≈20+ ms.
+	for _, cont := range []geo.Continent{geo.EU, geo.NA, geo.AS, geo.AF} {
+		last, ok := scenarioFor(ss, cont, PlacementLastMile)
+		if !ok {
+			t.Fatalf("missing last-mile scenario for %v", cont)
+		}
+		if last.UnderMTP > 0.55 {
+			t.Errorf("%v: %.0f%% of last-mile accesses under MTP — §7 says the wireless budget forbids this",
+				cont, 100*last.UnderMTP)
+		}
+		// But HPL is comfortably satisfied at the last mile.
+		if last.UnderHPL < 0.9 {
+			t.Errorf("%v: last-mile HPL share only %.0f%%", cont, 100*last.UnderHPL)
+		}
+	}
+	// (a)+(b): a regional edge moves Africa far more than Europe.
+	cloudEU, _ := scenarioFor(ss, geo.EU, PlacementCloud)
+	regEU, _ := scenarioFor(ss, geo.EU, PlacementRegional)
+	cloudAF, _ := scenarioFor(ss, geo.AF, PlacementCloud)
+	regAF, _ := scenarioFor(ss, geo.AF, PlacementRegional)
+	gainEU := cloudEU.Latency.Median - regEU.Latency.Median
+	gainAF := cloudAF.Latency.Median - regAF.Latency.Median
+	if gainAF <= gainEU*2 {
+		t.Errorf("regional-edge gain: AF %.1f ms should dwarf EU %.1f ms", gainAF, gainEU)
+	}
+}
+
+func TestVerdicts(t *testing.T) {
+	ss := Evaluate(testProcessed(t), 4)
+	vs := Verdicts(ss)
+	if len(vs) < 4 {
+		t.Fatalf("verdicts = %d", len(vs))
+	}
+	byCont := map[geo.Continent]Verdict{}
+	for _, v := range vs {
+		byCont[v.Continent] = v
+		if v.GainMs != v.CloudMedianMs-v.EdgeMedianMs {
+			t.Errorf("%v: gain arithmetic wrong", v.Continent)
+		}
+		if v.MTPFeasibleAtLastMile {
+			t.Errorf("%v: MTP feasible at the last mile contradicts §7", v.Continent)
+		}
+	}
+	// Verdicts are sorted by gain, biggest first; Africa leads Europe.
+	for i := 1; i < len(vs); i++ {
+		if vs[i].GainMs > vs[i-1].GainMs {
+			t.Fatal("verdicts not sorted by gain")
+		}
+	}
+	if !byCont[geo.AF].EdgeWorthwhile {
+		t.Error("Africa should clear the edge-worthwhile bar")
+	}
+	if byCont[geo.EU].EdgeWorthwhile {
+		t.Error("Europe should not clear the edge-worthwhile bar (§7: dense DCs already)")
+	}
+}
+
+func TestEvaluateEmptyAndLabels(t *testing.T) {
+	if got := Evaluate(nil, 4); got != nil {
+		t.Errorf("empty evaluate = %v", got)
+	}
+	if got := Verdicts(nil); got != nil {
+		t.Errorf("empty verdicts = %v", got)
+	}
+	if PlacementCloud.String() != "cloud" || PlacementRegional.String() != "regional-edge" ||
+		PlacementLastMile.String() != "last-mile-edge" || Placement(9).String() != "?" {
+		t.Error("placement labels wrong")
+	}
+}
+
+func TestEvaluate5G(t *testing.T) {
+	processed := testProcessed(t)
+	today := Evaluate5G(processed, 1.0)     // today's wireless
+	early5G := Evaluate5G(processed, 0.5)   // measured early-5G gains
+	promised := Evaluate5G(processed, 0.05) // the promised 1 ms radio
+	if len(today) < 4 || len(early5G) < 4 || len(promised) < 4 {
+		t.Fatalf("continents: %d/%d/%d", len(today), len(early5G), len(promised))
+	}
+	byCont := func(rows []FiveG) map[geo.Continent]FiveG {
+		m := map[geo.Continent]FiveG{}
+		for _, r := range rows {
+			m[r.Continent] = r
+		}
+		return m
+	}
+	t0, t5, tp := byCont(today), byCont(early5G), byCont(promised)
+	for _, cont := range []geo.Continent{geo.EU, geo.NA, geo.AS} {
+		// §7: today, MTP is a minority even at the last mile; early 5G
+		// helps but doesn't settle it; the promised radio makes the
+		// last-mile server MTP-feasible...
+		if t0[cont].MTPAtLastMile > 0.55 {
+			t.Errorf("%v today: MTP at last mile %.2f, want minority", cont, t0[cont].MTPAtLastMile)
+		}
+		if !(t0[cont].MTPAtLastMile <= t5[cont].MTPAtLastMile && t5[cont].MTPAtLastMile <= tp[cont].MTPAtLastMile) {
+			t.Errorf("%v: MTP share not monotone in radio improvement", cont)
+		}
+		if tp[cont].MTPAtLastMile < 0.95 {
+			t.Errorf("%v promised 5G: MTP at last mile only %.2f", cont, tp[cont].MTPAtLastMile)
+		}
+		// ...while via the cloud the wired path still eats the budget
+		// except where datacenters are truly close.
+		if tp[cont].MTPViaCloud >= tp[cont].MTPAtLastMile {
+			t.Errorf("%v: cloud MTP share should trail last-mile share", cont)
+		}
+	}
+	// Africa via cloud stays MTP-infeasible even with the promised radio.
+	if tp[geo.AF].MTPViaCloud > 0.2 {
+		t.Errorf("AF promised-5G cloud MTP = %.2f, want near zero", tp[geo.AF].MTPViaCloud)
+	}
+	if got := Evaluate5G(nil, 0.5); got != nil {
+		t.Errorf("empty input should be nil, got %v", got)
+	}
+}

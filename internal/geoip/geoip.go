@@ -1,0 +1,135 @@
+// Package geoip is the study's GeoIPLookup substitute (§3.3): a
+// prefix-to-location database for router hops. Real geolocation
+// databases are known to be quite inaccurate at the router level — the
+// paper cites country-level error studies and explicitly refrains from
+// drawing routing geography conclusions — so this database is built
+// with a configurable error rate: a fraction of prefixes deliberately
+// resolve to the wrong country, letting analyses measure how conclusions
+// degrade under realistic geolocation noise.
+package geoip
+
+import (
+	"math/rand"
+
+	"repro/internal/geo"
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+// Location is one database answer.
+type Location struct {
+	Country string
+	Loc     geo.Point
+	// Mislocated marks entries the builder deliberately corrupted.
+	// Real databases do not flag their errors; analyses use this only
+	// to *evaluate* geolocation accuracy, never to filter.
+	Mislocated bool
+}
+
+// DB maps address space to locations via longest-prefix match.
+type DB struct {
+	trie      netaddr.Trie[Location]
+	errorRate float64
+}
+
+// Build derives a database from the world's address plan: each AS's
+// prefix geolocates to its nearest-PoP country, split into /18 slices
+// so multi-PoP carriers resolve per region. errorRate ∈ [0,1) corrupts
+// that fraction of slices to a random other country, deterministic
+// under seed.
+func Build(w *world.World, errorRate float64, seed int64) *DB {
+	db := &DB{errorRate: errorRate}
+	rng := rand.New(rand.NewSource(seed))
+	countries := geo.AllCountries()
+	for _, a := range w.Registry.All() {
+		pops := w.PoPs(a.Number)
+		for _, p := range a.Prefixes {
+			slices := sliceUp(p, 18)
+			for i, s := range slices {
+				loc := Location{}
+				if len(pops) > 0 {
+					pop := pops[i%len(pops)]
+					loc.Country = pop.Country
+					loc.Loc = pop.Loc
+				} else if c, ok := geo.CountryByCode(a.Country); ok {
+					loc.Country = a.Country
+					loc.Loc = c.Centroid
+				} else {
+					continue
+				}
+				if rng.Float64() < errorRate {
+					wrong := countries[rng.Intn(len(countries))]
+					loc.Country = wrong.Code
+					loc.Loc = wrong.Centroid
+					loc.Mislocated = true
+				}
+				db.trie.Insert(s, loc)
+			}
+		}
+	}
+	return db
+}
+
+// sliceUp splits a prefix into sub-prefixes of the target length (or
+// returns the prefix itself when it is already narrower).
+func sliceUp(p netaddr.Prefix, target int) []netaddr.Prefix {
+	if p.Len >= target {
+		return []netaddr.Prefix{p}
+	}
+	n := 1 << (target - p.Len)
+	if n > 64 {
+		n = 64 // enough granularity per AS; keeps the trie compact
+	}
+	size := p.NumAddresses() / uint64(n)
+	out := make([]netaddr.Prefix, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, netaddr.Prefix{Addr: p.Addr + netaddr.IP(uint64(i)*size), Len: target}.Normalize())
+	}
+	return out
+}
+
+// Locate resolves an address. Private and CGN space never resolves,
+// matching real databases.
+func (db *DB) Locate(ip netaddr.IP) (Location, bool) {
+	if ip.IsPrivate() {
+		return Location{}, false
+	}
+	loc, _, ok := db.trie.Lookup(ip)
+	return loc, ok
+}
+
+// Len returns the number of database entries.
+func (db *DB) Len() int { return db.trie.Len() }
+
+// Accuracy evaluates the database against ground truth: the fraction of
+// sampled router addresses whose resolved country is one the owning AS
+// actually operates in (any of its PoP countries). This is the
+// experiment behind the paper's decision to distrust hop geolocation.
+func Accuracy(db *DB, w *world.World, samplesPerAS int, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	correct, total := 0, 0
+	for _, a := range w.Registry.All() {
+		truth := map[string]bool{a.Country: true}
+		for _, pop := range w.PoPs(a.Number) {
+			truth[pop.Country] = true
+		}
+		for i := 0; i < samplesPerAS; i++ {
+			ip := w.RouterIP(a.Number, rng.Intn(4096))
+			if ip == 0 {
+				continue
+			}
+			loc, ok := db.Locate(ip)
+			if !ok {
+				continue
+			}
+			total++
+			if truth[loc.Country] {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}

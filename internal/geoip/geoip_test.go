@@ -1,0 +1,146 @@
+package geoip
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 1})
+
+func TestCleanDatabaseIsAccurate(t *testing.T) {
+	db := Build(testW, 0, 1)
+	if db.Len() == 0 {
+		t.Fatal("empty database")
+	}
+	acc := Accuracy(db, testW, 5, 1)
+	if acc < 0.99 {
+		t.Errorf("clean database accuracy = %.3f, want ≈1", acc)
+	}
+}
+
+func TestErrorRateDegradesAccuracy(t *testing.T) {
+	clean := Accuracy(Build(testW, 0, 1), testW, 5, 1)
+	noisy := Accuracy(Build(testW, 0.3, 1), testW, 5, 1)
+	if noisy >= clean-0.1 {
+		t.Errorf("30%% corruption barely moved accuracy: clean %.3f, noisy %.3f", clean, noisy)
+	}
+	// The paper's caveat in numbers: tens of percent of hops mislocate.
+	if noisy > 0.85 || noisy < 0.4 {
+		t.Errorf("noisy accuracy = %.3f, want roughly 1−errorRate", noisy)
+	}
+}
+
+func TestLocateBasics(t *testing.T) {
+	db := Build(testW, 0, 1)
+	// A German access ISP's router must geolocate to Germany.
+	isp := testW.AccessISPs("DE")[0]
+	ip := testW.RouterIP(isp.Number, 3)
+	loc, ok := db.Locate(ip)
+	if !ok {
+		t.Fatal("no location for a known router")
+	}
+	if loc.Country != "DE" {
+		t.Errorf("German ISP router located in %s", loc.Country)
+	}
+	if !loc.Loc.Valid() {
+		t.Error("invalid coordinates")
+	}
+	if loc.Mislocated {
+		t.Error("clean database flagged a mislocation")
+	}
+	// Private space never resolves.
+	if _, ok := db.Locate(netaddr.MustParseIP("192.168.1.1")); ok {
+		t.Error("private address resolved")
+	}
+	if _, ok := db.Locate(netaddr.MustParseIP("100.64.0.1")); ok {
+		t.Error("CGN address resolved")
+	}
+	// Unannounced space never resolves.
+	if _, ok := db.Locate(netaddr.MustParseIP("8.8.8.8")); ok {
+		t.Error("unannounced address resolved")
+	}
+}
+
+func TestMultiPoPCarrierSpreads(t *testing.T) {
+	// A Tier-1 with global PoPs should geolocate different slices of its
+	// block to different countries.
+	db := Build(testW, 0, 1)
+	telia := testW.Tier1s()[0]
+	prefix, _ := testW.Prefix(telia.Number)
+	seen := map[string]bool{}
+	step := prefix.NumAddresses() / 32
+	for i := uint64(0); i < 32; i++ {
+		if loc, ok := db.Locate(prefix.Nth(i * step)); ok {
+			seen[loc.Country] = true
+		}
+	}
+	if len(seen) < 5 {
+		t.Errorf("Tier-1 slices resolve to only %d countries, want a global spread", len(seen))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Build(testW, 0.2, 7)
+	b := Build(testW, 0.2, 7)
+	if a.Len() != b.Len() {
+		t.Fatalf("sizes differ: %d vs %d", a.Len(), b.Len())
+	}
+	for _, isp := range testW.AccessISPs("JP") {
+		ip := testW.RouterIP(isp.Number, 9)
+		la, oka := a.Locate(ip)
+		lb, okb := b.Locate(ip)
+		if oka != okb || la != lb {
+			t.Fatalf("same seed, different answers for %v", ip)
+		}
+	}
+}
+
+func TestSliceUp(t *testing.T) {
+	p := netaddr.MustParsePrefix("10.0.0.0/16")
+	slices := sliceUp(p, 18)
+	if len(slices) != 4 {
+		t.Fatalf("slices = %d", len(slices))
+	}
+	for i, s := range slices {
+		if s.Len != 18 {
+			t.Errorf("slice %d length %d", i, s.Len)
+		}
+		if !p.Contains(s.Addr) {
+			t.Errorf("slice %d escapes parent", i)
+		}
+	}
+	// Narrower than target: returned as-is.
+	narrow := netaddr.MustParsePrefix("10.0.0.0/24")
+	if got := sliceUp(narrow, 18); len(got) != 1 || got[0] != narrow {
+		t.Errorf("narrow slice = %v", got)
+	}
+	// Cap at 64 slices for huge blocks.
+	huge := netaddr.MustParsePrefix("10.0.0.0/8")
+	if got := sliceUp(huge, 18); len(got) != 64 {
+		t.Errorf("huge block slices = %d, want capped 64", len(got))
+	}
+}
+
+func TestContinentSanity(t *testing.T) {
+	// Every resolvable location names a country in the geo database.
+	db := Build(testW, 0.1, 3)
+	checked := 0
+	for _, a := range testW.Registry.All()[:50] {
+		ip := testW.RouterIP(a.Number, 1)
+		if ip == 0 {
+			continue
+		}
+		if loc, ok := db.Locate(ip); ok {
+			checked++
+			if _, ok := geo.CountryByCode(loc.Country); !ok {
+				t.Errorf("location names unknown country %q", loc.Country)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing resolved")
+	}
+}

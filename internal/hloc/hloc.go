@@ -1,0 +1,135 @@
+// Package hloc implements hints-based router geolocation in the spirit
+// of HLOC, which the paper cites when discussing how unreliable plain
+// GeoIP is at the router level (§3.3): combine a geolocation database
+// with the country hints operators embed in their reverse-DNS names,
+// and let the hints veto database entries that disagree.
+package hloc
+
+import (
+	"repro/internal/dnssim"
+	"repro/internal/geo"
+	"repro/internal/geoip"
+	"repro/internal/netaddr"
+)
+
+// Source says which evidence produced a location.
+type Source uint8
+
+// Evidence sources.
+const (
+	SourceNone Source = iota
+	SourceDB          // geolocation database only
+	SourceRDNS        // reverse-DNS hint only
+	SourceBoth        // database confirmed by the hint
+)
+
+// String names the source.
+func (s Source) String() string {
+	switch s {
+	case SourceDB:
+		return "db"
+	case SourceRDNS:
+		return "rdns"
+	case SourceBoth:
+		return "db+rdns"
+	default:
+		return "none"
+	}
+}
+
+// Location is a hybrid answer.
+type Location struct {
+	Country string
+	Loc     geo.Point
+	Source  Source
+	// Disputed marks answers where the database and the hint named
+	// different countries (the hint won).
+	Disputed bool
+}
+
+// Locator combines the two evidence sources.
+type Locator struct {
+	DB   *geoip.DB
+	Zone *dnssim.Zone
+}
+
+// New returns a hybrid locator.
+func New(db *geoip.DB, zone *dnssim.Zone) *Locator {
+	return &Locator{DB: db, Zone: zone}
+}
+
+// Locate resolves an address using both sources. Resolution order
+// follows HLOC's logic: a reverse-DNS country hint, when present, is
+// authoritative (operators name their own routers); the database fills
+// in when no hint exists; agreement upgrades confidence.
+func (l *Locator) Locate(ip netaddr.IP) (Location, bool) {
+	var hintCountry string
+	if l.Zone != nil {
+		if ptr, ok := l.Zone.LookupPTR(ip); ok {
+			if cc, ok := dnssim.CountryHint(ptr); ok {
+				hintCountry = cc
+			}
+		}
+	}
+	var dbLoc geoip.Location
+	dbOK := false
+	if l.DB != nil {
+		dbLoc, dbOK = l.DB.Locate(ip)
+	}
+	switch {
+	case hintCountry != "" && dbOK && dbLoc.Country == hintCountry:
+		return Location{Country: dbLoc.Country, Loc: dbLoc.Loc, Source: SourceBoth}, true
+	case hintCountry != "":
+		c, ok := geo.CountryByCode(hintCountry)
+		if !ok {
+			break
+		}
+		return Location{Country: hintCountry, Loc: c.Centroid, Source: SourceRDNS,
+			Disputed: dbOK && dbLoc.Country != hintCountry}, true
+	case dbOK:
+		return Location{Country: dbLoc.Country, Loc: dbLoc.Loc, Source: SourceDB}, true
+	}
+	return Location{}, false
+}
+
+// LocateCountry adapts the hybrid locator to the pipeline's HopLocator
+// interface.
+func (l *Locator) LocateCountry(ip netaddr.IP) (string, bool) {
+	loc, ok := l.Locate(ip)
+	return loc.Country, ok
+}
+
+// Stats summarizes a batch of hybrid lookups.
+type Stats struct {
+	Resolved  int
+	ByDB      int
+	ByRDNS    int
+	Confirmed int
+	Disputed  int
+	Misses    int
+}
+
+// Evaluate resolves every address and tallies evidence usage.
+func (l *Locator) Evaluate(ips []netaddr.IP) Stats {
+	var s Stats
+	for _, ip := range ips {
+		loc, ok := l.Locate(ip)
+		if !ok {
+			s.Misses++
+			continue
+		}
+		s.Resolved++
+		switch loc.Source {
+		case SourceDB:
+			s.ByDB++
+		case SourceRDNS:
+			s.ByRDNS++
+		case SourceBoth:
+			s.Confirmed++
+		}
+		if loc.Disputed {
+			s.Disputed++
+		}
+	}
+	return s
+}

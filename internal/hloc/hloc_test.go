@@ -1,0 +1,141 @@
+package hloc
+
+import (
+	"testing"
+
+	"repro/internal/dnssim"
+	"repro/internal/geoip"
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 1})
+
+// routerSample draws a spread of router addresses across the registry.
+func routerSample(n int) []netaddr.IP {
+	var out []netaddr.IP
+	for _, a := range testW.Registry.All() {
+		for i := 0; i < n; i++ {
+			if ip := testW.RouterIP(a.Number, i*37); ip != 0 {
+				out = append(out, ip)
+			}
+		}
+	}
+	return out
+}
+
+// accuracy measures how often a locator names a country the owning AS
+// actually operates in.
+func accuracy(locate func(netaddr.IP) (string, bool), ips []netaddr.IP) float64 {
+	correct, total := 0, 0
+	for _, ip := range ips {
+		cc, ok := locate(ip)
+		if !ok {
+			continue
+		}
+		owner, ok := testW.Registry.ResolveIP(ip)
+		if !ok {
+			continue
+		}
+		total++
+		truth := map[string]bool{owner.Country: true}
+		for _, pop := range testW.PoPs(owner.Number) {
+			truth[pop.Country] = true
+		}
+		if truth[cc] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+func TestHintsRepairNoisyDatabase(t *testing.T) {
+	noisy := geoip.Build(testW, 0.3, 1)
+	zone := dnssim.NewZone(testW)
+	hybrid := New(noisy, zone)
+	ips := routerSample(4)
+
+	dbAcc := accuracy(func(ip netaddr.IP) (string, bool) {
+		loc, ok := noisy.Locate(ip)
+		return loc.Country, ok
+	}, ips)
+	hybridAcc := accuracy(func(ip netaddr.IP) (string, bool) {
+		loc, ok := hybrid.Locate(ip)
+		return loc.Country, ok
+	}, ips)
+	if hybridAcc <= dbAcc+0.1 {
+		t.Errorf("hints barely helped: db %.3f vs hybrid %.3f", dbAcc, hybridAcc)
+	}
+	if hybridAcc < 0.95 {
+		t.Errorf("hybrid accuracy = %.3f, want ≈1 (hints are authoritative here)", hybridAcc)
+	}
+}
+
+func TestEvidenceAccounting(t *testing.T) {
+	noisy := geoip.Build(testW, 0.3, 1)
+	zone := dnssim.NewZone(testW)
+	hybrid := New(noisy, zone)
+	ips := routerSample(3)
+	// Add some unlocatable space.
+	ips = append(ips, netaddr.MustParseIP("8.8.8.8"), netaddr.MustParseIP("192.168.0.1"))
+
+	s := hybrid.Evaluate(ips)
+	if s.Misses != 2 {
+		t.Errorf("misses = %d, want 2", s.Misses)
+	}
+	if s.Resolved != len(ips)-2 {
+		t.Errorf("resolved = %d of %d", s.Resolved, len(ips)-2)
+	}
+	// With a 30%-corrupted database, roughly that share of answers are
+	// disputed (hint vetoes the DB).
+	frac := float64(s.Disputed) / float64(s.Resolved)
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("disputed share = %.2f, want ≈0.3", frac)
+	}
+	if s.Confirmed == 0 {
+		t.Error("no confirmed answers despite mostly-clean DB")
+	}
+	if s.ByDB+s.ByRDNS+s.Confirmed != s.Resolved {
+		t.Error("source counts do not partition resolved answers")
+	}
+}
+
+func TestDegradedModes(t *testing.T) {
+	zone := dnssim.NewZone(testW)
+	db := geoip.Build(testW, 0, 1)
+	ip := testW.RouterIP(testW.AccessISPs("JP")[0].Number, 5)
+
+	// Hint-only locator.
+	onlyHints := New(nil, zone)
+	loc, ok := onlyHints.Locate(ip)
+	if !ok || loc.Source != SourceRDNS || loc.Country != "JP" {
+		t.Errorf("hint-only locate = %+v, %v", loc, ok)
+	}
+	// DB-only locator.
+	onlyDB := New(db, nil)
+	loc, ok = onlyDB.Locate(ip)
+	if !ok || loc.Source != SourceDB {
+		t.Errorf("db-only locate = %+v, %v", loc, ok)
+	}
+	// Neither.
+	empty := New(nil, nil)
+	if _, ok := empty.Locate(ip); ok {
+		t.Error("locator without evidence resolved an address")
+	}
+	// Agreement upgrades to SourceBoth.
+	both := New(db, zone)
+	loc, ok = both.Locate(ip)
+	if !ok || loc.Source != SourceBoth || loc.Disputed {
+		t.Errorf("agreeing sources = %+v, %v", loc, ok)
+	}
+}
+
+func TestSourceLabels(t *testing.T) {
+	if SourceNone.String() != "none" || SourceDB.String() != "db" ||
+		SourceRDNS.String() != "rdns" || SourceBoth.String() != "db+rdns" {
+		t.Error("source labels wrong")
+	}
+}

@@ -1,0 +1,177 @@
+// Package icmp implements the ICMP echo wire format (RFC 792) with the
+// Internet checksum, plus a pinger that uses it over a raw-ish socket
+// where the platform allows (Linux unprivileged ping sockets, or raw
+// sockets under CAP_NET_RAW) — the ICMP half of the paper's measurement
+// pair (§3.3 runs TCP pings and ICMP traceroutes).
+//
+// The codec is pure and fully testable offline; the socket path
+// degrades gracefully with ErrUnsupported where the kernel refuses,
+// which is why the simulator carries the study itself.
+package icmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Message types used here (RFC 792).
+const (
+	TypeEchoReply    = 0
+	TypeEcho         = 8
+	TypeTimeExceeded = 11
+)
+
+// Echo is an ICMP echo request or reply.
+type Echo struct {
+	Type    uint8 // TypeEcho or TypeEchoReply
+	Code    uint8
+	ID      uint16
+	Seq     uint16
+	Payload []byte
+}
+
+// headerLen is the echo header size.
+const headerLen = 8
+
+// Marshal serializes the echo with a correct checksum.
+func (e *Echo) Marshal() []byte {
+	b := make([]byte, headerLen+len(e.Payload))
+	b[0] = e.Type
+	b[1] = e.Code
+	// bytes 2,3: checksum, filled below
+	binary.BigEndian.PutUint16(b[4:], e.ID)
+	binary.BigEndian.PutUint16(b[6:], e.Seq)
+	copy(b[headerLen:], e.Payload)
+	binary.BigEndian.PutUint16(b[2:], Checksum(b))
+	return b
+}
+
+// ErrBadPacket reports a packet that fails structural or checksum
+// validation.
+var ErrBadPacket = errors.New("icmp: bad packet")
+
+// ParseEcho validates and decodes an echo message.
+func ParseEcho(b []byte) (*Echo, error) {
+	if len(b) < headerLen {
+		return nil, fmt.Errorf("%w: %d bytes", ErrBadPacket, len(b))
+	}
+	if Checksum(b) != 0 {
+		return nil, fmt.Errorf("%w: checksum", ErrBadPacket)
+	}
+	t := b[0]
+	if t != TypeEcho && t != TypeEchoReply {
+		return nil, fmt.Errorf("%w: type %d is not an echo", ErrBadPacket, t)
+	}
+	return &Echo{
+		Type: t, Code: b[1],
+		ID:      binary.BigEndian.Uint16(b[4:]),
+		Seq:     binary.BigEndian.Uint16(b[6:]),
+		Payload: append([]byte(nil), b[headerLen:]...),
+	}, nil
+}
+
+// Checksum computes the RFC 1071 Internet checksum. Over a packet whose
+// checksum field is zeroed it yields the value to store; over a packet
+// with a correct stored checksum it yields zero.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i:]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// ErrUnsupported reports that this platform or privilege level cannot
+// open an ICMP socket; callers fall back to TCP pings (cmd/cloudping)
+// or the simulator.
+var ErrUnsupported = errors.New("icmp: socket unavailable (needs CAP_NET_RAW or ping_group_range)")
+
+// Result is one echo round trip.
+type Result struct {
+	Seq int
+	RTT time.Duration
+	Err error
+}
+
+// Pinger sends ICMP echoes to one host.
+type Pinger struct {
+	// Addr is the destination host (name or IP).
+	Addr string
+	// Count is the number of echoes (default 3).
+	Count int
+	// Timeout bounds each round trip (default 2s).
+	Timeout time.Duration
+	// ID tags outgoing echoes (default: process ID).
+	ID uint16
+}
+
+// Run sends the echoes. It returns ErrUnsupported when the socket
+// cannot be opened — the common case for unprivileged processes.
+func (p *Pinger) Run() ([]Result, error) {
+	count := p.Count
+	if count == 0 {
+		count = 3
+	}
+	timeout := p.Timeout
+	if timeout == 0 {
+		timeout = 2 * time.Second
+	}
+	id := p.ID
+	if id == 0 {
+		id = uint16(os.Getpid())
+	}
+	conn, err := openICMP(p.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+
+	results := make([]Result, 0, count)
+	buf := make([]byte, 1500)
+	for seq := 0; seq < count; seq++ {
+		echo := &Echo{Type: TypeEcho, ID: id, Seq: uint16(seq), Payload: []byte("cloudy-rtt-probe")}
+		start := time.Now()
+		if _, err := conn.Write(echo.Marshal()); err != nil {
+			results = append(results, Result{Seq: seq, Err: err})
+			continue
+		}
+		conn.SetReadDeadline(start.Add(timeout))
+		res := Result{Seq: seq, Err: os.ErrDeadlineExceeded}
+		for {
+			n, err := conn.Read(buf)
+			if err != nil {
+				res.Err = err
+				break
+			}
+			reply, err := ParseEcho(trimIPHeader(buf[:n]))
+			if err != nil || reply.Type != TypeEchoReply || reply.Seq != uint16(seq) {
+				continue // someone else's traffic
+			}
+			res = Result{Seq: seq, RTT: time.Since(start)}
+			break
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// trimIPHeader strips a leading IPv4 header when the socket delivers
+// one (raw sockets do, ping sockets do not).
+func trimIPHeader(b []byte) []byte {
+	if len(b) > 0 && b[0]>>4 == 4 {
+		ihl := int(b[0]&0x0f) * 4
+		if ihl >= 20 && len(b) > ihl {
+			return b[ihl:]
+		}
+	}
+	return b
+}

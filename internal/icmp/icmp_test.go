@@ -1,0 +1,137 @@
+package icmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEchoRoundTrip(t *testing.T) {
+	e := &Echo{Type: TypeEcho, ID: 0xBEEF, Seq: 7, Payload: []byte("hello world")}
+	pkt := e.Marshal()
+	if Checksum(pkt) != 0 {
+		t.Fatalf("marshalled packet fails checksum: %x", pkt)
+	}
+	got, err := ParseEcho(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != e.Type || got.ID != e.ID || got.Seq != e.Seq || string(got.Payload) != "hello world" {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestEchoRoundTripQuick(t *testing.T) {
+	f := func(id, seq uint16, payload []byte) bool {
+		e := &Echo{Type: TypeEchoReply, ID: id, Seq: seq, Payload: payload}
+		got, err := ParseEcho(e.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Seq == seq && string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	if _, err := ParseEcho(nil); !errors.Is(err, ErrBadPacket) {
+		t.Error("nil packet accepted")
+	}
+	if _, err := ParseEcho(make([]byte, 4)); !errors.Is(err, ErrBadPacket) {
+		t.Error("short packet accepted")
+	}
+	// Flip one bit: checksum must catch it.
+	pkt := (&Echo{Type: TypeEcho, ID: 1, Seq: 2, Payload: []byte("x")}).Marshal()
+	pkt[len(pkt)-1] ^= 0x40
+	if _, err := ParseEcho(pkt); !errors.Is(err, ErrBadPacket) {
+		t.Error("corrupted packet accepted")
+	}
+	// A non-echo type with a valid checksum is rejected too.
+	te := make([]byte, 8)
+	te[0] = TypeTimeExceeded
+	binary.BigEndian.PutUint16(te[2:], Checksum(te))
+	if _, err := ParseEcho(te); !errors.Is(err, ErrBadPacket) {
+		t.Error("time-exceeded accepted as echo")
+	}
+}
+
+func TestChecksumKnownVectors(t *testing.T) {
+	// RFC 1071 example: 00 01 f2 03 f4 f5 f6 f7 → checksum 0x220d.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != 0x220d {
+		t.Errorf("checksum = %#x, want 0x220d", got)
+	}
+	// Odd length pads with zero.
+	if got := Checksum([]byte{0xff}); got != ^uint16(0xff00) {
+		t.Errorf("odd-length checksum = %#x", got)
+	}
+	// Verification property: storing the checksum makes the sum zero.
+	b2 := []byte{0x08, 0x00, 0x00, 0x00, 0x12, 0x34, 0x00, 0x01, 0xde, 0xad}
+	binary.BigEndian.PutUint16(b2[2:], Checksum(b2))
+	if Checksum(b2) != 0 {
+		t.Error("stored checksum does not verify")
+	}
+}
+
+func TestTrimIPHeader(t *testing.T) {
+	inner := (&Echo{Type: TypeEchoReply, ID: 9, Seq: 1}).Marshal()
+	// Synthesize a minimal IPv4 header (version 4, IHL 5).
+	hdr := make([]byte, 20)
+	hdr[0] = 0x45
+	withIP := append(hdr, inner...)
+	if got := trimIPHeader(withIP); len(got) != len(inner) || got[0] != TypeEchoReply {
+		t.Errorf("header not trimmed: %x", got)
+	}
+	// Ping sockets deliver bare ICMP (first nibble 0 or 8, not 4).
+	if got := trimIPHeader(inner); len(got) != len(inner) {
+		t.Error("bare ICMP wrongly trimmed")
+	}
+	if got := trimIPHeader(nil); got != nil {
+		t.Error("nil input mishandled")
+	}
+}
+
+func TestPingLoopbackIfPermitted(t *testing.T) {
+	p := Pinger{Addr: "127.0.0.1", Count: 2, Timeout: time.Second}
+	results, err := p.Run()
+	if errors.Is(err, ErrUnsupported) {
+		t.Skipf("no ICMP capability here: %v", err)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d", len(results))
+	}
+	ok := 0
+	for _, r := range results {
+		if r.Err == nil && r.RTT > 0 {
+			ok++
+		}
+	}
+	if ok == 0 {
+		t.Errorf("no loopback echo replies: %+v (deadline err kind: %v)", results, os.ErrDeadlineExceeded)
+	}
+}
+
+// FuzzParseEcho: the parser must be total, and anything it accepts must
+// re-marshal to a packet it accepts again.
+func FuzzParseEcho(f *testing.F) {
+	f.Add((&Echo{Type: TypeEcho, ID: 1, Seq: 2, Payload: []byte("x")}).Marshal())
+	f.Add([]byte{})
+	f.Add(make([]byte, 8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := ParseEcho(data)
+		if err != nil {
+			return
+		}
+		if _, err := ParseEcho(e.Marshal()); err != nil {
+			t.Fatalf("accepted echo no longer parses after re-marshal: %v", err)
+		}
+	})
+}

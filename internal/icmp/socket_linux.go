@@ -1,0 +1,51 @@
+//go:build linux
+
+package icmp
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+)
+
+// openICMP opens a connected ICMP socket to addr: a raw socket when
+// privileged, else a Linux "ping socket" (SOCK_DGRAM + IPPROTO_ICMP),
+// which works unprivileged when net.ipv4.ping_group_range admits the
+// process's group.
+func openICMP(addr string) (net.Conn, error) {
+	if conn, err := net.Dial("ip4:icmp", addr); err == nil {
+		return conn, nil
+	}
+	ips, err := net.LookupIP(addr)
+	if err != nil || len(ips) == 0 {
+		return nil, fmt.Errorf("%w: resolving %q: %v", ErrUnsupported, addr, err)
+	}
+	var ip4 net.IP
+	for _, ip := range ips {
+		if v4 := ip.To4(); v4 != nil {
+			ip4 = v4
+			break
+		}
+	}
+	if ip4 == nil {
+		return nil, fmt.Errorf("%w: %q has no IPv4 address", ErrUnsupported, addr)
+	}
+	fd, err := syscall.Socket(syscall.AF_INET, syscall.SOCK_DGRAM, syscall.IPPROTO_ICMP)
+	if err != nil {
+		return nil, fmt.Errorf("%w: ping socket: %v", ErrUnsupported, err)
+	}
+	var sa syscall.SockaddrInet4
+	copy(sa.Addr[:], ip4)
+	if err := syscall.Connect(fd, &sa); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("%w: connect: %v", ErrUnsupported, err)
+	}
+	f := os.NewFile(uintptr(fd), "ping:"+addr)
+	conn, err := net.FileConn(f)
+	f.Close() // FileConn dups the descriptor
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	return conn, nil
+}

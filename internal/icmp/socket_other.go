@@ -1,0 +1,18 @@
+//go:build !linux
+
+package icmp
+
+import (
+	"fmt"
+	"net"
+)
+
+// openICMP opens a raw ICMP socket; non-Linux platforms have no
+// unprivileged fallback here.
+func openICMP(addr string) (net.Conn, error) {
+	conn, err := net.Dial("ip4:icmp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnsupported, err)
+	}
+	return conn, nil
+}

@@ -1,0 +1,115 @@
+// Package lastmile models the access link between a vantage point and
+// its serving ISP — the segment §5 of the paper isolates as the primary
+// latency bottleneck.
+//
+// Three access technologies are modelled:
+//
+//   - WiFi ("SC home"): user device → home router (wireless) → ISP
+//     aggregation (wired). The paper splits this as USR-ISP (both
+//     segments) and RTR-ISP (wired part only).
+//   - Cellular ("SC cell"): user device → base station → ISP, one
+//     segment from the probe's perspective.
+//   - Wired ("Atlas"): managed-network probes with a fixed connection.
+//
+// Delays draw from log-normal distributions with an occasional
+// heavy-tail spike, calibrated so that wireless medians land around
+// 20–25 ms with a per-probe coefficient of variation near 0.5
+// (Figures 7b and 8), while the wired components sit near 10 ms.
+package lastmile
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Access enumerates last-mile technologies.
+type Access uint8
+
+// Access technologies.
+const (
+	WiFi Access = iota
+	Cellular
+	Wired
+)
+
+// String returns the label used in the paper's figures.
+func (a Access) String() string {
+	switch a {
+	case WiFi:
+		return "home"
+	case Cellular:
+		return "cell"
+	case Wired:
+		return "wired"
+	default:
+		return "?"
+	}
+}
+
+// Wireless reports whether the technology includes a radio segment.
+func (a Access) Wireless() bool { return a == WiFi || a == Cellular }
+
+// segment parameterizes one log-normal delay component.
+type segment struct {
+	medianMs  float64 // exp(mu) of the log-normal
+	sigma     float64 // log-space standard deviation
+	spikeProb float64 // probability of a heavy-tail spike
+	spikeMax  float64 // maximal spike multiplier (uniform in [2, spikeMax])
+}
+
+func (s segment) sample(rng *rand.Rand) float64 {
+	v := s.medianMs * math.Exp(s.sigma*rng.NormFloat64())
+	if s.spikeProb > 0 && rng.Float64() < s.spikeProb {
+		v *= 2 + rng.Float64()*(s.spikeMax-2)
+	}
+	return v
+}
+
+// Model holds the calibrated segment parameters. Use DefaultModel for
+// the paper-calibrated values; fields are exported so ablation benches
+// can perturb them.
+type Model struct {
+	WiFiAir       segment // user → home router over the air
+	HomeWire      segment // home router → ISP aggregation (RTR-ISP)
+	CellularRadio segment // user → base station → ISP first hop
+	WiredLine     segment // Atlas-style managed wired access
+}
+
+// DefaultModel returns the calibration used throughout the study:
+// USR-ISP medians ≈ 22 ms (WiFi) and 23 ms (cellular), RTR-ISP ≈ 9 ms,
+// Atlas wired ≈ 10 ms, wireless Cv ≈ 0.5.
+func DefaultModel() Model {
+	return Model{
+		WiFiAir:       segment{medianMs: 12.5, sigma: 0.48, spikeProb: 0.035, spikeMax: 7},
+		HomeWire:      segment{medianMs: 9, sigma: 0.30, spikeProb: 0.01, spikeMax: 4},
+		CellularRadio: segment{medianMs: 23, sigma: 0.40, spikeProb: 0.02, spikeMax: 5},
+		WiredLine:     segment{medianMs: 10, sigma: 0.28, spikeProb: 0.008, spikeMax: 3},
+	}
+}
+
+// Sample is one drawn last-mile round-trip, decomposed the way the
+// paper's traceroute analysis decomposes it.
+type Sample struct {
+	Access Access
+	// UserToISPms is the full probe→ISP round trip (USR-ISP).
+	UserToISPms float64
+	// RouterToISPms is the wired tail (RTR-ISP). It equals UserToISPms
+	// for wired access and is zero for cellular, where no home router
+	// exists on the path.
+	RouterToISPms float64
+}
+
+// Draw samples one last-mile RTT for the given access technology.
+func (m Model) Draw(a Access, rng *rand.Rand) Sample {
+	switch a {
+	case WiFi:
+		air := m.WiFiAir.sample(rng)
+		wire := m.HomeWire.sample(rng)
+		return Sample{Access: a, UserToISPms: air + wire, RouterToISPms: wire}
+	case Cellular:
+		return Sample{Access: a, UserToISPms: m.CellularRadio.sample(rng)}
+	default:
+		wire := m.WiredLine.sample(rng)
+		return Sample{Access: a, UserToISPms: wire, RouterToISPms: wire}
+	}
+}

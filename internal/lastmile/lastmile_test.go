@@ -1,0 +1,140 @@
+package lastmile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func drawMany(t *testing.T, m Model, a Access, n int) ([]float64, []float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	user := make([]float64, n)
+	router := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := m.Draw(a, rng)
+		if s.UserToISPms <= 0 {
+			t.Fatalf("non-positive sample %v", s)
+		}
+		user[i] = s.UserToISPms
+		router[i] = s.RouterToISPms
+	}
+	return user, router
+}
+
+func TestWiFiCalibration(t *testing.T) {
+	m := DefaultModel()
+	user, router := drawMany(t, m, WiFi, 20000)
+	med, _ := stats.Median(user)
+	if med < 17 || med > 28 {
+		t.Errorf("WiFi USR-ISP median = %.1f ms, want ≈ 20-25", med)
+	}
+	rmed, _ := stats.Median(router)
+	if rmed < 6 || rmed > 12 {
+		t.Errorf("WiFi RTR-ISP median = %.1f ms, want ≈ 9", rmed)
+	}
+	// The wired tail must always be a strict part of the full segment.
+	for i := range user {
+		if router[i] <= 0 || router[i] >= user[i] {
+			t.Fatalf("RTR-ISP %f not inside USR-ISP %f", router[i], user[i])
+		}
+	}
+	cv, _ := stats.CoefficientOfVariation(user)
+	if cv < 0.3 || cv > 0.9 {
+		t.Errorf("WiFi Cv = %.2f, want ≈ 0.5", cv)
+	}
+}
+
+func TestCellularCalibration(t *testing.T) {
+	m := DefaultModel()
+	user, router := drawMany(t, m, Cellular, 20000)
+	med, _ := stats.Median(user)
+	if med < 18 || med > 29 {
+		t.Errorf("cellular median = %.1f ms, want ≈ 23", med)
+	}
+	for _, r := range router {
+		if r != 0 {
+			t.Fatal("cellular access must not report a home-router segment")
+		}
+	}
+	cv, _ := stats.CoefficientOfVariation(user)
+	if cv < 0.3 || cv > 0.9 {
+		t.Errorf("cellular Cv = %.2f, want ≈ 0.5", cv)
+	}
+}
+
+func TestWiredCalibration(t *testing.T) {
+	m := DefaultModel()
+	user, router := drawMany(t, m, Wired, 20000)
+	med, _ := stats.Median(user)
+	if med < 8 || med > 13 {
+		t.Errorf("wired median = %.1f ms, want ≈ 10", med)
+	}
+	// Wired probes have no radio: USR-ISP equals RTR-ISP.
+	for i := range user {
+		if user[i] != router[i] {
+			t.Fatal("wired USR-ISP must equal RTR-ISP")
+		}
+	}
+	// Wired is markedly more stable than wireless (Fig 7b: Atlas ≈ the
+	// SC RTR-ISP wired tail).
+	cvWired, _ := stats.CoefficientOfVariation(user)
+	wifi, _ := drawMany(t, m, WiFi, 20000)
+	cvWiFi, _ := stats.CoefficientOfVariation(wifi)
+	if cvWired >= cvWiFi {
+		t.Errorf("wired Cv %.2f should be below WiFi Cv %.2f", cvWired, cvWiFi)
+	}
+}
+
+func TestWiFiAndCellularComparable(t *testing.T) {
+	// §5: "the type of wireless access does not have a significant
+	// impact" — medians within a few ms, Cv in the same band.
+	m := DefaultModel()
+	wifi, _ := drawMany(t, m, WiFi, 20000)
+	cell, _ := drawMany(t, m, Cellular, 20000)
+	mw, _ := stats.Median(wifi)
+	mc, _ := stats.Median(cell)
+	if d := mw - mc; d < -6 || d > 6 {
+		t.Errorf("WiFi median %.1f vs cellular %.1f differ too much", mw, mc)
+	}
+	cw, _ := stats.CoefficientOfVariation(wifi)
+	cc, _ := stats.CoefficientOfVariation(cell)
+	if d := cw - cc; d < -0.25 || d > 0.25 {
+		t.Errorf("Cv gap too large: WiFi %.2f vs cellular %.2f", cw, cc)
+	}
+}
+
+func TestWirelessNearMTPThreshold(t *testing.T) {
+	// §5 discussion: the wireless last-mile alone borders the 20 ms MTP
+	// budget, which is what makes MTP apps infeasible even with edge.
+	m := DefaultModel()
+	for _, a := range []Access{WiFi, Cellular} {
+		user, _ := drawMany(t, m, a, 20000)
+		med, _ := stats.Median(user)
+		if med < 15 {
+			t.Errorf("%v median %.1f ms implausibly below the MTP border", a, med)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	m := DefaultModel()
+	r1 := rand.New(rand.NewSource(99))
+	r2 := rand.New(rand.NewSource(99))
+	for i := 0; i < 100; i++ {
+		a, b := m.Draw(WiFi, r1), m.Draw(WiFi, r2)
+		if a != b {
+			t.Fatal("same seed must give identical samples")
+		}
+	}
+}
+
+func TestAccessLabels(t *testing.T) {
+	if WiFi.String() != "home" || Cellular.String() != "cell" || Wired.String() != "wired" || Access(9).String() != "?" {
+		t.Error("access labels wrong")
+	}
+	if !WiFi.Wireless() || !Cellular.Wireless() || Wired.Wireless() {
+		t.Error("Wireless() predicate wrong")
+	}
+}

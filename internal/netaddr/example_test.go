@@ -1,0 +1,35 @@
+package netaddr_test
+
+import (
+	"fmt"
+
+	"repro/internal/netaddr"
+)
+
+func ExampleTrie() {
+	var asDB netaddr.Trie[string]
+	asDB.Insert(netaddr.MustParsePrefix("62.115.0.0/16"), "AS1299 Telia")
+	asDB.Insert(netaddr.MustParsePrefix("62.0.0.0/8"), "larger block")
+
+	owner, plen, _ := asDB.Lookup(netaddr.MustParseIP("62.115.44.1"))
+	fmt.Printf("%s (/%d)\n", owner, plen)
+	// Output: AS1299 Telia (/16)
+}
+
+func ExampleAllocator() {
+	pool := netaddr.NewAllocator(netaddr.MustParsePrefix("10.0.0.0/8"))
+	a, _ := pool.Allocate(16)
+	b, _ := pool.Allocate(16)
+	fmt.Println(a, b, a.Overlaps(b))
+	// Output: 10.0.0.0/16 10.1.0.0/16 false
+}
+
+func ExampleIP_IsPrivate() {
+	fmt.Println(netaddr.MustParseIP("192.168.1.1").IsPrivate())
+	fmt.Println(netaddr.MustParseIP("100.64.0.1").IsCGN())
+	fmt.Println(netaddr.MustParseIP("8.8.8.8").IsPrivate())
+	// Output:
+	// true
+	// true
+	// false
+}

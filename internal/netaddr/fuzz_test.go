@@ -1,0 +1,41 @@
+package netaddr
+
+import "testing"
+
+// FuzzParseIP: parser totality plus round-trip on accepted input.
+func FuzzParseIP(f *testing.F) {
+	f.Add("1.2.3.4")
+	f.Add("255.255.255.255")
+	f.Add("")
+	f.Add("1.2.3.4.5")
+	f.Fuzz(func(t *testing.T, s string) {
+		ip, err := ParseIP(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseIP(ip.String())
+		if err != nil || back != ip {
+			t.Fatalf("round trip broke for %q", s)
+		}
+	})
+}
+
+// FuzzParsePrefix: same for CIDR notation.
+func FuzzParsePrefix(f *testing.F) {
+	f.Add("10.0.0.0/8")
+	f.Add("0.0.0.0/0")
+	f.Add("1.2.3.4/32")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("round trip broke for %q", s)
+		}
+		if !p.Contains(p.Addr) {
+			t.Fatalf("prefix %v does not contain its own base", p)
+		}
+	})
+}

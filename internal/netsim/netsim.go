@@ -1,0 +1,377 @@
+// Package netsim emulates the data plane of the synthetic Internet: it
+// turns a <probe, cloud region> pair into the TCP ping RTTs and ICMP
+// traceroutes the measurement campaign records.
+//
+// The latency model composes, in order: the wireless (or wired)
+// last-mile, the serving ISP's intra-country aggregation, the AS-level
+// transit path with geography-aware waypoints and per-region
+// path-inflation factors, and finally the cloud segment — which rides
+// the provider's private WAN at low inflation and low jitter when the
+// interconnection is direct or private, and the public Internet
+// otherwise. That composition is what reproduces every latency shape in
+// the paper: distance dominates (§4.1), wireless adds a 2-3× last-mile
+// penalty over wired (§4.2, §5), and direct peering tames the tails on
+// long under-provisioned routes while barely moving the median in
+// Europe (§6.2).
+//
+// All sampling is deterministic: each measurement derives its RNG from
+// a hash of (world seed, probe, region, protocol, cycle), so campaigns
+// are reproducible and safe to run from many goroutines.
+package netsim
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/asn"
+	"repro/internal/cloud"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+	"repro/internal/probes"
+	"repro/internal/world"
+)
+
+// FibreKmPerMsRTT converts fibre distance to round-trip milliseconds:
+// light in fibre covers ≈200 km per one-way millisecond, i.e. 100 km
+// per RTT millisecond.
+const FibreKmPerMsRTT = 100.0
+
+// Simulator evaluates measurements over a built world. It is safe for
+// concurrent use.
+type Simulator struct {
+	W        *world.World
+	LastMile lastmile.Model
+
+	// UnresponsiveHopProb is the chance a mid-path router ignores the
+	// traceroute probe (default 0.08).
+	UnresponsiveHopProb float64
+	// CGNCellProb is the fraction of cellular probes behind a
+	// carrier-grade NAT whose first hop shows a 100.64/10 address —
+	// the misclassification caveat of §5 (default 0.08).
+	CGNCellProb float64
+	// PublicRouterWiFiProb is the fraction of home probes whose router
+	// answers with a public address, hiding the home segment (default
+	// 0.05).
+	PublicRouterWiFiProb float64
+	// DisablePrivateWAN is an ablation switch: cloud segments always
+	// ride public-Internet inflation and jitter, even behind direct
+	// peering — isolating what the providers' private backbones buy.
+	DisablePrivateWAN bool
+}
+
+// New returns a simulator with the paper-calibrated defaults.
+func New(w *world.World) *Simulator {
+	return &Simulator{
+		W:                    w,
+		LastMile:             lastmile.DefaultModel(),
+		UnresponsiveHopProb:  0.08,
+		CGNCellProb:          0.08,
+		PublicRouterWiFiProb: 0.05,
+	}
+}
+
+// rngFor derives the deterministic per-measurement RNG.
+func (s *Simulator) rngFor(probeID, regionID string, proto dataset.Protocol, cycle int) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(probeID))
+	h.Write([]byte{0})
+	h.Write([]byte(regionID))
+	h.Write([]byte{byte(proto), byte(cycle), byte(cycle >> 8), byte(cycle >> 16)})
+	var seedBytes [8]byte
+	for i := range seedBytes {
+		seedBytes[i] = byte(s.W.Config.Seed >> (8 * i))
+	}
+	h.Write(seedBytes[:])
+	return rand.New(rand.NewSource(int64(splitmix64(h.Sum64()))))
+}
+
+// splitmix64 finalizes the hash before seeding math/rand; without it,
+// related hash values (same pair, consecutive cycles) yield visibly
+// structured first draws, which would correlate jitter across cycles.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// segment is one wired stretch of the path with its owner AS.
+type segment struct {
+	from, to     geo.Point
+	fromC, toC   string // country codes for inflation lookup
+	owner        asn.Number
+	privateWAN   bool
+	routersAtEnd int // routers the owner answers with at the end of the segment
+}
+
+// plan is the full forwarding plan for one <probe, region> pair.
+type plan struct {
+	kind     world.Interconnect
+	asPath   []asn.Number
+	segments []segment
+	ixp      *world.IXP // non-nil when the peering happens at an exchange
+}
+
+// buildPlan lays the geographic waypoints of the path.
+func (s *Simulator) buildPlan(p *probes.Probe, r *cloud.Region) plan {
+	asPath, kind, ok := s.W.CloudPath(p.ISP, r)
+	if !ok || len(asPath) == 0 {
+		// Unreachable pairs do not occur in a well-formed world; treat
+		// as a degenerate single-segment path to keep callers total.
+		return plan{kind: world.IcPublic, asPath: []asn.Number{p.ISP.Number, r.Provider.ASN},
+			segments: []segment{{from: p.Loc, to: r.Loc, fromC: p.Country, toC: r.Country,
+				owner: r.Provider.ASN, routersAtEnd: 1}}}
+	}
+	pl := plan{kind: kind, asPath: asPath}
+	if kind == world.IcDirectIXP {
+		pl.ixp = s.W.IXPForPeering(p.ISP)
+	}
+
+	cur, curC := p.Loc, p.Country
+	// Serving-ISP aggregation: probe location to the ISP PoP.
+	ispPoP, _ := s.W.NearestPoP(p.ISP.Number, p.Loc)
+	pl.segments = append(pl.segments, segment{
+		from: cur, to: ispPoP.Loc, fromC: curC, toC: ispPoP.Country,
+		owner: p.ISP.Number, routersAtEnd: 2,
+	})
+	cur, curC = ispPoP.Loc, ispPoP.Country
+
+	ingress := s.W.CloudIngress(kind, p.Loc, r)
+	ingressC := r.Country
+	if pop, ok := s.W.NearestPoP(r.Provider.ASN, ingress); ok && pop.Loc == ingress {
+		ingressC = pop.Country
+	}
+
+	// Transit ASes walk from the ISP PoP towards the cloud ingress.
+	inter := asPath[1 : len(asPath)-1]
+	for i, a := range inter {
+		frac := float64(i+1) / float64(len(inter)+1)
+		towards := geo.Interpolate(cur, ingress, frac)
+		pop, ok := s.W.NearestPoP(a, towards)
+		if !ok {
+			pop = world.PoP{Loc: towards, Country: curC}
+		}
+		pl.segments = append(pl.segments, segment{
+			from: cur, to: pop.Loc, fromC: curC, toC: pop.Country,
+			// Carriers answer with at least two routers: a transit AS
+			// vanishing entirely from a trace should be rare, as the
+			// §6.1 classification depends on seeing it.
+			owner: a, routersAtEnd: 2 + i%2,
+		})
+		cur, curC = pop.Loc, pop.Country
+	}
+
+	// Hand-off into the provider edge.
+	if cur != ingress {
+		pl.segments = append(pl.segments, segment{
+			from: cur, to: ingress, fromC: curC, toC: ingressC,
+			owner: r.Provider.ASN, privateWAN: false, routersAtEnd: 1,
+		})
+		cur, curC = ingress, ingressC
+	}
+	// The cloud segment proper: ingress to the datacenter.
+	wanPrivate := !s.DisablePrivateWAN && r.Provider.Backbone != cloud.BackbonePublic &&
+		(kind == world.IcDirect || kind == world.IcDirectIXP || kind == world.IcPrivateTransit)
+	dist := geo.DistanceKm(cur, r.Loc)
+	routers := 1 + int(dist/3000)
+	if wanPrivate {
+		routers += 2
+	}
+	if routers > 6 {
+		routers = 6
+	}
+	pl.segments = append(pl.segments, segment{
+		from: cur, to: r.Loc, fromC: curC, toC: r.Country,
+		owner: r.Provider.ASN, privateWAN: wanPrivate, routersAtEnd: routers,
+	})
+	return pl
+}
+
+// wiredRTT evaluates the wired part of the plan (everything past the
+// last-mile): base propagation plus congestion jitter.
+func (s *Simulator) wiredRTT(pl plan, rng *rand.Rand) float64 {
+	var total float64
+	for _, seg := range pl.segments {
+		total += s.segmentRTT(seg, rng)
+	}
+	return total
+}
+
+func (s *Simulator) segmentRTT(seg segment, rng *rand.Rand) float64 {
+	dist := geo.DistanceKm(seg.from, seg.to)
+	inflation := world.PathInflation(seg.fromC, seg.toC)
+	jitterScale := 0.06 + (inflation-1.3)*0.09 // poorly provisioned ⇒ noisier
+	if jitterScale < 0.04 {
+		jitterScale = 0.04
+	}
+	if seg.privateWAN {
+		inflation = world.PrivateWANInflationFor(seg.fromC, seg.toC)
+		jitterScale = 0.015
+	}
+	base := dist / FibreKmPerMsRTT * inflation
+	// Router processing: a fraction of a millisecond per hop.
+	base += float64(seg.routersAtEnd) * (0.15 + rng.Float64()*0.2)
+	// Multiplicative congestion jitter with an occasional spike on
+	// public segments.
+	jitter := base * jitterScale * math.Abs(rng.NormFloat64())
+	if !seg.privateWAN && rng.Float64() < 0.02 {
+		jitter += base * (0.3 + rng.Float64()*0.9)
+	}
+	return base + jitter
+}
+
+// lastMileScale damps the access latency for countries with unusually
+// fast urban wireless deployments. China is the one country the paper
+// finds under the 20 ms MTP bound end-to-end (§4.1), which is only
+// possible on a fast last-mile.
+func lastMileScale(country string) float64 {
+	switch country {
+	case "CN":
+		return 0.45
+	case "KR", "JP":
+		return 0.85
+	default:
+		return 1.0
+	}
+}
+
+// drawLastMile samples the probe's access segment.
+func (s *Simulator) drawLastMile(p *probes.Probe, rng *rand.Rand) lastmile.Sample {
+	sample := s.LastMile.Draw(p.Access, rng)
+	scale := lastMileScale(p.Country)
+	sample.UserToISPms *= scale
+	sample.RouterToISPms *= scale
+	return sample
+}
+
+// Ping runs one ping measurement. TCP pings measure the end-to-end
+// handshake RTT; ICMP echoes run marginally higher with more variance,
+// matching the within-2% gap §3.3 reports for Speedchecker.
+func (s *Simulator) Ping(p *probes.Probe, r *cloud.Region, proto dataset.Protocol, cycle int) dataset.PingRecord {
+	rng := s.rngFor(p.ID, r.ID, proto, cycle)
+	pl := s.buildPlan(p, r)
+	lm := s.drawLastMile(p, rng)
+	rtt := lm.UserToISPms + s.wiredRTT(pl, rng)
+	if proto == dataset.ICMP {
+		rtt *= 1.015
+		rtt += math.Abs(rng.NormFloat64()) * 1.2
+	}
+	return dataset.PingRecord{
+		VP:       s.vantage(p),
+		Target:   s.target(r),
+		Protocol: proto,
+		RTTms:    rtt,
+		Cycle:    cycle,
+	}
+}
+
+// Traceroute runs one ICMP traceroute, reproducing the capture
+// artifacts the paper has to cope with: private and CGN first hops,
+// unresponsive routers, IXP hops that only sometimes appear, and the
+// occasional truncated trace.
+func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) dataset.TracerouteRecord {
+	rng := s.rngFor(p.ID, r.ID, dataset.ICMP, cycle)
+	pl := s.buildPlan(p, r)
+	lm := s.drawLastMile(p, rng)
+
+	rec := dataset.TracerouteRecord{VP: s.vantage(p), Target: s.target(r), Cycle: cycle}
+	ttl := 0
+	cum := 0.0
+	addHop := func(ip netaddr.IP, rtt float64, forceRespond bool) {
+		ttl++
+		h := dataset.Hop{TTL: ttl, IP: ip, RTTms: rtt, Responded: true}
+		if !forceRespond && rng.Float64() < s.UnresponsiveHopProb {
+			h = dataset.Hop{TTL: ttl, Responded: false}
+		}
+		rec.Hops = append(rec.Hops, h)
+	}
+
+	// Last-mile hops. The first responding hop inside the ISP carries
+	// the full USR-ISP latency; a preceding private hop exposes the
+	// home-router split the paper uses to isolate the wireless segment.
+	switch p.Access {
+	case lastmile.WiFi:
+		if rng.Float64() < s.PublicRouterWiFiProb {
+			// Router answers with a public ISP address: the home
+			// segment is invisible and the probe looks cellular.
+			addHop(s.W.RouterIP(p.ISP.Number, hopIndex(rng)), lm.UserToISPms, true)
+		} else {
+			air := lm.UserToISPms - lm.RouterToISPms
+			addHop(netaddr.MustParseIP("192.168.1.1"), air, true)
+			addHop(s.W.RouterIP(p.ISP.Number, hopIndex(rng)), lm.UserToISPms, true)
+		}
+	case lastmile.Cellular:
+		if rng.Float64() < s.CGNCellProb {
+			cgn := netaddr.MustParsePrefix("100.64.0.0/10").Nth(uint64(rng.Intn(1 << 16)))
+			addHop(cgn, lm.UserToISPms*0.7, true)
+			addHop(s.W.RouterIP(p.ISP.Number, hopIndex(rng)), lm.UserToISPms, true)
+		} else {
+			addHop(s.W.RouterIP(p.ISP.Number, hopIndex(rng)), lm.UserToISPms, true)
+		}
+	default: // wired
+		addHop(s.W.RouterIP(p.ISP.Number, hopIndex(rng)), lm.UserToISPms, true)
+	}
+	cum = lm.UserToISPms
+
+	// Wired segments, hop by hop.
+	for i, seg := range pl.segments {
+		segRTT := s.segmentRTT(seg, rng)
+		cum += segRTT
+		perHop := segRTT / float64(seg.routersAtEnd)
+		at := cum - segRTT
+		for h := 0; h < seg.routersAtEnd; h++ {
+			at += perHop
+			noise := math.Abs(rng.NormFloat64()) * 0.8
+			addHop(s.W.RouterIP(seg.owner, hopIndex(rng)), at+noise, false)
+		}
+		// The exchange fabric sits between the serving ISP and the
+		// provider edge, and answers only sometimes (§6.1 caveat).
+		if pl.ixp != nil && i == 0 && rng.Float64() < 0.7 {
+			addHop(pl.ixp.Prefix.Nth(uint64(2+rng.Intn(200))), cum+0.3, false)
+		}
+	}
+
+	// Destination VM. A small fraction of traces die before the target.
+	if rng.Float64() < 0.02 && len(rec.Hops) > 2 {
+		rec.Hops = rec.Hops[:len(rec.Hops)-1-rng.Intn(2)]
+		return rec
+	}
+	ttl++
+	rec.Hops = append(rec.Hops, dataset.Hop{
+		TTL: ttl, IP: s.W.RegionIP(r), RTTms: cum + 0.2 + math.Abs(rng.NormFloat64())*0.5,
+		Responded: true,
+	})
+	return rec
+}
+
+// PlanInfo exposes the forwarding plan for analyses that need ground
+// truth (tests, pervasiveness oracles).
+type PlanInfo struct {
+	Kind   world.Interconnect
+	ASPath []asn.Number
+}
+
+// Plan returns the interconnection kind and AS path for a pair.
+func (s *Simulator) Plan(p *probes.Probe, r *cloud.Region) PlanInfo {
+	pl := s.buildPlan(p, r)
+	return PlanInfo{Kind: pl.kind, ASPath: pl.asPath}
+}
+
+func hopIndex(rng *rand.Rand) int { return rng.Intn(4096) }
+
+func (s *Simulator) vantage(p *probes.Probe) dataset.VantagePoint {
+	return dataset.VantagePoint{
+		ProbeID: p.ID, Platform: p.Platform.String(), Country: p.Country,
+		Continent: p.Continent, ISP: p.ISP.Number, Access: p.Access,
+	}
+}
+
+func (s *Simulator) target(r *cloud.Region) dataset.Target {
+	return dataset.Target{
+		Region: r.ID, Provider: r.Provider.Code, Country: r.Country,
+		Continent: r.Continent, IP: s.W.RegionIP(r),
+	}
+}

@@ -1,0 +1,377 @@
+// Package probes synthesizes the study's two vantage-point fleets:
+//
+//   - Speedchecker: ~115,000 Android probes on end-user devices with a
+//     wireless last-mile, distributed per Figure 1b (EU 72K, AS 31K,
+//     NA 5.4K, AF 4K, SA 2.8K, OC 351), transient across days;
+//   - RIPE Atlas: ~8,500 mostly wired probes in managed networks,
+//     distributed per Figure 2 (EU 5574, AS 1083, NA 866, AF 261,
+//     SA 216, OC 289), biased towards datacenter-hosting countries.
+//
+// The fleets reproduce the deployment skews §4.2 and §5 hinge on:
+// Speedchecker's African probes sit mostly in the north on cellular
+// links while its few home probes sit in the south; Atlas probes
+// cluster near the South African datacenters; more than 80% of
+// Speedchecker's South American probes are Brazilian versus roughly
+// 40% for Atlas.
+package probes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+	"repro/internal/world"
+)
+
+// Platform identifies the measurement platform a probe belongs to.
+type Platform uint8
+
+// Platforms.
+const (
+	Speedchecker Platform = iota
+	RIPEAtlas
+)
+
+// String returns the platform name.
+func (p Platform) String() string {
+	if p == RIPEAtlas {
+		return "atlas"
+	}
+	return "speedchecker"
+}
+
+// Probe is one vantage point.
+type Probe struct {
+	ID        string
+	Platform  Platform
+	Country   string
+	Continent geo.Continent
+	Loc       geo.Point
+	ISP       *asn.AS
+	Access    lastmile.Access
+	PublicIP  netaddr.IP
+	// Availability is the probability the probe is connected when a
+	// measurement cycle polls it; Speedchecker Android probes are
+	// transient (§3.3), Atlas probes are always on.
+	Availability float64
+	// Managed marks probes hosted in managed (non-residential)
+	// networks — the RIPE Atlas deployment bias (§4.2).
+	Managed bool
+}
+
+// Fleet is a set of probes with country and continent indexes.
+type Fleet struct {
+	Platform  Platform
+	probes    []*Probe
+	byCountry map[string][]*Probe
+}
+
+// All returns every probe. Callers must not mutate the slice.
+func (f *Fleet) All() []*Probe { return f.probes }
+
+// Len returns the fleet size.
+func (f *Fleet) Len() int { return len(f.probes) }
+
+// InCountry returns the probes homed in the given country.
+func (f *Fleet) InCountry(code string) []*Probe { return f.byCountry[code] }
+
+// Countries returns the covered country codes, sorted.
+func (f *Fleet) Countries() []string {
+	out := make([]string, 0, len(f.byCountry))
+	for c := range f.byCountry {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// InContinent returns the probes on the given continent.
+func (f *Fleet) InContinent(cont geo.Continent) []*Probe {
+	var out []*Probe
+	for _, p := range f.probes {
+		if p.Continent == cont {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountByContinent returns per-continent probe counts.
+func (f *Fleet) CountByContinent() map[geo.Continent]int {
+	out := make(map[geo.Continent]int)
+	for _, p := range f.probes {
+		out[p.Continent]++
+	}
+	return out
+}
+
+// ISPNumbers returns the set of serving-ISP ASNs hosting at least one
+// probe — the "ASes hosting vantage points" statistic of §3.2.
+func (f *Fleet) ISPNumbers() map[asn.Number]bool {
+	out := make(map[asn.Number]bool)
+	for _, p := range f.probes {
+		out[p.ISP.Number] = true
+	}
+	return out
+}
+
+// Config scales and seeds fleet generation.
+type Config struct {
+	// Seed drives placement; the same seed yields an identical fleet.
+	Seed int64
+	// Scale multiplies the paper's fleet sizes (default 1.0). Use a
+	// small scale in tests; per-country minimums keep coverage intact.
+	Scale float64
+	// UniformWeights is an ablation switch: probes spread evenly over a
+	// continent's countries, erasing the deployment skews (Brazil-heavy
+	// South America, north-African cellular bias) that drive §4.2.
+	UniformWeights bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale == 0 {
+		c.Scale = 1.0
+	}
+	return c
+}
+
+// speedcheckerTotals is Figure 1b.
+var speedcheckerTotals = map[geo.Continent]int{
+	geo.EU: 72000, geo.AS: 31000, geo.NA: 5400,
+	geo.AF: 4000, geo.SA: 2800, geo.OC: 351,
+}
+
+// atlasTotals is Figure 2.
+var atlasTotals = map[geo.Continent]int{
+	geo.EU: 5574, geo.AS: 1083, geo.NA: 866,
+	geo.AF: 261, geo.SA: 216, geo.OC: 289,
+}
+
+// scWeightOverride boosts or damps Speedchecker country weights to
+// match the paper's observations: Germany, Great Britain, Iran and
+// Japan are the densest (5,000+ probes); China is barely covered; more
+// than 80% of the South American probes are Brazilian.
+var scWeightOverride = map[string]float64{
+	"DE": 3.0, "GB": 3.5, "IR": 6.0, "JP": 4.0,
+	"CN": 0.02,
+	"BR": 4.5,
+	// Bahrain punches above its population: the A.4 case study needs
+	// measurable volume from all four named ISPs.
+	"BH": 6.0,
+}
+
+// atlasWeightOverride reproduces the Atlas deployment bias: probes
+// cluster in the south of Africa near the datacenters.
+var atlasWeightOverride = map[string]float64{
+	"ZA": 12.0,
+	"CN": 0.05,
+	// North American Atlas probes overwhelmingly sit in the US and
+	// Canada, not in Central America or the Caribbean.
+	"US": 3.0,
+	"CA": 2.0,
+}
+
+// GenerateSpeedchecker builds the wireless end-user fleet.
+func GenerateSpeedchecker(w *world.World, cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5c5c))
+	f := &Fleet{Platform: Speedchecker, byCountry: make(map[string][]*Probe)}
+	weightFn, overrides := identity, scWeightOverride
+	if cfg.UniformWeights {
+		weightFn, overrides = uniform, nil
+	}
+	for _, cont := range geo.Continents() {
+		total := int(float64(speedcheckerTotals[cont]) * cfg.Scale)
+		counts := apportion(cont, total, overrides, weightFn)
+		for _, cc := range counts {
+			for i := 0; i < cc.n; i++ {
+				f.add(makeProbe(w, rng, Speedchecker, cc.country, i))
+			}
+		}
+	}
+	return f
+}
+
+// GenerateAtlas builds the wired managed fleet.
+func GenerateAtlas(w *world.World, cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0xa71a5))
+	dcCountries := make(map[string]bool)
+	for _, r := range w.Inventory.Regions() {
+		dcCountries[r.Country] = true
+	}
+	weight := func(c geo.Country) float64 {
+		// Atlas spreads more evenly (network enthusiasts, not user
+		// mass) but clusters where infrastructure lives.
+		v := sqrtWeight(c)
+		if dcCountries[c.Code] {
+			v *= 1.6
+		}
+		return v
+	}
+	f := &Fleet{Platform: RIPEAtlas, byCountry: make(map[string][]*Probe)}
+	overrides := atlasWeightOverride
+	if cfg.UniformWeights {
+		weight, overrides = uniform, nil
+	}
+	for _, cont := range geo.Continents() {
+		total := int(float64(atlasTotals[cont]) * cfg.Scale)
+		counts := apportion(cont, total, overrides, weight)
+		for _, cc := range counts {
+			for i := 0; i < cc.n; i++ {
+				f.add(makeProbe(w, rng, RIPEAtlas, cc.country, i))
+			}
+		}
+	}
+	return f
+}
+
+func (f *Fleet) add(p *Probe) {
+	f.probes = append(f.probes, p)
+	f.byCountry[p.Country] = append(f.byCountry[p.Country], p)
+}
+
+func identity(c geo.Country) float64 { return c.UserWeight }
+
+func uniform(geo.Country) float64 { return 1 }
+
+func sqrtWeight(c geo.Country) float64 { return math.Sqrt(c.UserWeight) }
+
+type countryCount struct {
+	country geo.Country
+	n       int
+}
+
+// apportion distributes total probes over a continent's countries
+// proportionally to weight (with overrides), guaranteeing at least two
+// probes per covered country, using largest-remainder rounding.
+func apportion(cont geo.Continent, total int, override map[string]float64, weight func(geo.Country) float64) []countryCount {
+	countries := geo.CountriesIn(cont)
+	if total < 2*len(countries) {
+		total = 2 * len(countries)
+	}
+	var sum float64
+	ws := make([]float64, len(countries))
+	for i, c := range countries {
+		w := weight(c)
+		if o, ok := override[c.Code]; ok {
+			w *= o
+		}
+		ws[i] = w
+		sum += w
+	}
+	type alloc struct {
+		i    int
+		frac float64
+	}
+	counts := make([]countryCount, len(countries))
+	used := 0
+	var rem []alloc
+	for i, c := range countries {
+		exact := float64(total) * ws[i] / sum
+		n := int(exact)
+		if n < 2 {
+			n = 2
+		}
+		counts[i] = countryCount{country: c, n: n}
+		used += n
+		rem = append(rem, alloc{i, exact - float64(int(exact))})
+	}
+	sort.Slice(rem, func(a, b int) bool {
+		if rem[a].frac != rem[b].frac {
+			return rem[a].frac > rem[b].frac
+		}
+		// Deterministic tiebreak: sort.Slice is unstable, and equal
+		// fractions are common; fall back to country order.
+		return rem[a].i < rem[b].i
+	})
+	for k := 0; used < total && k < len(rem); k++ {
+		counts[rem[k].i].n++
+		used++
+	}
+	return counts
+}
+
+func makeProbe(w *world.World, rng *rand.Rand, plat Platform, country geo.Country, idx int) *Probe {
+	isps := w.AccessISPs(country.Code)
+	isp := pickISP(isps, rng)
+	loc := jitterLoc(country.Centroid, rng)
+	p := &Probe{
+		ID:        fmt.Sprintf("%s-%s-%05d", plat, country.Code, idx),
+		Platform:  plat,
+		Country:   country.Code,
+		Continent: country.Continent,
+		Loc:       loc,
+		ISP:       isp,
+		PublicIP:  w.ProbeIP(isp.Number, idx),
+	}
+	if plat == RIPEAtlas {
+		p.Access = lastmile.Wired
+		p.Availability = 1.0
+		p.Managed = rng.Float64() < 0.8
+		return p
+	}
+	p.Access = speedcheckerAccess(country, loc, rng)
+	// Android probes are transient: availability clusters around 25%
+	// (≈29K of 115K connected at any time, §3.2).
+	p.Availability = 0.10 + rng.Float64()*0.30
+	return p
+}
+
+// speedcheckerAccess draws the access technology. Globally the fleet is
+// a rough 55/45 WiFi/cellular split; in Africa home probes concentrate
+// in the south while the northern majority is cellular (§5, A.5).
+func speedcheckerAccess(country geo.Country, loc geo.Point, rng *rand.Rand) lastmile.Access {
+	wifiProb := 0.55
+	if country.Continent == geo.AF {
+		if country.Centroid.Lat < -15 { // southern Africa
+			wifiProb = 0.70
+		} else {
+			wifiProb = 0.22
+		}
+	}
+	if rng.Float64() < wifiProb {
+		return lastmile.WiFi
+	}
+	return lastmile.Cellular
+}
+
+// pickISP samples a serving ISP proportionally to its user population.
+func pickISP(isps []*asn.AS, rng *rand.Rand) *asn.AS {
+	var sum float64
+	for _, a := range isps {
+		sum += a.Users
+	}
+	r := rng.Float64() * sum
+	for _, a := range isps {
+		r -= a.Users
+		if r <= 0 {
+			return a
+		}
+	}
+	return isps[len(isps)-1]
+}
+
+// jitterLoc scatters a probe around the population centroid.
+func jitterLoc(center geo.Point, rng *rand.Rand) geo.Point {
+	lat := center.Lat + rng.NormFloat64()*1.5
+	lon := center.Lon + rng.NormFloat64()*1.5
+	if lat > 89 {
+		lat = 89
+	}
+	if lat < -89 {
+		lat = -89
+	}
+	for lon > 180 {
+		lon -= 360
+	}
+	for lon < -180 {
+		lon += 360
+	}
+	return geo.Point{Lat: lat, Lon: lon}
+}

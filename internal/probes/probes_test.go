@@ -1,0 +1,235 @@
+package probes
+
+import (
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/world"
+)
+
+var testW = world.MustBuild(world.Config{Seed: 1})
+
+func TestSpeedcheckerContinentTotals(t *testing.T) {
+	f := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.05})
+	counts := f.CountByContinent()
+	// EU must dominate, AS second (Fig 1b ordering), with per-country
+	// minimums allowed to inflate the small continents.
+	if counts[geo.EU] < counts[geo.AS] || counts[geo.AS] < counts[geo.NA] {
+		t.Errorf("continent ordering wrong: %v", counts)
+	}
+	if f.Len() < 5000 {
+		t.Errorf("fleet too small at scale 0.05: %d", f.Len())
+	}
+	if f.Platform != Speedchecker {
+		t.Error("platform mislabelled")
+	}
+}
+
+func TestSpeedcheckerFullScaleTotals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fleet in -short mode")
+	}
+	f := GenerateSpeedchecker(testW, Config{Seed: 1})
+	if f.Len() < 110000 || f.Len() > 121000 {
+		t.Errorf("full fleet size = %d, want ≈115,500", f.Len())
+	}
+	counts := f.CountByContinent()
+	if counts[geo.EU] < 68000 || counts[geo.EU] > 76000 {
+		t.Errorf("EU probes = %d, want ≈72,000", counts[geo.EU])
+	}
+	// Densest countries: DE, GB, IR, JP with 5000+ (§3.2).
+	for _, cc := range []string{"DE", "GB", "IR", "JP"} {
+		if n := len(f.InCountry(cc)); n < 5000 {
+			t.Errorf("%s probes = %d, want 5000+", cc, n)
+		}
+	}
+	// China is barely covered (§6.1 explains Alibaba's public paths
+	// through exactly this gap).
+	if n := len(f.InCountry("CN")); n > 500 {
+		t.Errorf("CN probes = %d, want sparse coverage", n)
+	}
+}
+
+func TestSouthAmericaSkew(t *testing.T) {
+	sc := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.2})
+	at := GenerateAtlas(testW, Config{Seed: 1})
+	scSA := sc.InContinent(geo.SA)
+	atSA := at.InContinent(geo.SA)
+	scBR := float64(len(sc.InCountry("BR"))) / float64(len(scSA))
+	atBR := float64(len(at.InCountry("BR"))) / float64(len(atSA))
+	if scBR < 0.7 {
+		t.Errorf("Speedchecker BR share = %.2f, want > 0.7 (paper: >80%%)", scBR)
+	}
+	if atBR > 0.55 || atBR < 0.2 {
+		t.Errorf("Atlas BR share = %.2f, want ≈0.4", atBR)
+	}
+	if scBR <= atBR {
+		t.Error("Speedchecker must be more Brazil-skewed than Atlas")
+	}
+}
+
+func TestAfricaDeploymentBias(t *testing.T) {
+	sc := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.5})
+	at := GenerateAtlas(testW, Config{Seed: 1})
+	// Atlas Africa clusters in the south near the DCs.
+	atAF := at.InContinent(geo.AF)
+	za := float64(len(at.InCountry("ZA"))) / float64(len(atAF))
+	if za < 0.4 {
+		t.Errorf("Atlas ZA share = %.2f, want dominant", za)
+	}
+	// Speedchecker home (WiFi) probes in Africa sit mostly in the
+	// south; cellular probes mostly in the north (§5).
+	var homeSouth, homeTotal, cellNorth, cellTotal int
+	for _, p := range sc.InContinent(geo.AF) {
+		c, _ := geo.CountryByCode(p.Country)
+		south := c.Centroid.Lat < -15
+		switch p.Access {
+		case lastmile.WiFi:
+			homeTotal++
+			if south {
+				homeSouth++
+			}
+		case lastmile.Cellular:
+			cellTotal++
+			if !south {
+				cellNorth++
+			}
+		}
+	}
+	if homeTotal == 0 || cellTotal == 0 {
+		t.Fatal("no African probes generated")
+	}
+	if frac := float64(cellNorth) / float64(cellTotal); frac < 0.6 {
+		t.Errorf("cellular-in-north share = %.2f, want ≈0.75", frac)
+	}
+}
+
+func TestAtlasProbesAreWiredAndManaged(t *testing.T) {
+	at := GenerateAtlas(testW, Config{Seed: 1})
+	if at.Len() < 8000 || at.Len() > 9500 {
+		t.Errorf("Atlas fleet size = %d, want ≈8,300", at.Len())
+	}
+	managed := 0
+	for _, p := range at.All() {
+		if p.Access != lastmile.Wired {
+			t.Fatalf("Atlas probe %s has access %v", p.ID, p.Access)
+		}
+		if p.Availability != 1.0 {
+			t.Fatalf("Atlas probe %s transient", p.ID)
+		}
+		if p.Managed {
+			managed++
+		}
+	}
+	if frac := float64(managed) / float64(at.Len()); frac < 0.7 {
+		t.Errorf("managed share = %.2f, want ≈0.8", frac)
+	}
+}
+
+func TestSpeedcheckerWirelessAndTransient(t *testing.T) {
+	sc := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.02})
+	var availSum float64
+	for _, p := range sc.All() {
+		if !p.Access.Wireless() {
+			t.Fatalf("Speedchecker probe %s is wired", p.ID)
+		}
+		if p.Availability <= 0 || p.Availability > 0.5 {
+			t.Fatalf("probe %s availability %v out of transient band", p.ID, p.Availability)
+		}
+		availSum += p.Availability
+	}
+	mean := availSum / float64(sc.Len())
+	if mean < 0.2 || mean > 0.3 {
+		t.Errorf("mean availability = %.2f, want ≈0.25 (29K/115K online)", mean)
+	}
+}
+
+func TestProbesWellFormed(t *testing.T) {
+	for _, f := range []*Fleet{
+		GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.02}),
+		GenerateAtlas(testW, Config{Seed: 1, Scale: 0.3}),
+	} {
+		ids := map[string]bool{}
+		for _, p := range f.All() {
+			if ids[p.ID] {
+				t.Fatalf("duplicate probe ID %s", p.ID)
+			}
+			ids[p.ID] = true
+			if !p.Loc.Valid() {
+				t.Errorf("%s: invalid location", p.ID)
+			}
+			if p.ISP == nil || p.ISP.Country != p.Country {
+				t.Errorf("%s: ISP mismatch", p.ID)
+			}
+			if p.PublicIP == 0 {
+				t.Errorf("%s: no public IP", p.ID)
+			}
+			if got, ok := testW.Registry.ResolveIP(p.PublicIP); !ok || got.Number != p.ISP.Number {
+				t.Errorf("%s: public IP does not resolve to its ISP", p.ID)
+			}
+			c, _ := geo.CountryByCode(p.Country)
+			if geo.DistanceKm(p.Loc, c.Centroid) > 900 {
+				t.Errorf("%s: %0.f km from country centroid", p.ID, geo.DistanceKm(p.Loc, c.Centroid))
+			}
+		}
+	}
+}
+
+func TestFleetIndexes(t *testing.T) {
+	f := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.02})
+	if len(f.Countries()) < 100 {
+		t.Errorf("coverage = %d countries, want 140-ish", len(f.Countries()))
+	}
+	total := 0
+	for _, cc := range f.Countries() {
+		n := len(f.InCountry(cc))
+		if n < 2 {
+			t.Errorf("%s: %d probes, want ≥2 minimum", cc, n)
+		}
+		total += n
+	}
+	if total != f.Len() {
+		t.Errorf("country index covers %d of %d", total, f.Len())
+	}
+	if len(f.ISPNumbers()) < 100 {
+		t.Errorf("ISP coverage = %d ASes", len(f.ISPNumbers()))
+	}
+}
+
+func TestUserPopulationCoverageGap(t *testing.T) {
+	// §3.2: Speedchecker ISPs cover ≈95.6% of Internet users, Atlas
+	// ≈69.2%. At small scale the gap narrows, so assert ordering and a
+	// high Speedchecker bound only.
+	sc := GenerateSpeedchecker(testW, Config{Seed: 1, Scale: 0.3})
+	at := GenerateAtlas(testW, Config{Seed: 1})
+	scCov := testW.UserCoverageOf(sc.ISPNumbers())
+	atCov := testW.UserCoverageOf(at.ISPNumbers())
+	if scCov < 0.85 {
+		t.Errorf("Speedchecker coverage = %.3f, want ≥0.85", scCov)
+	}
+	if scCov <= atCov {
+		t.Errorf("Speedchecker coverage (%.3f) must exceed Atlas (%.3f)", scCov, atCov)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := GenerateSpeedchecker(testW, Config{Seed: 7, Scale: 0.02})
+	b := GenerateSpeedchecker(testW, Config{Seed: 7, Scale: 0.02})
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.All() {
+		pa, pb := a.All()[i], b.All()[i]
+		if pa.ID != pb.ID || pa.Loc != pb.Loc || pa.ISP.Number != pb.ISP.Number ||
+			pa.Access != pb.Access || pa.Availability != pb.Availability {
+			t.Fatalf("probe %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestPlatformString(t *testing.T) {
+	if Speedchecker.String() != "speedchecker" || RIPEAtlas.String() != "atlas" {
+		t.Error("platform names wrong")
+	}
+}

@@ -1,0 +1,35 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+func ExampleMedian() {
+	rtts := []float64{31.2, 29.8, 30.5, 88.0, 30.1}
+	med, _ := stats.Median(rtts)
+	fmt.Printf("median %.1f ms\n", med)
+	// Output: median 30.5 ms
+}
+
+func ExampleRequiredSampleSize() {
+	// The paper's §3.3 sizing: 95% confidence, 2% margin.
+	fmt.Println(stats.RequiredSampleSize(1.96, 0.5, 0.02))
+	// Output: 2401
+}
+
+func ExampleKolmogorovSmirnov() {
+	wireless := []float64{20, 22, 25, 28, 31}
+	wired := []float64{8, 9, 10, 11, 12}
+	d, _ := stats.KolmogorovSmirnov(wireless, wired)
+	fmt.Printf("KS distance %.2f\n", d)
+	// Output: KS distance 1.00
+}
+
+func ExampleCoefficientOfVariation() {
+	lastMile := []float64{18, 22, 20, 40, 21}
+	cv, _ := stats.CoefficientOfVariation(lastMile)
+	fmt.Printf("Cv %.2f\n", cv)
+	// Output: Cv 0.33
+}

@@ -1,0 +1,149 @@
+// Package tcping measures round-trip latency to a live TCP endpoint by
+// timing connection handshakes — the "TCP ping" of §3.3. Unlike ICMP
+// echo it needs no raw sockets, measures true end-to-end reachability
+// of the service port, and is what the Speedchecker platform runs under
+// the hood.
+//
+// The package works against real hosts; the rest of the repository uses
+// the simulator because this workspace has no Internet access, but
+// cmd/cloudping exposes this pinger directly.
+package tcping
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Result is one probe attempt.
+type Result struct {
+	Seq int
+	RTT time.Duration
+	Err error // nil on success
+}
+
+// OK reports whether the probe succeeded.
+func (r Result) OK() bool { return r.Err == nil }
+
+// Summary aggregates a run.
+type Summary struct {
+	Sent      int
+	Succeeded int
+	LossPct   float64
+	Min       time.Duration
+	Max       time.Duration
+	Mean      time.Duration
+	Median    time.Duration
+	StdDev    time.Duration
+}
+
+// Pinger times TCP handshakes against one address. The zero value is
+// not usable; set Address and call Run.
+type Pinger struct {
+	// Address is the host:port target.
+	Address string
+	// Count is the number of probes (default 4).
+	Count int
+	// Interval separates probe starts (default 1s; tests use less).
+	Interval time.Duration
+	// Timeout bounds each handshake (default 3s).
+	Timeout time.Duration
+	// Dialer optionally customizes dialing (source address, etc.).
+	Dialer *net.Dialer
+}
+
+func (p *Pinger) withDefaults() Pinger {
+	q := *p
+	if q.Count == 0 {
+		q.Count = 4
+	}
+	if q.Interval == 0 {
+		q.Interval = time.Second
+	}
+	if q.Timeout == 0 {
+		q.Timeout = 3 * time.Second
+	}
+	if q.Dialer == nil {
+		q.Dialer = &net.Dialer{}
+	}
+	return q
+}
+
+// ErrNoAddress is returned when the pinger has no target.
+var ErrNoAddress = errors.New("tcping: no address")
+
+// Run sends the configured probes, respecting ctx. It returns every
+// per-probe result plus the aggregate summary. A run where all probes
+// fail is not an error; inspect Summary.LossPct.
+func (p *Pinger) Run(ctx context.Context) ([]Result, Summary, error) {
+	cfg := p.withDefaults()
+	if cfg.Address == "" {
+		return nil, Summary{}, ErrNoAddress
+	}
+	if _, _, err := net.SplitHostPort(cfg.Address); err != nil {
+		return nil, Summary{}, fmt.Errorf("tcping: bad address %q: %w", cfg.Address, err)
+	}
+	results := make([]Result, 0, cfg.Count)
+	ticker := time.NewTicker(cfg.Interval)
+	defer ticker.Stop()
+	for seq := 0; seq < cfg.Count; seq++ {
+		if seq > 0 {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return results, summarize(results), ctx.Err()
+			}
+		}
+		results = append(results, cfg.probe(ctx, seq))
+		if err := ctx.Err(); err != nil {
+			return results, summarize(results), err
+		}
+	}
+	return results, summarize(results), nil
+}
+
+func (p *Pinger) probe(ctx context.Context, seq int) Result {
+	dialCtx, cancel := context.WithTimeout(ctx, p.Timeout)
+	defer cancel()
+	start := time.Now()
+	conn, err := p.Dialer.DialContext(dialCtx, "tcp", p.Address)
+	rtt := time.Since(start)
+	if err != nil {
+		return Result{Seq: seq, Err: err}
+	}
+	// The handshake completed at connect time; close politely.
+	conn.Close()
+	return Result{Seq: seq, RTT: rtt}
+}
+
+func summarize(results []Result) Summary {
+	s := Summary{Sent: len(results)}
+	var ms []float64
+	for _, r := range results {
+		if r.OK() {
+			s.Succeeded++
+			ms = append(ms, float64(r.RTT))
+		}
+	}
+	if s.Sent > 0 {
+		s.LossPct = 100 * float64(s.Sent-s.Succeeded) / float64(s.Sent)
+	}
+	if len(ms) == 0 {
+		return s
+	}
+	box, err := stats.Summarize(ms)
+	if err != nil {
+		return s
+	}
+	sd, _ := stats.StdDev(ms)
+	s.Min = time.Duration(box.Min)
+	s.Max = time.Duration(box.Max)
+	s.Mean = time.Duration(box.Mean)
+	s.Median = time.Duration(box.Median)
+	s.StdDev = time.Duration(sd)
+	return s
+}

@@ -1,0 +1,134 @@
+package tcping
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// startListener returns a loopback TCP listener that accepts and
+// immediately closes connections.
+func startListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln
+}
+
+func TestPingLoopback(t *testing.T) {
+	ln := startListener(t)
+	p := Pinger{Address: ln.Addr().String(), Count: 5, Interval: 5 * time.Millisecond}
+	results, sum, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 || sum.Sent != 5 || sum.Succeeded != 5 {
+		t.Fatalf("results: %+v summary: %+v", results, sum)
+	}
+	if sum.LossPct != 0 {
+		t.Errorf("loss = %v", sum.LossPct)
+	}
+	for _, r := range results {
+		if !r.OK() || r.RTT <= 0 {
+			t.Errorf("probe %d: %+v", r.Seq, r)
+		}
+	}
+	if sum.Min <= 0 || sum.Min > sum.Median || sum.Median > sum.Max {
+		t.Errorf("summary ordering broken: %+v", sum)
+	}
+	if sum.Mean <= 0 {
+		t.Errorf("mean = %v", sum.Mean)
+	}
+}
+
+func TestPingRefusedPort(t *testing.T) {
+	// Bind a port, then close it so nothing listens there.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	p := Pinger{Address: addr, Count: 3, Interval: time.Millisecond, Timeout: 200 * time.Millisecond}
+	results, sum, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("refused connections are loss, not a run error: %v", err)
+	}
+	if sum.Succeeded != 0 || sum.LossPct != 100 {
+		t.Errorf("summary = %+v", sum)
+	}
+	for _, r := range results {
+		if r.OK() {
+			t.Error("probe against closed port succeeded")
+		}
+	}
+	if sum.Min != 0 || sum.Median != 0 {
+		t.Errorf("all-loss summary should have zero latencies: %+v", sum)
+	}
+}
+
+func TestPingCancellation(t *testing.T) {
+	ln := startListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Pinger{Address: ln.Addr().String(), Count: 1000, Interval: 20 * time.Millisecond}
+	done := make(chan struct{})
+	var results []Result
+	var runErr error
+	go func() {
+		defer close(done)
+		results, _, runErr = p.Run(ctx)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("run did not stop after cancellation")
+	}
+	if !errors.Is(runErr, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", runErr)
+	}
+	if len(results) == 0 || len(results) >= 1000 {
+		t.Errorf("partial results = %d", len(results))
+	}
+}
+
+func TestBadConfig(t *testing.T) {
+	p := Pinger{}
+	if _, _, err := p.Run(context.Background()); !errors.Is(err, ErrNoAddress) {
+		t.Errorf("err = %v, want ErrNoAddress", err)
+	}
+	p = Pinger{Address: "no-port-here"}
+	if _, _, err := p.Run(context.Background()); err == nil {
+		t.Error("address without port should fail")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	p := (&Pinger{Address: "x:1"}).withDefaults()
+	if p.Count != 4 || p.Interval != time.Second || p.Timeout != 3*time.Second || p.Dialer == nil {
+		t.Errorf("defaults: %+v", p)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := summarize(nil)
+	if s.Sent != 0 || s.LossPct != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}

@@ -1,0 +1,341 @@
+package world
+
+import (
+	"repro/internal/asn"
+	"repro/internal/geo"
+)
+
+// tier1Table lists the global transit carriers of the synthetic
+// Internet, using their real ASNs. Telia, GTT, NTT and TATA are the
+// carriers the paper names explicitly (§6.1, §6.2).
+var tier1Table = []struct {
+	asn     asn.Number
+	name    string
+	country string
+}{
+	{1299, "Telia Carrier", "SE"},
+	{3257, "GTT Communications", "US"},
+	{2914, "NTT Global IP Network", "JP"},
+	{6453, "TATA Communications", "IN"},
+	{3356, "Lumen", "US"},
+	{174, "Cogent", "US"},
+	{6762, "Telecom Italia Sparkle", "IT"},
+	{6461, "Zayo", "US"},
+	{3491, "PCCW Global", "HK"},
+	{5511, "Orange International Carriers", "FR"},
+	{12956, "Telxius", "ES"},
+	{1273, "Vodafone Carrier Services", "GB"},
+}
+
+// namedISPTable carries the access ISPs the paper's case studies name,
+// with their real ASNs. relUsers is the ISP's share within its country
+// (used to rank "top-5 ISPs by recorded measurements"). hasTier1 marks
+// large eyeballs that buy transit from a Tier-1 directly, which is what
+// makes single-carrier private interconnects possible.
+var namedISPTable = []struct {
+	asn      asn.Number
+	name     string
+	country  string
+	relUsers float64
+	hasTier1 bool
+}{
+	// Germany (Fig 12a).
+	{3320, "Deutsche Telekom", "DE", 0.34, true},
+	{3209, "Vodafone DE", "DE", 0.27, true},
+	{6805, "Telefonica DE", "DE", 0.18, true},
+	{6830, "Liberty Global", "DE", 0.12, true},
+	{8881, "1&1 Versatel", "DE", 0.12, true},
+	// Japan (Fig 13a).
+	{2516, "KDDI", "JP", 0.27, true},
+	{2518, "BIGLOBE", "JP", 0.13, true},
+	{4713, "NTT OCN", "JP", 0.33, true},
+	{17511, "OPTAGE", "JP", 0.10, true},
+	{17676, "SoftBank", "JP", 0.17, true},
+	// Ukraine (Fig 17a).
+	{3255, "UARNet", "UA", 0.12, true},
+	{3326, "Datagroup", "UA", 0.18, true},
+	{6849, "Ukrtelecom", "UA", 0.24, true},
+	{15895, "Kyivstar", "UA", 0.30, true},
+	{25229, "Volia", "UA", 0.16, false},
+	// Bahrain (Fig 18a).
+	{5416, "Batelco", "BH", 0.38, true},
+	{31452, "ZAIN Bahrain", "BH", 0.24, true},
+	{39273, "Kalaam Telecom", "BH", 0.14, false},
+	{51375, "stc Bahrain", "BH", 0.24, true},
+	// United Kingdom (endpoint-side context for Figs 12/17).
+	{2856, "BT", "GB", 0.32, true},
+	{5089, "Virgin Media", "GB", 0.24, true},
+	{5607, "Sky UK", "GB", 0.22, true},
+	{13285, "TalkTalk", "GB", 0.13, true},
+	{12576, "EE", "GB", 0.09, false},
+	// United States and Brazil (dense-probe countries in Fig 9).
+	{7922, "Comcast", "US", 0.30, true},
+	{701, "Verizon", "US", 0.22, true},
+	{7018, "AT&T", "US", 0.26, true},
+	{209, "CenturyLink Consumer", "US", 0.12, true},
+	{20115, "Charter", "US", 0.10, true},
+	{28573, "Claro BR", "BR", 0.28, true},
+	{27699, "Telefonica BR (Vivo)", "BR", 0.32, true},
+	{7738, "Oi", "BR", 0.18, true},
+	{28220, "TIM BR", "BR", 0.22, false},
+	// India (endpoint-side for Fig 13/18).
+	{9829, "BSNL", "IN", 0.18, false},
+	{45609, "Airtel India", "IN", 0.30, true},
+	{55836, "Reliance Jio", "IN", 0.40, true},
+	{9498, "Bharti Airtel Transit", "IN", 0.12, true},
+}
+
+// ixpTable lists the major exchanges used to tag on-path IXP hops
+// (CAIDA IXP dataset equivalent, §3.3).
+var ixpTable = []struct {
+	asn     asn.Number
+	name    string
+	country string
+	lat     float64
+	lon     float64
+}{
+	{51706, "DE-CIX Frankfurt", "DE", 50.11, 8.68},
+	{1200, "AMS-IX", "NL", 52.37, 4.90},
+	{5459, "LINX", "GB", 51.51, -0.13},
+	{51105, "France-IX", "FR", 48.86, 2.35},
+	{8674, "Netnod", "SE", 59.33, 18.07},
+	{42476, "SwissIX", "CH", 47.38, 8.54},
+	{715, "Equinix Ashburn", "US", 39.04, -77.49},
+	{11670, "NYIIX", "US", 40.71, -74.01},
+	{26162, "IX.br Sao Paulo", "BR", -23.55, -46.63},
+	{52005, "CABASE Buenos Aires", "AR", -34.60, -58.38},
+	{7527, "JPNAP Tokyo", "JP", 35.68, 139.69},
+	{4635, "HKIX", "HK", 22.32, 114.17},
+	{24115, "Equinix Singapore", "SG", 1.35, 103.82},
+	{37195, "NAPAfrica Johannesburg", "ZA", -26.20, 28.05},
+	{33713, "CAIX Cairo", "EG", 30.05, 31.24},
+	{24029, "Equinix Sydney", "AU", -33.87, 151.21},
+}
+
+// Interconnect is the ground-truth interconnection kind the builder
+// chose for a <provider, serving ISP> pair. The traceroute pipeline
+// must re-derive these from paths alone (§6.1); the recorded intent is
+// the oracle tests compare against.
+type Interconnect uint8
+
+// Interconnection kinds.
+const (
+	IcPublic Interconnect = iota
+	IcPrivateTransit
+	IcDirect
+	IcDirectIXP // direct peering established over a public IXP fabric
+)
+
+// String returns the label used in the paper's figures.
+func (ic Interconnect) String() string {
+	switch ic {
+	case IcDirect:
+		return "direct"
+	case IcDirectIXP:
+		return "1 IXP"
+	case IcPrivateTransit:
+		return "1 AS"
+	case IcPublic:
+		return "2+ AS"
+	default:
+		return "?"
+	}
+}
+
+// overrideTable pins the <named ISP, provider> interconnections the
+// paper's case-study figures report explicitly (Figs 12a, 13a, 17a,
+// 18a), so the case studies reproduce deterministically.
+var overrideTable = map[asn.Number]map[string]Interconnect{
+	// Germany: hypergiants peer directly with all top ISPs; everything
+	// else enters via a single private interconnect, except
+	// Telefonica→Alibaba and Vodafone→DigitalOcean which ride the
+	// public Internet (Fig 12a).
+	3320: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPrivateTransit, "IBM": IcDirectIXP,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	3209: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPublic, "BABA": IcPrivateTransit, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	6805: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	6830: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPrivateTransit, "IBM": IcDirectIXP,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	8881: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPrivateTransit, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	// Japan: big-3 direct except NTT→Amazon; DigitalOcean strictly
+	// public (no Asian PoPs); Alibaba and IBM public; the small
+	// providers ride a single carrier (NTT AS2914 in-country, TATA
+	// AS6453 towards India) (Fig 13a, §6.2).
+	2516: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	2518: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	4713: {"AMZN": IcPrivateTransit, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcPrivateTransit,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	17511: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPublic, "ORCL": IcPrivateTransit},
+	17676: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPublic},
+	// Ukraine: the hypergiant direct-peering trend repeats; the rest is
+	// a private/public mix (Fig 17a).
+	3255: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcDirectIXP,
+		"LIN": IcPublic, "VLTR": IcPrivateTransit, "ORCL": IcPublic},
+	3326: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPublic, "ORCL": IcPrivateTransit},
+	6849: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPrivateTransit, "ORCL": IcPublic},
+	15895: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPublic, "VLTR": IcPrivateTransit, "ORCL": IcPrivateTransit},
+	25229: {"AMZN": IcDirect, "GCP": IcDirect, "MSFT": IcPrivateTransit, "LTSL": IcDirect,
+		"DO": IcPrivateTransit, "BABA": IcPublic, "IBM": IcDirectIXP,
+		"LIN": IcPrivateTransit, "VLTR": IcPublic, "ORCL": IcPublic},
+	// Bahrain: direct interconnections are rare — Microsoft and Google
+	// peer with a handful of serving ISPs; everything else is private
+	// transit or public backhaul (Fig 18a).
+	5416: {"AMZN": IcPrivateTransit, "GCP": IcDirect, "MSFT": IcDirect, "LTSL": IcPrivateTransit,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPrivateTransit, "VLTR": IcPublic, "ORCL": IcPrivateTransit},
+	31452: {"AMZN": IcPrivateTransit, "GCP": IcDirect, "MSFT": IcPrivateTransit, "LTSL": IcPrivateTransit,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPublic, "VLTR": IcPublic, "ORCL": IcPublic},
+	39273: {"AMZN": IcPublic, "GCP": IcPrivateTransit, "MSFT": IcPrivateTransit, "LTSL": IcPublic,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPublic,
+		"LIN": IcPrivateTransit, "VLTR": IcPublic, "ORCL": IcPrivateTransit},
+	51375: {"AMZN": IcPrivateTransit, "GCP": IcPrivateTransit, "MSFT": IcDirect, "LTSL": IcPrivateTransit,
+		"DO": IcPublic, "BABA": IcPublic, "IBM": IcPrivateTransit,
+		"LIN": IcPublic, "VLTR": IcPrivateTransit, "ORCL": IcPublic},
+}
+
+// submarine and terrestrial routing inflation between country pairs.
+// Values multiply great-circle distance to give fibre-route distance.
+// The country-pair overrides encode the undersea-cable geography §4.3
+// leans on: North Africa reaching Europe quickly, Andean countries
+// reaching North America on Pacific cables while tromboning to Brazil,
+// and East Africa's direct cables to South Africa.
+var inflationOverride = map[[2]string]float64{}
+
+func init() {
+	add := func(from []string, to []string, f float64) {
+		for _, a := range from {
+			for _, b := range to {
+				inflationOverride[[2]string{a, b}] = f
+				inflationOverride[[2]string{b, a}] = f
+			}
+		}
+	}
+	northAF := []string{"EG", "MA", "DZ", "TN", "LY", "SD"}
+	westAF := []string{"SN", "NG", "GH", "CI", "CM", "BF", "ML", "BJ", "TG"}
+	eastAF := []string{"KE", "TZ", "UG", "RW", "ET", "MU", "MG"}
+	southAF := []string{"ZA", "BW", "NA", "MZ", "ZW", "ZM", "AO"}
+	andes := []string{"BO", "PE", "EC"}
+	northSA := []string{"CO", "VE", "GY", "SR"}
+
+	// Mediterranean cables: fast, stable track to Europe.
+	add(northAF, []string{"DE", "GB", "FR", "IT", "ES", "NL", "PT", "GR", "IE", "BE", "CH"}, 1.45)
+	// North Africa to the in-continent (South African) datacenters:
+	// long coastal submarine detours.
+	add(northAF, southAF, 4.0)
+	add(westAF, southAF, 2.6)
+	// East Africa reaches South Africa on the EASSy cable directly.
+	add(eastAF, southAF, 2.1)
+	// East Africa to Europe: stable but long (via Red Sea / Suez).
+	add(eastAF, []string{"DE", "GB", "FR", "IT", "NL"}, 1.5)
+	// Africa to North America crosses to Europe first, then the
+	// well-provisioned Atlantic.
+	add(northAF, []string{"US", "CA"}, 1.55)
+	add(westAF, []string{"US", "CA"}, 1.5)
+	add(eastAF, []string{"US", "CA"}, 1.6)
+	add(southAF, []string{"US", "CA"}, 1.55)
+	// Andean countries: Pacific cables run straight to North America...
+	add(andes, []string{"US", "CA", "MX"}, 1.45)
+	// ...while reaching Brazil trombones through coastal systems
+	// (often via Miami in practice).
+	add(andes, []string{"BR"}, 3.3)
+	add(northSA, []string{"US", "CA"}, 1.4)
+	add(northSA, []string{"BR"}, 2.1)
+	// Bahrain and the Gulf reach India over busy but direct cables.
+	add([]string{"BH", "AE", "SA", "QA", "KW", "OM"}, []string{"IN"}, 1.7)
+	// Japan/Korea to India: long multi-segment submarine route.
+	add([]string{"JP", "KR"}, []string{"IN"}, 1.9)
+	// China's domestic backbone is dense and short — the one place the
+	// paper finds end-to-end medians under the 20 ms MTP bound (§4.1).
+	add([]string{"CN"}, []string{"CN"}, 1.35)
+}
+
+// continentInflation is the base distance inflation for public-Internet
+// paths inside and between continents, reflecting how well-provisioned
+// each region's backbone is.
+var continentInflation = map[[2]geo.Continent]float64{
+	{geo.EU, geo.EU}: 1.35,
+	{geo.NA, geo.NA}: 1.40,
+	{geo.EU, geo.NA}: 1.35,
+	{geo.AS, geo.AS}: 1.85,
+	{geo.EU, geo.AS}: 1.70,
+	{geo.NA, geo.AS}: 1.60,
+	{geo.SA, geo.SA}: 1.90,
+	{geo.NA, geo.SA}: 1.55,
+	{geo.EU, geo.SA}: 1.65,
+	{geo.AF, geo.AF}: 2.20,
+	{geo.EU, geo.AF}: 1.60,
+	{geo.NA, geo.AF}: 1.70,
+	{geo.AS, geo.AF}: 1.95,
+	{geo.OC, geo.OC}: 1.55,
+	{geo.AS, geo.OC}: 1.65,
+	{geo.NA, geo.OC}: 1.55,
+	{geo.EU, geo.OC}: 1.70,
+	{geo.SA, geo.AS}: 1.90,
+	{geo.SA, geo.AF}: 2.10,
+	{geo.SA, geo.OC}: 1.90,
+	{geo.AF, geo.OC}: 2.00,
+}
+
+// PathInflation returns the distance inflation factor for a public
+// path between two countries.
+func PathInflation(fromCountry, toCountry string) float64 {
+	if f, ok := inflationOverride[[2]string{fromCountry, toCountry}]; ok {
+		return f
+	}
+	a, aok := geo.CountryByCode(fromCountry)
+	b, bok := geo.CountryByCode(toCountry)
+	if !aok || !bok {
+		return 1.8
+	}
+	key := [2]geo.Continent{a.Continent, b.Continent}
+	if f, ok := continentInflation[key]; ok {
+		return f
+	}
+	if f, ok := continentInflation[[2]geo.Continent{b.Continent, a.Continent}]; ok {
+		return f
+	}
+	return 1.8
+}
+
+// PrivateWANInflation is the floor distance inflation inside a cloud
+// provider's private backbone: near-optimal fibre routes.
+const PrivateWANInflation = 1.18
+
+// PrivateWANInflationFor returns the distance inflation of a private
+// WAN haul between two countries. Providers lease or build the best
+// fibre available, but they cannot beat the cable geography: a private
+// backbone between North Africa and South Africa still rides the same
+// coastal submarine systems, just with fewer detours. The factor is
+// therefore a discounted public inflation with a near-optimal floor.
+func PrivateWANInflationFor(fromCountry, toCountry string) float64 {
+	f := PathInflation(fromCountry, toCountry) * 0.85
+	if f < PrivateWANInflation {
+		return PrivateWANInflation
+	}
+	return f
+}
