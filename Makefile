@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet fuzz verify
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz pass over the NDJSON codec (regression corpus + 10s each).
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzImportPings -fuzztime=10s ./internal/atlasfmt/
+	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=10s ./internal/atlasfmt/
+	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=10s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=10s ./internal/dataset/
+
+# verify is the pre-merge gate: static analysis plus the full suite
+# under the race detector.
+verify: vet race

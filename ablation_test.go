@@ -40,9 +40,13 @@ func runVariant(worldCfg world.Config, simTweak func(*netsim.Simulator), probeCf
 	cfg := measure.Config{
 		Seed: 9, Cycles: 3, ProbesPerCountry: 25, TargetsPerProbe: 6,
 		MinProbesPerCountry: 2, RequestsPerMinute: 1000, Workers: 8,
-		BothPingProtocols: true, Traceroutes: true, NeighborContinentTargets: true,
+		BothPingProtocols: measure.FlagOn, Traceroutes: true, NeighborContinentTargets: true,
 	}
-	store, _, err := measure.New(sim, fleet, cfg).Run(context.Background())
+	campaign, err := measure.New(sim, fleet, cfg)
+	if err != nil {
+		panic(err)
+	}
+	store, _, err := campaign.Run(context.Background())
 	if err != nil {
 		panic(err)
 	}

@@ -16,7 +16,8 @@
 //	w, _ := cloudy.NewWorld(1)                   // synthesize the Internet
 //	sim := cloudy.NewSimulator(w)                // data-plane emulator
 //	fleet := cloudy.SpeedcheckerFleet(w, cloudy.FleetConfig{Seed: 1, Scale: 0.1})
-//	store, stats, _ := cloudy.NewCampaign(sim, fleet, cloudy.CampaignConfig{}).Run(ctx)
+//	campaign, _ := cloudy.NewCampaign(sim, fleet, cloudy.CampaignConfig{})
+//	store, stats, _ := campaign.Run(ctx)
 //	processed := cloudy.NewProcessor(w).ProcessAll(store)
 //
 // Everything is deterministic under a seed; see DESIGN.md for the
@@ -32,6 +33,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnssim"
 	"repro/internal/edge"
+	"repro/internal/faults"
 	"repro/internal/geoip"
 	"repro/internal/hloc"
 	"repro/internal/measure"
@@ -88,10 +90,27 @@ type (
 	Traceroute     = dataset.TracerouteRecord
 )
 
-// NewCampaign assembles a campaign over one fleet.
-func NewCampaign(sim *Simulator, fleet *Fleet, cfg CampaignConfig) *Campaign {
+// NewCampaign assembles a campaign over one fleet, validating cfg.
+func NewCampaign(sim *Simulator, fleet *Fleet, cfg CampaignConfig) (*Campaign, error) {
 	return measure.New(sim, fleet, cfg)
 }
+
+// Fault-injection re-exports: a FaultPlan (or any FaultInjector) wired
+// into both the simulator and CampaignConfig.Faults runs a chaos
+// campaign that stays deterministic under its seed; Checkpoint carries
+// a paused campaign's state across a restart.
+type (
+	FaultInjector = faults.Injector
+	FaultPlan     = faults.Plan
+	Checkpoint    = measure.Checkpoint
+)
+
+// FaultProfile resolves a named fault profile ("flaky-wireless",
+// "quota-storm", "partition"); FaultProfiles lists the names.
+var (
+	FaultProfile  = faults.Profile
+	FaultProfiles = faults.Names
+)
 
 // Processor turns raw traceroutes into classified, AS-attributed paths;
 // Processed is its per-trace output.

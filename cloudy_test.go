@@ -29,10 +29,13 @@ func TestPublicAPI(t *testing.T) {
 		t.Fatal("empty atlas fleet")
 	}
 
-	camp := cloudy.NewCampaign(sim, fleet, cloudy.CampaignConfig{
+	camp, err := cloudy.NewCampaign(sim, fleet, cloudy.CampaignConfig{
 		Seed: 5, Cycles: 1, TargetsPerProbe: 3, MinProbesPerCountry: 2,
 		RequestsPerMinute: 1000, Workers: 4, Traceroutes: true,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	store, stats, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/atlasfmt"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/netsim"
@@ -76,12 +77,20 @@ func usage() {
 func cmdWorld(args []string) error {
 	fs := flag.NewFlagSet("world", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "world seed")
+	faultProfile := fs.String("faults", "", faultsUsage)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := faults.Profile(*faultProfile, *seed)
+	if err != nil {
 		return err
 	}
 	w, err := world.Build(world.Config{Seed: *seed})
 	if err != nil {
 		return err
+	}
+	if plan != nil {
+		fmt.Fprintf(os.Stdout, "fault profile: %s\n\n", plan)
 	}
 	out := os.Stdout
 	report.Table1(out, w.Inventory)
@@ -100,10 +109,13 @@ func cmdWorld(args []string) error {
 	return nil
 }
 
+const faultsUsage = "fault-injection profile: flaky-wireless, quota-storm, partition or none"
+
 type studyFlags struct {
 	seed   *int64
 	scale  *float64
 	cycles *int
+	faults *string
 }
 
 func addStudyFlags(fs *flag.FlagSet) studyFlags {
@@ -111,18 +123,28 @@ func addStudyFlags(fs *flag.FlagSet) studyFlags {
 		seed:   fs.Int64("seed", 1, "study seed"),
 		scale:  fs.Float64("scale", 0.05, "fleet scale (1.0 = the paper's 115K probes)"),
 		cycles: fs.Int("cycles", 4, "country sweeps (the paper's six months ≈ 12)"),
+		faults: fs.String("faults", "", faultsUsage),
 	}
 }
 
 func runStudy(ctx context.Context, f studyFlags) (*core.Study, core.Results, error) {
 	fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
 		*f.seed, *f.scale, *f.cycles)
-	study, err := core.Run(ctx, core.Config{Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles})
+	if *f.faults != "" && *f.faults != "none" {
+		fmt.Fprintf(os.Stderr, "fault profile: %s\n", *f.faults)
+	}
+	study, err := core.Run(ctx, core.Config{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+	})
 	if err != nil {
 		return nil, core.Results{}, err
 	}
 	np, nt := study.Store.Len()
 	fmt.Fprintf(os.Stderr, "collected %d pings, %d traceroutes\n", np, nt)
+	if study.SCStats.Lost > 0 || study.SCStats.Retries > 0 {
+		fmt.Fprintf(os.Stderr, "loss accounting: %d attempts, %d retries, %d lost, %d quarantine trips\n",
+			study.SCStats.Attempts, study.SCStats.Retries, study.SCStats.Lost, study.SCStats.Quarantined)
+	}
 	return study, study.Analyze(core.AnalyzeConfig{}), nil
 }
 
@@ -272,6 +294,13 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 		return err
 	}
 	sim := netsim.New(w)
+	plan, err := faults.Profile(*f.faults, *f.seed)
+	if err != nil {
+		return err
+	}
+	if plan != nil {
+		sim.Faults = plan
+	}
 	pf, err := os.Create(pingsPath)
 	if err != nil {
 		return err
@@ -288,14 +317,18 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 	base := measure.Config{
 		Seed: *f.seed, Cycles: *f.cycles, ProbesPerCountry: 40, TargetsPerProbe: 8,
 		MinProbesPerCountry: 2, RequestsPerMinute: 1000,
-		BothPingProtocols: true, Traceroutes: true, NeighborContinentTargets: true,
+		BothPingProtocols: measure.FlagOn, Traceroutes: true, NeighborContinentTargets: true,
 	}
 	// One sink across both campaigns: a second sink would emit a second
 	// CSV header mid-file.
 	sink := dataset.NewFileSink(bufP, bufT)
-	run := func(fleet *probes.Fleet, cfg measure.Config) error {
+	run := func(sim *netsim.Simulator, fleet *probes.Fleet, cfg measure.Config) error {
 		cfg.Sink = sink
-		_, st, err := measure.New(sim, fleet, cfg).Run(ctx)
+		campaign, err := measure.New(sim, fleet, cfg)
+		if err != nil {
+			return err
+		}
+		_, st, err := campaign.Run(ctx)
 		if err != nil {
 			return err
 		}
@@ -303,14 +336,23 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 		return nil
 	}
 	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: *f.seed, Scale: *f.scale})
-	if err := run(sc, base); err != nil {
+	scCfg := base
+	if plan != nil {
+		scCfg.Faults = plan
+	}
+	if err := run(sim, sc, scCfg); err != nil {
 		return err
 	}
 	atCfg := base
 	atCfg.Cycles = 1
 	atCfg.ProbesPerCountry = 0
 	at := probes.GenerateAtlas(w, probes.Config{Seed: *f.seed, Scale: 1})
-	if err := run(at, atCfg); err != nil {
+	// The Atlas fleet is wired: its campaign always runs fault-free.
+	atSim := sim
+	if plan != nil {
+		atSim = netsim.New(w)
+	}
+	if err := run(atSim, at, atCfg); err != nil {
 		return err
 	}
 	if err := bufP.Flush(); err != nil {

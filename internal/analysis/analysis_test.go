@@ -38,9 +38,13 @@ func testData(t *testing.T) *fixture {
 		cfg := measure.Config{
 			Seed: 1, Cycles: 4, ProbesPerCountry: 40, TargetsPerProbe: 6,
 			MinProbesPerCountry: 2, RequestsPerMinute: 1000, Workers: 8,
-			BothPingProtocols: true, Traceroutes: true, NeighborContinentTargets: true,
+			BothPingProtocols: measure.FlagOn, Traceroutes: true, NeighborContinentTargets: true,
 		}
-		store, _, err := measure.New(sim, sc, cfg).Run(context.Background())
+		campaign, err := measure.New(sim, sc, cfg)
+		if err != nil {
+			panic(err)
+		}
+		store, _, err := campaign.Run(context.Background())
 		if err != nil {
 			panic(err)
 		}
@@ -49,7 +53,11 @@ func testData(t *testing.T) *fixture {
 		atCfg := cfg
 		atCfg.ProbesPerCountry = 0
 		atCfg.Cycles = 1
-		atStore, _, err := measure.New(sim, at, atCfg).Run(context.Background())
+		atCampaign, err := measure.New(sim, at, atCfg)
+		if err != nil {
+			panic(err)
+		}
+		atStore, _, err := atCampaign.Run(context.Background())
 		if err != nil {
 			panic(err)
 		}

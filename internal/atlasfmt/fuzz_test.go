@@ -1,0 +1,93 @@
+package atlasfmt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// fuzzMeta builds a sidecar covering the sample probes and targets, so
+// fuzzed inputs that keep valid IDs exercise the deep decode path
+// rather than the skip counter. It is read-only during import, so
+// sharing it across parallel fuzz workers is safe.
+func fuzzMeta() *Meta {
+	meta := NewMeta()
+	var buf bytes.Buffer
+	_ = ExportPings(&buf, []dataset.PingRecord{samplePing("a", 0, 12.5)}, meta)
+	_ = ExportTraces(&buf, []dataset.TracerouteRecord{sampleTrace("x", 2)}, meta)
+	return meta
+}
+
+// FuzzImportPings must never panic on arbitrary NDJSON, and whatever it
+// accepts must survive an export/import round trip losslessly.
+func FuzzImportPings(f *testing.F) {
+	meta := fuzzMeta()
+	var buf bytes.Buffer
+	_ = ExportPings(&buf, []dataset.PingRecord{
+		samplePing("a", 0, 12.5),
+		samplePing("b", 3, 99.125),
+	}, fuzzMeta())
+	f.Add(buf.String())
+	// Timeout markers and corrupted RTTs: negative, absurdly large, and
+	// a reply with neither rtt nor x.
+	f.Add(`{"type":"ping","msm_id":4294967296,"prb_id":1000000,"dst_addr":"104.16.1.10","proto":"TCP","result":[{"x":"*"},{"rtt":-5},{"rtt":1e308},{}]}` + "\n")
+	// Unknown probe and target: the skip path.
+	f.Add(`{"type":"ping","prb_id":42,"dst_addr":"1.2.3.4","proto":"ICMP","result":[{"rtt":10}]}` + "\n")
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"type":"ping","proto":"UDP"}` + "\n")
+	f.Add(`{"type":"ping",`)
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, _, err := ImportPings(strings.NewReader(s), meta)
+		if err != nil {
+			return
+		}
+		// Accepted records re-export (fresh sidecar) and re-import to the
+		// same count with nothing skipped.
+		out := NewMeta()
+		var ndjson bytes.Buffer
+		if err := ExportPings(&ndjson, recs, out); err != nil {
+			t.Fatalf("accepted records fail to export: %v", err)
+		}
+		back, skipped, err := ImportPings(&ndjson, out)
+		if err != nil || skipped != 0 || len(back) != len(recs) {
+			t.Fatalf("round trip broke: err %v, skipped %d, %d vs %d records",
+				err, skipped, len(back), len(recs))
+		}
+	})
+}
+
+// FuzzImportTraces must never panic on arbitrary NDJSON — including
+// traces with missing hops, empty hop results, and corrupted RTTs —
+// and accepted traces must round-trip.
+func FuzzImportTraces(f *testing.F) {
+	meta := fuzzMeta()
+	var buf bytes.Buffer
+	_ = ExportTraces(&buf, []dataset.TracerouteRecord{sampleTrace("x", 2)}, fuzzMeta())
+	f.Add(buf.String()) // sampleTrace already contains a non-responding hop
+	// Truncated path: missing hops, a hop with an empty result list, a
+	// negative RTT, and a hop whose reply has an unparseable address.
+	f.Add(`{"type":"traceroute","msm_id":8589934594,"prb_id":1000001,"dst_addr":"104.0.1.10","result":[{"hop":1,"result":[]},{"hop":3,"result":[{"x":"*"}]},{"hop":4,"result":[{"from":"60.0.0.20","rtt":-3.5}]}]}` + "\n")
+	f.Add(`{"type":"traceroute","prb_id":1000001,"dst_addr":"104.0.1.10","result":[{"hop":1,"result":[{"from":"not-an-ip","rtt":9}]}]}` + "\n")
+	f.Add("")
+	f.Add("{}\n")
+	f.Add(`{"type":"traceroute"`)
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, _, err := ImportTraces(strings.NewReader(s), meta)
+		if err != nil {
+			return
+		}
+		out := NewMeta()
+		var ndjson bytes.Buffer
+		if err := ExportTraces(&ndjson, recs, out); err != nil {
+			t.Fatalf("accepted traces fail to export: %v", err)
+		}
+		back, skipped, err := ImportTraces(&ndjson, out)
+		if err != nil || skipped != 0 || len(back) != len(recs) {
+			t.Fatalf("round trip broke: err %v, skipped %d, %d vs %d traces",
+				err, skipped, len(back), len(recs))
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/edge"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/netsim"
@@ -48,6 +49,11 @@ type Config struct {
 	MinProbes int
 	// Workers is the measurement concurrency (0 = GOMAXPROCS).
 	Workers int
+	// FaultProfile names a fault-injection profile ("flaky-wireless",
+	// "quota-storm", "partition"; empty or "none" runs fault-free). The
+	// campaign engine's retries, circuit breaker and spill handling keep
+	// the study completing under every built-in profile.
+	FaultProfile string
 }
 
 func (c Config) withDefaults() Config {
@@ -110,6 +116,13 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 		return nil, fmt.Errorf("core: building world: %w", err)
 	}
 	sim := netsim.New(w)
+	plan, err := faults.Profile(cfg.FaultProfile, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if plan != nil {
+		sim.Faults = plan
+	}
 	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: cfg.Seed, Scale: cfg.Scale})
 	at := probes.GenerateAtlas(w, probes.Config{Seed: cfg.Seed, Scale: 1})
 
@@ -121,20 +134,39 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 		MinProbesPerCountry:      cfg.MinProbes,
 		RequestsPerMinute:        1000, // virtual-clock pacing only
 		Workers:                  cfg.Workers,
-		BothPingProtocols:        true,
+		BothPingProtocols:        measure.FlagOn,
 		Traceroutes:              true,
 		NeighborContinentTargets: true,
 	}
-	store, scStats, err := measure.New(sim, sc, scCfg).Run(ctx)
+	if plan != nil {
+		scCfg.Faults = plan
+	}
+	scCampaign, err := measure.New(sim, sc, scCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: speedchecker campaign: %w", err)
+	}
+	store, scStats, err := scCampaign.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: speedchecker campaign: %w", err)
 	}
 	// Atlas probes are always connected; a single uncapped cycle keeps
-	// the platform's geographic proportions intact.
+	// the platform's geographic proportions intact. Atlas is wired, not
+	// wireless: the fault profiles model the Speedchecker side only.
 	atCfg := scCfg
 	atCfg.Cycles = 1
 	atCfg.ProbesPerCountry = 0
-	atStore, atStats, err := measure.New(sim, at, atCfg).Run(ctx)
+	atCfg.Faults = nil
+	atSim := sim
+	if plan != nil {
+		// A fresh simulator strips the injector; the RTT model itself is
+		// a pure function of the world, so the values are unchanged.
+		atSim = netsim.New(w)
+	}
+	atCampaign, err := measure.New(atSim, at, atCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: atlas campaign: %w", err)
+	}
+	atStore, atStats, err := atCampaign.Run(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("core: atlas campaign: %w", err)
 	}
@@ -287,6 +319,7 @@ func (s *Study) WriteReport(w io.Writer, r Results) {
 	report.Density(w, r.AtlasDensity, 10)
 	report.CampaignStats(w, "Speedchecker campaign", s.SCStats)
 	report.CampaignStats(w, "RIPE Atlas campaign", s.AtlasStats)
+	report.DataQuality(w, "Speedchecker", s.SCStats)
 	np, nt := s.Store.Len()
 	fmt.Fprintf(w, "dataset: %d pings, %d traceroutes\n", np, nt)
 	cov := s.World.UserCoverageOf(s.SC.ISPNumbers())

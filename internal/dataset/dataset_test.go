@@ -188,3 +188,29 @@ func TestProtocolRoundTrip(t *testing.T) {
 		t.Error("unknown protocol should fail")
 	}
 }
+
+func TestStoreSink(t *testing.T) {
+	sink := NewStoreSink(nil)
+	if err := sink.Ping(samplePing(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Trace(sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if np, nt := sink.Store.Len(); np != 1 || nt != 1 {
+		t.Errorf("store sink holds %d/%d records, want 1/1", np, nt)
+	}
+	// Wrapping an existing store appends to it.
+	existing := &Store{}
+	existing.AddPing(samplePing(1))
+	sink2 := NewStoreSink(existing)
+	if err := sink2.Ping(samplePing(2)); err != nil {
+		t.Fatal(err)
+	}
+	if np, _ := existing.Len(); np != 2 {
+		t.Errorf("wrapped store holds %d pings, want 2", np)
+	}
+}

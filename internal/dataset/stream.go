@@ -132,3 +132,25 @@ func (s *FileSink) Close() error {
 	}
 	return nil
 }
+
+// StoreSink is a Sink backed by an in-memory Store — useful when a
+// campaign should exercise the streaming path (including its error
+// handling) while keeping the records queryable afterwards.
+type StoreSink struct{ Store *Store }
+
+// NewStoreSink wraps store (allocating one if nil).
+func NewStoreSink(store *Store) *StoreSink {
+	if store == nil {
+		store = &Store{}
+	}
+	return &StoreSink{Store: store}
+}
+
+// Ping implements Sink.
+func (s *StoreSink) Ping(r PingRecord) error { s.Store.AddPing(r); return nil }
+
+// Trace implements Sink.
+func (s *StoreSink) Trace(r TracerouteRecord) error { s.Store.AddTrace(r); return nil }
+
+// Close implements Sink.
+func (s *StoreSink) Close() error { return nil }

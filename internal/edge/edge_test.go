@@ -27,9 +27,13 @@ func testProcessed(t *testing.T) []pipeline.Processed {
 		cfg := measure.Config{
 			Seed: 2, Cycles: 3, ProbesPerCountry: 25, TargetsPerProbe: 6,
 			MinProbesPerCountry: 2, RequestsPerMinute: 1000, Workers: 8,
-			Traceroutes: true, NeighborContinentTargets: true,
+			BothPingProtocols: measure.FlagOff, Traceroutes: true, NeighborContinentTargets: true,
 		}
-		store, _, err := measure.New(sim, fleet, cfg).Run(context.Background())
+		campaign, err := measure.New(sim, fleet, cfg)
+		if err != nil {
+			panic(err)
+		}
+		store, _, err := campaign.Run(context.Background())
 		if err != nil {
 			panic(err)
 		}

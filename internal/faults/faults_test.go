@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestZeroValueInjectsNothing: the zero Plan and the nil Plan are both
+// fully transparent.
+func TestZeroValueInjectsNothing(t *testing.T) {
+	for _, p := range []*Plan{nil, {}} {
+		for cycle := 0; cycle < 5; cycle++ {
+			if p.ProbeDropout("p1", cycle) {
+				t.Fatal("zero plan dropped a probe")
+			}
+			if f := p.Ping("p1", "r1", OpPingTCP, cycle, 0); f.Lost || f.DelayMs != 0 {
+				t.Fatalf("zero plan injected ping fault %+v", f)
+			}
+			if f := p.Trace("p1", "r1", cycle); f.Lost || f.MaxHops != 0 || f.DropHopProb != 0 {
+				t.Fatalf("zero plan injected trace fault %+v", f)
+			}
+			if got := p.CorruptRTT("p1", "r1", cycle, 42.5); got != 42.5 {
+				t.Fatalf("zero plan corrupted RTT: %v", got)
+			}
+			if err := p.Sink(cycle); err != nil {
+				t.Fatalf("zero plan injected sink error: %v", err)
+			}
+		}
+	}
+}
+
+// TestDeterminism: every decision is a pure function of (seed, kind,
+// keys) — two plans with the same seed agree everywhere, and a
+// different seed produces a different fault stream.
+func TestDeterminism(t *testing.T) {
+	a, err := Profile(ProfileFlakyWireless, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(ProfileFlakyWireless, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Profile(ProfileFlakyWireless, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probes := []string{"sc-DE-1", "sc-KE-2", "sc-BR-3"}
+	diff := 0
+	for _, p := range probes {
+		for cycle := 0; cycle < 20; cycle++ {
+			if a.ProbeDropout(p, cycle) != b.ProbeDropout(p, cycle) {
+				t.Fatal("same seed disagrees on dropout")
+			}
+			fa := a.Ping(p, "r", OpPingTCP, cycle, 0)
+			fb := b.Ping(p, "r", OpPingTCP, cycle, 0)
+			if fa != fb {
+				t.Fatal("same seed disagrees on ping fault")
+			}
+			ta, tb := a.Trace(p, "r", cycle), b.Trace(p, "r", cycle)
+			if ta != tb {
+				t.Fatal("same seed disagrees on trace fault")
+			}
+			if a.CorruptRTT(p, "r", cycle, 100) != b.CorruptRTT(p, "r", cycle, 100) {
+				t.Fatal("same seed disagrees on RTT corruption")
+			}
+			if a.ProbeDropout(p, cycle) != c.ProbeDropout(p, cycle) ||
+				fa != c.Ping(p, "r", OpPingTCP, cycle, 0) {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical fault streams")
+	}
+}
+
+// TestRatesRoughlyMatch: over many draws each probability lands near its
+// configured value.
+func TestRatesRoughlyMatch(t *testing.T) {
+	p := &Plan{Seed: 3, PingLoss: 0.10, Dropout: 0.25}
+	const n = 20000
+	lost, dropped := 0, 0
+	for i := 0; i < n; i++ {
+		probe := "p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if p.Ping(probe, "r", OpPingTCP, i, 0).Lost {
+			lost++
+		}
+		if p.ProbeDropout(probe, i) {
+			dropped++
+		}
+	}
+	if got := float64(lost) / n; got < 0.08 || got > 0.12 {
+		t.Errorf("ping loss rate = %.3f, want ≈ 0.10", got)
+	}
+	if got := float64(dropped) / n; got < 0.22 || got > 0.28 {
+		t.Errorf("dropout rate = %.3f, want ≈ 0.25", got)
+	}
+}
+
+// TestRetryAttemptsDecorrelated: the per-attempt draws differ, so a lost
+// first attempt can succeed on retry (transient loss clears).
+func TestRetryAttemptsDecorrelated(t *testing.T) {
+	p := &Plan{Seed: 1, PingLoss: 0.5}
+	recovered := false
+	for i := 0; i < 200 && !recovered; i++ {
+		probe := "probe-" + string(rune('a'+i%26))
+		if p.Ping(probe, "r", OpPingTCP, i, 0).Lost && !p.Ping(probe, "r", OpPingTCP, i, 1).Lost {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no lost ping ever recovered on retry — attempts are correlated")
+	}
+}
+
+// TestPartitionSticky: a partitioned probe stays lost for every attempt
+// and cycle inside the window — retries must not save it — and recovers
+// outside the window.
+func TestPartitionSticky(t *testing.T) {
+	p := &Plan{Seed: 5, Partition: 0.5, PartitionFrom: 1, PartitionTo: 3}
+	var inPart string
+	for i := 0; i < 100; i++ {
+		probe := "probe-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		if p.Ping(probe, "r", OpPingTCP, 1, 0).Lost {
+			inPart = probe
+			break
+		}
+	}
+	if inPart == "" {
+		t.Fatal("no probe fell in a 50% partition")
+	}
+	for cycle := 1; cycle < 3; cycle++ {
+		for attempt := 0; attempt < 5; attempt++ {
+			if !p.Ping(inPart, "r", OpPingTCP, cycle, attempt).Lost {
+				t.Fatalf("partitioned probe recovered at cycle %d attempt %d", cycle, attempt)
+			}
+		}
+		if !p.Trace(inPart, "r", cycle).Lost {
+			t.Fatalf("partitioned probe traced at cycle %d", cycle)
+		}
+	}
+	if p.Ping(inPart, "r", OpPingTCP, 0, 0).Lost || p.Ping(inPart, "r", OpPingTCP, 3, 0).Lost {
+		t.Error("partition leaked outside its [from, to) window")
+	}
+}
+
+// TestTruncationBounds: injected truncations keep 2–8 hops.
+func TestTruncationBounds(t *testing.T) {
+	p := &Plan{Seed: 2, TraceTruncate: 1}
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		probe := "probe-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		f := p.Trace(probe, "r", i)
+		if f.MaxHops < 2 || f.MaxHops > 8 {
+			t.Fatalf("truncation to %d hops, want 2–8", f.MaxHops)
+		}
+		seen[f.MaxHops] = true
+	}
+	if len(seen) < 4 {
+		t.Errorf("truncation lengths not spread: %v", seen)
+	}
+}
+
+// TestCorruptRTTScales: corrupted samples land in [scale/2, 3·scale/2)
+// times the original.
+func TestCorruptRTTScales(t *testing.T) {
+	p := &Plan{Seed: 4, RTTOutlier: 1, RTTOutlierScale: 6}
+	for i := 0; i < 200; i++ {
+		probe := "probe-" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26))
+		got := p.CorruptRTT(probe, "r", i, 50)
+		if got < 50*3 || got >= 50*9 {
+			t.Fatalf("outlier %v outside [150, 450)", got)
+		}
+	}
+}
+
+// TestSinkErrors: transient draws wrap ErrQuota and are recognizable;
+// SinkFailAfter flips to a permanent error.
+func TestSinkErrors(t *testing.T) {
+	p := &Plan{Seed: 6, SinkTransient: 0.5, SinkFailAfter: 100}
+	sawTransient := false
+	for seq := 0; seq < 100; seq++ {
+		err := p.Sink(seq)
+		if err == nil {
+			continue
+		}
+		if !IsTransient(err) || !errors.Is(err, ErrQuota) {
+			t.Fatalf("pre-cutoff sink error should be transient quota: %v", err)
+		}
+		sawTransient = true
+	}
+	if !sawTransient {
+		t.Error("50% transient rate never fired in 100 writes")
+	}
+	for seq := 100; seq < 105; seq++ {
+		err := p.Sink(seq)
+		if !errors.Is(err, ErrSinkDown) || IsTransient(err) {
+			t.Fatalf("post-cutoff sink error should be permanent: %v", err)
+		}
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain error misclassified as transient")
+	}
+}
+
+// TestProfiles: each built-in name resolves, carries its name, and
+// injects something; unknown names and "none" behave.
+func TestProfiles(t *testing.T) {
+	names := Names()
+	if len(names) != 3 {
+		t.Fatalf("profiles = %v", names)
+	}
+	for _, name := range names {
+		p, err := Profile(name, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name != name || p.Seed != 11 {
+			t.Errorf("profile %s resolved to %+v", name, p)
+		}
+		if !strings.Contains(p.String(), name) {
+			t.Errorf("String() of %s does not mention it: %s", name, p)
+		}
+	}
+	for _, name := range []string{"", "none"} {
+		if p, err := Profile(name, 1); p != nil || err != nil {
+			t.Errorf("Profile(%q) = %v, %v; want nil, nil", name, p, err)
+		}
+	}
+	if _, err := Profile("bogus", 1); err == nil {
+		t.Error("unknown profile accepted")
+	}
+	var nilPlan *Plan
+	if nilPlan.String() != "none" {
+		t.Errorf("nil plan String = %q", nilPlan.String())
+	}
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Named fault profiles, each a caricature of one operational failure
+// mode the paper's campaign had to survive.
+const (
+	// ProfileFlakyWireless models the transient Android fleet of §3.3:
+	// probes vanish mid-cycle, pings drop and stall, traceroutes die
+	// mid-path, and the odd RTT comes back an order of magnitude off.
+	ProfileFlakyWireless = "flaky-wireless"
+	// ProfileQuotaStorm models a measurement API under load: bursts of
+	// retryable quota errors at the sink plus slow, occasionally lost
+	// responses.
+	ProfileQuotaStorm = "quota-storm"
+	// ProfilePartition cuts a fifth of the fleet off from cycle 1
+	// onward — the retries-cannot-save-you case the circuit breaker
+	// exists for.
+	ProfilePartition = "partition"
+)
+
+// profiles maps each name to its plan template (Seed filled in by
+// Profile).
+var profiles = map[string]Plan{
+	ProfileFlakyWireless: {
+		Name:            ProfileFlakyWireless,
+		Dropout:         0.12,
+		PingLoss:        0.05,
+		PingDelay:       0.04,
+		PingDelayMs:     8000,
+		RTTOutlier:      0.02,
+		RTTOutlierScale: 6,
+		TraceLoss:       0.04,
+		TraceTruncate:   0.10,
+		HopDrop:         0.08,
+	},
+	ProfileQuotaStorm: {
+		Name:          ProfileQuotaStorm,
+		PingLoss:      0.015,
+		PingDelay:     0.06,
+		PingDelayMs:   6000,
+		TraceLoss:     0.01,
+		SinkTransient: 0.12,
+	},
+	ProfilePartition: {
+		Name:          ProfilePartition,
+		Partition:     0.20,
+		PartitionFrom: 1,
+		PartitionTo:   1 << 30,
+		PingLoss:      0.01,
+		TraceLoss:     0.01,
+	},
+}
+
+// Names lists the built-in profiles in a stable order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for name := range profiles {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Profile resolves a named profile into a Plan seeded with seed. The
+// empty string and "none" resolve to nil — no injection.
+func Profile(name string, seed int64) (*Plan, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	tmpl, ok := profiles[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown profile %q (have %v)", name, Names())
+	}
+	tmpl.Seed = seed
+	return &tmpl, nil
+}

@@ -1,0 +1,205 @@
+package measure
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// ckptConfig is a campaign long enough to cross several checkpoint
+// boundaries.
+func ckptConfig() Config {
+	cfg := smallConfig()
+	cfg.Cycles = 2
+	cfg.CheckpointEvery = 20
+	return cfg
+}
+
+// runToCompletion runs cfg uninterrupted and returns the sorted RTT
+// multiset plus the final stats.
+func runToCompletion(t *testing.T, cfg Config) ([]float64, Stats) {
+	t.Helper()
+	store, st, err := mustNew(t, cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := append([]float64(nil), rtts(store)...)
+	sort.Float64s(r)
+	return r, st
+}
+
+// TestCheckpointResume is the headline resilience contract: a campaign
+// interrupted at a checkpoint and resumed from it produces exactly the
+// records (and loss accounting) of an uninterrupted run under the same
+// seed — nothing double-counted, nothing skipped.
+func TestCheckpointResume(t *testing.T) {
+	for _, profile := range []string{"", faults.ProfileFlakyWireless} {
+		name := profile
+		if name == "" {
+			name = "fault-free"
+		}
+		t.Run(name, func(t *testing.T) {
+			base := ckptConfig()
+			if profile != "" {
+				plan, err := faults.Profile(profile, base.Seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				base.Faults = plan
+			}
+			wantRTTs, wantStats := runToCompletion(t, base)
+
+			// First leg: stop at the second checkpoint, keeping the
+			// serialized state and the records collected so far.
+			var saved bytes.Buffer
+			stopAt := 2
+			seen := 0
+			cfgA := base
+			cfgA.OnCheckpoint = func(cp Checkpoint) error {
+				seen++
+				if seen == stopAt {
+					if err := cp.Encode(&saved); err != nil {
+						return err
+					}
+					return errors.New("shutdown requested")
+				}
+				return nil
+			}
+			storeA, stA, err := mustNew(t, cfgA).Run(context.Background())
+			if !errors.Is(err, ErrStopped) {
+				t.Fatalf("interrupted run: err = %v, want ErrStopped wrap", err)
+			}
+			if saved.Len() == 0 {
+				t.Fatal("no checkpoint serialized")
+			}
+			npA, _ := storeA.Len()
+			if npA == 0 || npA >= len(wantRTTs) {
+				t.Fatalf("first leg collected %d pings, want partial (full run has %d)", npA, len(wantRTTs))
+			}
+			if stA.Checkpoints != stopAt {
+				t.Errorf("first leg checkpoints = %d, want %d", stA.Checkpoints, stopAt)
+			}
+
+			// Second leg: resume from the decoded checkpoint.
+			cp, err := DecodeCheckpoint(&saved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfgB := base
+			cfgB.Resume = cp
+			storeB, stB, err := mustNew(t, cfgB).Run(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if stB.CheckpointResumes != 1 {
+				t.Errorf("CheckpointResumes = %d, want 1", stB.CheckpointResumes)
+			}
+
+			// The two legs together are exactly the uninterrupted run.
+			// The checkpoint fired at a flush barrier, so leg A's store
+			// holds precisely the records the checkpoint accounts for.
+			got := append(append([]float64(nil), rtts(storeA)...), rtts(storeB)...)
+			sort.Float64s(got)
+			if len(got) != len(wantRTTs) {
+				t.Fatalf("split run collected %d pings (%d+%d), uninterrupted run %d",
+					len(got), npA, len(got)-npA, len(wantRTTs))
+			}
+			for i := range got {
+				if got[i] != wantRTTs[i] {
+					t.Fatalf("RTT multiset diverges at %d: %v vs %v", i, got[i], wantRTTs[i])
+				}
+			}
+			// Loss accounting carries across the restart: the resumed
+			// run's final counters match the uninterrupted run's.
+			if stB.Pings != wantStats.Pings || stB.Attempts != wantStats.Attempts ||
+				stB.Retries != wantStats.Retries || stB.Lost != wantStats.Lost ||
+				stB.Traceroutes != wantStats.Traceroutes {
+				t.Errorf("resumed stats diverge:\n got %+v\nwant %+v", stB, wantStats)
+			}
+			if stB.Requests != wantStats.Requests {
+				t.Errorf("resumed Requests = %d, want %d (quota/rate state lost?)",
+					stB.Requests, wantStats.Requests)
+			}
+		})
+	}
+}
+
+// TestCheckpointEncodeDecode round-trips the serialized form.
+func TestCheckpointEncodeDecode(t *testing.T) {
+	cp := Checkpoint{
+		Version: checkpointVersion, Seed: 9, Cycle: 1, NextCountry: 42,
+		Clock:           clockState{Requests: 100, Today: 10, DayNumber: 2, Minutes: 3000},
+		Breaker:         map[string]breakerEntry{"p1": {UntilMin: 99, Trips: 2}},
+		ConnectedCycles: map[string]int{"p1": 2, "p2": 1},
+		Snapshot:        DiscoverySnapshot{Cycle: 1, Connected: 17},
+		Stats:           Stats{Pings: 5, Attempts: 7, Retries: 1, Lost: 1, SamplesPerCountry: map[string]int{"DE": 5}},
+	}
+	var buf bytes.Buffer
+	if err := cp.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != cp.Seed || got.Cycle != cp.Cycle || got.NextCountry != cp.NextCountry ||
+		got.Clock != cp.Clock || got.Snapshot != cp.Snapshot {
+		t.Errorf("round trip lost position: %+v", got)
+	}
+	if got.Breaker["p1"] != cp.Breaker["p1"] || got.ConnectedCycles["p2"] != 1 {
+		t.Errorf("round trip lost breaker/persistence state: %+v", got)
+	}
+	if got.Stats.Pings != 5 || got.Stats.Attempts != 7 || got.Stats.SamplesPerCountry["DE"] != 5 {
+		t.Errorf("round trip lost stats: %+v", got.Stats)
+	}
+
+	// Version guard.
+	bad := cp
+	bad.Version = 99
+	buf.Reset()
+	if err := bad.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeCheckpoint(&buf); err == nil {
+		t.Error("decoder accepted a future version")
+	}
+	if _, err := DecodeCheckpoint(bytes.NewBufferString("{garbage")); err == nil {
+		t.Error("decoder accepted garbage")
+	}
+}
+
+// TestOnCheckpointErrorStops: a failing callback stops the campaign
+// with ErrStopped, and the partial store is returned intact.
+func TestOnCheckpointErrorStops(t *testing.T) {
+	cfg := ckptConfig()
+	boom := errors.New("disk full")
+	cfg.OnCheckpoint = func(Checkpoint) error { return boom }
+	store, st, err := mustNew(t, cfg).Run(context.Background())
+	if !errors.Is(err, ErrStopped) || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want ErrStopped wrapping the callback error", err)
+	}
+	if np, _ := store.Len(); np == 0 {
+		t.Error("stopped campaign should return its partial store")
+	}
+	if st.Checkpoints != 1 {
+		t.Errorf("checkpoints = %d, want 1 (stopped at the first)", st.Checkpoints)
+	}
+}
+
+// TestNoCheckpointsWithoutCallback: checkpoints cost a flush barrier,
+// so none are taken unless someone is listening.
+func TestNoCheckpointsWithoutCallback(t *testing.T) {
+	cfg := ckptConfig()
+	cfg.OnCheckpoint = nil
+	_, st, err := mustNew(t, cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Checkpoints != 0 {
+		t.Errorf("checkpoints = %d without a callback", st.Checkpoints)
+	}
+}

@@ -11,12 +11,22 @@
 // quota, both tracked against a virtual clock so campaigns are
 // reproducible and fast. One full pass over all countries takes about
 // two virtual weeks, matching the paper's cycle time.
+//
+// The engine is also resilient the way a six-month campaign has to be:
+// lost or timed-out measurements are retried with exponential backoff
+// and deterministic jitter, a per-probe circuit breaker quarantines
+// probes that fail repeatedly, persistent sink failures degrade to an
+// in-memory spill instead of aborting, and the whole campaign can be
+// checkpointed and resumed without double-counting. Failures come from
+// an optional faults.Injector, so chaos campaigns stay reproducible.
 package measure
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -25,11 +35,40 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/netsim"
 	"repro/internal/probes"
 	"repro/internal/stats"
 )
+
+// Flag is a tri-state boolean distinguishing "unset" from an explicit
+// false, so zero-value Configs pick up documented defaults while an
+// explicit FlagOff still means off.
+type Flag uint8
+
+// Flag states.
+const (
+	FlagUnset Flag = iota
+	FlagOn
+	FlagOff
+)
+
+// Enabled reports whether the flag resolved to on.
+func (f Flag) Enabled() bool { return f == FlagOn }
+
+// FlagOf converts a plain bool into a Flag.
+func FlagOf(b bool) Flag {
+	if b {
+		return FlagOn
+	}
+	return FlagOff
+}
+
+// ErrStopped is returned (wrapped) by Run when an OnCheckpoint callback
+// asked the campaign to stop; the partial store and the checkpoint the
+// callback received allow a later resume.
+var ErrStopped = errors.New("measure: campaign stopped at checkpoint")
 
 // Config parameterizes a campaign.
 type Config struct {
@@ -62,9 +101,10 @@ type Config struct {
 	// Workers is the number of concurrent measurement workers
 	// (default: GOMAXPROCS).
 	Workers int
-	// BothPingProtocols issues ICMP pings alongside TCP (default true
-	// via DefaultConfig).
-	BothPingProtocols bool
+	// BothPingProtocols issues ICMP pings alongside TCP. The unset
+	// (zero) value means on — the paper ran both (§3.3); use FlagOff to
+	// collect TCP only.
+	BothPingProtocols Flag
 	// Traceroutes enables ICMP traceroute collection.
 	Traceroutes bool
 	// NeighborContinentTargets adds EU+NA regions for African probes
@@ -74,8 +114,41 @@ type Config struct {
 	// them in the returned store — the full-scale path: a 115K-probe
 	// campaign writes gigabytes that should not live in memory. The
 	// sink is called from a single goroutine and closed before Run
-	// returns.
+	// returns. If the sink fails persistently the campaign does not
+	// abort: remaining records spill into the returned store and the
+	// sink error is reported alongside the complete dataset.
 	Sink dataset.Sink
+
+	// Faults injects deterministic failures (nil = fault-free run).
+	Faults faults.Injector
+	// MaxRetries bounds the retries after a lost or timed-out ping
+	// attempt (default 2; -1 disables retries entirely).
+	MaxRetries int
+	// TaskDeadlineMs is the per-measurement deadline: an attempt whose
+	// injected delay exceeds it counts as timed out (default 3000).
+	TaskDeadlineMs float64
+	// BackoffBaseMs and BackoffMaxMs shape the exponential retry
+	// backoff charged to the virtual clock (defaults 100 and 60000).
+	BackoffBaseMs float64
+	BackoffMaxMs  float64
+	// BreakerThreshold quarantines a probe after this many consecutive
+	// lost measurements (default 4; -1 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long a quarantined probe stays benched in
+	// virtual time before re-admission (default 24h).
+	BreakerCooldown time.Duration
+	// CheckpointEvery takes a checkpoint after every N dispatched
+	// countries (default 25). Checkpoints are only taken when
+	// OnCheckpoint is set: each one costs a flush barrier.
+	CheckpointEvery int
+	// OnCheckpoint receives each checkpoint; returning a non-nil error
+	// stops the campaign gracefully (Run returns the partial store and
+	// an error wrapping ErrStopped).
+	OnCheckpoint func(Checkpoint) error
+	// Resume restores a previous checkpoint: the campaign skips the
+	// work the checkpoint covers and continues its clock, quota,
+	// quarantine and loss accounting.
+	Resume *Checkpoint
 }
 
 // DefaultConfig returns the paper-shaped configuration.
@@ -86,9 +159,16 @@ func DefaultConfig() Config {
 		MinProbesPerCountry:      100,
 		RequestsPerMinute:        1,
 		Workers:                  runtime.GOMAXPROCS(0),
-		BothPingProtocols:        true,
+		BothPingProtocols:        FlagOn,
 		Traceroutes:              true,
 		NeighborContinentTargets: true,
+		MaxRetries:               2,
+		TaskDeadlineMs:           3000,
+		BackoffBaseMs:            100,
+		BackoffMaxMs:             60000,
+		BreakerThreshold:         4,
+		BreakerCooldown:          24 * time.Hour,
+		CheckpointEvery:          25,
 	}
 }
 
@@ -109,7 +189,78 @@ func (c Config) withDefaults() Config {
 	if c.Workers == 0 {
 		c.Workers = d.Workers
 	}
+	if c.BothPingProtocols == FlagUnset {
+		c.BothPingProtocols = d.BothPingProtocols
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = d.MaxRetries
+	}
+	if c.TaskDeadlineMs == 0 {
+		c.TaskDeadlineMs = d.TaskDeadlineMs
+	}
+	if c.BackoffBaseMs == 0 {
+		c.BackoffBaseMs = d.BackoffBaseMs
+	}
+	if c.BackoffMaxMs == 0 {
+		c.BackoffMaxMs = d.BackoffMaxMs
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = d.BreakerThreshold
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = d.BreakerCooldown
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = d.CheckpointEvery
+	}
 	return c
+}
+
+// Validate rejects nonsensical configurations before they can corrupt a
+// campaign: negative sizes, a negative or non-finite rate limit, or a
+// resume checkpoint from a different seed or layout. Zero values are
+// fine — withDefaults fills them in.
+func (c Config) Validate() error {
+	switch {
+	case c.Cycles < 0:
+		return fmt.Errorf("measure: Cycles %d is negative", c.Cycles)
+	case c.ProbesPerCountry < 0:
+		return fmt.Errorf("measure: ProbesPerCountry %d is negative", c.ProbesPerCountry)
+	case c.TargetsPerProbe < 0:
+		return fmt.Errorf("measure: TargetsPerProbe %d is negative", c.TargetsPerProbe)
+	case c.MinProbesPerCountry < 0:
+		return fmt.Errorf("measure: MinProbesPerCountry %d is negative", c.MinProbesPerCountry)
+	case c.RequestsPerMinute < 0 || math.IsNaN(c.RequestsPerMinute) || math.IsInf(c.RequestsPerMinute, 0):
+		return fmt.Errorf("measure: RequestsPerMinute %v is not a valid rate", c.RequestsPerMinute)
+	case c.DailyQuota < 0:
+		return fmt.Errorf("measure: DailyQuota %d is negative", c.DailyQuota)
+	case c.Workers < 0:
+		return fmt.Errorf("measure: Workers %d is negative", c.Workers)
+	case c.BothPingProtocols > FlagOff:
+		return fmt.Errorf("measure: BothPingProtocols %d is not a valid Flag", c.BothPingProtocols)
+	case c.MaxRetries < -1:
+		return fmt.Errorf("measure: MaxRetries %d is invalid (use -1 to disable)", c.MaxRetries)
+	case c.TaskDeadlineMs < 0 || math.IsNaN(c.TaskDeadlineMs):
+		return fmt.Errorf("measure: TaskDeadlineMs %v is invalid", c.TaskDeadlineMs)
+	case c.BackoffBaseMs < 0 || c.BackoffMaxMs < 0:
+		return fmt.Errorf("measure: backoff bounds (%v, %v) are negative", c.BackoffBaseMs, c.BackoffMaxMs)
+	case c.BreakerThreshold < -1:
+		return fmt.Errorf("measure: BreakerThreshold %d is invalid (use -1 to disable)", c.BreakerThreshold)
+	case c.BreakerCooldown < 0:
+		return fmt.Errorf("measure: BreakerCooldown %v is negative", c.BreakerCooldown)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("measure: CheckpointEvery %d is negative", c.CheckpointEvery)
+	}
+	if c.Resume != nil {
+		if c.Resume.Version != checkpointVersion {
+			return fmt.Errorf("measure: resume checkpoint version %d, want %d", c.Resume.Version, checkpointVersion)
+		}
+		if c.Resume.Seed != c.Seed {
+			return fmt.Errorf("measure: resume checkpoint was taken under seed %d, campaign uses %d",
+				c.Resume.Seed, c.Seed)
+		}
+	}
+	return nil
 }
 
 // Stats summarizes a finished campaign.
@@ -133,6 +284,58 @@ type Stats struct {
 	// probes were transient across days").
 	EverConnected    int
 	PersistentProbes int
+
+	// Loss accounting. Attempts counts every ping attempt including
+	// retries; each attempt either delivers a record, is retried, or is
+	// finally lost, so Attempts = Pings + Retries + Lost holds on any
+	// campaign that ran to completion.
+	Attempts int
+	Retries  int
+	// TimedOut counts attempts that exceeded the per-task deadline (a
+	// subset of the failures behind Retries and Lost).
+	TimedOut int
+	// Lost counts ping measurements abandoned after exhausting retries.
+	Lost int
+	// TracesLost counts traceroutes that never came back.
+	TracesLost int
+	// ProbeDropouts counts probes that answered discovery but vanished
+	// before measuring — the §3.3 mid-campaign churn.
+	ProbeDropouts int
+	// Quarantined counts circuit-breaker trips; QuarantineSkipped
+	// counts probe selections skipped while quarantined.
+	Quarantined       int
+	QuarantineSkipped int
+	// Checkpoints and CheckpointResumes count resilience round trips.
+	Checkpoints       int
+	CheckpointResumes int
+	// SinkRetries counts transient sink errors that were retried;
+	// Spilled counts records diverted to the in-memory store after the
+	// sink degraded permanently.
+	SinkRetries  int
+	Spilled      int
+	SinkDegraded bool
+}
+
+// clone deep-copies the stats (map and slice included) for checkpoints.
+func (s Stats) clone() Stats {
+	out := s
+	if s.SamplesPerCountry != nil {
+		out.SamplesPerCountry = make(map[string]int, len(s.SamplesPerCountry))
+		for k, v := range s.SamplesPerCountry {
+			out.SamplesPerCountry[k] = v
+		}
+	}
+	out.Discovery = append([]DiscoverySnapshot(nil), s.Discovery...)
+	return out
+}
+
+// LossRate returns the fraction of ping measurements finally lost.
+func (s Stats) LossRate() float64 {
+	done := s.Pings + s.Lost
+	if done == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(done)
 }
 
 // DiscoverySnapshot is one cycle's probe-connectivity poll.
@@ -168,12 +371,24 @@ func (s Stats) ConfidentCountries() []string {
 	return out
 }
 
-// task is one <probe, region> measurement unit.
+// task is one <probe, region> measurement unit, with the control-plane
+// outcome (which measurements survived fault resolution) already
+// decided by the dispatcher.
 type task struct {
 	probe  *probes.Probe
 	region *cloud.Region
 	cycle  int
+	doTCP  bool
+	doICMP bool
+	// traces holds the traceroute cycle keys to run (two per task — the
+	// published dataset holds roughly twice as many traceroutes as
+	// pings — minus any the injector lost).
+	traces []int
 }
+
+// taskDone flows through the results channel after a task's records,
+// letting the collector acknowledge collection for flush barriers.
+type taskDone struct{}
 
 // Campaign runs measurements for one fleet over one simulator.
 type Campaign struct {
@@ -182,22 +397,37 @@ type Campaign struct {
 	Cfg   Config
 }
 
-// New assembles a campaign.
-func New(sim *netsim.Simulator, fleet *probes.Fleet, cfg Config) *Campaign {
-	return &Campaign{Sim: sim, Fleet: fleet, Cfg: cfg.withDefaults()}
+// New assembles a campaign, validating cfg first.
+func New(sim *netsim.Simulator, fleet *probes.Fleet, cfg Config) (*Campaign, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Campaign{Sim: sim, Fleet: fleet, Cfg: cfg.withDefaults()}, nil
 }
 
 // Run executes the campaign and returns the collected dataset. It
 // respects ctx cancellation, returning the records collected so far
-// together with ctx.Err().
+// together with ctx.Err(); all workers are joined before Run returns,
+// cancelled or not.
 func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 	cfg := c.Cfg
 	st := Stats{SamplesPerCountry: make(map[string]int)}
+	clock := newVirtualClock(cfg.RequestsPerMinute, cfg.DailyQuota)
+	brk := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown.Minutes())
+	if cfg.Resume != nil {
+		st = cfg.Resume.Stats.clone()
+		if st.SamplesPerCountry == nil {
+			st.SamplesPerCountry = make(map[string]int)
+		}
+		st.CheckpointResumes++
+		clock.restore(cfg.Resume.Clock)
+		brk.restore(cfg.Resume.Breaker)
+	}
 	store := &dataset.Store{}
 
 	tasks := make(chan task)
 	results := make(chan any, cfg.Workers*2)
-	var wg sync.WaitGroup
+	var wg, inflight sync.WaitGroup
 	for i := 0; i < cfg.Workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -207,63 +437,142 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 			}
 		}()
 	}
+	col := &collector{sink: cfg.Sink, inj: cfg.Faults, store: store, st: &st, inflight: &inflight}
 	collectorDone := make(chan struct{})
-	var sinkErr error
 	go func() {
 		defer close(collectorDone)
-		for r := range results {
-			switch rec := r.(type) {
-			case dataset.PingRecord:
-				st.Pings++
-				st.SamplesPerCountry[rec.VP.Country]++
-				if cfg.Sink != nil {
-					if err := cfg.Sink.Ping(rec); err != nil && sinkErr == nil {
-						sinkErr = err
-					}
-				} else {
-					store.AddPing(rec)
-				}
-			case dataset.TracerouteRecord:
-				st.Traceroutes++
-				if cfg.Sink != nil {
-					if err := cfg.Sink.Trace(rec); err != nil && sinkErr == nil {
-						sinkErr = err
-					}
-				} else {
-					store.AddTrace(rec)
-				}
-			}
-		}
+		col.run(results)
 	}()
 
-	clock := newVirtualClock(cfg.RequestsPerMinute, cfg.DailyQuota)
-	err := c.dispatch(ctx, tasks, clock, &st)
+	err := c.dispatch(ctx, tasks, clock, brk, &st, &inflight)
 	close(tasks)
 	wg.Wait()
 	close(results)
 	<-collectorDone
 	if cfg.Sink != nil {
-		if cerr := cfg.Sink.Close(); cerr != nil && sinkErr == nil {
-			sinkErr = cerr
+		if cerr := cfg.Sink.Close(); cerr != nil && col.err == nil {
+			col.err = cerr
 		}
 	}
-	if err == nil && sinkErr != nil {
-		err = fmt.Errorf("measure: sink: %w", sinkErr)
+	if err == nil && col.err != nil {
+		err = fmt.Errorf("measure: sink degraded, %d records spilled to the in-memory store: %w",
+			st.Spilled, col.err)
 	}
 	st.Requests = clock.requests
 	st.VirtualDuration = clock.elapsed()
 	return store, st, err
 }
 
+// collector is the single goroutine that owns record delivery: store or
+// sink, with transient-error retries and permanent-failure spill.
+type collector struct {
+	sink     dataset.Sink
+	inj      faults.Injector
+	store    *dataset.Store
+	st       *Stats
+	inflight *sync.WaitGroup
+	seq      int
+	broken   bool
+	err      error // first permanent sink error
+}
+
+func (co *collector) run(results <-chan any) {
+	for r := range results {
+		switch rec := r.(type) {
+		case dataset.PingRecord:
+			co.st.Pings++
+			co.st.SamplesPerCountry[rec.VP.Country]++
+			co.deliver(func() error { return co.sink.Ping(rec) }, func() { co.store.AddPing(rec) })
+		case dataset.TracerouteRecord:
+			co.st.Traceroutes++
+			co.deliver(func() error { return co.sink.Trace(rec) }, func() { co.store.AddTrace(rec) })
+		case taskDone:
+			co.inflight.Done()
+		}
+	}
+}
+
+// maxSinkRetries bounds consecutive transient-error retries per record;
+// a storm longer than this counts as a persistent failure.
+const maxSinkRetries = 3
+
+// deliver routes one record: to the sink (retrying injected transient
+// errors), or — once the sink has degraded — into the in-memory store,
+// so a broken sink costs memory, never data.
+func (co *collector) deliver(toSink func() error, toStore func()) {
+	if co.sink == nil {
+		toStore()
+		return
+	}
+	if co.broken {
+		toStore()
+		co.st.Spilled++
+		return
+	}
+	for try := 0; ; try++ {
+		if co.inj != nil {
+			if err := co.inj.Sink(co.seq); err != nil {
+				co.seq++
+				if faults.IsTransient(err) && try < maxSinkRetries {
+					co.st.SinkRetries++
+					continue
+				}
+				co.degrade(err)
+				toStore()
+				co.st.Spilled++
+				return
+			}
+		}
+		co.seq++
+		if err := toSink(); err != nil {
+			// A real write error is not safely retryable (the write may
+			// have partially landed): degrade immediately.
+			co.degrade(err)
+			toStore()
+			co.st.Spilled++
+			return
+		}
+		return
+	}
+}
+
+func (co *collector) degrade(err error) {
+	co.broken = true
+	co.st.SinkDegraded = true
+	if co.err == nil {
+		co.err = err
+	}
+}
+
 // dispatch walks cycles → countries → probes → targets, enqueueing
 // tasks under the rate limit and quota. It also books the per-cycle
-// discovery snapshots and probe-persistence counters.
-func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtualClock, st *Stats) error {
+// discovery snapshots, probe-persistence counters, fault resolution
+// (retries, breaker) and checkpoint barriers.
+func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtualClock,
+	brk *breaker, st *Stats, inflight *sync.WaitGroup) error {
 	cfg := c.Cfg
+	countries := geo.AllCountries()
 	connectedCycles := make(map[string]int)
-	for cycle := 0; cycle < cfg.Cycles; cycle++ {
-		snap := DiscoverySnapshot{Cycle: cycle}
-		for _, country := range geo.AllCountries() {
+	startCycle, startCountry := 0, 0
+	var snap DiscoverySnapshot
+	if cfg.Resume != nil {
+		startCycle, startCountry = cfg.Resume.Cycle, cfg.Resume.NextCountry
+		for k, v := range cfg.Resume.ConnectedCycles {
+			connectedCycles[k] = v
+		}
+		snap = cfg.Resume.Snapshot
+	}
+	sinceCkpt := 0
+	for cycle := startCycle; cycle < cfg.Cycles; cycle++ {
+		start := 0
+		if cycle == startCycle {
+			start = startCountry
+		}
+		if cfg.Resume == nil || cycle != startCycle {
+			snap = DiscoverySnapshot{Cycle: cycle}
+		}
+		for ci := start; ci < len(countries); ci++ {
+			country := countries[ci]
 			all := c.Fleet.InCountry(country.Code)
 			if len(all) < cfg.MinProbesPerCountry {
 				continue
@@ -277,15 +586,50 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 				connectedCycles[p.ID]++
 			}
 			for pi, p := range connected {
+				if brk.quarantined(p.ID, clock.now()) {
+					st.QuarantineSkipped++
+					continue
+				}
+				if cfg.Faults != nil && cfg.Faults.ProbeDropout(p.ID, cycle) {
+					st.ProbeDropouts++
+					continue
+				}
 				for _, r := range c.targetsFor(p, cycle, pi) {
 					if err := ctx.Err(); err != nil {
 						return fmt.Errorf("measure: campaign interrupted: %w", err)
 					}
 					clock.admit()
-					select {
-					case tasks <- task{probe: p, region: r, cycle: cycle}:
-					case <-ctx.Done():
-						return fmt.Errorf("measure: campaign interrupted: %w", ctx.Err())
+					tk := task{probe: p, region: r, cycle: cycle}
+					tripped := c.resolveTask(&tk, clock, brk, st)
+					if tk.doTCP || tk.doICMP || len(tk.traces) > 0 {
+						inflight.Add(1)
+						select {
+						case tasks <- tk:
+						case <-ctx.Done():
+							inflight.Done()
+							return fmt.Errorf("measure: campaign interrupted: %w", ctx.Err())
+						}
+					}
+					if tripped {
+						st.Quarantined++
+						break // bench this probe's remaining targets
+					}
+				}
+			}
+			if cfg.OnCheckpoint != nil {
+				sinceCkpt++
+				if sinceCkpt >= cfg.CheckpointEvery {
+					sinceCkpt = 0
+					// Flush barrier: every enqueued task collected, so
+					// the checkpointed Stats are exact.
+					inflight.Wait()
+					st.Checkpoints++
+					cp := c.checkpoint(cycle, ci+1, snap, clock, brk, connectedCycles, st)
+					if err := cfg.OnCheckpoint(cp); err != nil {
+						if errors.Is(err, ErrStopped) {
+							return err
+						}
+						return fmt.Errorf("%w: %w", ErrStopped, err)
 					}
 				}
 			}
@@ -293,12 +637,84 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 		st.Discovery = append(st.Discovery, snap)
 	}
 	st.EverConnected = len(connectedCycles)
+	st.PersistentProbes = 0
 	for _, n := range connectedCycles {
 		if n == cfg.Cycles {
 			st.PersistentProbes++
 		}
 	}
 	return nil
+}
+
+// resolveTask decides, deterministically and on the dispatch goroutine,
+// which of the task's measurements survive fault injection: each ping
+// runs a retry ladder with backoff, each outcome feeds the probe's
+// circuit breaker, and lost traceroutes are booked. It reports whether
+// the breaker tripped on this task.
+func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *Stats) bool {
+	tripped := false
+	book := func(ok bool) {
+		if brk.onResult(tk.probe.ID, ok, clock.now()) {
+			tripped = true
+		}
+	}
+	tk.doTCP = c.resolvePing(tk.probe, tk.region, faults.OpPingTCP, tk.cycle, clock, st)
+	book(tk.doTCP)
+	if c.Cfg.BothPingProtocols.Enabled() {
+		tk.doICMP = c.resolvePing(tk.probe, tk.region, faults.OpPingICMP, tk.cycle, clock, st)
+		book(tk.doICMP)
+	}
+	if c.Cfg.Traceroutes {
+		// The second trace reuses the parallel-campaign cycle offset so
+		// its samples stay decorrelated from the first.
+		for _, tc := range []int{tk.cycle, tk.cycle + 1<<20} {
+			if c.Cfg.Faults != nil && c.Cfg.Faults.Trace(tk.probe.ID, tk.region.ID, tc).Lost {
+				st.TracesLost++
+				continue
+			}
+			tk.traces = append(tk.traces, tc)
+		}
+	}
+	return tripped
+}
+
+// resolvePing runs one ping measurement's control plane: attempts
+// against the injector until success, a final loss, or no injector at
+// all (always a success). Retries are booked as platform requests and
+// backoff is charged to the virtual clock.
+func (c *Campaign) resolvePing(p *probes.Probe, r *cloud.Region, op faults.Op, cycle int,
+	clock *virtualClock, st *Stats) bool {
+	cfg := c.Cfg
+	st.Attempts++
+	if cfg.Faults == nil {
+		return true
+	}
+	maxRetries := cfg.MaxRetries
+	if maxRetries < 0 {
+		maxRetries = 0
+	}
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			st.Attempts++
+		}
+		f := cfg.Faults.Ping(p.ID, r.ID, op, cycle, attempt)
+		failed := f.Lost
+		if !failed && f.DelayMs > cfg.TaskDeadlineMs {
+			st.TimedOut++
+			failed = true
+		}
+		if !failed {
+			return true
+		}
+		if attempt >= maxRetries {
+			st.Lost++
+			return false
+		}
+		st.Retries++
+		clock.admit() // every retry is one more platform request
+		clock.delay(backoffMs(cfg.BackoffBaseMs, cfg.BackoffMaxMs, attempt,
+			jitterU(cfg.Seed, p.ID, r.ID, int(op), cycle, attempt)))
+	}
 }
 
 // connectedProbes samples which probes answer the 4-hourly discovery
@@ -399,18 +815,18 @@ func (c *Campaign) targetsFor(p *probes.Probe, cycle, probeIdx int) []*cloud.Reg
 	return out
 }
 
+// runTask executes a task's surviving measurements on a worker.
 func (c *Campaign) runTask(tk task, results chan<- any) {
-	results <- c.Sim.Ping(tk.probe, tk.region, dataset.TCP, tk.cycle)
-	if c.Cfg.BothPingProtocols {
+	if tk.doTCP {
+		results <- c.Sim.Ping(tk.probe, tk.region, dataset.TCP, tk.cycle)
+	}
+	if tk.doICMP {
 		results <- c.Sim.Ping(tk.probe, tk.region, dataset.ICMP, tk.cycle)
 	}
-	if c.Cfg.Traceroutes {
-		results <- c.Sim.Traceroute(tk.probe, tk.region, tk.cycle)
-		// The published dataset holds roughly twice as many traceroutes
-		// as pings; a second trace per task approximates the parallel
-		// traceroute campaign.
-		results <- c.Sim.Traceroute(tk.probe, tk.region, tk.cycle+1<<20)
+	for _, tc := range tk.traces {
+		results <- c.Sim.Traceroute(tk.probe, tk.region, tc)
 	}
+	results <- taskDone{}
 }
 
 func (c *Campaign) rngFor(key string, cycle int) *rand.Rand {
@@ -475,6 +891,30 @@ func (v *virtualClock) admit() {
 	v.minutes += v.minutesPerRequest
 }
 
+// delay charges ms of virtual wall time (retry backoff) to the clock.
+func (v *virtualClock) delay(ms float64) {
+	v.minutes += ms / 60000
+}
+
+// now returns the current virtual minute.
+func (v *virtualClock) now() float64 { return v.minutes }
+
 func (v *virtualClock) elapsed() time.Duration {
 	return time.Duration(v.minutes * float64(time.Minute))
+}
+
+// clockState is the serializable clock for checkpoints.
+type clockState struct {
+	Requests  int     `json:"requests"`
+	Today     int     `json:"today"`
+	DayNumber int     `json:"day_number"`
+	Minutes   float64 `json:"minutes"`
+}
+
+func (v *virtualClock) state() clockState {
+	return clockState{Requests: v.requests, Today: v.today, DayNumber: v.dayNumber, Minutes: v.minutes}
+}
+
+func (v *virtualClock) restore(s clockState) {
+	v.requests, v.today, v.dayNumber, v.minutes = s.Requests, s.Today, s.DayNumber, s.Minutes
 }

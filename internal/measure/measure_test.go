@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"math"
+	"runtime"
 	"sort"
 	"testing"
 	"time"
@@ -30,14 +32,24 @@ func smallConfig() Config {
 		MinProbesPerCountry:      2,
 		RequestsPerMinute:        60,
 		Workers:                  4,
-		BothPingProtocols:        true,
+		BothPingProtocols:        FlagOn,
 		Traceroutes:              true,
 		NeighborContinentTargets: true,
 	}
 }
 
+// mustNew builds a campaign from a config the test knows is valid.
+func mustNew(t *testing.T, cfg Config) *Campaign {
+	t.Helper()
+	c, err := New(testSim, testSC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
 func TestCampaignCollects(t *testing.T) {
-	camp := New(testSim, testSC, smallConfig())
+	camp := mustNew(t, smallConfig())
 	store, st, err := camp.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -69,12 +81,12 @@ func TestCampaignCollects(t *testing.T) {
 }
 
 func TestCampaignDeterministic(t *testing.T) {
-	c1 := New(testSim, testSC, smallConfig())
+	c1 := mustNew(t, smallConfig())
 	s1, st1, err := c1.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2 := New(testSim, testSC, smallConfig())
+	c2 := mustNew(t, smallConfig())
 	s2, st2, err := c2.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +116,7 @@ func TestCampaignDeterministic(t *testing.T) {
 func TestMinProbeGate(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MinProbesPerCountry = 1 << 30 // nothing qualifies
-	store, st, err := New(testSim, testSC, cfg).Run(context.Background())
+	store, st, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +128,7 @@ func TestMinProbeGate(t *testing.T) {
 func TestNeighborContinentTargets(t *testing.T) {
 	cfg := smallConfig()
 	cfg.TargetsPerProbe = 200 // take the whole pool
-	store, _, err := New(testSim, testSC, cfg).Run(context.Background())
+	store, _, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +152,7 @@ func TestNeighborContinentTargets(t *testing.T) {
 	}
 	// Disabled → Africa stays in-continent.
 	cfg.NeighborContinentTargets = false
-	store2, _, err := New(testSim, testSC, cfg).Run(context.Background())
+	store2, _, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +166,7 @@ func TestNeighborContinentTargets(t *testing.T) {
 func TestVirtualClockPacing(t *testing.T) {
 	cfg := smallConfig()
 	cfg.RequestsPerMinute = 1
-	_, st, err := New(testSim, testSC, cfg).Run(context.Background())
+	_, st, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +180,7 @@ func TestDailyQuotaStretchesTime(t *testing.T) {
 	cfg := smallConfig()
 	cfg.RequestsPerMinute = 1000 // rate limit negligible
 	cfg.DailyQuota = 50
-	_, st, err := New(testSim, testSC, cfg).Run(context.Background())
+	_, st, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,12 +193,128 @@ func TestDailyQuotaStretchesTime(t *testing.T) {
 func TestCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	store, _, err := New(testSim, testSC, smallConfig()).Run(ctx)
+	store, _, err := mustNew(t, smallConfig()).Run(ctx)
 	if err == nil {
 		t.Fatal("cancelled campaign should report an error")
 	}
 	if np, _ := store.Len(); np > 100 {
 		t.Errorf("cancelled campaign still collected %d pings", np)
+	}
+}
+
+// TestCancellationMidRunPartialStore interrupts a campaign partway
+// through and checks the three contract points: the error wraps
+// ctx.Err(), the records collected before the cut survive in the store,
+// and every worker goroutine is joined (no leak).
+func TestCancellationMidRunPartialStore(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := smallConfig()
+	cfg.Cycles = 4
+	// Cancel after a couple of checkpoints' worth of work: mid-run, not
+	// at the start and not at the end.
+	n := 0
+	cfg.OnCheckpoint = func(Checkpoint) error {
+		n++
+		if n == 2 {
+			cancel()
+		}
+		return nil
+	}
+	cfg.CheckpointEvery = 10
+	store, _, err := mustNew(t, cfg).Run(ctx)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want a context.Canceled wrap", err)
+	}
+	if np, _ := store.Len(); np == 0 {
+		t.Error("mid-run cancellation should return the partial dataset, store is empty")
+	}
+	// The checkpoint flush barrier ran before the cancel, so everything
+	// collected up to that point must be intact and queryable.
+	if len(store.RTTs(dataset.PingFilter{})) == 0 {
+		t.Error("partial store has no queryable RTTs")
+	}
+	// All workers and the collector must be joined: give the runtime a
+	// moment, then compare goroutine counts.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after cancelled run", before, after)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative cycles", func(c *Config) { c.Cycles = -1 }},
+		{"negative probes per country", func(c *Config) { c.ProbesPerCountry = -5 }},
+		{"negative targets", func(c *Config) { c.TargetsPerProbe = -1 }},
+		{"negative min probes", func(c *Config) { c.MinProbesPerCountry = -1 }},
+		{"negative rate", func(c *Config) { c.RequestsPerMinute = -3 }},
+		{"NaN rate", func(c *Config) { c.RequestsPerMinute = math.NaN() }},
+		{"infinite rate", func(c *Config) { c.RequestsPerMinute = math.Inf(1) }},
+		{"negative quota", func(c *Config) { c.DailyQuota = -1 }},
+		{"negative workers", func(c *Config) { c.Workers = -2 }},
+		{"bad flag", func(c *Config) { c.BothPingProtocols = Flag(7) }},
+		{"retries below -1", func(c *Config) { c.MaxRetries = -2 }},
+		{"negative deadline", func(c *Config) { c.TaskDeadlineMs = -1 }},
+		{"negative backoff", func(c *Config) { c.BackoffBaseMs = -1 }},
+		{"breaker below -1", func(c *Config) { c.BreakerThreshold = -3 }},
+		{"negative cooldown", func(c *Config) { c.BreakerCooldown = -time.Hour }},
+		{"negative checkpoint stride", func(c *Config) { c.CheckpointEvery = -1 }},
+		{"resume version mismatch", func(c *Config) { c.Resume = &Checkpoint{Version: 99, Seed: c.Seed} }},
+		{"resume seed mismatch", func(c *Config) { c.Resume = &Checkpoint{Version: checkpointVersion, Seed: c.Seed + 1} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+			if _, err := New(testSim, testSC, cfg); err == nil {
+				t.Errorf("New accepted %s", tc.name)
+			}
+		})
+	}
+	// The zero config and the explicit disables are valid.
+	for _, cfg := range []Config{{}, {MaxRetries: -1, BreakerThreshold: -1}, smallConfig()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate rejected valid config: %v", err)
+		}
+	}
+}
+
+// TestFlagTriState pins the unset-vs-false distinction: an untouched
+// config gets both protocols (the paper ran both), FlagOff really turns
+// ICMP off.
+func TestFlagTriState(t *testing.T) {
+	if c := mustNew(t, Config{}); c.Cfg.BothPingProtocols != FlagOn {
+		t.Errorf("unset flag resolved to %v, want FlagOn", c.Cfg.BothPingProtocols)
+	}
+	if c := mustNew(t, Config{BothPingProtocols: FlagOff}); c.Cfg.BothPingProtocols != FlagOff {
+		t.Errorf("explicit FlagOff overridden to %v", c.Cfg.BothPingProtocols)
+	}
+	if !FlagOf(true).Enabled() || FlagOf(false).Enabled() {
+		t.Error("FlagOf round trip broken")
+	}
+	cfg := smallConfig()
+	cfg.Traceroutes = false
+	cfg.BothPingProtocols = FlagOff
+	store, _, err := mustNew(t, cfg).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	icmp := dataset.ICMP
+	if n := len(store.FilterPings(dataset.PingFilter{Protocol: &icmp})); n != 0 {
+		t.Errorf("FlagOff still produced %d ICMP pings", n)
 	}
 }
 
@@ -205,10 +333,17 @@ func TestConfidentCountries(t *testing.T) {
 }
 
 func TestDefaultsApplied(t *testing.T) {
-	c := New(testSim, testSC, Config{})
+	c := mustNew(t, Config{})
 	if c.Cfg.Cycles == 0 || c.Cfg.Workers == 0 || c.Cfg.RequestsPerMinute == 0 ||
 		c.Cfg.TargetsPerProbe == 0 || c.Cfg.MinProbesPerCountry == 0 {
 		t.Errorf("defaults not applied: %+v", c.Cfg)
+	}
+	if c.Cfg.BothPingProtocols != FlagOn {
+		t.Errorf("BothPingProtocols default = %v, want FlagOn", c.Cfg.BothPingProtocols)
+	}
+	if c.Cfg.MaxRetries == 0 || c.Cfg.TaskDeadlineMs == 0 || c.Cfg.BackoffBaseMs == 0 ||
+		c.Cfg.BreakerThreshold == 0 || c.Cfg.BreakerCooldown == 0 || c.Cfg.CheckpointEvery == 0 {
+		t.Errorf("resilience defaults not applied: %+v", c.Cfg)
 	}
 	// ProbesPerCountry deliberately defaults to zero: no cap, so volume
 	// follows probe density as on the real platform.
@@ -221,8 +356,8 @@ func TestProbeCapRespected(t *testing.T) {
 	cfg := smallConfig()
 	cfg.ProbesPerCountry = 1
 	cfg.Traceroutes = false
-	cfg.BothPingProtocols = false
-	store, _, err := New(testSim, testSC, cfg).Run(context.Background())
+	cfg.BothPingProtocols = FlagOff
+	store, _, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,9 +379,9 @@ func TestProbeCapRespected(t *testing.T) {
 func TestNearestRegionsAlwaysMeasured(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Traceroutes = false
-	cfg.BothPingProtocols = false
+	cfg.BothPingProtocols = FlagOff
 	cfg.TargetsPerProbe = 4
-	store, _, err := New(testSim, testSC, cfg).Run(context.Background())
+	store, _, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,8 +429,8 @@ func TestDiscoveryAccounting(t *testing.T) {
 	cfg.Cycles = 4
 	cfg.ProbesPerCountry = 0 // uncapped: discovery reflects raw availability
 	cfg.Traceroutes = false
-	cfg.BothPingProtocols = false
-	_, st, err := New(testSim, testSC, cfg).Run(context.Background())
+	cfg.BothPingProtocols = FlagOff
+	_, st, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,10 +484,10 @@ var errSinkBoom = errors.New("boom")
 
 func TestStreamingSink(t *testing.T) {
 	cfg := smallConfig()
-	cfg.BothPingProtocols = false
+	cfg.BothPingProtocols = FlagOff
 	var pings, traces bytes.Buffer
 	cfg.Sink = dataset.NewFileSink(&pings, &traces)
-	store, st, err := New(testSim, testSC, cfg).Run(context.Background())
+	store, st, err := mustNew(t, cfg).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +515,7 @@ func TestStreamingSink(t *testing.T) {
 func TestSinkErrorSurfaces(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Sink = &failingSink{after: 3}
-	_, _, err := New(testSim, testSC, cfg).Run(context.Background())
+	_, _, err := mustNew(t, cfg).Run(context.Background())
 	if err == nil || !errors.Is(err, errSinkBoom) {
 		t.Errorf("sink failure not surfaced: %v", err)
 	}

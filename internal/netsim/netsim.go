@@ -27,6 +27,7 @@ import (
 	"repro/internal/asn"
 	"repro/internal/cloud"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
@@ -60,6 +61,11 @@ type Simulator struct {
 	// ride public-Internet inflation and jitter, even behind direct
 	// peering — isolating what the providers' private backbones buy.
 	DisablePrivateWAN bool
+	// Faults, when set, injects data-plane corruption: RTT outliers and
+	// truncated traceroutes with extra missing hops. Fault draws hash
+	// their own keys and never consume this simulator's RNG stream, so
+	// the un-faulted samples are bit-identical with Faults nil or set.
+	Faults faults.Injector
 }
 
 // New returns a simulator with the paper-calibrated defaults.
@@ -259,6 +265,9 @@ func (s *Simulator) Ping(p *probes.Probe, r *cloud.Region, proto dataset.Protoco
 		rtt *= 1.015
 		rtt += math.Abs(rng.NormFloat64()) * 1.2
 	}
+	if s.Faults != nil {
+		rtt = s.Faults.CorruptRTT(p.ID, r.ID, cycle, rtt)
+	}
 	return dataset.PingRecord{
 		VP:       s.vantage(p),
 		Target:   s.target(r),
@@ -277,6 +286,10 @@ func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) data
 	pl := s.buildPlan(p, r)
 	lm := s.drawLastMile(p, rng)
 
+	var tf faults.TraceFault
+	if s.Faults != nil {
+		tf = s.Faults.Trace(p.ID, r.ID, cycle)
+	}
 	rec := dataset.TracerouteRecord{VP: s.vantage(p), Target: s.target(r), Cycle: cycle}
 	ttl := 0
 	cum := 0.0
@@ -284,6 +297,11 @@ func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) data
 		ttl++
 		h := dataset.Hop{TTL: ttl, IP: ip, RTTms: rtt, Responded: true}
 		if !forceRespond && rng.Float64() < s.UnresponsiveHopProb {
+			h = dataset.Hop{TTL: ttl, Responded: false}
+		}
+		// Injected hop loss draws only when a fault plan asks for it, so
+		// a fault-free simulator's RNG stream is untouched.
+		if h.Responded && !forceRespond && tf.DropHopProb > 0 && rng.Float64() < tf.DropHopProb {
 			h = dataset.Hop{TTL: ttl, Responded: false}
 		}
 		rec.Hops = append(rec.Hops, h)
@@ -337,13 +355,22 @@ func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) data
 	// Destination VM. A small fraction of traces die before the target.
 	if rng.Float64() < 0.02 && len(rec.Hops) > 2 {
 		rec.Hops = rec.Hops[:len(rec.Hops)-1-rng.Intn(2)]
-		return rec
+		return truncateTrace(rec, tf)
 	}
 	ttl++
 	rec.Hops = append(rec.Hops, dataset.Hop{
 		TTL: ttl, IP: s.W.RegionIP(r), RTTms: cum + 0.2 + math.Abs(rng.NormFloat64())*0.5,
 		Responded: true,
 	})
+	return truncateTrace(rec, tf)
+}
+
+// truncateTrace applies an injected mid-path capture death: the tail of
+// the trace — including the target — never comes back.
+func truncateTrace(rec dataset.TracerouteRecord, tf faults.TraceFault) dataset.TracerouteRecord {
+	if tf.MaxHops > 0 && len(rec.Hops) > tf.MaxHops {
+		rec.Hops = rec.Hops[:tf.MaxHops]
+	}
 	return rec
 }
 

@@ -342,6 +342,30 @@ func CampaignStats(w io.Writer, label string, st measure.Stats) {
 	fmt.Fprintf(w, "  countries meeting the 2400-sample confidence bound: %d\n", len(conf))
 }
 
+// DataQuality renders the campaign's loss accounting — what the
+// resilient engine absorbed on the way to a complete dataset. Quiet
+// campaigns (no faults, no retries) print a single clean-run line.
+func DataQuality(w io.Writer, label string, st measure.Stats) {
+	fmt.Fprintf(w, "%s data quality:\n", label)
+	if st.Attempts == st.Pings && st.Lost == 0 && st.TracesLost == 0 &&
+		st.ProbeDropouts == 0 && st.SinkRetries == 0 && !st.SinkDegraded {
+		fmt.Fprintf(w, "  clean run: %d attempts, all delivered\n", st.Attempts)
+		return
+	}
+	fmt.Fprintf(w, "  pings: %d attempts → %d delivered, %d retried, %d lost (%.2f%% loss), %d timed out\n",
+		st.Attempts, st.Pings, st.Retries, st.Lost, 100*st.LossRate(), st.TimedOut)
+	fmt.Fprintf(w, "  traceroutes: %d delivered, %d lost\n", st.Traceroutes, st.TracesLost)
+	fmt.Fprintf(w, "  probes: %d dropped out mid-cycle, %d quarantine trips, %d selections benched\n",
+		st.ProbeDropouts, st.Quarantined, st.QuarantineSkipped)
+	if st.SinkRetries > 0 || st.SinkDegraded {
+		fmt.Fprintf(w, "  sink: %d transient errors retried, degraded=%v, %d records spilled to memory\n",
+			st.SinkRetries, st.SinkDegraded, st.Spilled)
+	}
+	if st.Checkpoints > 0 || st.CheckpointResumes > 0 {
+		fmt.Fprintf(w, "  checkpoints: %d taken, %d resumes\n", st.Checkpoints, st.CheckpointResumes)
+	}
+}
+
 // Rule prints a section separator.
 func Rule(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))

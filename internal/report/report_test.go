@@ -169,6 +169,34 @@ func TestDensityAndStatsRender(t *testing.T) {
 	}
 }
 
+func TestDataQualityRenders(t *testing.T) {
+	// A clean campaign collapses to one line.
+	var buf bytes.Buffer
+	DataQuality(&buf, "clean", measure.Stats{Attempts: 10, Pings: 10})
+	if !strings.Contains(buf.String(), "clean run: 10 attempts") {
+		t.Errorf("clean render wrong:\n%s", buf.String())
+	}
+	// A faulted campaign itemizes its losses.
+	buf.Reset()
+	DataQuality(&buf, "chaos", measure.Stats{
+		Attempts: 120, Pings: 100, Retries: 15, Lost: 5, TimedOut: 8,
+		Traceroutes: 180, TracesLost: 20, ProbeDropouts: 4,
+		Quarantined: 2, QuarantineSkipped: 3,
+		SinkRetries: 6, SinkDegraded: true, Spilled: 40,
+		Checkpoints: 2, CheckpointResumes: 1,
+	})
+	out := buf.String()
+	for _, want := range []string{
+		"120 attempts", "100 delivered", "15 retried", "5 lost", "8 timed out",
+		"180 delivered, 20 lost", "4 dropped out", "2 quarantine trips",
+		"6 transient errors retried", "40 records spilled", "2 taken, 1 resumes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("data quality render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestExtensionRenderers(t *testing.T) {
 	var buf bytes.Buffer
 	GeoDensities(&buf, []analysis.GeoDensity{{
