@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz verify
+.PHONY: build test race vet fuzz bench verify
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,11 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=10s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=10s ./internal/dataset/
+
+# Full benchmark suite with allocation stats, including the store
+# fan-out/merge and the serve cached-vs-cold comparison.
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem ./...
 
 # verify is the pre-merge gate: static analysis plus the full suite
 # under the race detector.

@@ -8,6 +8,8 @@
 //	                                             run the study; print all (or one) figure
 //	cloudy export [-seed N] [-scale F] -pings F -traces F
 //	                                             run the study; write the dataset
+//	cloudy serve  [-seed N] [-scale F] [-addr A] run or load a campaign, build the
+//	                                             sharded store, serve the /v1 query API
 //
 // Figure IDs accepted by -figure: table1, fig3, fig4, fig5, fig6,
 // fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig15, fig16, fig17,
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/atlasfmt"
@@ -33,6 +36,8 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/probes"
 	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/world"
 )
 
@@ -54,6 +59,8 @@ func main() {
 		err = cmdExport(ctx, os.Args[2:])
 	case "analyze":
 		err = cmdAnalyze(os.Args[2:])
+	case "serve":
+		err = cmdServe(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -71,7 +78,8 @@ func usage() {
   cloudy world   [-seed N]
   cloudy report  [-seed N] [-scale F] [-cycles N] [-figure ID]
   cloudy export  [-seed N] [-scale F] [-format csv|atlas] -pings FILE -traces FILE
-  cloudy analyze [-seed N] -pings FILE -traces FILE`)
+  cloudy analyze [-seed N] -pings FILE -traces FILE
+  cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]`)
 }
 
 func cmdWorld(args []string) error {
@@ -359,6 +367,81 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 		return err
 	}
 	return bufT.Flush()
+}
+
+// cmdServe builds the sharded measurement store — from a fresh campaign
+// (honouring -faults) or a previously exported dataset — and serves it
+// over the /v1 HTTP query API until interrupted, then drains.
+func cmdServe(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	pingsPath := fs.String("pings", "", "serve a prior export: ping CSV path (requires -traces)")
+	tracesPath := fs.String("traces", "", "serve a prior export: traceroute JSONL path (requires -pings)")
+	shards := fs.Int("shards", 0, "store shard count (0 = default)")
+	cacheEntries := fs.Int("cache", 256, "response cache entries")
+	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*pingsPath == "") != (*tracesPath == "") {
+		return fmt.Errorf("serve needs both -pings and -traces to load an export")
+	}
+
+	var study *core.Study
+	if *pingsPath != "" {
+		loaded, err := loadExport(*f.seed, *pingsPath, *tracesPath)
+		if err != nil {
+			return err
+		}
+		study = loaded
+	} else {
+		ran, _, err := runStudy(ctx, f)
+		if err != nil {
+			return err
+		}
+		study = ran
+	}
+
+	st := store.FromDataset(study.Store, study.Processed, store.Options{Shards: *shards})
+	sum := st.Summary()
+	fmt.Fprintf(os.Stderr, "store sealed: %d rows in %d shards (%d countries, %d providers; shard balance %d..%d rows)\n",
+		sum.Rows, sum.Shards, sum.Countries, sum.Providers, sum.MinShardRows, sum.MaxShardRows)
+
+	srv := serve.New(st, serve.Options{CacheEntries: *cacheEntries, Timeout: *timeout})
+	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,statsz} (ctrl-c drains)\n", *addr)
+	return serve.ListenAndServe(ctx, *addr, srv.Handler())
+}
+
+// loadExport streams a previously exported dataset into a Study (the
+// same path cmdAnalyze takes, but via the constant-memory scanners).
+func loadExport(seed int64, pingsPath, tracesPath string) (*core.Study, error) {
+	pf, err := os.Open(pingsPath)
+	if err != nil {
+		return nil, err
+	}
+	defer pf.Close()
+	tf, err := os.Open(tracesPath)
+	if err != nil {
+		return nil, err
+	}
+	defer tf.Close()
+	ds := &dataset.Store{}
+	if err := dataset.ScanPings(bufio.NewReaderSize(pf, 1<<20), func(r dataset.PingRecord) error {
+		ds.AddPing(r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := dataset.ScanTraces(bufio.NewReaderSize(tf, 1<<20), func(r dataset.TracerouteRecord) error {
+		ds.AddTrace(r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	np, nt := ds.Len()
+	fmt.Fprintf(os.Stderr, "loaded %d pings, %d traceroutes\n", np, nt)
+	return core.FromStore(core.Config{Seed: seed}, ds)
 }
 
 // cmdAnalyze re-runs every analysis over a previously exported dataset

@@ -100,3 +100,16 @@ func TestExportValidation(t *testing.T) {
 		t.Error("analyze with missing files should fail")
 	}
 }
+
+func TestServeValidation(t *testing.T) {
+	if err := cmdServe(context.Background(), []string{"-pings", "only.csv"}); err == nil {
+		t.Error("serve with -pings but no -traces should fail")
+	}
+	if err := cmdServe(context.Background(), []string{"-traces", "only.jsonl"}); err == nil {
+		t.Error("serve with -traces but no -pings should fail")
+	}
+	if err := cmdServe(context.Background(), []string{
+		"-pings", "/nope/a.csv", "-traces", "/nope/b.jsonl"}); err == nil {
+		t.Error("serve with missing export files should fail")
+	}
+}

@@ -136,8 +136,9 @@ func Nearest(store *dataset.Store, platform string) NearestAssignment {
 	return out
 }
 
-// byCountry regroups nearest-DC samples per VP country.
-func (na NearestAssignment) byCountry() map[string][]float64 {
+// ByCountry regroups nearest-DC samples per VP country. The sharded
+// measurement store ingests this regrouping, so it is exported.
+func (na NearestAssignment) ByCountry() map[string][]float64 {
 	out := make(map[string][]float64)
 	for probe, xs := range na.Samples {
 		out[na.Meta[probe].Country] = append(out[na.Meta[probe].Country], xs...)
@@ -145,8 +146,8 @@ func (na NearestAssignment) byCountry() map[string][]float64 {
 	return out
 }
 
-// byContinent regroups nearest-DC samples per VP continent.
-func (na NearestAssignment) byContinent() map[geo.Continent][]float64 {
+// ByContinent regroups nearest-DC samples per VP continent.
+func (na NearestAssignment) ByContinent() map[geo.Continent][]float64 {
 	out := make(map[geo.Continent][]float64)
 	for probe, xs := range na.Samples {
 		out[na.Meta[probe].Continent] = append(out[na.Meta[probe].Continent], xs...)

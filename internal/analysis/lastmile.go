@@ -232,10 +232,12 @@ func LastMileCvByContinent(processed []pipeline.Processed, minSamples int) []CvG
 			cat  LastMileCategory
 		}{{pipeline.KindHome, CatHomeUserISP}, {pipeline.KindCell, CatCell}} {
 			xs := cvs[key{cont, kc.kind}]
-			if len(xs) == 0 {
+			med, err := stats.Median(xs)
+			if err != nil {
+				// Empty bucket: skip it rather than plot MedianCv = 0,
+				// which would read as a perfectly stable last mile.
 				continue
 			}
-			med, _ := stats.Median(xs)
 			out = append(out, CvGroup{Continent: cont, Category: kc.cat, Cvs: xs, MedianCv: med})
 		}
 	}
@@ -261,10 +263,11 @@ func LastMileCvByCountry(processed []pipeline.Processed, countries []string, min
 			cat  LastMileCategory
 		}{{pipeline.KindHome, CatHomeUserISP}, {pipeline.KindCell, CatCell}} {
 			xs := cvs[key{cc, kc.kind}]
-			if len(xs) == 0 {
+			med, err := stats.Median(xs)
+			if err != nil {
+				// Empty bucket: skip it rather than plot MedianCv = 0.
 				continue
 			}
-			med, _ := stats.Median(xs)
 			out = append(out, CvGroup{Country: cc, Category: kc.cat, Cvs: xs, MedianCv: med})
 		}
 	}

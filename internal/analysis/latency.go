@@ -27,15 +27,23 @@ type CountryLatency struct {
 // with fewer than minSamples nearest-DC samples are skipped (the paper
 // required at least 100 probes per country).
 func LatencyMap(store *dataset.Store, minSamples int) []CountryLatency {
-	na := Nearest(store, "speedchecker")
-	byCountry := na.byCountry()
+	return LatencyMapFrom(Nearest(store, "speedchecker").ByCountry(), minSamples)
+}
+
+// LatencyMapFrom computes Figure 3 from per-country nearest-DC sample
+// sets, however they were materialized — the batch Nearest pass above
+// or the sharded measurement store's merged vectors. Samples are
+// canonicalized to ascending order first, so both producers yield
+// bit-identical maps (the bootstrap resamples by index).
+func LatencyMapFrom(byCountry map[string][]float64, minSamples int) []CountryLatency {
 	var out []CountryLatency
 	for _, cc := range sortedCountries(byCountry) {
-		xs := byCountry[cc]
-		if len(xs) < minSamples {
+		if len(byCountry[cc]) < minSamples {
 			continue
 		}
-		med, err := stats.Median(xs)
+		xs := append([]float64(nil), byCountry[cc]...)
+		sort.Float64s(xs)
+		med, err := stats.MedianSorted(xs)
 		if err != nil {
 			continue
 		}
@@ -94,8 +102,14 @@ type ContinentDistribution struct {
 
 // ContinentDistributions computes Figure 4 for one platform.
 func ContinentDistributions(store *dataset.Store, platform string) []ContinentDistribution {
-	na := Nearest(store, platform)
-	byCont := na.byContinent()
+	return ContinentDistributionsFrom(Nearest(store, platform).ByContinent())
+}
+
+// ContinentDistributionsFrom computes Figure 4 from per-continent
+// nearest-DC sample sets. The CDF constructor sorts internally, so the
+// result is independent of sample order and identical between the batch
+// and store-backed paths.
+func ContinentDistributionsFrom(byCont map[geo.Continent][]float64) []ContinentDistribution {
 	var out []ContinentDistribution
 	for _, cont := range geo.Continents() {
 		xs := byCont[cont]

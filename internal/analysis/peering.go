@@ -25,7 +25,14 @@ type InterconnectShare struct {
 // Interconnections computes Figure 10 from processed Speedchecker
 // traceroutes.
 func Interconnections(processed []pipeline.Processed) []InterconnectShare {
-	counts := map[string]*InterconnectShare{}
+	return InterconnectionsFromCounts(InterconnectCounts(processed))
+}
+
+// InterconnectCounts tallies classified Speedchecker paths per figure
+// provider and interconnection class — the incremental summary the
+// sharded measurement store keeps per shard and merges by addition.
+func InterconnectCounts(processed []pipeline.Processed) map[string]map[pipeline.Class]int {
+	counts := map[string]map[pipeline.Class]int{}
 	for i := range processed {
 		p := &processed[i]
 		if p.Record.VP.Platform != "speedchecker" || p.Class == pipeline.ClassUnknown {
@@ -35,32 +42,40 @@ func Interconnections(processed []pipeline.Processed) []InterconnectShare {
 		if prov == "" {
 			continue
 		}
-		s := counts[prov]
-		if s == nil {
-			s = &InterconnectShare{Provider: prov}
-			counts[prov] = s
+		if counts[prov] == nil {
+			counts[prov] = map[pipeline.Class]int{}
 		}
-		s.N++
-		switch p.Class {
-		case pipeline.ClassDirect, pipeline.ClassDirectIXP:
-			s.DirectPct++
-		case pipeline.ClassPrivate:
-			s.OneASPct++
-		case pipeline.ClassPublic:
-			s.MultiASPct++
-		}
+		counts[prov][p.Class]++
 	}
+	return counts
+}
+
+// InterconnectionsFromCounts turns per-provider class tallies into the
+// Figure 10 percentage bars.
+func InterconnectionsFromCounts(counts map[string]map[pipeline.Class]int) []InterconnectShare {
 	var out []InterconnectShare
 	for _, code := range cloud.FigureProviderCodes() {
-		s := counts[code]
-		if s == nil {
+		cc := counts[code]
+		if len(cc) == 0 {
 			continue
+		}
+		s := InterconnectShare{Provider: code}
+		for cl, n := range cc {
+			s.N += n
+			switch cl {
+			case pipeline.ClassDirect, pipeline.ClassDirectIXP:
+				s.DirectPct += float64(n)
+			case pipeline.ClassPrivate:
+				s.OneASPct += float64(n)
+			case pipeline.ClassPublic:
+				s.MultiASPct += float64(n)
+			}
 		}
 		n := float64(s.N)
 		s.DirectPct = 100 * s.DirectPct / n
 		s.OneASPct = 100 * s.OneASPct / n
 		s.MultiASPct = 100 * s.MultiASPct / n
-		out = append(out, *s)
+		out = append(out, s)
 	}
 	return out
 }

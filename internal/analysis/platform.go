@@ -22,12 +22,35 @@ type PlatformDiff struct {
 	NSC, NAtlas      int
 }
 
+// percentileGrid returns {from/100, ..., to/100} stepping by step
+// percentage points — the probe grids of Figures 5 and 16.
+func percentileGrid(from, to, step int) []float64 {
+	var out []float64
+	for p := from; p <= to; p += step {
+		out = append(out, float64(p)/100)
+	}
+	return out
+}
+
+var (
+	centiles = percentileGrid(1, 99, 1) // Figure 5: 1st..99th
+	ventiles = percentileGrid(5, 95, 5) // Figure 16: 5th..95th by 5
+)
+
 // PlatformComparison computes Figure 5. The two platforms measure from
 // different probes, so the comparison matches distributions percentile
 // by percentile, the standard approach for unpaired samples.
 func PlatformComparison(store *dataset.Store) []PlatformDiff {
-	sc := Nearest(store, "speedchecker").byContinent()
-	at := Nearest(store, "atlas").byContinent()
+	return PlatformComparisonFrom(
+		Nearest(store, "speedchecker").ByContinent(),
+		Nearest(store, "atlas").ByContinent())
+}
+
+// PlatformComparisonFrom computes Figure 5 from per-continent
+// nearest-DC sample sets of the two platforms. Each sample set is
+// sorted exactly once for all 99 percentiles (Quantiles), not per
+// percentile as the old per-q loop did.
+func PlatformComparisonFrom(sc, at map[geo.Continent][]float64) []PlatformDiff {
 	var out []PlatformDiff
 	for _, cont := range geo.Continents() {
 		xs, ys := sc[cont], at[cont]
@@ -35,18 +58,20 @@ func PlatformComparison(store *dataset.Store) []PlatformDiff {
 			continue
 		}
 		d := PlatformDiff{Continent: cont, NSC: len(xs), NAtlas: len(ys)}
+		as, err1 := stats.Quantiles(xs, centiles...)
+		bs, err2 := stats.Quantiles(ys, centiles...)
+		if err1 != nil || err2 != nil {
+			continue
+		}
 		atlasFaster := 0
-		for p := 1; p <= 99; p++ {
-			q := float64(p) / 100
-			a, _ := stats.Quantile(xs, q)
-			b, _ := stats.Quantile(ys, q)
-			diff := a - b
+		for i := range as {
+			diff := as[i] - bs[i]
 			d.Diffs = append(d.Diffs, diff)
 			if diff > 0 {
 				atlasFaster++
 			}
 		}
-		d.AtlasFasterShare = float64(atlasFaster) / 99
+		d.AtlasFasterShare = float64(atlasFaster) / float64(len(centiles))
 		out = append(out, d)
 	}
 	return out
@@ -108,11 +133,13 @@ func MatchedComparison(store *dataset.Store, minGroups int) []MatchedDiff {
 				continue
 			}
 			groups[cont]++
-			for p := 5; p <= 95; p += 5 {
-				q := float64(p) / 100
-				a, _ := stats.Quantile(xs, q)
-				b, _ := stats.Quantile(ys, q)
-				perCont[cont] = append(perCont[cont], a-b)
+			as, err1 := stats.Quantiles(xs, ventiles...)
+			bs, err2 := stats.Quantiles(ys, ventiles...)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			for i := range as {
+				perCont[cont] = append(perCont[cont], as[i]-bs[i])
 			}
 		}
 	}

@@ -35,28 +35,46 @@ func WritePingsCSV(w io.Writer, recs []PingRecord) error {
 
 // ReadPingsCSV parses the output of WritePingsCSV.
 func ReadPingsCSV(r io.Reader) ([]PingRecord, error) {
+	var out []PingRecord
+	err := ScanPings(r, func(rec PingRecord) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanPings streams the output of WritePingsCSV through fn, one record
+// at a time and in constant memory — the ingest path the measurement
+// store uses to consume full-scale exports without materializing a
+// []PingRecord first. Scanning stops at the first error fn returns.
+func ScanPings(r io.Reader, fn func(PingRecord) error) error {
 	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
 	header, err := cr.Read()
 	if err != nil {
-		return nil, fmt.Errorf("dataset: reading header: %w", err)
+		return fmt.Errorf("dataset: reading header: %w", err)
 	}
 	if len(header) != len(pingHeader) {
-		return nil, fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(pingHeader))
+		return fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(pingHeader))
 	}
-	var out []PingRecord
 	for line := 2; ; line++ {
 		row, err := cr.Read()
 		if err == io.EOF {
-			return out, nil
+			return nil
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		rec, err := parsePingRow(row)
 		if err != nil {
-			return nil, fmt.Errorf("dataset: line %d: %w", line, err)
+			return fmt.Errorf("dataset: line %d: %w", line, err)
 		}
-		out = append(out, rec)
+		if err := fn(rec); err != nil {
+			return err
+		}
 	}
 }
 
@@ -157,53 +175,77 @@ func WriteTracesJSONL(w io.Writer, recs []TracerouteRecord) error {
 
 // ReadTracesJSONL parses the output of WriteTracesJSONL.
 func ReadTracesJSONL(r io.Reader) ([]TracerouteRecord, error) {
-	dec := json.NewDecoder(bufio.NewReader(r))
 	var out []TracerouteRecord
+	err := ScanTraces(r, func(rec TracerouteRecord) error {
+		out = append(out, rec)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScanTraces streams the output of WriteTracesJSONL through fn, one
+// traceroute at a time — the constant-memory counterpart of
+// ReadTracesJSONL.
+func ScanTraces(r io.Reader, fn func(TracerouteRecord) error) error {
+	dec := json.NewDecoder(bufio.NewReader(r))
 	for line := 1; ; line++ {
 		var jt jsonTrace
 		if err := dec.Decode(&jt); err == io.EOF {
-			return out, nil
+			return nil
 		} else if err != nil {
-			return nil, fmt.Errorf("dataset: trace line %d: %w", line, err)
+			return fmt.Errorf("dataset: trace line %d: %w", line, err)
 		}
-		vpCont, err := geo.ParseContinent(jt.Continent)
+		rec, err := traceFromJSON(&jt)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("dataset: trace line %d: %w", line, err)
 		}
-		dcCont, err := geo.ParseContinent(jt.DCCont)
-		if err != nil {
-			return nil, err
+		if err := fn(rec); err != nil {
+			return err
 		}
-		access, err := parseAccess(jt.Access)
-		if err != nil {
-			return nil, err
-		}
-		dcIP, err := netaddr.ParseIP(jt.DCIP)
-		if err != nil {
-			return nil, err
-		}
-		rec := TracerouteRecord{
-			VP: VantagePoint{
-				ProbeID: jt.Probe, Platform: jt.Platform, Country: jt.Country,
-				Continent: vpCont, ISP: asn.Number(jt.ISP), Access: access,
-			},
-			Target: Target{
-				Region: jt.Region, Provider: jt.Provider, Country: jt.DCCountry,
-				Continent: dcCont, IP: dcIP,
-			},
-			Cycle: jt.Cycle,
-		}
-		for _, jh := range jt.Hops {
-			h := Hop{TTL: jh.TTL, RTTms: jh.RTT, Responded: jh.Responded}
-			if jh.Responded {
-				ip, err := netaddr.ParseIP(jh.IP)
-				if err != nil {
-					return nil, err
-				}
-				h.IP = ip
-			}
-			rec.Hops = append(rec.Hops, h)
-		}
-		out = append(out, rec)
 	}
+}
+
+func traceFromJSON(jt *jsonTrace) (TracerouteRecord, error) {
+	vpCont, err := geo.ParseContinent(jt.Continent)
+	if err != nil {
+		return TracerouteRecord{}, err
+	}
+	dcCont, err := geo.ParseContinent(jt.DCCont)
+	if err != nil {
+		return TracerouteRecord{}, err
+	}
+	access, err := parseAccess(jt.Access)
+	if err != nil {
+		return TracerouteRecord{}, err
+	}
+	dcIP, err := netaddr.ParseIP(jt.DCIP)
+	if err != nil {
+		return TracerouteRecord{}, err
+	}
+	rec := TracerouteRecord{
+		VP: VantagePoint{
+			ProbeID: jt.Probe, Platform: jt.Platform, Country: jt.Country,
+			Continent: vpCont, ISP: asn.Number(jt.ISP), Access: access,
+		},
+		Target: Target{
+			Region: jt.Region, Provider: jt.Provider, Country: jt.DCCountry,
+			Continent: dcCont, IP: dcIP,
+		},
+		Cycle: jt.Cycle,
+	}
+	for _, jh := range jt.Hops {
+		h := Hop{TTL: jh.TTL, RTTms: jh.RTT, Responded: jh.Responded}
+		if jh.Responded {
+			ip, err := netaddr.ParseIP(jh.IP)
+			if err != nil {
+				return TracerouteRecord{}, err
+			}
+			h.IP = ip
+		}
+		rec.Hops = append(rec.Hops, h)
+	}
+	return rec, nil
 }

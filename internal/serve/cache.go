@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// computed is one materialized response body: what the singleflight
+// group produces and the LRU cache retains.
+type computed struct {
+	body        []byte
+	etag        string
+	contentType string
+	err         error
+}
+
+// lruCache is a bounded, thread-safe LRU over canonicalized query keys.
+type lruCache struct {
+	mu        sync.Mutex
+	cap       int
+	ll        *list.List // front = most recent; values are *cacheItem
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type cacheItem struct {
+	key string
+	res computed
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) get(key string) (computed, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return computed{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).res, true
+}
+
+func (c *lruCache) put(key string, res computed) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheItem).res = res
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+		c.evictions++
+	}
+}
+
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = map[string]*list.Element{}
+}
+
+func (c *lruCache) stats() (entries int, capacity int, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.cap, c.evictions
+}

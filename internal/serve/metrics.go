@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// endpointMetrics holds lock-free per-endpoint counters.
+type endpointMetrics struct {
+	requests    atomic.Uint64
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+	notModified atomic.Uint64
+	coalesced   atomic.Uint64
+	errors      atomic.Uint64
+	inFlight    atomic.Int64
+	latencyNs   atomic.Int64
+	maxNs       atomic.Int64
+}
+
+func (m *endpointMetrics) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	m.latencyNs.Add(ns)
+	for {
+		cur := m.maxNs.Load()
+		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// EndpointStats is the JSON form of one endpoint's counters.
+type EndpointStats struct {
+	Requests      uint64  `json:"requests"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	NotModified   uint64  `json:"not_modified"`
+	Coalesced     uint64  `json:"coalesced"`
+	Errors        uint64  `json:"errors"`
+	InFlight      int64   `json:"in_flight"`
+	MeanLatencyUs float64 `json:"mean_latency_us"`
+	MaxLatencyUs  float64 `json:"max_latency_us"`
+}
+
+func (m *endpointMetrics) snapshot() EndpointStats {
+	s := EndpointStats{
+		Requests:     m.requests.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		NotModified:  m.notModified.Load(),
+		Coalesced:    m.coalesced.Load(),
+		Errors:       m.errors.Load(),
+		InFlight:     m.inFlight.Load(),
+		MaxLatencyUs: float64(m.maxNs.Load()) / 1e3,
+	}
+	if s.Requests > 0 {
+		s.MeanLatencyUs = float64(m.latencyNs.Load()) / float64(s.Requests) / 1e3
+	}
+	return s
+}
+
+// metricSet is the fixed endpoint → counters table; endpoints register
+// at construction, so lookups afterwards are read-only.
+type metricSet struct {
+	endpoints map[string]*endpointMetrics
+}
+
+func newMetricSet(names ...string) *metricSet {
+	ms := &metricSet{endpoints: map[string]*endpointMetrics{}}
+	for _, n := range names {
+		ms.endpoints[n] = &endpointMetrics{}
+	}
+	return ms
+}
+
+func (ms *metricSet) of(endpoint string) *endpointMetrics {
+	return ms.endpoints[endpoint]
+}
+
+func (ms *metricSet) snapshot() map[string]EndpointStats {
+	out := make(map[string]EndpointStats, len(ms.endpoints))
+	for name, m := range ms.endpoints {
+		out[name] = m.snapshot()
+	}
+	return out
+}

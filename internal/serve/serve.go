@@ -1,0 +1,516 @@
+// Package serve exposes a sealed measurement store as an HTTP query
+// service: the paper's headline figures as versioned endpoints with
+// request coalescing (one store query per key no matter how many
+// concurrent identical requests arrive), a bounded LRU response cache
+// with ETag revalidation, JSON/NDJSON content negotiation, per-request
+// timeouts and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	/v1/latency-map    Figure 3: per-country median RTT map
+//	/v1/cdf            Figure 4: per-continent latency CDFs
+//	/v1/platform-diff  Figure 5: Speedchecker − Atlas percentile diffs
+//	/v1/peering-shares Figure 10: interconnection class shares
+//	/v1/healthz        liveness
+//	/v1/statsz         cache, store and per-endpoint counters
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"net/url"
+	"reflect"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/store"
+)
+
+// Querier is the store surface the server needs. *store.Store satisfies
+// it; tests wrap it to count underlying queries.
+type Querier interface {
+	LatencyMap(minSamples int) []analysis.CountryLatency
+	ContinentCDFs(platform string) []analysis.ContinentDistribution
+	PlatformDiff() []analysis.PlatformDiff
+	PeeringShares() []analysis.InterconnectShare
+	Summary() store.Summary
+}
+
+// Options tunes the server.
+type Options struct {
+	// CacheEntries bounds the LRU response cache (default 256).
+	CacheEntries int
+	// Timeout bounds each request end-to-end (default 5s).
+	Timeout time.Duration
+	// MinMapSamples is the default per-country sample floor of
+	// /v1/latency-map when the request has no min parameter (default 10).
+	MinMapSamples int
+	// CDFPoints is the default curve resolution of /v1/cdf (default 64).
+	CDFPoints int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 256
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.MinMapSamples <= 0 {
+		o.MinMapSamples = 10
+	}
+	if o.CDFPoints <= 0 {
+		o.CDFPoints = 64
+	}
+	return o
+}
+
+// maxCDFPoints bounds the points parameter so one request cannot ask
+// for an absurd curve.
+const maxCDFPoints = 4096
+
+// Server answers the /v1 API over a Querier.
+type Server struct {
+	q       Querier
+	opts    Options
+	cache   *lruCache
+	flights *flightGroup
+	metrics *metricSet
+	start   time.Time
+}
+
+// New builds a server over q.
+func New(q Querier, opts Options) *Server {
+	return &Server{
+		q:       q,
+		opts:    opts.withDefaults(),
+		cache:   newLRUCache(opts.withDefaults().CacheEntries),
+		flights: newFlightGroup(),
+		metrics: newMetricSet("latency-map", "cdf", "platform-diff", "peering-shares", "healthz", "statsz"),
+		start:   time.Now(),
+	}
+}
+
+// InvalidateCache drops every cached response — the hook a future
+// incremental-ingest path (or a benchmark) uses after swapping stores.
+func (s *Server) InvalidateCache() { s.cache.purge() }
+
+// Handler returns the routed HTTP handler with the per-request timeout
+// applied.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/latency-map", s.handleLatencyMap)
+	mux.HandleFunc("/v1/cdf", s.handleCDF)
+	mux.HandleFunc("/v1/platform-diff", s.handlePlatformDiff)
+	mux.HandleFunc("/v1/peering-shares", s.handlePeeringShares)
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/statsz", s.handleStatsz)
+	return http.TimeoutHandler(mux, s.opts.Timeout, `{"error":"request timed out"}`)
+}
+
+// ---- DTOs ----
+// The wire forms mirror the analysis structs field-for-field but spell
+// enums as strings, so responses are self-describing without the Go
+// type definitions.
+
+// LatencyMapEntry is the wire form of analysis.CountryLatency.
+type LatencyMapEntry struct {
+	Country   string  `json:"country"`
+	Continent string  `json:"continent"`
+	MedianMs  float64 `json:"median_ms"`
+	CILowMs   float64 `json:"ci_low_ms"`
+	CIHighMs  float64 `json:"ci_high_ms"`
+	Band      string  `json:"band"`
+	Samples   int     `json:"samples"`
+}
+
+// LatencyMapDTO converts batch analysis output to the wire form.
+func LatencyMapDTO(entries []analysis.CountryLatency) []LatencyMapEntry {
+	out := make([]LatencyMapEntry, len(entries))
+	for i, e := range entries {
+		out[i] = LatencyMapEntry{
+			Country: e.Country, Continent: e.Continent.String(),
+			MedianMs: e.MedianMs, CILowMs: e.CILowMs, CIHighMs: e.CIHighMs,
+			Band: e.Band.String(), Samples: e.Samples,
+		}
+	}
+	return out
+}
+
+// CDFEntry is the wire form of analysis.ContinentDistribution: the
+// curve sampled at a fixed number of points plus the QoE fractions.
+type CDFEntry struct {
+	Continent string       `json:"continent"`
+	N         int          `json:"n"`
+	UnderMTP  float64      `json:"under_mtp"`
+	UnderHPL  float64      `json:"under_hpl"`
+	UnderHRT  float64      `json:"under_hrt"`
+	Series    [][2]float64 `json:"series"` // (rtt_ms, P(X≤rtt)) pairs
+}
+
+// CDFDTO converts batch analysis output to the wire form.
+func CDFDTO(dists []analysis.ContinentDistribution, points int) []CDFEntry {
+	out := make([]CDFEntry, len(dists))
+	for i, d := range dists {
+		out[i] = CDFEntry{
+			Continent: d.Continent.String(), N: d.N,
+			UnderMTP: d.UnderMTP, UnderHPL: d.UnderHPL, UnderHRT: d.UnderHRT,
+			Series: d.CDF.Series(points),
+		}
+	}
+	return out
+}
+
+// PlatformDiffEntry is the wire form of analysis.PlatformDiff.
+type PlatformDiffEntry struct {
+	Continent        string    `json:"continent"`
+	DiffsMs          []float64 `json:"diffs_ms"`
+	AtlasFasterShare float64   `json:"atlas_faster_share"`
+	NSpeedchecker    int       `json:"n_speedchecker"`
+	NAtlas           int       `json:"n_atlas"`
+}
+
+// PlatformDiffDTO converts batch analysis output to the wire form.
+func PlatformDiffDTO(diffs []analysis.PlatformDiff) []PlatformDiffEntry {
+	out := make([]PlatformDiffEntry, len(diffs))
+	for i, d := range diffs {
+		out[i] = PlatformDiffEntry{
+			Continent: d.Continent.String(), DiffsMs: d.Diffs,
+			AtlasFasterShare: d.AtlasFasterShare,
+			NSpeedchecker:    d.NSC, NAtlas: d.NAtlas,
+		}
+	}
+	return out
+}
+
+// PeeringShareEntry is the wire form of analysis.InterconnectShare.
+type PeeringShareEntry struct {
+	Provider   string  `json:"provider"`
+	DirectPct  float64 `json:"direct_pct"`
+	OneASPct   float64 `json:"one_as_pct"`
+	MultiASPct float64 `json:"multi_as_pct"`
+	N          int     `json:"n"`
+}
+
+// PeeringSharesDTO converts batch analysis output to the wire form.
+func PeeringSharesDTO(shares []analysis.InterconnectShare) []PeeringShareEntry {
+	out := make([]PeeringShareEntry, len(shares))
+	for i, sh := range shares {
+		out[i] = PeeringShareEntry{
+			Provider: sh.Provider, DirectPct: sh.DirectPct,
+			OneASPct: sh.OneASPct, MultiASPct: sh.MultiASPct, N: sh.N,
+		}
+	}
+	return out
+}
+
+// Statsz is the /v1/statsz payload.
+type Statsz struct {
+	UptimeSeconds float64                  `json:"uptime_seconds"`
+	Store         store.Summary            `json:"store"`
+	Cache         CacheStats               `json:"cache"`
+	Endpoints     map[string]EndpointStats `json:"endpoints"`
+}
+
+// CacheStats describes the response cache.
+type CacheStats struct {
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// ---- handlers ----
+
+func (s *Server) handleLatencyMap(w http.ResponseWriter, r *http.Request) {
+	minSamples := s.opts.MinMapSamples
+	if err := intParam(r.URL.Query(), "min", 1, 1<<30, &minSamples); err != nil {
+		s.badRequest(w, "latency-map", err)
+		return
+	}
+	s.respond(w, r, "latency-map", fmt.Sprintf("min=%d", minSamples), func() (any, error) {
+		return LatencyMapDTO(s.q.LatencyMap(minSamples)), nil
+	})
+}
+
+func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	platform, err := platformParam(q)
+	if err != nil {
+		s.badRequest(w, "cdf", err)
+		return
+	}
+	points := s.opts.CDFPoints
+	if err := intParam(q, "points", 2, maxCDFPoints, &points); err != nil {
+		s.badRequest(w, "cdf", err)
+		return
+	}
+	continent := strings.ToUpper(q.Get("continent"))
+	if continent != "" {
+		if _, perr := parseContinent(continent); perr != nil {
+			s.badRequest(w, "cdf", perr)
+			return
+		}
+	}
+	key := fmt.Sprintf("platform=%s&continent=%s&points=%d", platform, continent, points)
+	s.respond(w, r, "cdf", key, func() (any, error) {
+		dists := s.q.ContinentCDFs(platform)
+		if continent != "" {
+			kept := dists[:0:0]
+			for _, d := range dists {
+				if d.Continent.String() == continent {
+					kept = append(kept, d)
+				}
+			}
+			dists = kept
+		}
+		return CDFDTO(dists, points), nil
+	})
+}
+
+func (s *Server) handlePlatformDiff(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, r, "platform-diff", "", func() (any, error) {
+		return PlatformDiffDTO(s.q.PlatformDiff()), nil
+	})
+}
+
+func (s *Server) handlePeeringShares(w http.ResponseWriter, r *http.Request) {
+	s.respond(w, r, "peering-shares", "", func() (any, error) {
+		return PeeringSharesDTO(s.q.PeeringShares()), nil
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics.of("healthz")
+	m.requests.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics.of("statsz")
+	m.requests.Add(1)
+	entries, capacity, evictions := s.cache.stats()
+	payload := Statsz{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Store:         s.q.Summary(),
+		Cache:         CacheStats{Entries: entries, Capacity: capacity, Evictions: evictions},
+		Endpoints:     s.metrics.snapshot(),
+	}
+	body, err := json.Marshal(payload)
+	if err != nil {
+		http.Error(w, `{"error":"marshal failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// ---- request plumbing ----
+
+const (
+	ctJSON   = "application/json"
+	ctNDJSON = "application/x-ndjson"
+)
+
+// negotiate picks the response encoding: NDJSON when the client asks
+// for it via Accept, JSON otherwise.
+func negotiate(r *http.Request) string {
+	if strings.Contains(r.Header.Get("Accept"), ctNDJSON) {
+		return ctNDJSON
+	}
+	return ctJSON
+}
+
+// respond runs the cached/coalesced read path: canonical key → LRU →
+// singleflight compute → encode → cache, with ETag revalidation at
+// every exit.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, params string, compute func() (any, error)) {
+	m := s.metrics.of(endpoint)
+	m.requests.Add(1)
+	m.inFlight.Add(1)
+	started := time.Now()
+	defer func() {
+		m.inFlight.Add(-1)
+		m.observe(time.Since(started))
+	}()
+
+	contentType := negotiate(r)
+	key := endpoint + "?" + params + "&ct=" + contentType
+
+	if res, ok := s.cache.get(key); ok {
+		m.cacheHits.Add(1)
+		s.write(w, r, m, res, "hit")
+		return
+	}
+	m.cacheMisses.Add(1)
+	res, shared := s.flights.do(key, func() computed {
+		v, err := compute()
+		if err != nil {
+			return computed{err: err}
+		}
+		body, err := encode(v, contentType)
+		if err != nil {
+			return computed{err: err}
+		}
+		res := computed{body: body, etag: etagOf(body), contentType: contentType}
+		s.cache.put(key, res)
+		return res
+	})
+	if shared {
+		m.coalesced.Add(1)
+	}
+	if res.err != nil {
+		m.errors.Add(1)
+		http.Error(w, `{"error":"internal query failure"}`, http.StatusInternalServerError)
+		return
+	}
+	s.write(w, r, m, res, "miss")
+}
+
+// write emits one computed response, honouring If-None-Match.
+func (s *Server) write(w http.ResponseWriter, r *http.Request, m *endpointMetrics, res computed, cacheState string) {
+	w.Header().Set("ETag", res.etag)
+	w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag
+	w.Header().Set("X-Cache", cacheState)
+	if etagMatches(r.Header.Get("If-None-Match"), res.etag) {
+		m.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", res.contentType)
+	w.Write(res.body)
+}
+
+// encode marshals v as a JSON document or, for slices under NDJSON, one
+// JSON object per line.
+func encode(v any, contentType string) ([]byte, error) {
+	if contentType == ctNDJSON {
+		rv := reflect.ValueOf(v)
+		if rv.Kind() == reflect.Slice {
+			var buf []byte
+			for i := 0; i < rv.Len(); i++ {
+				line, err := json.Marshal(rv.Index(i).Interface())
+				if err != nil {
+					return nil, err
+				}
+				buf = append(buf, line...)
+				buf = append(buf, '\n')
+			}
+			return buf, nil
+		}
+	}
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
+}
+
+func etagOf(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// etagMatches implements the If-None-Match comparison over a
+// comma-separated candidate list.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) badRequest(w http.ResponseWriter, endpoint string, err error) {
+	s.metrics.of(endpoint).requests.Add(1)
+	s.metrics.of(endpoint).errors.Add(1)
+	w.Header().Set("Content-Type", ctJSON)
+	w.WriteHeader(http.StatusBadRequest)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// intParam parses an optional integer query parameter into dst,
+// enforcing [lo, hi].
+func intParam(q url.Values, name string, lo, hi int, dst *int) error {
+	raw := q.Get(name)
+	if raw == "" {
+		return nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return fmt.Errorf("parameter %q must be an integer, got %q", name, raw)
+	}
+	if v < lo || v > hi {
+		return fmt.Errorf("parameter %q must be in [%d, %d], got %d", name, lo, hi, v)
+	}
+	*dst = v
+	return nil
+}
+
+func platformParam(q url.Values) (string, error) {
+	platform := q.Get("platform")
+	switch platform {
+	case "":
+		return "speedchecker", nil
+	case "speedchecker", "atlas":
+		return platform, nil
+	}
+	return "", fmt.Errorf("parameter %q must be speedchecker or atlas, got %q", "platform", platform)
+}
+
+// ---- lifecycle ----
+
+// ListenAndServe serves h on addr until ctx is cancelled, then drains
+// in-flight requests gracefully before returning.
+func ListenAndServe(ctx context.Context, addr string, h http.Handler) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return ServeListener(ctx, ln, h)
+}
+
+// ServeListener is ListenAndServe over an existing listener (tests pass
+// one bound to an ephemeral port).
+func ServeListener(ctx context.Context, ln net.Listener, h http.Handler) error {
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		done <- srv.Shutdown(drainCtx)
+	}()
+	if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	// Surface drain errors (requests still running past the grace
+	// period) rather than swallowing them.
+	return <-done
+}
+
+// parseContinent validates the continent query parameter against the
+// continents the analyses know.
+func parseContinent(s string) (string, error) {
+	for _, c := range knownContinents {
+		if c == s {
+			return s, nil
+		}
+	}
+	return "", fmt.Errorf("parameter %q must be one of %s, got %q", "continent", strings.Join(knownContinents, "/"), s)
+}
+
+var knownContinents = []string{"EU", "NA", "SA", "AS", "AF", "OC"}

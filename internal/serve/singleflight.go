@@ -1,0 +1,45 @@
+package serve
+
+import "sync"
+
+// flightGroup coalesces concurrent computations of the same key: the
+// first caller executes fn, every concurrent duplicate blocks and
+// receives the same result. Unlike a cache, the entry lives only while
+// the computation is in flight — the response cache in front of it
+// handles reuse afterwards.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	wg  sync.WaitGroup
+	res computed
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: map[string]*flight{}}
+}
+
+// do returns fn's result for key, with shared=true when this caller
+// piggybacked on another caller's in-flight computation.
+func (g *flightGroup) do(key string, fn func() computed) (res computed, shared bool) {
+	g.mu.Lock()
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		f.wg.Wait()
+		return f.res, true
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.res = fn()
+	f.wg.Done()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	return f.res, false
+}

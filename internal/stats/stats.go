@@ -56,14 +56,41 @@ func Quantiles(xs []float64, qs ...float64) ([]float64, error) {
 	}
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
+	return QuantilesSorted(s, qs...)
+}
+
+// QuantileSorted returns the q-th quantile of xs, which must already be
+// sorted ascending. It is the zero-copy path for callers (the sharded
+// measurement store) that maintain pre-sorted sample vectors.
+func QuantileSorted(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	return quantileSorted(xs, q), nil
+}
+
+// QuantilesSorted returns several quantiles of an already-sorted xs
+// without copying or re-sorting.
+func QuantilesSorted(xs []float64, qs ...float64) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, ErrEmpty
+	}
 	out := make([]float64, len(qs))
 	for i, q := range qs {
 		if q < 0 || q > 1 || math.IsNaN(q) {
 			return nil, errors.New("stats: quantile out of [0,1]")
 		}
-		out[i] = quantileSorted(s, q)
+		out[i] = quantileSorted(xs, q)
 	}
 	return out, nil
+}
+
+// MedianSorted returns the median of an already-sorted sample.
+func MedianSorted(xs []float64) (float64, error) {
+	return QuantileSorted(xs, 0.5)
 }
 
 // Mean returns the arithmetic mean of xs.
@@ -154,6 +181,16 @@ func NewCDF(xs []float64) (CDF, error) {
 	s := append([]float64(nil), xs...)
 	sort.Float64s(s)
 	return CDF{sorted: s}, nil
+}
+
+// CDFFromSorted builds an empirical CDF around xs without copying. The
+// caller promises xs is sorted ascending and never mutated afterwards —
+// the contract the measurement store's merged shard vectors satisfy.
+func CDFFromSorted(xs []float64) (CDF, error) {
+	if len(xs) == 0 {
+		return CDF{}, ErrEmpty
+	}
+	return CDF{sorted: xs}, nil
 }
 
 // At returns P(X ≤ x).
@@ -286,6 +323,30 @@ func (w *Welford) Add(x float64) {
 	d := x - w.mean
 	w.mean += d / float64(w.n)
 	w.m2 += d * (x - w.mean)
+}
+
+// Merge folds another accumulator into w using the parallel variance
+// combination (Chan et al.), so per-shard summaries can be reduced to a
+// global one without revisiting samples.
+func (w *Welford) Merge(other *Welford) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = *other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	w.m2 += other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	w.mean += d * float64(other.n) / float64(n)
+	w.n = n
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
 }
 
 // N returns the number of observations.

@@ -1,0 +1,112 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// gather fans out over the shards in parallel, picks one group map from
+// each, and k-way merges the per-key sorted vectors into one sorted
+// vector per key. The merged vectors may alias shard memory and must be
+// treated as read-only.
+func (s *Store) gather(pick func(*shard) map[groupKey][]float64, platform string) map[string][]float64 {
+	perShard := make([]map[groupKey][]float64, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			perShard[i] = pick(sh)
+		}(i, sh)
+	}
+	wg.Wait()
+
+	vecsByKey := map[string][][]float64{}
+	for _, groups := range perShard {
+		for g, xs := range groups {
+			if g.platform == platform {
+				vecsByKey[g.name] = append(vecsByKey[g.name], xs)
+			}
+		}
+	}
+	out := make(map[string][]float64, len(vecsByKey))
+	var mu sync.Mutex
+	for name, vecs := range vecsByKey {
+		wg.Add(1)
+		go func(name string, vecs [][]float64) {
+			defer wg.Done()
+			merged := mergeSorted(vecs)
+			mu.Lock()
+			out[name] = merged
+			mu.Unlock()
+		}(name, vecs)
+	}
+	wg.Wait()
+	return out
+}
+
+// CountrySamples returns the platform's nearest-DC RTT samples merged
+// per VP country, each vector sorted ascending.
+func (s *Store) CountrySamples(platform string) map[string][]float64 {
+	return s.gather(func(sh *shard) map[groupKey][]float64 { return sh.byCountry }, platform)
+}
+
+// ContinentSamples returns the platform's nearest-DC RTT samples merged
+// per VP continent, each vector sorted ascending.
+func (s *Store) ContinentSamples(platform string) map[geo.Continent][]float64 {
+	byName := s.gather(func(sh *shard) map[groupKey][]float64 { return sh.byContinent }, platform)
+	out := make(map[geo.Continent][]float64, len(byName))
+	for name, xs := range byName {
+		cont, err := geo.ParseContinent(name)
+		if err != nil {
+			continue
+		}
+		out[cont] = xs
+	}
+	return out
+}
+
+// LatencyMap answers the Figure 3 query from the sharded vectors,
+// identically to the batch analysis.LatencyMap pass.
+func (s *Store) LatencyMap(minSamples int) []analysis.CountryLatency {
+	return analysis.LatencyMapFrom(s.CountrySamples("speedchecker"), minSamples)
+}
+
+// ContinentCDFs answers the Figure 4 query for one platform.
+func (s *Store) ContinentCDFs(platform string) []analysis.ContinentDistribution {
+	return analysis.ContinentDistributionsFrom(s.ContinentSamples(platform))
+}
+
+// PlatformDiff answers the Figure 5 query.
+func (s *Store) PlatformDiff() []analysis.PlatformDiff {
+	return analysis.PlatformComparisonFrom(
+		s.ContinentSamples("speedchecker"), s.ContinentSamples("atlas"))
+}
+
+// PeeringShares answers the Figure 10 query from the merged
+// interconnection tallies.
+func (s *Store) PeeringShares() []analysis.InterconnectShare {
+	return analysis.InterconnectionsFromCounts(s.peering)
+}
+
+// CountryQuantiles returns the requested quantiles of one country's
+// nearest-DC distribution together with the sample count, merging the
+// country's pre-sorted shard vectors instead of re-sorting. It returns
+// stats.ErrEmpty when the country has no samples.
+func (s *Store) CountryQuantiles(platform, country string, qs ...float64) ([]float64, int, error) {
+	vecs := make([][]float64, 0, len(s.shards))
+	for _, sh := range s.shards {
+		if xs := sh.byCountry[groupKey{platform, country}]; len(xs) > 0 {
+			vecs = append(vecs, xs)
+		}
+	}
+	merged := mergeSorted(vecs)
+	out, err := stats.QuantilesSorted(merged, qs...)
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, len(merged), nil
+}

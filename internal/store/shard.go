@@ -1,0 +1,148 @@
+package store
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/geo"
+	"repro/internal/stats"
+)
+
+// groupKey addresses one pre-sorted RTT vector inside a shard: samples
+// of one platform grouped by country (dim = byCountry) or by continent
+// (dim = byContinent, name = Continent.String()).
+type groupKey struct {
+	platform string
+	name     string
+}
+
+// shardBuilder is the mutable, single-writer ingest side of a shard:
+// plain columnar appends, no sorting until seal.
+type shardBuilder struct {
+	// Column slices, one entry per ingested sample, in arrival order.
+	platform  []string
+	country   []string
+	continent []geo.Continent
+	provider  []string
+	rtt       []float64
+}
+
+func (sb *shardBuilder) add(s Sample) {
+	sb.platform = append(sb.platform, s.Platform)
+	sb.country = append(sb.country, s.Country)
+	sb.continent = append(sb.continent, s.Continent)
+	sb.provider = append(sb.provider, s.Provider)
+	sb.rtt = append(sb.rtt, s.RTTms)
+}
+
+// shard is the sealed, read-only form: per-group RTT vectors sorted
+// ascending exactly once, plus incremental summaries.
+type shard struct {
+	rows         int
+	byCountry    map[groupKey][]float64 // sorted ascending
+	byContinent  map[groupKey][]float64 // sorted ascending
+	providers    map[string]struct{}
+	platformRows map[string]int
+	rtt          stats.Welford
+}
+
+func (sb *shardBuilder) seal() *shard {
+	sh := &shard{
+		rows:         len(sb.rtt),
+		byCountry:    map[groupKey][]float64{},
+		byContinent:  map[groupKey][]float64{},
+		providers:    map[string]struct{}{},
+		platformRows: map[string]int{},
+	}
+	for i, rtt := range sb.rtt {
+		plat := sb.platform[i]
+		ck := groupKey{plat, sb.country[i]}
+		sh.byCountry[ck] = append(sh.byCountry[ck], rtt)
+		nk := groupKey{plat, sb.continent[i].String()}
+		sh.byContinent[nk] = append(sh.byContinent[nk], rtt)
+		sh.providers[sb.provider[i]] = struct{}{}
+		sh.platformRows[plat]++
+		sh.rtt.Add(rtt)
+	}
+	for _, xs := range sh.byCountry {
+		sort.Float64s(xs)
+	}
+	for _, xs := range sh.byContinent {
+		sort.Float64s(xs)
+	}
+	return sh
+}
+
+// mergeSorted k-way merges ascending vectors into one ascending vector.
+// For a single input it returns it as-is (shard vectors are immutable,
+// so sharing is safe); callers must treat the result as read-only.
+func mergeSorted(vecs [][]float64) []float64 {
+	nonEmpty := vecs[:0:0]
+	total := 0
+	for _, v := range vecs {
+		if len(v) > 0 {
+			nonEmpty = append(nonEmpty, v)
+			total += len(v)
+		}
+	}
+	switch len(nonEmpty) {
+	case 0:
+		return nil
+	case 1:
+		return nonEmpty[0]
+	case 2:
+		return merge2(nonEmpty[0], nonEmpty[1], total)
+	}
+	out := make([]float64, 0, total)
+	h := make(mergeHeap, len(nonEmpty))
+	for i, v := range nonEmpty {
+		h[i] = mergeCursor{vec: v}
+	}
+	heap.Init(&h)
+	for len(h) > 0 {
+		c := &h[0]
+		out = append(out, c.vec[c.pos])
+		c.pos++
+		if c.pos == len(c.vec) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+func merge2(a, b []float64, total int) []float64 {
+	out := make([]float64, 0, total)
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+type mergeCursor struct {
+	vec []float64
+	pos int
+}
+
+type mergeHeap []mergeCursor
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].vec[h[i].pos] < h[j].vec[h[j].pos] }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeCursor)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,224 @@
+// Package store implements an immutable, sharded, column-oriented
+// measurement store over campaign results. Measurements are ingested
+// once — from a live campaign or a dataset export stream — hashed into
+// N shards by <VP country, provider>, and each shard keeps columnar
+// slices plus pre-sorted per-group RTT vectors and incremental Welford
+// summaries. Median, arbitrary-quantile and CDF queries are then
+// answered by fanning out over the shards in parallel and k-way merging
+// their already-sorted vectors, never re-sorting the full dataset.
+//
+// The store holds the nearest-datacenter reduction of the campaign (the
+// §4.1 view every latency figure shares) plus the per-provider
+// interconnection tallies of §6, which is exactly what the query
+// service in internal/serve exposes.
+package store
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/stats"
+)
+
+// Options sizes the store.
+type Options struct {
+	// Shards is the shard count (default 8). More shards raise ingest
+	// and query parallelism at the cost of merge fan-in.
+	Shards int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	return o
+}
+
+// Sample is one nearest-datacenter measurement row: a single RTT from a
+// probe in Country towards its closest region, owned by Provider.
+type Sample struct {
+	Platform  string // "speedchecker" or "atlas"
+	Country   string // VP country code
+	Continent geo.Continent
+	Provider  string // provider of the probe's nearest region
+	RTTms     float64
+}
+
+// Builder accumulates samples and summaries before sealing them into an
+// immutable Store. It is single-writer, like every campaign sink.
+type Builder struct {
+	opts    Options
+	shards  []*shardBuilder
+	peering map[string]map[pipeline.Class]int
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder(opts Options) *Builder {
+	opts = opts.withDefaults()
+	b := &Builder{
+		opts:    opts,
+		shards:  make([]*shardBuilder, opts.Shards),
+		peering: map[string]map[pipeline.Class]int{},
+	}
+	for i := range b.shards {
+		b.shards[i] = &shardBuilder{}
+	}
+	return b
+}
+
+// shardIndex hashes the <country, provider> pair — the grouping key the
+// queries slice by — so one group's rows cluster into few shards while
+// distinct groups spread across all of them.
+func (b *Builder) shardIndex(country, provider string) int {
+	h := fnv.New32a()
+	h.Write([]byte(country))
+	h.Write([]byte{0xff})
+	h.Write([]byte(provider))
+	return int(h.Sum32() % uint32(len(b.shards)))
+}
+
+// Add ingests one sample.
+func (b *Builder) Add(s Sample) {
+	b.shards[b.shardIndex(s.Country, s.Provider)].add(s)
+}
+
+// AddPeeringCounts folds per-provider interconnection tallies (as
+// produced by analysis.InterconnectCounts) into the store by addition.
+func (b *Builder) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
+	for prov, classes := range counts {
+		dst := b.peering[prov]
+		if dst == nil {
+			dst = map[pipeline.Class]int{}
+			b.peering[prov] = dst
+		}
+		for cl, n := range classes {
+			dst[cl] += n
+		}
+	}
+}
+
+// Seal freezes the builder into an immutable Store: every shard sorts
+// its per-group RTT vectors once and finalizes its summaries. The
+// builder must not be used afterwards.
+func (b *Builder) Seal() *Store {
+	s := &Store{
+		shards:  make([]*shard, len(b.shards)),
+		peering: b.peering,
+	}
+	for i, sb := range b.shards {
+		s.shards[i] = sb.seal()
+	}
+	s.summary = s.buildSummary()
+	return s
+}
+
+// FromDataset builds a store from a collected dataset: the
+// nearest-datacenter assignment of both platforms plus, when processed
+// traceroutes are supplied, the §6 interconnection tallies.
+func FromDataset(ds *dataset.Store, processed []pipeline.Processed, opts Options) *Store {
+	b := NewBuilder(opts)
+	regionProvider := map[string]string{}
+	for i := range ds.Pings {
+		t := &ds.Pings[i].Target
+		regionProvider[t.Region] = t.Provider
+	}
+	for _, platform := range []string{"speedchecker", "atlas"} {
+		na := analysis.Nearest(ds, platform)
+		for probe, xs := range na.Samples {
+			vp := na.Meta[probe]
+			prov := regionProvider[na.Region[probe]]
+			for _, rtt := range xs {
+				b.Add(Sample{
+					Platform: platform, Country: vp.Country,
+					Continent: vp.Continent, Provider: prov, RTTms: rtt,
+				})
+			}
+		}
+	}
+	if len(processed) > 0 {
+		b.AddPeeringCounts(analysis.InterconnectCounts(processed))
+	}
+	return b.Seal()
+}
+
+// Store is the sealed, read-only store. All query methods are safe for
+// concurrent use.
+type Store struct {
+	shards  []*shard
+	peering map[string]map[pipeline.Class]int
+	summary Summary
+}
+
+// Summary describes the sealed store for /v1/statsz and logs.
+type Summary struct {
+	Shards    int            `json:"shards"`
+	Rows      int            `json:"rows"`
+	Countries int            `json:"countries"`
+	Providers int            `json:"providers"`
+	Platforms map[string]int `json:"platform_rows"`
+	// Shard balance: the smallest and largest shard row counts.
+	MinShardRows int `json:"min_shard_rows"`
+	MaxShardRows int `json:"max_shard_rows"`
+	// Global RTT summary, merged from per-shard Welford accumulators.
+	RTTMeanMs float64 `json:"rtt_mean_ms"`
+	RTTMinMs  float64 `json:"rtt_min_ms"`
+	RTTMaxMs  float64 `json:"rtt_max_ms"`
+}
+
+func (s *Store) buildSummary() Summary {
+	sum := Summary{Shards: len(s.shards), Platforms: map[string]int{}}
+	countries := map[string]struct{}{}
+	providers := map[string]struct{}{}
+	var rtt stats.Welford
+	for i, sh := range s.shards {
+		sum.Rows += sh.rows
+		if sh.rows < sum.MinShardRows || i == 0 {
+			sum.MinShardRows = sh.rows
+		}
+		if sh.rows > sum.MaxShardRows {
+			sum.MaxShardRows = sh.rows
+		}
+		for g := range sh.byCountry {
+			countries[g.name] = struct{}{}
+		}
+		for p := range sh.providers {
+			providers[p] = struct{}{}
+		}
+		for plat, n := range sh.platformRows {
+			sum.Platforms[plat] += n
+		}
+		rtt.Merge(&sh.rtt)
+	}
+	sum.Countries = len(countries)
+	sum.Providers = len(providers)
+	sum.RTTMeanMs = rtt.Mean()
+	sum.RTTMinMs = rtt.Min()
+	sum.RTTMaxMs = rtt.Max()
+	return sum
+}
+
+// Summary returns the sealed store's description.
+func (s *Store) Summary() Summary { return s.summary }
+
+// Countries lists every VP country with samples for the platform,
+// sorted.
+func (s *Store) Countries(platform string) []string {
+	set := map[string]struct{}{}
+	for _, sh := range s.shards {
+		for g := range sh.byCountry {
+			if g.platform == platform {
+				set[g.name] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
