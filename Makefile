@@ -1,18 +1,26 @@
 GO ?= go
 
-.PHONY: build test race vet fuzz bench verify
+.PHONY: build test race vet lint fuzz fuzz-smoke bench verify
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test (and subtest) execution order so
+# order-dependent tests surface instead of passing by accident.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
+# lint is the repo-specific determinism & concurrency pass: norawtime,
+# noglobalrand, floateq, uncheckederr, ctxpropagate. Findings exit
+# nonzero; grandfathered counts live in lint.baseline (currently empty).
+lint:
+	$(GO) run ./cmd/cloudyvet ./...
+
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Short fuzz pass over the NDJSON codec (regression corpus + 10s each).
 fuzz:
@@ -21,11 +29,22 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=10s ./internal/dataset/
 
+# fuzz-smoke is the pre-merge slice of the fuzz pass: 2s per codec
+# target, enough to replay the corpus and shake out shallow regressions
+# on every verify run.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz=FuzzImportPings -fuzztime=2s ./internal/atlasfmt/
+	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=2s ./internal/atlasfmt/
+	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=2s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=2s ./internal/dataset/
+
 # Full benchmark suite with allocation stats, including the store
 # fan-out/merge and the serve cached-vs-cold comparison.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
 
-# verify is the pre-merge gate: static analysis plus the full suite
-# under the race detector.
-verify: vet race
+# verify is the pre-merge gate: generic static analysis (vet), the
+# repo-specific determinism/concurrency lint (cloudyvet), the full
+# shuffled suite under the race detector, and a fuzz smoke pass over
+# the codec corpus.
+verify: vet lint race fuzz-smoke

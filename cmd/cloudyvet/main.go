@@ -1,0 +1,174 @@
+// Command cloudyvet runs the repo's determinism & concurrency lint pass
+// (internal/lint) over the module: it loads every package, type-checks
+// it with a stdlib-only importer, and applies the repo-specific
+// analyzers (norawtime, noglobalrand, floateq, uncheckederr,
+// ctxpropagate).
+//
+// Usage:
+//
+//	cloudyvet [-baseline file] [-write-baseline] [packages]
+//
+// Packages default to ./... (the whole module). Findings print as
+// "file:line:col: analyzer: message" and any finding exits 1; load or
+// usage errors exit 2. -write-baseline regenerates the baseline file
+// from the current findings instead of failing, which is how a
+// grandfathered finding set is first recorded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cloudyvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	baselinePath := fs.String("baseline", "lint.baseline", "baseline file of grandfathered findings (module-relative unless absolute; empty to disable)")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file from current findings and exit 0")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "cloudyvet:", err)
+		return 2
+	}
+	pkgs, err := loadPatterns(loader, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "cloudyvet:", err)
+		return 2
+	}
+
+	rel := func(path string) string {
+		if r, err := filepath.Rel(loader.ModRoot, path); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return filepath.ToSlash(path)
+	}
+
+	findings := lint.Run(lint.DefaultConfig(), pkgs)
+
+	resolveBaseline := func(p string) string {
+		if filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(loader.ModRoot, p)
+	}
+
+	if *writeBaseline {
+		f, err := os.Create(resolveBaseline(*baselinePath))
+		if err != nil {
+			fmt.Fprintln(stderr, "cloudyvet:", err)
+			return 2
+		}
+		werr := lint.WriteBaseline(f, findings, rel)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "cloudyvet:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "cloudyvet: wrote %d grandfathered finding(s) to %s\n", len(findings), *baselinePath)
+		return 0
+	}
+
+	if *baselinePath != "" {
+		f, err := os.Open(resolveBaseline(*baselinePath))
+		switch {
+		case err == nil:
+			base, perr := lint.ParseBaseline(f)
+			f.Close()
+			if perr != nil {
+				fmt.Fprintln(stderr, "cloudyvet:", perr)
+				return 2
+			}
+			findings = base.Filter(findings, rel)
+		case os.IsNotExist(err):
+			// No baseline committed: every finding counts.
+		default:
+			fmt.Fprintln(stderr, "cloudyvet:", err)
+			return 2
+		}
+	}
+
+	for _, f := range findings {
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "cloudyvet: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// loadPatterns resolves package patterns: "./..." (or "all") loads the
+// whole module; "dir/..." loads the subtree; anything else is a single
+// package directory.
+func loadPatterns(loader *lint.Loader, patterns []string) ([]*lint.Package, error) {
+	var pkgs []*lint.Package
+	seen := map[string]bool{}
+	add := func(ps ...*lint.Package) {
+		for _, p := range ps {
+			if !seen[p.Path] {
+				seen[p.Path] = true
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "all":
+			ps, err := loader.LoadModule()
+			if err != nil {
+				return nil, err
+			}
+			add(ps...)
+		case strings.HasSuffix(pat, "/..."):
+			root := strings.TrimSuffix(pat, "/...")
+			ps, err := loader.LoadModule()
+			if err != nil {
+				return nil, err
+			}
+			abs, err := filepath.Abs(root)
+			if err != nil {
+				return nil, err
+			}
+			rel, err := filepath.Rel(loader.ModRoot, abs)
+			if err != nil {
+				return nil, err
+			}
+			rel = filepath.ToSlash(rel)
+			if rel == "." {
+				rel = ""
+			}
+			for _, p := range ps {
+				if rel == "" || p.RelPath == rel || strings.HasPrefix(p.RelPath, rel+"/") {
+					add(p)
+				}
+			}
+		default:
+			p, err := loader.LoadDir(pat)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return pkgs, nil
+}

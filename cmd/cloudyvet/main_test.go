@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture points at a golden fixture package relative to this test's
+// working directory (cmd/cloudyvet).
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "lint", "testdata", "src", name)
+}
+
+// TestViolationsExitNonzero seeds the driver with the norawtime fixture
+// (known violations, in the default norawtime scope) and requires the
+// documented nonzero exit plus a file:line:col diagnostic.
+func TestViolationsExitNonzero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline=", fixture("norawtime")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "norawtime: time.Now reads the wall clock") {
+		t.Errorf("missing time.Now diagnostic in output:\n%s", out)
+	}
+	if !strings.Contains(out, "internal/lint/testdata/src/norawtime/a.go:") {
+		t.Errorf("diagnostics are not module-relative file:line form:\n%s", out)
+	}
+}
+
+// TestCleanPackageExitsZero runs the driver over a package that must be
+// clean under every analyzer.
+func TestCleanPackageExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline=", filepath.Join("..", "..", "internal", "stats")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+}
+
+// TestBaselineGrandfathersAndCatchesGrowth writes a baseline covering
+// the fixture's findings (exit 0), then shows the same baseline still
+// fails a fixture pair whose count grew.
+func TestBaselineGrandfathersAndCatchesGrowth(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "lint.baseline")
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-baseline", base, "-write-baseline", fixture("norawtime")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-write-baseline exit = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "norawtime") {
+		t.Fatalf("baseline has no norawtime entries:\n%s", data)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, fixture("norawtime")}, &stdout, &stderr); code != 0 {
+		t.Fatalf("grandfathered run exit = %d, want 0; stdout:\n%s", code, stdout.String())
+	}
+
+	// The noglobalrand fixture's wall-clock findings are not in the
+	// baseline, so adding that package to the run must fail again.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-baseline", base, fixture("norawtime"), fixture("noglobalrand")}, &stdout, &stderr); code != 1 {
+		t.Fatalf("unbaselined package exit = %d, want 1; stdout:\n%s", code, stdout.String())
+	}
+}

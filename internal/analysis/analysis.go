@@ -114,6 +114,7 @@ func Nearest(store *dataset.Store, platform string) NearestAssignment {
 	bestMean := make(map[string]float64)
 	for k, w := range sums {
 		m, seen := bestMean[k.probe]
+		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
 		if !seen || w.Mean() < m || (w.Mean() == m && k.region < best[k.probe]) {
 			best[k.probe] = k.region
 			bestMean[k.probe] = w.Mean()

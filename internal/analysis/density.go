@@ -51,7 +51,7 @@ func GeoDensities(sc, atlas FleetDensity, dcs map[geo.Continent]int, scScale flo
 	var out []GeoDensity
 	for _, cont := range geo.Continents() {
 		area := cont.AreaMKm2()
-		if area == 0 {
+		if area <= 0 {
 			continue
 		}
 		scFull := float64(sc.PerContinent[cont]) / scScale
@@ -137,8 +137,11 @@ func FleetCloseness(f *probes.Fleet, minProbes int) []Closeness {
 		out = append(out, Closeness{Country: cc, Probes: len(f.InCountry(cc)), MedianNN: med})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].MedianNN != out[j].MedianNN {
-			return out[i].MedianNN < out[j].MedianNN
+		if out[i].MedianNN < out[j].MedianNN {
+			return true
+		}
+		if out[i].MedianNN > out[j].MedianNN {
+			return false
 		}
 		return out[i].Country < out[j].Country
 	})

@@ -81,6 +81,7 @@ func LastMile(processed []pipeline.Processed, nearestOnly bool) []LastMileImpact
 		}
 		bestMean := map[string]float64{}
 		for k, w := range sums {
+			//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
 			if m, ok := bestMean[k.probe]; !ok || w.Mean() < m || (w.Mean() == m && k.region < nearest[k.probe]) {
 				nearest[k.probe] = k.region
 				bestMean[k.probe] = w.Mean()

@@ -174,6 +174,7 @@ func InterContinental(store *dataset.Store, countries []string, targets []geo.Co
 	bestMean := make(map[group]float64)
 	for k, w := range sums {
 		g := group{k.country, k.cont}
+		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
 		if m, ok := bestMean[g]; !ok || w.Mean() < m || (w.Mean() == m && k.region < best[g]) {
 			best[g] = k.region
 			bestMean[g] = w.Mean()

@@ -74,6 +74,7 @@ func ProviderComparison(store *dataset.Store, minSamples int) []ProviderConsiste
 	bestMean := map[pp]float64{}
 	for k, w := range sums {
 		g := pp{k.probe, k.provider}
+		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
 		if m, ok := bestMean[g]; !ok || w.Mean() < m || (w.Mean() == m && k.region < best[g]) {
 			best[g] = k.region
 			bestMean[g] = w.Mean()

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline grandfathers pre-existing findings: each entry caps how many
+// findings one analyzer may report in one file. A (file, analyzer) pair
+// at or under its cap is suppressed wholesale; the moment the count
+// grows past the cap, every finding for the pair is reported, so new
+// violations cannot hide behind old ones. An empty baseline means the
+// tree is fully clean.
+//
+// The format is line-oriented and diff-friendly:
+//
+//	# comment
+//	internal/foo/bar.go analyzer 3
+//
+// Paths are module-relative with forward slashes.
+type Baseline struct {
+	caps map[baseKey]int
+}
+
+type baseKey struct {
+	file     string
+	analyzer string
+}
+
+// ParseBaseline reads a baseline file.
+func ParseBaseline(r io.Reader) (*Baseline, error) {
+	b := &Baseline{caps: map[baseKey]int{}}
+	sc := bufio.NewScanner(r)
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("baseline line %d: want \"<file> <analyzer> <count>\", got %q", lineNo, line)
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("baseline line %d: bad count %q", lineNo, fields[2])
+		}
+		b.caps[baseKey{fields[0], fields[1]}] = n
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Filter drops findings covered by the baseline. Findings are keyed by
+// their module-relative file path, which rel must produce.
+func (b *Baseline) Filter(findings []Finding, rel func(string) string) []Finding {
+	if b == nil || len(b.caps) == 0 {
+		return findings
+	}
+	counts := map[baseKey]int{}
+	for _, f := range findings {
+		counts[baseKey{rel(f.Pos.Filename), f.Analyzer}]++
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baseKey{rel(f.Pos.Filename), f.Analyzer}
+		if cap, ok := b.caps[k]; ok && counts[k] <= cap {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// WriteBaseline renders findings as a baseline that exactly covers
+// them.
+func WriteBaseline(w io.Writer, findings []Finding, rel func(string) string) error {
+	counts := map[baseKey]int{}
+	for _, f := range findings {
+		counts[baseKey{rel(f.Pos.Filename), f.Analyzer}]++
+	}
+	keys := make([]baseKey, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].analyzer < keys[j].analyzer
+	})
+	if _, err := fmt.Fprintln(w, "# cloudyvet baseline — grandfathered findings (file analyzer count)."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# A pair fails the build only when its finding count grows past the cap."); err != nil {
+		return err
+	}
+	for _, k := range keys {
+		if _, err := fmt.Fprintf(w, "%s %s %d\n", k.file, k.analyzer, counts[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

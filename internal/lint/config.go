@@ -1,0 +1,55 @@
+package lint
+
+// Config pairs the analyzers to run with the package scope each one
+// applies to.
+type Config struct {
+	Analyzers []*Analyzer
+	Scopes    map[string]Scope
+}
+
+// DefaultConfig is the repo's determinism contract. Every exemption
+// here is a policy decision with a reason; narrowing an exemption means
+// fixing the package first.
+func DefaultConfig() *Config {
+	return &Config{
+		Analyzers: []*Analyzer{NoRawTime, NoGlobalRand, FloatEq, UncheckedErr, CtxPropagate},
+		Scopes: map[string]Scope{
+			// Everything under internal/ is simulation or analysis code
+			// and must be replayable from a seed, except the packages
+			// that talk to the real network or serve real clients:
+			//   - internal/serve: HTTP layer; uptime metrics, cache ages
+			//     and request latency histograms legitimately read real
+			//     time.
+			//   - internal/tcping, internal/icmp: measure RTTs on real
+			//     sockets; the wall clock IS the measurement.
+			//   - internal/dnssim: binds real listeners and needs real
+			//     socket deadlines.
+			// cmd/ and examples/ are thin CLI shells over the library
+			// and may time their own runs.
+			NoRawTime.Name: {
+				Include: []string{"internal"},
+				Exclude: []string{"internal/serve", "internal/tcping", "internal/icmp", "internal/dnssim"},
+			},
+			// The global rand source is forbidden everywhere, CLIs
+			// included: a stray global draw anywhere in the process
+			// perturbs nothing locally but couples seeds across
+			// components the moment two of them share it.
+			NoGlobalRand.Name: {Include: []string{""}},
+			// Float equality is checked where figure math lives.
+			FloatEq.Name: {
+				Include: []string{"internal/stats", "internal/analysis", "internal/store"},
+			},
+			// Write paths: dataset encoders/sinks, the sharded store,
+			// and the campaign engine's checkpoints.
+			UncheckedErr.Name: {
+				Include: []string{"internal/dataset", "internal/store", "internal/measure"},
+			},
+			// The two packages whose exported API spawns goroutines:
+			// the campaign engine (checkpoint/resume depends on
+			// cancellation) and the HTTP service (graceful drain).
+			CtxPropagate.Name: {
+				Include: []string{"internal/measure", "internal/serve"},
+			},
+		},
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Computed
+// floats differ in the last ulp across compilers, architectures and
+// evaluation orders, so equality tests silently flip figure output
+// between hosts. Exact equality is occasionally the right tool — tie
+// stepping in a merged CDF walk, sentinel zero checks on values that
+// were stored, never computed — and those sites carry a
+// "//lint:ignore floateq <reason>" directive in place.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "forbid ==/!= on floating-point operands in statistics/analysis/store code",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if isFloat(pass.Info.TypeOf(bin.X)) || isFloat(pass.Info.TypeOf(bin.Y)) {
+					pass.Reportf(bin.OpPos,
+						"floating-point %s comparison; compare with a tolerance or restructure (lint:ignore with a reason if exact equality is intended)",
+						bin.Op)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// isFloat reports whether t's underlying type is a float or complex
+// basic type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestScopeMatches(t *testing.T) {
+	cases := []struct {
+		scope Scope
+		rel   string
+		want  bool
+	}{
+		{Scope{Include: []string{"internal"}}, "internal/stats", true},
+		{Scope{Include: []string{"internal"}}, "internal", true},
+		{Scope{Include: []string{"internal"}}, "internals", false},
+		{Scope{Include: []string{"internal"}}, "cmd/cloudy", false},
+		{Scope{Include: []string{""}}, "anything/at/all", true},
+		{Scope{Include: []string{""}}, "", true},
+		{Scope{Include: []string{"internal"}, Exclude: []string{"internal/serve"}}, "internal/serve", false},
+		{Scope{Include: []string{"internal"}, Exclude: []string{"internal/serve"}}, "internal/served", true},
+		{Scope{Include: []string{"internal"}, Exclude: []string{"internal/serve"}}, "internal/serve/sub", false},
+	}
+	for _, c := range cases {
+		if got := c.scope.Matches(c.rel); got != c.want {
+			t.Errorf("Scope%+v.Matches(%q) = %v, want %v", c.scope, c.rel, got, c.want)
+		}
+	}
+}
+
+func TestMalformedIgnoreDirective(t *testing.T) {
+	src := `package p
+
+func f(a, b float64) bool {
+	//lint:ignore floateq
+	return a == b
+}
+
+//lint:ignore
+var x = 1
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, bad := collectSuppressions(fset, []*ast.File{file})
+	if len(bad) != 2 {
+		t.Fatalf("got %d malformed-directive findings, want 2: %v", len(bad), bad)
+	}
+	for _, f := range bad {
+		if f.Analyzer != "lint" || !strings.Contains(f.Message, "malformed lint:ignore") {
+			t.Errorf("unexpected finding %v", f)
+		}
+	}
+	// A directive missing its reason must not suppress anything.
+	if sup.suppressed(Finding{Pos: token.Position{Filename: "p.go", Line: 5}, Analyzer: "floateq"}) {
+		t.Error("malformed directive suppressed a finding")
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	find := func(file string, line int, az string) Finding {
+		return Finding{Pos: token.Position{Filename: "/mod/" + file, Line: line}, Analyzer: az}
+	}
+	rel := func(p string) string { return strings.TrimPrefix(p, "/mod/") }
+
+	base, err := ParseBaseline(strings.NewReader(`
+# grandfathered
+a.go floateq 2
+b.go norawtime 1
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// At or under the cap: fully suppressed.
+	got := base.Filter([]Finding{
+		find("a.go", 1, "floateq"),
+		find("a.go", 9, "floateq"),
+		find("b.go", 3, "norawtime"),
+	}, rel)
+	if len(got) != 0 {
+		t.Fatalf("at-cap findings not suppressed: %v", got)
+	}
+
+	// Growth past the cap reports every finding for the pair, so new
+	// violations cannot hide behind grandfathered ones.
+	got = base.Filter([]Finding{
+		find("a.go", 1, "floateq"),
+		find("a.go", 9, "floateq"),
+		find("a.go", 20, "floateq"),
+		find("b.go", 3, "norawtime"),
+	}, rel)
+	if len(got) != 3 {
+		t.Fatalf("grown pair: got %d findings, want all 3: %v", len(got), got)
+	}
+
+	// Pairs absent from the baseline always report.
+	got = base.Filter([]Finding{find("c.go", 1, "floateq")}, rel)
+	if len(got) != 1 {
+		t.Fatalf("unbaselined finding suppressed: %v", got)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Pos: token.Position{Filename: "/mod/x.go", Line: 4}, Analyzer: "floateq"},
+		{Pos: token.Position{Filename: "/mod/x.go", Line: 8}, Analyzer: "floateq"},
+		{Pos: token.Position{Filename: "/mod/y.go", Line: 2}, Analyzer: "uncheckederr"},
+	}
+	rel := func(p string) string { return strings.TrimPrefix(p, "/mod/") }
+	var sb strings.Builder
+	if err := WriteBaseline(&sb, findings, rel); err != nil {
+		t.Fatal(err)
+	}
+	base, err := ParseBaseline(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("parsing written baseline %q: %v", sb.String(), err)
+	}
+	if got := base.Filter(findings, rel); len(got) != 0 {
+		t.Fatalf("round-tripped baseline does not cover its own findings: %v", got)
+	}
+}
+
+func TestBaselineParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"a.go floateq",       // missing count
+		"a.go floateq x",     // non-numeric count
+		"a.go floateq 0",     // zero cap is meaningless
+		"a.go floateq 1 2 3", // trailing fields
+	} {
+		if _, err := ParseBaseline(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseBaseline(%q) succeeded, want error", bad)
+		}
+	}
+}

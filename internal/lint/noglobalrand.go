@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the import paths whose global draw functions are
+// forbidden everywhere: the global source is process-wide shared state,
+// so any draw from it couples unrelated components and destroys seed
+// reproducibility. Constructing a seeded *rand.Rand (rand.New,
+// rand.NewSource, rand.NewPCG, ...) is the sanctioned pattern and is
+// not flagged.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// randConstructors build local sources instead of drawing from the
+// global one.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// NoGlobalRand flags draws from the global math/rand source and
+// time-seeded sources.
+var NoGlobalRand = &Analyzer{
+	Name: "noglobalrand",
+	Doc:  "forbid global math/rand draws and time-seeded sources; thread a seeded *rand.Rand",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if !randPkgs[pass.PkgPathOf(sel.X)] {
+					return true
+				}
+				// Only package-level functions are draws; types
+				// (rand.Rand, rand.Source) stay usable.
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				if randConstructors[fn.Name()] {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the global source; thread a seeded *rand.Rand through instead",
+					fn.Name())
+				return true
+			})
+		}
+		// Second walk: constructors seeded from the wall clock.
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || !randPkgs[pass.PkgPathOf(sel.X)] || !randConstructors[sel.Sel.Name] {
+					return true
+				}
+				for _, arg := range call.Args {
+					ast.Inspect(arg, func(m ast.Node) bool {
+						s, ok := m.(*ast.SelectorExpr)
+						if ok && pass.PkgPathOf(s.X) == "time" && rawTimeFuncs[s.Sel.Name] {
+							pass.Reportf(call.Pos(),
+								"rand.%s seeded from the wall clock is nondeterministic; derive the seed from the campaign seed",
+								sel.Sel.Name)
+							return false
+						}
+						return true
+					})
+				}
+				return true
+			})
+		}
+	},
+}

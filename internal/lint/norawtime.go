@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// rawTimeFuncs are the package-level time functions that read or wait
+// on the wall clock. Referencing any of them (calling or passing as a
+// value) in a deterministic package breaks seed-reproducibility: the
+// simulation tracks virtual minutes (measure.virtualClock) and the
+// analyses are pure functions of their samples, so neither may observe
+// real time.
+var rawTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+// NoRawTime flags wall-clock reads in packages that must be
+// deterministic. Network-facing packages (real socket deadlines, HTTP
+// uptime metrics) are exempted by scope, not by the analyzer.
+var NoRawTime = &Analyzer{
+	Name: "norawtime",
+	Doc:  "forbid time.Now/Since/Sleep/... in deterministic sim and analysis packages",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if pass.PkgPathOf(sel.X) == "time" && rawTimeFuncs[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock; thread the virtual/injected clock through instead",
+						sel.Sel.Name)
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the inline suppression syntax:
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// It suppresses matching findings on its own line (trailing comment) or
+// on the line immediately below (comment above the offending
+// statement). The reason is mandatory — an exception without a recorded
+// justification is itself a finding.
+const ignoreDirective = "//lint:ignore"
+
+// suppressions maps file -> line -> analyzers suppressed at that line.
+type suppressions map[string]map[int]map[string]bool
+
+// suppressed reports whether f is covered by a directive on its line or
+// the line above.
+func (s suppressions) suppressed(f Finding) bool {
+	lines := s[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{f.Pos.Line, f.Pos.Line - 1} {
+		if set := lines[line]; set[f.Analyzer] || set["*"] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans a package's comments for lint:ignore
+// directives. Malformed directives (no analyzer, or no reason) are
+// returned as findings so they fail the build instead of silently
+// suppressing nothing.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, file := range files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+					})
+					continue
+				}
+				lines := sup[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[pos.Filename] = lines
+				}
+				set := lines[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[pos.Line] = set
+				}
+				for _, az := range strings.Split(fields[0], ",") {
+					set[az] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,31 @@
+// Package ctxpropagate is a cloudyvet golden-file fixture.
+package ctxpropagate
+
+import "context"
+
+func NoCtx(done chan struct{}) { // want "exported NoCtx spawns goroutines or blocks on channels but has no context.Context parameter"
+	go func() { close(done) }()
+	<-done
+}
+
+func DropsCtx(ctx context.Context, done chan struct{}) { // want "exported DropsCtx accepts a context.Context but never forwards it"
+	<-done
+}
+
+func Forwards(ctx context.Context, done chan struct{}) {
+	select {
+	case <-ctx.Done():
+	case <-done:
+	}
+}
+
+func Pure(x int) int {
+	// No goroutines, no channels: no context needed.
+	return x * 2
+}
+
+func unexported(done chan struct{}) {
+	// Internal helpers inherit cancellation from their exported
+	// callers and are not flagged.
+	<-done
+}

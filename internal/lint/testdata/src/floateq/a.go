@@ -1,0 +1,23 @@
+// Package floateq is a cloudyvet golden-file fixture.
+package floateq
+
+func bad(a, b float64, c float32) bool {
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	if c != 0 { // want "floating-point != comparison"
+		return false
+	}
+	var xs []float64
+	return len(xs) > 0 && xs[0] == a // want "floating-point == comparison"
+}
+
+func fine(a, b float64, i, j int) bool {
+	if i == j { // integers compare exactly
+		return true
+	}
+	if a < b || a > b { // ordering floats is allowed
+		return false
+	}
+	return "x" == "y"[0:1]
+}

@@ -1,0 +1,23 @@
+// Package noglobalrand is a cloudyvet golden-file fixture.
+package noglobalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() float64 {
+	rand.Seed(42)             // want "rand.Seed draws from the global source"
+	n := rand.Intn(10)        // want "rand.Intn draws from the global source"
+	_ = rand.Perm(n)          // want "rand.Perm draws from the global source"
+	return rand.NormFloat64() // want "rand.NormFloat64 draws from the global source"
+}
+
+func badSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rand.New seeded from the wall clock" "rand.NewSource seeded from the wall clock"
+}
+
+func fine(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,26 @@
+// Package norawtime is a cloudyvet golden-file fixture: each flagged
+// line carries a want-comment regexp the harness checks against the
+// analyzer's findings.
+package norawtime
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})  // want "time.Since reads the wall clock"
+	return time.Now()            // want "time.Now reads the wall clock"
+}
+
+func passedAsValue(f func() time.Time) func() time.Time {
+	if f == nil {
+		return time.Now // want "time.Now reads the wall clock"
+	}
+	return f
+}
+
+func fine() time.Duration {
+	// Constructing durations and formatting stamps is deterministic;
+	// only reading or waiting on the clock is flagged.
+	d := 3 * time.Second
+	return d.Round(time.Millisecond)
+}

@@ -1,0 +1,21 @@
+// Package suppress is a cloudyvet golden-file fixture for the
+// //lint:ignore directive: the first comparison is suppressed by the
+// preceding-line directive, the second by a trailing directive, and the
+// third is not suppressed because the directive names a different
+// analyzer.
+package suppress
+
+func cmp(a, b float64) bool {
+	//lint:ignore floateq fixture: exact equality intended
+	if a == b {
+		return true
+	}
+	if a != b { //lint:ignore floateq fixture: exact equality intended
+		return false
+	}
+	//lint:ignore norawtime wrong analyzer, does not cover floateq
+	if a == b { // want "floating-point == comparison"
+		return true
+	}
+	return a != b // want "floating-point != comparison"
+}

@@ -1,0 +1,35 @@
+// Package uncheckederr is a cloudyvet golden-file fixture.
+package uncheckederr
+
+import (
+	"bytes"
+	"hash/fnv"
+	"os"
+	"strings"
+)
+
+func write(f *os.File, data []byte) {
+	f.Write(data)   // want "call discards the error from f.Write"
+	defer f.Close() // want "defer discards the error from f.Close"
+	go f.Sync()     // want "go discards the error from f.Sync"
+	_ = f.Close()   // explicit discard is visible and allowed
+	if _, err := f.Write(data); err != nil {
+		_ = err
+	}
+}
+
+func infallible(data []byte) uint64 {
+	// hash.Hash, bytes.Buffer and strings.Builder writes are
+	// documented never to fail and are not flagged.
+	h := fnv.New64a()
+	h.Write(data)
+	var buf bytes.Buffer
+	buf.Write(data)
+	var sb strings.Builder
+	sb.WriteString("x")
+	return h.Sum64()
+}
+
+func noError() {
+	println("no error result, nothing to check")
+}

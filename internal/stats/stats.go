@@ -127,6 +127,7 @@ func CoefficientOfVariation(xs []float64) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	//lint:ignore floateq division guard — only an exactly-zero mean divides by zero
 	if m == 0 {
 		return 0, errors.New("stats: zero mean")
 	}
@@ -197,6 +198,7 @@ func CDFFromSorted(xs []float64) (CDF, error) {
 func (c CDF) At(x float64) float64 {
 	i := sort.SearchFloat64s(c.sorted, x)
 	// Advance past equal values so At is right-continuous.
+	//lint:ignore floateq exact match against stored (never recomputed) sample values
 	for i < len(c.sorted) && c.sorted[i] == x {
 		i++
 	}
@@ -243,9 +245,11 @@ func KolmogorovSmirnov(xs, ys []float64) (float64, error) {
 		// Advance both CDFs past the next value, handling ties so equal
 		// observations step the two curves together.
 		v := math.Min(a[i], b[j])
+		//lint:ignore floateq tie stepping over stored sample values — equal observations must move both CDFs together
 		for i < len(a) && a[i] == v {
 			i++
 		}
+		//lint:ignore floateq tie stepping over stored sample values — equal observations must move both CDFs together
 		for j < len(b) && b[j] == v {
 			j++
 		}
@@ -368,6 +372,7 @@ func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
 // Cv returns σ/μ, or 0 if the mean is zero or no data was added.
 func (w *Welford) Cv() float64 {
+	//lint:ignore floateq division guard — only an exactly-zero mean divides by zero
 	if w.n == 0 || w.mean == 0 {
 		return 0
 	}
