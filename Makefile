@@ -14,8 +14,9 @@ vet:
 	$(GO) vet ./...
 
 # lint is the repo-specific determinism & concurrency pass: norawtime,
-# noglobalrand, floateq, uncheckederr, ctxpropagate. Findings exit
-# nonzero; grandfathered counts live in lint.baseline (currently empty).
+# noglobalrand, floateq, uncheckederr, ctxpropagate, storeappend.
+# Findings exit nonzero; grandfathered counts live in lint.baseline
+# (currently empty).
 lint:
 	$(GO) run ./cmd/cloudyvet ./...
 

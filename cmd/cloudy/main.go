@@ -32,8 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/geo"
-	"repro/internal/measure"
-	"repro/internal/netsim"
+	"repro/internal/pipeline"
 	"repro/internal/probes"
 	"repro/internal/report"
 	"repro/internal/serve"
@@ -297,17 +296,11 @@ func cmdExport(ctx context.Context, args []string) error {
 // streamExport runs both campaigns with a file sink, never holding the
 // dataset in memory — the path for full-scale (-scale 1) runs.
 func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath string) error {
-	w, err := world.Build(world.Config{Seed: *f.seed})
+	setup, err := core.Prepare(core.Config{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+	})
 	if err != nil {
 		return err
-	}
-	sim := netsim.New(w)
-	plan, err := faults.Profile(*f.faults, *f.seed)
-	if err != nil {
-		return err
-	}
-	if plan != nil {
-		sim.Faults = plan
 	}
 	pf, err := os.Create(pingsPath)
 	if err != nil {
@@ -322,47 +315,16 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 	bufP := bufio.NewWriterSize(pf, 1<<20)
 	bufT := bufio.NewWriterSize(tf, 1<<20)
 
-	base := measure.Config{
-		Seed: *f.seed, Cycles: *f.cycles, ProbesPerCountry: 40, TargetsPerProbe: 8,
-		MinProbesPerCountry: 2, RequestsPerMinute: 1000,
-		BothPingProtocols: measure.FlagOn, Traceroutes: true, NeighborContinentTargets: true,
-	}
 	// One sink across both campaigns: a second sink would emit a second
-	// CSV header mid-file.
+	// CSV header mid-file. A degraded file sink means an incomplete
+	// export, so any error is fatal here.
 	sink := dataset.NewFileSink(bufP, bufT)
-	run := func(sim *netsim.Simulator, fleet *probes.Fleet, cfg measure.Config) error {
-		cfg.Sink = sink
-		campaign, err := measure.New(sim, fleet, cfg)
-		if err != nil {
-			return err
-		}
-		_, st, err := campaign.Run(ctx)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n", st.Pings, st.Traceroutes)
-		return nil
-	}
-	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: *f.seed, Scale: *f.scale})
-	scCfg := base
-	if plan != nil {
-		scCfg.Faults = plan
-	}
-	if err := run(sim, sc, scCfg); err != nil {
+	_, scStats, atStats, err := setup.RunCampaigns(ctx, sink)
+	if err != nil {
 		return err
 	}
-	atCfg := base
-	atCfg.Cycles = 1
-	atCfg.ProbesPerCountry = 0
-	at := probes.GenerateAtlas(w, probes.Config{Seed: *f.seed, Scale: 1})
-	// The Atlas fleet is wired: its campaign always runs fault-free.
-	atSim := sim
-	if plan != nil {
-		atSim = netsim.New(w)
-	}
-	if err := run(atSim, at, atCfg); err != nil {
-		return err
-	}
+	fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n",
+		scStats.Pings+atStats.Pings, scStats.Traceroutes+atStats.Traceroutes)
 	if err := bufP.Flush(); err != nil {
 		return err
 	}
@@ -388,22 +350,55 @@ func cmdServe(ctx context.Context, args []string) error {
 		return fmt.Errorf("serve needs both -pings and -traces to load an export")
 	}
 
-	var study *core.Study
+	// Both paths below build the columnar store incrementally through a
+	// store.Feed — no dataset.Store is ever materialized for serving.
+	var feed *store.Feed
 	if *pingsPath != "" {
-		loaded, err := loadExport(*f.seed, *pingsPath, *tracesPath)
+		w, err := world.Build(world.Config{Seed: *f.seed})
 		if err != nil {
 			return err
 		}
-		study = loaded
+		feed = store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *shards})
+		if err := scanExport(*pingsPath, *tracesPath, feed); err != nil {
+			return err
+		}
+		np, nt := feed.Len()
+		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes from export\n", np, nt)
 	} else {
-		ran, _, err := runStudy(ctx, f)
+		fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
+			*f.seed, *f.scale, *f.cycles)
+		setup, err := core.Prepare(core.Config{
+			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+		})
 		if err != nil {
 			return err
 		}
-		study = ran
+		feed = store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: *shards})
+		spill, scStats, atStats, err := setup.RunCampaigns(ctx, feed)
+		if err != nil {
+			if spill == nil || !(scStats.SinkDegraded || atStats.SinkDegraded) {
+				return err
+			}
+			// The campaigns completed; the undelivered remainder sits in
+			// the spill store. Fold it back in and serve the full dataset.
+			fmt.Fprintf(os.Stderr, "sink degraded (%v); folding %d spilled records back into the feed\n",
+				err, scStats.Spilled+atStats.Spilled)
+			for i := range spill.Pings {
+				if perr := feed.Ping(spill.Pings[i]); perr != nil {
+					return perr
+				}
+			}
+			for i := range spill.Traces {
+				if terr := feed.Trace(spill.Traces[i]); terr != nil {
+					return terr
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n",
+			scStats.Pings+atStats.Pings, scStats.Traceroutes+atStats.Traceroutes)
 	}
 
-	st := store.FromDataset(study.Store, study.Processed, store.Options{Shards: *shards})
+	st := feed.Seal()
 	sum := st.Summary()
 	fmt.Fprintf(os.Stderr, "store sealed: %d rows in %d shards (%d countries, %d providers; shard balance %d..%d rows)\n",
 		sum.Rows, sum.Shards, sum.Countries, sum.Providers, sum.MinShardRows, sum.MaxShardRows)
@@ -413,35 +408,28 @@ func cmdServe(ctx context.Context, args []string) error {
 	return serve.ListenAndServe(ctx, *addr, srv.Handler())
 }
 
-// loadExport streams a previously exported dataset into a Study (the
-// same path cmdAnalyze takes, but via the constant-memory scanners).
-func loadExport(seed int64, pingsPath, tracesPath string) (*core.Study, error) {
+// scanExport streams a previously exported dataset into any sink
+// through the constant-memory codec cursors — the one export-loading
+// path shared by `cloudy serve` (sink = store.Feed) and
+// `cloudy analyze` (sink = dataset.StoreSink).
+func scanExport(pingsPath, tracesPath string, sink dataset.Sink) error {
 	pf, err := os.Open(pingsPath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer pf.Close()
 	tf, err := os.Open(tracesPath)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	defer tf.Close()
-	ds := &dataset.Store{}
-	if err := dataset.ScanPings(bufio.NewReaderSize(pf, 1<<20), func(r dataset.PingRecord) error {
-		ds.AddPing(r)
-		return nil
-	}); err != nil {
-		return nil, err
+	if err := dataset.ScanPings(bufio.NewReaderSize(pf, 1<<20), sink.Ping); err != nil {
+		return err
 	}
-	if err := dataset.ScanTraces(bufio.NewReaderSize(tf, 1<<20), func(r dataset.TracerouteRecord) error {
-		ds.AddTrace(r)
-		return nil
-	}); err != nil {
-		return nil, err
+	if err := dataset.ScanTraces(bufio.NewReaderSize(tf, 1<<20), sink.Trace); err != nil {
+		return err
 	}
-	np, nt := ds.Len()
-	fmt.Fprintf(os.Stderr, "loaded %d pings, %d traceroutes\n", np, nt)
-	return core.FromStore(core.Config{Seed: seed}, ds)
+	return sink.Close()
 }
 
 // cmdAnalyze re-runs every analysis over a previously exported dataset
@@ -457,27 +445,13 @@ func cmdAnalyze(args []string) error {
 	if *pingsPath == "" || *tracesPath == "" {
 		return fmt.Errorf("analyze needs -pings and -traces paths")
 	}
-	pf, err := os.Open(*pingsPath)
-	if err != nil {
+	sink := dataset.NewStoreSink(nil)
+	if err := scanExport(*pingsPath, *tracesPath, sink); err != nil {
 		return err
 	}
-	defer pf.Close()
-	pings, err := dataset.ReadPingsCSV(pf)
-	if err != nil {
-		return err
-	}
-	tf, err := os.Open(*tracesPath)
-	if err != nil {
-		return err
-	}
-	defer tf.Close()
-	traces, err := dataset.ReadTracesJSONL(tf)
-	if err != nil {
-		return err
-	}
-	store := &dataset.Store{Pings: pings, Traces: traces}
-	fmt.Fprintf(os.Stderr, "loaded %d pings, %d traceroutes\n", len(pings), len(traces))
-	study, err := core.FromStore(core.Config{Seed: *seed}, store)
+	np, nt := sink.Store.Len()
+	fmt.Fprintf(os.Stderr, "loaded %d pings, %d traceroutes\n", np, nt)
+	study, err := core.FromStore(core.Config{Seed: *seed}, sink.Store)
 	if err != nil {
 		return err
 	}

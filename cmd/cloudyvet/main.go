@@ -2,7 +2,7 @@
 // (internal/lint) over the module: it loads every package, type-checks
 // it with a stdlib-only importer, and applies the repo-specific
 // analyzers (norawtime, noglobalrand, floateq, uncheckederr,
-// ctxpropagate).
+// ctxpropagate, storeappend).
 //
 // Usage:
 //

@@ -62,7 +62,7 @@ func main() {
 		len(pings), skippedP, len(traces), skippedT)
 
 	// Same analysis, same answers.
-	imported := &dataset.Store{Pings: pings, Traces: traces}
+	imported := dataset.FromRecords(pings, traces)
 	orig := analysis.ContinentDistributions(study.Store, "speedchecker")
 	redo := analysis.ContinentDistributions(imported, "speedchecker")
 	fmt.Println("\nunder-HPL share per continent, original vs re-imported:")

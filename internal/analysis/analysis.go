@@ -11,7 +11,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/geo"
-	"repro/internal/stats"
 )
 
 // QoE thresholds of §2.1, in milliseconds.
@@ -86,55 +85,13 @@ type NearestAssignment struct {
 // Nearest computes the closest-datacenter assignment from pings of one
 // platform, considering only same-continent targets. Speedchecker uses
 // TCP and ICMP interchangeably, Atlas only TCP, exactly as §3.3
-// prescribes.
+// prescribes. It is the batch adapter over NearestCollector.
 func Nearest(store *dataset.Store, platform string) NearestAssignment {
-	sums := make(map[nearestKey]*stats.Welford)
-	meta := make(map[string]dataset.VantagePoint)
-	use := func(r *dataset.PingRecord) bool {
-		if r.VP.Platform != platform || r.Target.Continent != r.VP.Continent {
-			return false
-		}
-		return platform == "speedchecker" || r.Protocol == dataset.TCP
-	}
+	c := NewNearestCollector(platform)
 	for i := range store.Pings {
-		r := &store.Pings[i]
-		if !use(r) {
-			continue
-		}
-		k := nearestKey{r.VP.ProbeID, r.Target.Region}
-		w := sums[k]
-		if w == nil {
-			w = &stats.Welford{}
-			sums[k] = w
-		}
-		w.Add(r.RTTms)
-		meta[r.VP.ProbeID] = r.VP
+		c.Add(&store.Pings[i])
 	}
-	best := make(map[string]string)
-	bestMean := make(map[string]float64)
-	for k, w := range sums {
-		m, seen := bestMean[k.probe]
-		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
-		if !seen || w.Mean() < m || (w.Mean() == m && k.region < best[k.probe]) {
-			best[k.probe] = k.region
-			bestMean[k.probe] = w.Mean()
-		}
-	}
-	out := NearestAssignment{
-		Region:  best,
-		Samples: make(map[string][]float64, len(best)),
-		Meta:    meta,
-	}
-	for i := range store.Pings {
-		r := &store.Pings[i]
-		if !use(r) {
-			continue
-		}
-		if best[r.VP.ProbeID] == r.Target.Region {
-			out.Samples[r.VP.ProbeID] = append(out.Samples[r.VP.ProbeID], r.RTTms)
-		}
-	}
-	return out
+	return c.Finalize()
 }
 
 // ByCountry regroups nearest-DC samples per VP country. The sharded

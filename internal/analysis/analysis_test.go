@@ -28,7 +28,7 @@ var (
 	fix     fixture
 )
 
-func testData(t *testing.T) *fixture {
+func testData(t testing.TB) *fixture {
 	t.Helper()
 	fixOnce.Do(func() {
 		w := world.MustBuild(world.Config{Seed: 1})

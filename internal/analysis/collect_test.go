@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+// TestCollectMatchesBatch proves the single-pass core: one Collect scan
+// over the campaign's pings must reproduce every batch figure
+// bit-identically — same Welford accumulation order, same tie-breaks,
+// same sample-list order.
+func TestCollectMatchesBatch(t *testing.T) {
+	f := testData(t)
+	agg, err := Collect(f.store.PingSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, platform := range []string{"speedchecker", "atlas"} {
+		na := Nearest(f.store, platform)
+		got := agg.Nearest(platform)
+		if !reflect.DeepEqual(na.Region, got.Region) {
+			t.Fatalf("%s: Nearest regions diverge", platform)
+		}
+		if !reflect.DeepEqual(na.Samples, got.Samples) {
+			t.Fatalf("%s: Nearest samples diverge", platform)
+		}
+		if !reflect.DeepEqual(na.Meta, got.Meta) {
+			t.Fatalf("%s: Nearest meta diverges", platform)
+		}
+	}
+
+	if want, got := LatencyMap(f.store, 10), agg.LatencyMap(10); !reflect.DeepEqual(want, got) {
+		t.Fatal("LatencyMap diverges")
+	}
+	for _, platform := range []string{"speedchecker", "atlas"} {
+		want := ContinentDistributions(f.store, platform)
+		if got := agg.ContinentDistributions(platform); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: ContinentDistributions diverge", platform)
+		}
+	}
+	if want, got := PlatformComparison(f.store), agg.PlatformComparison(); !reflect.DeepEqual(want, got) {
+		t.Fatal("PlatformComparison diverges")
+	}
+	if want, got := MatchedComparison(f.store, 3), agg.MatchedComparison(3); !reflect.DeepEqual(want, got) {
+		t.Fatal("MatchedComparison diverges")
+	}
+	if want, got := ProtocolComparisons(f.store), agg.ProtocolComparisons(); !reflect.DeepEqual(want, got) {
+		t.Fatal("ProtocolComparisons diverge")
+	}
+	if want, got := ProviderComparison(f.store, 5), agg.ProviderComparison(5); !reflect.DeepEqual(want, got) {
+		t.Fatal("ProviderComparison diverges")
+	}
+
+	countries := []string{"DE", "BR", "JP", "ZA"}
+	targets := []geo.Continent{geo.EU, geo.NA, geo.AS}
+	want := InterContinental(f.store, countries, targets)
+	if got := agg.InterContinental(countries, targets); !reflect.DeepEqual(want, got) {
+		t.Fatal("InterContinental diverges")
+	}
+	// A second query with a different filter must work off the same
+	// collection (the filter is applied at query time).
+	want2 := InterContinental(f.store, []string{"AU"}, []geo.Continent{geo.OC, geo.AS})
+	if got := agg.InterContinental([]string{"AU"}, []geo.Continent{geo.OC, geo.AS}); !reflect.DeepEqual(want2, got) {
+		t.Fatal("second InterContinental query diverges")
+	}
+}
+
+// TestCollectStoreMatchesCollect checks the batch adapter is the same
+// single pass.
+func TestCollectStoreMatchesCollect(t *testing.T) {
+	f := testData(t)
+	fromSrc, err := Collect(f.store.PingSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore := CollectStore(f.store)
+	if want, got := fromSrc.LatencyMap(10), fromStore.LatencyMap(10); !reflect.DeepEqual(want, got) {
+		t.Fatal("CollectStore LatencyMap diverges from Collect")
+	}
+	if want, got := fromSrc.ProtocolComparisons(), fromStore.ProtocolComparisons(); !reflect.DeepEqual(want, got) {
+		t.Fatal("CollectStore ProtocolComparisons diverge from Collect")
+	}
+}

@@ -139,79 +139,16 @@ type InterContinentBox struct {
 
 // InterContinental computes Figure 6a/6b: for each listed VP country,
 // the distribution of RTTs towards the closest DC on each target
-// continent. All Speedchecker samples (both protocols, as the paper
-// uses all recorded measurements here) are included.
+// continent — "closest" per <country, target continent> as the region
+// with the lowest mean RTT. All Speedchecker samples (both protocols,
+// as the paper uses all recorded measurements here) are included. It is
+// the batch adapter over the single-pass inter-continent collector.
 func InterContinental(store *dataset.Store, countries []string, targets []geo.Continent) []InterContinentBox {
-	type key struct {
-		country string
-		cont    geo.Continent
-		region  string
-	}
-	// Choose, per <country, target continent>, the region with the
-	// lowest mean RTT, then report the distribution of its samples.
-	sums := make(map[key]*stats.Welford)
+	c := newInterCollector()
 	for i := range store.Pings {
-		r := &store.Pings[i]
-		if r.VP.Platform != "speedchecker" {
-			continue
-		}
-		if !containsString(countries, r.VP.Country) || !containsContinent(targets, r.Target.Continent) {
-			continue
-		}
-		k := key{r.VP.Country, r.Target.Continent, r.Target.Region}
-		w := sums[k]
-		if w == nil {
-			w = &stats.Welford{}
-			sums[k] = w
-		}
-		w.Add(r.RTTms)
+		c.add(&store.Pings[i])
 	}
-	type group struct {
-		country string
-		cont    geo.Continent
-	}
-	best := make(map[group]string)
-	bestMean := make(map[group]float64)
-	for k, w := range sums {
-		g := group{k.country, k.cont}
-		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
-		if m, ok := bestMean[g]; !ok || w.Mean() < m || (w.Mean() == m && k.region < best[g]) {
-			best[g] = k.region
-			bestMean[g] = w.Mean()
-		}
-	}
-	samples := make(map[group][]float64)
-	for i := range store.Pings {
-		r := &store.Pings[i]
-		if r.VP.Platform != "speedchecker" {
-			continue
-		}
-		g := group{r.VP.Country, r.Target.Continent}
-		if best[g] == r.Target.Region {
-			samples[g] = append(samples[g], r.RTTms)
-		}
-	}
-	var out []InterContinentBox
-	for _, cc := range countries {
-		for _, tc := range targets {
-			xs := samples[group{cc, tc}]
-			if len(xs) == 0 {
-				continue
-			}
-			box, err := stats.Summarize(xs)
-			if err != nil {
-				continue
-			}
-			out = append(out, InterContinentBox{Country: cc, TargetContinent: tc, Box: box})
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Country != out[j].Country {
-			return out[i].Country < out[j].Country
-		}
-		return out[i].TargetContinent < out[j].TargetContinent
-	})
-	return out
+	return c.boxes(countries, targets)
 }
 
 func containsString(s []string, v string) bool {

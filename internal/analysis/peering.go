@@ -34,20 +34,26 @@ func Interconnections(processed []pipeline.Processed) []InterconnectShare {
 func InterconnectCounts(processed []pipeline.Processed) map[string]map[pipeline.Class]int {
 	counts := map[string]map[pipeline.Class]int{}
 	for i := range processed {
-		p := &processed[i]
-		if p.Record.VP.Platform != "speedchecker" || p.Class == pipeline.ClassUnknown {
-			continue
-		}
-		prov := figureProvider(p.Record.Target.Provider)
-		if prov == "" {
-			continue
-		}
-		if counts[prov] == nil {
-			counts[prov] = map[pipeline.Class]int{}
-		}
-		counts[prov][p.Class]++
+		CountInterconnect(counts, &processed[i])
 	}
 	return counts
+}
+
+// CountInterconnect folds one processed trace into a per-provider class
+// tally — the one-record step InterconnectCounts batches, exported so a
+// live campaign sink can keep the tally while traces stream in.
+func CountInterconnect(counts map[string]map[pipeline.Class]int, p *pipeline.Processed) {
+	if p.Record.VP.Platform != "speedchecker" || p.Class == pipeline.ClassUnknown {
+		return
+	}
+	prov := figureProvider(p.Record.Target.Provider)
+	if prov == "" {
+		return
+	}
+	if counts[prov] == nil {
+		counts[prov] = map[pipeline.Class]int{}
+	}
+	counts[prov][p.Class]++
 }
 
 // InterconnectionsFromCounts turns per-provider class tallies into the

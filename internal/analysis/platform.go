@@ -92,12 +92,20 @@ type MatchedDiff struct {
 // of matched <country, ISP> groups per continent (the paper found
 // enough only in EU, NA and AS).
 func MatchedComparison(store *dataset.Store, minGroups int) []MatchedDiff {
+	return MatchedComparisonFrom(
+		Nearest(store, "speedchecker"),
+		Nearest(store, "atlas"), minGroups)
+}
+
+// MatchedComparisonFrom computes Figure 16 from the two platforms'
+// nearest-DC assignments, however they were produced — batch Nearest
+// scans or one single-pass Collect.
+func MatchedComparisonFrom(scNA, atNA NearestAssignment, minGroups int) []MatchedDiff {
 	type group struct {
 		country string
 		isp     uint32
 	}
-	collect := func(platform string) map[group]map[geo.Continent][]float64 {
-		na := Nearest(store, platform)
+	collect := func(na NearestAssignment) map[group]map[geo.Continent][]float64 {
 		out := make(map[group]map[geo.Continent][]float64)
 		for probe, xs := range na.Samples {
 			vp := na.Meta[probe]
@@ -109,8 +117,8 @@ func MatchedComparison(store *dataset.Store, minGroups int) []MatchedDiff {
 		}
 		return out
 	}
-	sc := collect("speedchecker")
-	at := collect("atlas")
+	sc := collect(scNA)
+	at := collect(atNA)
 
 	perCont := make(map[geo.Continent][]float64)
 	groups := make(map[geo.Continent]int)
@@ -170,64 +178,12 @@ type ProtocolComparison struct {
 // ProtocolComparisons computes Figure 15. Comparing matched
 // <country, datacenter> pairs (rather than pooled samples) is what the
 // paper does, and it keeps the comparison meaningful on continents with
-// strongly multi-modal latency.
+// strongly multi-modal latency. It is the batch adapter over the
+// single-pass protocol collector.
 func ProtocolComparisons(store *dataset.Store) []ProtocolComparison {
-	type pairKey struct {
-		country string
-		region  string
-	}
-	type contPair struct {
-		cont geo.Continent
-		key  pairKey
-	}
-	byProto := map[dataset.Protocol]map[contPair][]float64{
-		dataset.TCP:  {},
-		dataset.ICMP: {},
-	}
+	c := newProtoCollector()
 	for i := range store.Pings {
-		r := &store.Pings[i]
-		if r.VP.Platform != "speedchecker" {
-			continue
-		}
-		cp := contPair{r.VP.Continent, pairKey{r.VP.Country, r.Target.Region}}
-		byProto[r.Protocol][cp] = append(byProto[r.Protocol][cp], r.RTTms)
+		c.add(&store.Pings[i])
 	}
-	perCont := map[geo.Continent]struct {
-		tcp, icmp []float64
-		gaps      []float64
-	}{}
-	for cp, tcpSamples := range byProto[dataset.TCP] {
-		icmpSamples := byProto[dataset.ICMP][cp]
-		if len(tcpSamples) == 0 || len(icmpSamples) == 0 {
-			continue
-		}
-		mt, err1 := stats.Median(tcpSamples)
-		mi, err2 := stats.Median(icmpSamples)
-		if err1 != nil || err2 != nil || mt <= 0 {
-			continue
-		}
-		agg := perCont[cp.cont]
-		agg.tcp = append(agg.tcp, mt)
-		agg.icmp = append(agg.icmp, mi)
-		agg.gaps = append(agg.gaps, 100*(mi-mt)/mt)
-		perCont[cp.cont] = agg
-	}
-	var out []ProtocolComparison
-	for _, cont := range geo.Continents() {
-		agg, ok := perCont[cont]
-		if !ok || len(agg.tcp) == 0 {
-			continue
-		}
-		bt, err1 := stats.Summarize(agg.tcp)
-		bi, err2 := stats.Summarize(agg.icmp)
-		gap, err3 := stats.Median(agg.gaps)
-		if err1 != nil || err2 != nil || err3 != nil {
-			continue
-		}
-		out = append(out, ProtocolComparison{
-			Continent: cont, TCP: bt, ICMP: bi,
-			MedianGapPct: gap, Pairs: len(agg.tcp),
-		})
-	}
-	return out
+	return c.comparisons()
 }

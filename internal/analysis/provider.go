@@ -1,9 +1,6 @@
 package analysis
 
 import (
-	"sort"
-
-	"repro/internal/cloud"
 	"repro/internal/dataset"
 	"repro/internal/geo"
 	"repro/internal/stats"
@@ -34,112 +31,12 @@ type ProviderConsistency struct {
 // ProviderComparison computes per-continent provider consistency from
 // Speedchecker TCP pings towards each probe's nearest same-continent
 // region of every provider. Providers with fewer than minSamples
-// samples on a continent are skipped.
+// samples on a continent are skipped. It is the batch adapter over the
+// single-pass provider collector.
 func ProviderComparison(store *dataset.Store, minSamples int) []ProviderConsistency {
-	// Per <probe, provider>, find the region with the lowest mean and
-	// collect its samples — the per-provider analogue of Nearest.
-	type ppKey struct {
-		probe    string
-		provider string
-		region   string
-	}
-	sums := map[ppKey]*stats.Welford{}
-	meta := map[string]dataset.VantagePoint{}
-	use := func(r *dataset.PingRecord) bool {
-		return r.VP.Platform == "speedchecker" && r.Target.Continent == r.VP.Continent
-	}
+	c := newProviderCollector()
 	for i := range store.Pings {
-		r := &store.Pings[i]
-		if !use(r) {
-			continue
-		}
-		prov := figureProvider(r.Target.Provider)
-		if prov == "" {
-			continue
-		}
-		k := ppKey{r.VP.ProbeID, prov, r.Target.Region}
-		w := sums[k]
-		if w == nil {
-			w = &stats.Welford{}
-			sums[k] = w
-		}
-		w.Add(r.RTTms)
-		meta[r.VP.ProbeID] = r.VP
+		c.add(&store.Pings[i])
 	}
-	type pp struct {
-		probe    string
-		provider string
-	}
-	best := map[pp]string{}
-	bestMean := map[pp]float64{}
-	for k, w := range sums {
-		g := pp{k.probe, k.provider}
-		//lint:ignore floateq exact tie of identically-accumulated means; the region-name tie-break keeps the winner independent of map order
-		if m, ok := bestMean[g]; !ok || w.Mean() < m || (w.Mean() == m && k.region < best[g]) {
-			best[g] = k.region
-			bestMean[g] = w.Mean()
-		}
-	}
-	type cpKey struct {
-		cont geo.Continent
-		prov string
-	}
-	samples := map[cpKey][]float64{}
-	for i := range store.Pings {
-		r := &store.Pings[i]
-		if !use(r) {
-			continue
-		}
-		prov := figureProvider(r.Target.Provider)
-		if prov == "" {
-			continue
-		}
-		if best[pp{r.VP.ProbeID, prov}] != r.Target.Region {
-			continue
-		}
-		samples[cpKey{r.VP.Continent, prov}] = append(samples[cpKey{r.VP.Continent, prov}], r.RTTms)
-	}
-
-	var out []ProviderConsistency
-	for _, cont := range geo.Continents() {
-		pc := ProviderConsistency{Continent: cont}
-		var dists [][]float64
-		for _, prov := range cloud.FigureProviderCodes() {
-			xs := samples[cpKey{cont, prov}]
-			if len(xs) < minSamples {
-				continue
-			}
-			box, err := stats.Summarize(xs)
-			if err != nil {
-				continue
-			}
-			pc.Providers = append(pc.Providers, ProviderLatency{Provider: prov, Box: box, N: len(xs)})
-			dists = append(dists, xs)
-		}
-		if len(pc.Providers) < 2 {
-			continue
-		}
-		lo, hi := pc.Providers[0].Box.Median, pc.Providers[0].Box.Median
-		for _, p := range pc.Providers[1:] {
-			if p.Box.Median < lo {
-				lo = p.Box.Median
-			}
-			if p.Box.Median > hi {
-				hi = p.Box.Median
-			}
-		}
-		pc.MedianSpreadMs = hi - lo
-		for i := range dists {
-			for j := i + 1; j < len(dists); j++ {
-				if d, err := stats.KolmogorovSmirnov(dists[i], dists[j]); err == nil && d > pc.MaxKS {
-					pc.MaxKS = d
-				}
-			}
-		}
-		sort.Slice(pc.Providers, func(i, j int) bool {
-			return pc.Providers[i].Box.Median < pc.Providers[j].Box.Median
-		})
-		out = append(out, pc)
-	}
-	return out
+	return c.consistency(minSamples)
 }

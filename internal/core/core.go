@@ -11,6 +11,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
@@ -108,8 +109,29 @@ func FromStore(cfg Config, store *dataset.Store) (*Study, error) {
 	}, nil
 }
 
-// Run executes the whole study. It respects ctx cancellation.
-func Run(ctx context.Context, cfg Config) (*Study, error) {
+// Setup is a prepared-but-not-yet-run study: the synthesized world,
+// both simulators, the fault plan and both fleets. Prepare builds it;
+// RunCampaigns executes the campaigns — either materializing (no
+// sinks), or streaming every record into caller-supplied sinks so a
+// columnar store or an export file can be built while the campaign
+// runs, under bounded memory.
+type Setup struct {
+	Config Config
+	World  *world.World
+	// Sim carries the fault injector (when the profile asks for one)
+	// and drives the Speedchecker campaign.
+	Sim *netsim.Simulator
+	// AtlasSim is fault-free: Atlas is wired, and the profiles model
+	// the Speedchecker side only. It aliases Sim when no plan is set.
+	AtlasSim *netsim.Simulator
+	Plan     *faults.Plan
+	SC       *probes.Fleet
+	Atlas    *probes.Fleet
+}
+
+// Prepare synthesizes the world, resolves the fault profile and
+// generates both vantage-point fleets, without running anything.
+func Prepare(cfg Config) (*Setup, error) {
 	cfg = cfg.withDefaults()
 	w, err := world.Build(world.Config{Seed: cfg.Seed})
 	if err != nil {
@@ -120,12 +142,35 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	atSim := sim
 	if plan != nil {
 		sim.Faults = plan
+		// A fresh simulator strips the injector; the RTT model itself is
+		// a pure function of the world, so the values are unchanged.
+		atSim = netsim.New(w)
 	}
-	sc := probes.GenerateSpeedchecker(w, probes.Config{Seed: cfg.Seed, Scale: cfg.Scale})
-	at := probes.GenerateAtlas(w, probes.Config{Seed: cfg.Seed, Scale: 1})
+	return &Setup{
+		Config: cfg, World: w, Sim: sim, AtlasSim: atSim, Plan: plan,
+		SC:    probes.GenerateSpeedchecker(w, probes.Config{Seed: cfg.Seed, Scale: cfg.Scale}),
+		Atlas: probes.GenerateAtlas(w, probes.Config{Seed: cfg.Seed, Scale: 1}),
+	}, nil
+}
 
+// RunCampaigns executes the Speedchecker and Atlas campaigns. With no
+// sinks, both campaigns materialize and the returned store holds every
+// record — the legacy batch path. With sinks, every record streams
+// through a bounded fan-out bus into each sink instead, both campaigns
+// share the one sink set (so a store.Feed sees both platforms), and
+// the returned store holds only records spilled after a sink
+// degradation. Sinks must tolerate repeated Close: each campaign
+// closes (flushes) them when it finishes.
+//
+// A sink degradation does not abort the run: the campaigns complete,
+// the undelivered remainder lands in the returned store (check
+// Stats.SinkDegraded / Stats.Spilled), and the error reports the first
+// sink failure. The store is nil only when a campaign itself fails.
+func (s *Setup) RunCampaigns(ctx context.Context, sinks ...dataset.Sink) (*dataset.Store, measure.Stats, measure.Stats, error) {
+	cfg := s.Config
 	scCfg := measure.Config{
 		Seed:                     cfg.Seed,
 		Cycles:                   cfg.Cycles,
@@ -137,45 +182,57 @@ func Run(ctx context.Context, cfg Config) (*Study, error) {
 		BothPingProtocols:        measure.FlagOn,
 		Traceroutes:              true,
 		NeighborContinentTargets: true,
+		Sinks:                    sinks,
 	}
-	if plan != nil {
-		scCfg.Faults = plan
+	if s.Plan != nil {
+		scCfg.Faults = s.Plan
 	}
-	scCampaign, err := measure.New(sim, sc, scCfg)
+	scCampaign, err := measure.New(s.Sim, s.SC, scCfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: speedchecker campaign: %w", err)
+		return nil, measure.Stats{}, measure.Stats{}, fmt.Errorf("core: speedchecker campaign: %w", err)
 	}
-	store, scStats, err := scCampaign.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("core: speedchecker campaign: %w", err)
+	store, scStats, scErr := scCampaign.Run(ctx)
+	if scErr != nil && !scStats.SinkDegraded {
+		return nil, scStats, measure.Stats{}, fmt.Errorf("core: speedchecker campaign: %w", scErr)
 	}
 	// Atlas probes are always connected; a single uncapped cycle keeps
-	// the platform's geographic proportions intact. Atlas is wired, not
-	// wireless: the fault profiles model the Speedchecker side only.
+	// the platform's geographic proportions intact.
 	atCfg := scCfg
 	atCfg.Cycles = 1
 	atCfg.ProbesPerCountry = 0
 	atCfg.Faults = nil
-	atSim := sim
-	if plan != nil {
-		// A fresh simulator strips the injector; the RTT model itself is
-		// a pure function of the world, so the values are unchanged.
-		atSim = netsim.New(w)
-	}
-	atCampaign, err := measure.New(atSim, at, atCfg)
+	atCampaign, err := measure.New(s.AtlasSim, s.Atlas, atCfg)
 	if err != nil {
-		return nil, fmt.Errorf("core: atlas campaign: %w", err)
+		return nil, scStats, measure.Stats{}, fmt.Errorf("core: atlas campaign: %w", err)
 	}
-	atStore, atStats, err := atCampaign.Run(ctx)
-	if err != nil {
-		return nil, fmt.Errorf("core: atlas campaign: %w", err)
+	atStore, atStats, atErr := atCampaign.Run(ctx)
+	if atErr != nil && !atStats.SinkDegraded {
+		return nil, scStats, atStats, fmt.Errorf("core: atlas campaign: %w", atErr)
 	}
 	store.Merge(atStore)
+	var err2 error
+	if scErr != nil || atErr != nil {
+		err2 = fmt.Errorf("core: %w", errors.Join(scErr, atErr))
+	}
+	return store, scStats, atStats, err2
+}
 
+// Run executes the whole study, materializing the full dataset. It
+// respects ctx cancellation.
+func Run(ctx context.Context, cfg Config) (*Study, error) {
+	setup, err := Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	store, scStats, atStats, err := setup.RunCampaigns(ctx)
+	if err != nil {
+		return nil, err
+	}
 	return &Study{
-		Config: cfg, World: w, Sim: sim, SC: sc, Atlas: at,
+		Config: setup.Config, World: setup.World, Sim: setup.Sim,
+		SC: setup.SC, Atlas: setup.Atlas,
 		Store:     store,
-		Processed: pipeline.NewProcessor(w).ProcessAll(store),
+		Processed: pipeline.NewProcessor(setup.World).ProcessAll(store),
 		SCStats:   scStats, AtlasStats: atStats,
 	}, nil
 }
@@ -257,6 +314,9 @@ func (c AnalyzeConfig) withDefaults() AnalyzeConfig {
 }
 
 // Analyze computes every figure and table from the collected dataset.
+// All ping-derived figures draw from one single-pass collection over
+// the store (analysis.CollectStore) instead of seven independent
+// full scans; the results are bit-identical to the batch entry points.
 func (s *Study) Analyze(cfg AnalyzeConfig) Results {
 	cfg = cfg.withDefaults()
 	caseStudy := func(vp, dc string) CaseStudy {
@@ -265,7 +325,8 @@ func (s *Study) Analyze(cfg AnalyzeConfig) Results {
 			Latency: analysis.CaseStudyLatency(s.Processed, vp, dc, cfg.MinCaseSamples),
 		}
 	}
-	lm := analysis.LatencyMap(s.Store, cfg.MinMapSamples)
+	agg := analysis.CollectStore(s.Store)
+	lm := agg.LatencyMap(cfg.MinMapSamples)
 	scenarios := edge.Evaluate(s.Processed, 4)
 	return Results{
 		SCDensity:    analysis.Density(s.SC),
@@ -275,15 +336,15 @@ func (s *Study) Analyze(cfg AnalyzeConfig) Results {
 		LatencyMap: lm,
 		Thresholds: analysis.Thresholds(lm),
 
-		ContinentCDFs: analysis.ContinentDistributions(s.Store, "speedchecker"),
-		PlatformDiffs: analysis.PlatformComparison(s.Store),
-		MatchedDiffs:  analysis.MatchedComparison(s.Store, cfg.MinMatchedGroups),
-		Protocols:     analysis.ProtocolComparisons(s.Store),
+		ContinentCDFs: agg.ContinentDistributions("speedchecker"),
+		PlatformDiffs: agg.PlatformComparison(),
+		MatchedDiffs:  agg.MatchedComparison(cfg.MinMatchedGroups),
+		Protocols:     agg.ProtocolComparisons(),
 
-		AfricaBoxes: analysis.InterContinental(s.Store,
+		AfricaBoxes: agg.InterContinental(
 			[]string{"DZ", "EG", "ET", "KE", "MA", "SN", "TN", "ZA"},
 			[]geo.Continent{geo.EU, geo.NA, geo.AF}),
-		SouthAmericaBoxes: analysis.InterContinental(s.Store,
+		SouthAmericaBoxes: agg.InterContinental(
 			[]string{"AR", "BO", "BR", "CL", "CO", "EC", "PE", "VE"},
 			[]geo.Continent{geo.NA, geo.SA}),
 
@@ -301,7 +362,7 @@ func (s *Study) Analyze(cfg AnalyzeConfig) Results {
 		UkraineUK:    caseStudy("UA", "GB"),
 		BahrainIndia: caseStudy("BH", "IN"),
 
-		ProviderConsistency: analysis.ProviderComparison(s.Store, cfg.MinCaseSamples),
+		ProviderConsistency: agg.ProviderComparison(cfg.MinCaseSamples),
 		Flattening:          analysis.PathFlattening(s.Processed),
 		EdgeScenarios:       scenarios,
 		EdgeVerdicts:        edge.Verdicts(scenarios),

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/pipeline"
+	"repro/internal/store"
 )
 
 var (
@@ -137,7 +140,7 @@ func TestFromStoreReanalysis(t *testing.T) {
 		t.Fatal(err)
 	}
 	re, err := FromStore(Config{Seed: s.Config.Seed, Scale: s.Config.Scale},
-		&dataset.Store{Pings: loadedPings, Traces: loadedTraces})
+		dataset.FromRecords(loadedPings, loadedTraces))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,3 +175,66 @@ func TestFromStoreReanalysis(t *testing.T) {
 
 func readPings(r io.Reader) ([]dataset.PingRecord, error)        { return dataset.ReadPingsCSV(r) }
 func readTraces(r io.Reader) ([]dataset.TracerouteRecord, error) { return dataset.ReadTracesJSONL(r) }
+
+// TestRunCampaignsStreaming drives one prepared study into a
+// materializing StoreSink and an incremental store.Feed at once, and
+// requires the sealed feed to answer queries exactly like the batch
+// store built from the materialized records of the same stream.
+func TestRunCampaignsStreaming(t *testing.T) {
+	setup, err := Prepare(Config{Seed: 2, Scale: 0.02, Cycles: 1, TargetsPerProbe: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.World == nil || setup.SC == nil || setup.Atlas == nil || setup.Sim == nil {
+		t.Fatal("Prepare left fields unset")
+	}
+	if setup.Plan != nil || setup.AtlasSim != setup.Sim {
+		t.Error("fault-free setup should share one simulator and carry no plan")
+	}
+
+	materialized := dataset.NewStoreSink(nil)
+	feed := store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: 4})
+	spill, scStats, atStats, err := setup.RunCampaigns(context.Background(), materialized, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scStats.SinkDegraded || atStats.SinkDegraded {
+		t.Fatalf("healthy sinks degraded: sc %+v, atlas %+v", scStats, atStats)
+	}
+	if np, nt := spill.Len(); np != 0 || nt != 0 {
+		t.Fatalf("spill store should be empty: %d pings, %d traces", np, nt)
+	}
+	ds := materialized.Store
+	if np, nt := ds.Len(); np == 0 || nt == 0 {
+		t.Fatalf("nothing streamed: %d pings, %d traces", np, nt)
+	}
+
+	sealed := feed.Seal()
+	batch := store.FromDataset(ds, pipeline.NewProcessor(setup.World).ProcessAll(ds), store.Options{Shards: 4})
+	if got, want := sealed.LatencyMap(6), batch.LatencyMap(6); !reflect.DeepEqual(got, want) {
+		t.Error("streamed feed's LatencyMap diverges from batch")
+	}
+	if got, want := sealed.PeeringShares(), batch.PeeringShares(); !reflect.DeepEqual(got, want) {
+		t.Error("streamed feed's PeeringShares diverge from batch")
+	}
+	if got, want := sealed.Summary(), batch.Summary(); !reflect.DeepEqual(got, want) {
+		t.Errorf("streamed feed's Summary diverges from batch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPrepareFaultProfile checks a plan splits the simulators.
+func TestPrepareFaultProfile(t *testing.T) {
+	setup, err := Prepare(Config{Seed: 1, FaultProfile: "flaky-wireless"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if setup.Plan == nil {
+		t.Fatal("profile produced no plan")
+	}
+	if setup.AtlasSim == setup.Sim {
+		t.Error("atlas must run on a fault-free simulator")
+	}
+	if setup.Sim.Faults == nil {
+		t.Error("speedchecker simulator lost the injector")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
+	"repro/internal/sample"
 )
 
 // pingHeader is the CSV column set for ping records, matching the
@@ -51,31 +52,60 @@ func ReadPingsCSV(r io.Reader) ([]PingRecord, error) {
 // store uses to consume full-scale exports without materializing a
 // []PingRecord first. Scanning stops at the first error fn returns.
 func ScanPings(r io.Reader, fn func(PingRecord) error) error {
+	return sample.Drain(NewPingCursor(r), fn)
+}
+
+// PingCursor is a pull cursor (sample.Source) over a CSV ping export.
+// The header is validated lazily on the first Next call; decode errors
+// are terminal and sticky.
+type PingCursor struct {
+	cr      *csv.Reader
+	line    int
+	started bool
+	done    bool
+	err     error
+}
+
+// NewPingCursor wraps r, which must carry the WritePingsCSV format.
+func NewPingCursor(r io.Reader) *PingCursor {
 	cr := csv.NewReader(r)
 	cr.ReuseRecord = true
-	header, err := cr.Read()
+	return &PingCursor{cr: cr, line: 1}
+}
+
+// Next implements sample.Source.
+func (c *PingCursor) Next() (PingRecord, bool, error) {
+	if c.err != nil || c.done {
+		return PingRecord{}, false, c.err
+	}
+	if !c.started {
+		c.started = true
+		header, err := c.cr.Read()
+		if err != nil {
+			c.err = fmt.Errorf("dataset: reading header: %w", err)
+			return PingRecord{}, false, c.err
+		}
+		if len(header) != len(pingHeader) {
+			c.err = fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(pingHeader))
+			return PingRecord{}, false, c.err
+		}
+	}
+	c.line++
+	row, err := c.cr.Read()
+	if err == io.EOF {
+		c.done = true
+		return PingRecord{}, false, nil
+	}
 	if err != nil {
-		return fmt.Errorf("dataset: reading header: %w", err)
+		c.err = err
+		return PingRecord{}, false, c.err
 	}
-	if len(header) != len(pingHeader) {
-		return fmt.Errorf("dataset: header has %d columns, want %d", len(header), len(pingHeader))
+	rec, err := parsePingRow(row)
+	if err != nil {
+		c.err = fmt.Errorf("dataset: line %d: %w", c.line, err)
+		return PingRecord{}, false, c.err
 	}
-	for line := 2; ; line++ {
-		row, err := cr.Read()
-		if err == io.EOF {
-			return nil
-		}
-		if err != nil {
-			return err
-		}
-		rec, err := parsePingRow(row)
-		if err != nil {
-			return fmt.Errorf("dataset: line %d: %w", line, err)
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
-	}
+	return rec, true, nil
 }
 
 func parsePingRow(row []string) (PingRecord, error) {
@@ -190,22 +220,43 @@ func ReadTracesJSONL(r io.Reader) ([]TracerouteRecord, error) {
 // traceroute at a time — the constant-memory counterpart of
 // ReadTracesJSONL.
 func ScanTraces(r io.Reader, fn func(TracerouteRecord) error) error {
-	dec := json.NewDecoder(bufio.NewReader(r))
-	for line := 1; ; line++ {
-		var jt jsonTrace
-		if err := dec.Decode(&jt); err == io.EOF {
-			return nil
-		} else if err != nil {
-			return fmt.Errorf("dataset: trace line %d: %w", line, err)
-		}
-		rec, err := traceFromJSON(&jt)
-		if err != nil {
-			return fmt.Errorf("dataset: trace line %d: %w", line, err)
-		}
-		if err := fn(rec); err != nil {
-			return err
-		}
+	return sample.DrainTraces(NewTraceCursor(r), fn)
+}
+
+// TraceCursor is a pull cursor (sample.TraceSource) over a JSONL
+// traceroute export. Decode errors are terminal and sticky.
+type TraceCursor struct {
+	dec  *json.Decoder
+	line int
+	done bool
+	err  error
+}
+
+// NewTraceCursor wraps r, which must carry the WriteTracesJSONL format.
+func NewTraceCursor(r io.Reader) *TraceCursor {
+	return &TraceCursor{dec: json.NewDecoder(bufio.NewReader(r))}
+}
+
+// Next implements sample.TraceSource.
+func (c *TraceCursor) Next() (TracerouteRecord, bool, error) {
+	if c.err != nil || c.done {
+		return TracerouteRecord{}, false, c.err
 	}
+	c.line++
+	var jt jsonTrace
+	if err := c.dec.Decode(&jt); err == io.EOF {
+		c.done = true
+		return TracerouteRecord{}, false, nil
+	} else if err != nil {
+		c.err = fmt.Errorf("dataset: trace line %d: %w", c.line, err)
+		return TracerouteRecord{}, false, c.err
+	}
+	rec, err := traceFromJSON(&jt)
+	if err != nil {
+		c.err = fmt.Errorf("dataset: trace line %d: %w", c.line, err)
+		return TracerouteRecord{}, false, c.err
+	}
+	return rec, true, nil
 }
 
 func traceFromJSON(jt *jsonTrace) (TracerouteRecord, error) {

@@ -1,0 +1,155 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+	"repro/internal/netaddr"
+)
+
+// validExport renders one ping CSV and one trace JSONL through the real
+// writers, so corruption tests start from a byte-exact valid stream.
+func validExport(t *testing.T) (string, string) {
+	t.Helper()
+	ip, err := netaddr.ParseIP("10.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ping := PingRecord{
+		VP:     VantagePoint{ProbeID: "p1", Platform: "speedchecker", Country: "DE", Continent: geo.EU},
+		Target: Target{Region: "eu-central-1", Provider: "aws", Country: "DE", Continent: geo.EU, IP: ip},
+		RTTms:  12.5,
+	}
+	trace := TracerouteRecord{
+		VP:     ping.VP,
+		Target: ping.Target,
+		Hops:   []Hop{{TTL: 1, IP: ip, RTTms: 3.2, Responded: true}},
+	}
+	var pings, traces strings.Builder
+	if err := WritePingsCSV(&pings, []PingRecord{ping, ping}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTracesJSONL(&traces, []TracerouteRecord{trace, trace}); err != nil {
+		t.Fatal(err)
+	}
+	return pings.String(), traces.String()
+}
+
+func TestScanPingsEmptyInput(t *testing.T) {
+	err := ScanPings(strings.NewReader(""), func(PingRecord) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "reading header") {
+		t.Fatalf("empty input: err = %v, want header error", err)
+	}
+}
+
+func TestScanPingsHeaderOnly(t *testing.T) {
+	csvText, _ := validExport(t)
+	header := csvText[:strings.IndexByte(csvText, '\n')+1]
+	n := 0
+	if err := ScanPings(strings.NewReader(header), func(PingRecord) error { n++; return nil }); err != nil {
+		t.Fatalf("header-only input: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("header-only input produced %d records", n)
+	}
+}
+
+func TestScanPingsShortHeader(t *testing.T) {
+	err := ScanPings(strings.NewReader("probe,platform\n"), func(PingRecord) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "columns") {
+		t.Fatalf("short header: err = %v, want column-count error", err)
+	}
+}
+
+func TestScanPingsTruncatedRow(t *testing.T) {
+	csvText, _ := validExport(t)
+	lines := strings.SplitAfter(csvText, "\n")
+	// Cut the last data row mid-field: fewer columns than the header.
+	truncated := lines[0] + lines[1] + strings.Join(strings.Split(lines[2], ",")[:4], ",")
+	n := 0
+	err := ScanPings(strings.NewReader(truncated), func(PingRecord) error { n++; return nil })
+	if err == nil {
+		t.Fatal("truncated row scanned cleanly")
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d records before the truncated row, want 1", n)
+	}
+}
+
+func TestScanPingsMalformedMidStream(t *testing.T) {
+	csvText, _ := validExport(t)
+	corrupted := strings.Replace(csvText, "12.500000", "not-a-number", 1)
+	n := 0
+	err := ScanPings(strings.NewReader(corrupted), func(PingRecord) error { n++; return nil })
+	if err == nil || !strings.Contains(err.Error(), "dataset: line 2") {
+		t.Fatalf("malformed row: err = %v, want line-2 error", err)
+	}
+	if n != 0 {
+		t.Fatalf("delivered %d records past the malformed row", n)
+	}
+}
+
+func TestPingCursorErrorIsSticky(t *testing.T) {
+	csvText, _ := validExport(t)
+	corrupted := strings.Replace(csvText, "tcp", "quic", 1)
+	cur := NewPingCursor(strings.NewReader(corrupted))
+	_, ok, err := cur.Next()
+	if ok || err == nil {
+		t.Fatalf("first Next = %v, %v; want terminal error", ok, err)
+	}
+	_, ok, err2 := cur.Next()
+	if ok || err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("second Next = %v, %v; want the same sticky error", ok, err2)
+	}
+}
+
+func TestScanTracesEmptyInput(t *testing.T) {
+	n := 0
+	if err := ScanTraces(strings.NewReader(""), func(TracerouteRecord) error { n++; return nil }); err != nil {
+		t.Fatalf("empty JSONL: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("empty JSONL produced %d records", n)
+	}
+}
+
+func TestScanTracesTruncatedLine(t *testing.T) {
+	_, jsonl := validExport(t)
+	// Drop the tail of the second object, leaving unterminated JSON.
+	truncated := jsonl[:len(jsonl)-20]
+	n := 0
+	err := ScanTraces(strings.NewReader(truncated), func(TracerouteRecord) error { n++; return nil })
+	if err == nil || !strings.Contains(err.Error(), "trace line 2") {
+		t.Fatalf("truncated JSONL: err = %v, want line-2 error", err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d traces before the truncation, want 1", n)
+	}
+}
+
+func TestScanTracesMalformedMidStream(t *testing.T) {
+	_, jsonl := validExport(t)
+	lines := strings.SplitAfter(jsonl, "\n")
+	corrupted := lines[0] + strings.Replace(lines[1], `"EU"`, `"XX"`, 1)
+	n := 0
+	err := ScanTraces(strings.NewReader(corrupted), func(TracerouteRecord) error { n++; return nil })
+	if err == nil || !strings.Contains(err.Error(), "trace line 2") {
+		t.Fatalf("malformed trace: err = %v, want line-2 error", err)
+	}
+	if n != 1 {
+		t.Fatalf("delivered %d traces before the malformed one, want 1", n)
+	}
+}
+
+func TestTraceCursorErrorIsSticky(t *testing.T) {
+	cur := NewTraceCursor(strings.NewReader("{\"probe\":"))
+	_, ok, err := cur.Next()
+	if ok || err == nil {
+		t.Fatalf("first Next = %v, %v; want terminal error", ok, err)
+	}
+	_, ok, err2 := cur.Next()
+	if ok || err2 == nil {
+		t.Fatalf("second Next = %v, %v; want the same sticky error", ok, err2)
+	}
+}

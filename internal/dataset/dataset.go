@@ -2,110 +2,53 @@
 // produces — ping data points and traceroutes, mirroring the fields of
 // the published dataset (§3.3) — together with an in-memory store and
 // CSV/JSONL codecs.
+//
+// The record model itself lives in repro/internal/sample; this package
+// re-exports it under its historical names (PingRecord,
+// TracerouteRecord, ...) via type aliases, so producers and consumers
+// share one model rather than converting between two.
 package dataset
 
 import (
-	"fmt"
-
-	"repro/internal/asn"
 	"repro/internal/geo"
-	"repro/internal/lastmile"
-	"repro/internal/netaddr"
+	"repro/internal/sample"
 )
 
 // Protocol is the measurement protocol. The campaign runs TCP pings and
 // ICMP traceroutes in parallel (§3.3).
-type Protocol uint8
+type Protocol = sample.Protocol
 
 // Protocols.
 const (
-	TCP Protocol = iota
-	ICMP
+	TCP  = sample.TCP
+	ICMP = sample.ICMP
 )
 
-// String returns the protocol name.
-func (p Protocol) String() string {
-	if p == ICMP {
-		return "icmp"
-	}
-	return "tcp"
-}
-
-// ParseProtocol is the inverse of String.
-func ParseProtocol(s string) (Protocol, error) {
-	switch s {
-	case "tcp":
-		return TCP, nil
-	case "icmp":
-		return ICMP, nil
-	}
-	return 0, fmt.Errorf("dataset: unknown protocol %q", s)
-}
+// ParseProtocol is the inverse of Protocol.String.
+func ParseProtocol(s string) (Protocol, error) { return sample.ParseProtocol(s) }
 
 // VantagePoint captures the probe-side fields every record carries.
-type VantagePoint struct {
-	ProbeID   string
-	Platform  string // "speedchecker" or "atlas"
-	Country   string
-	Continent geo.Continent
-	ISP       asn.Number
-	Access    lastmile.Access
-}
+type VantagePoint = sample.VantagePoint
 
 // Target captures the endpoint-side fields.
-type Target struct {
-	Region    string // region ID
-	Provider  string // provider code
-	Country   string
-	Continent geo.Continent
-	IP        netaddr.IP
-}
+type Target = sample.Target
 
 // PingRecord is one round-trip measurement.
-type PingRecord struct {
-	VP       VantagePoint
-	Target   Target
-	Protocol Protocol
-	RTTms    float64
-	// Cycle is the measurement cycle index (the campaign cycles through
-	// all countries roughly every two weeks, §3.3).
-	Cycle int
-}
+type PingRecord = sample.Sample
 
 // Hop is one traceroute hop as captured on the wire: the pipeline adds
 // AS attribution later.
-type Hop struct {
-	TTL       int
-	IP        netaddr.IP
-	RTTms     float64
-	Responded bool
-}
+type Hop = sample.Hop
 
 // TracerouteRecord is one ICMP traceroute.
-type TracerouteRecord struct {
-	VP     VantagePoint
-	Target Target
-	Hops   []Hop
-	Cycle  int
-}
+type TracerouteRecord = sample.TraceSample
 
-// RTTms returns the end-to-end round trip of the traceroute — the RTT
-// reported by the final responding hop — or 0 when the trace never
-// reached a responder.
-func (t *TracerouteRecord) RTTms() float64 {
-	for i := len(t.Hops) - 1; i >= 0; i-- {
-		if t.Hops[i].Responded {
-			return t.Hops[i].RTTms
-		}
-	}
-	return 0
-}
+// Source is a pull cursor over ping records; see sample.Source for the
+// contract.
+type Source = sample.Source
 
-// Reached reports whether the trace reached the target address.
-func (t *TracerouteRecord) Reached() bool {
-	n := len(t.Hops)
-	return n > 0 && t.Hops[n-1].Responded && t.Hops[n-1].IP == t.Target.IP
-}
+// TraceSource is a pull cursor over traceroute records.
+type TraceSource = sample.TraceSource
 
 // Store accumulates measurement records in memory. The zero value is
 // ready for use. Store is not safe for concurrent mutation; the
@@ -115,11 +58,29 @@ type Store struct {
 	Traces []TracerouteRecord
 }
 
+// FromRecords builds a Store from pre-existing record slices (without
+// copying). It is the sanctioned way to wrap decoded slices — direct
+// composite literals over Pings/Traces are rejected by cloudyvet so the
+// sink path stays the only ingestion door.
+func FromRecords(pings []PingRecord, traces []TracerouteRecord) *Store {
+	s := &Store{}
+	s.Pings = pings
+	s.Traces = traces
+	return s
+}
+
 // AddPing appends a ping record.
 func (s *Store) AddPing(r PingRecord) { s.Pings = append(s.Pings, r) }
 
 // AddTrace appends a traceroute record.
 func (s *Store) AddTrace(r TracerouteRecord) { s.Traces = append(s.Traces, r) }
+
+// PingSource returns a cursor over the stored ping records in insertion
+// order. The store must not be mutated while the cursor is live.
+func (s *Store) PingSource() Source { return sample.NewSliceSource(s.Pings) }
+
+// TraceSource returns a cursor over the stored traceroute records.
+func (s *Store) TraceSource() TraceSource { return sample.NewSliceTraceSource(s.Traces) }
 
 // PingFilter selects ping records; zero fields match everything.
 type PingFilter struct {

@@ -7,16 +7,16 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/sample"
 )
 
 // Sink consumes measurement records as they are produced. The campaign
 // engine calls it from a single collector goroutine, so implementations
-// need no locking. Close flushes buffered output.
-type Sink interface {
-	Ping(PingRecord) error
-	Trace(TracerouteRecord) error
-	Close() error
-}
+// need no locking. Close flushes buffered output. The interface is
+// defined in repro/internal/sample (aliased here) so the fan-out
+// sample.Bus and every sink below are interchangeable.
+type Sink = sample.Sink
 
 // PingWriter streams ping records as CSV, one call per record. It is
 // the incremental form of WritePingsCSV.

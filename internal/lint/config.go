@@ -12,7 +12,7 @@ type Config struct {
 // fixing the package first.
 func DefaultConfig() *Config {
 	return &Config{
-		Analyzers: []*Analyzer{NoRawTime, NoGlobalRand, FloatEq, UncheckedErr, CtxPropagate},
+		Analyzers: []*Analyzer{NoRawTime, NoGlobalRand, FloatEq, UncheckedErr, CtxPropagate, StoreAppend},
 		Scopes: map[string]Scope{
 			// Everything under internal/ is simulation or analysis code
 			// and must be replayable from a seed, except the packages
@@ -43,6 +43,14 @@ func DefaultConfig() *Config {
 			// and the campaign engine's checkpoints.
 			UncheckedErr.Name: {
 				Include: []string{"internal/dataset", "internal/store", "internal/measure"},
+			},
+			// dataset.Store's record slices have exactly one sanctioned
+			// writer: internal/dataset itself (FromRecords, AddPing,
+			// AddTrace, Merge, the sinks). Everywhere else a direct
+			// append bypasses the streaming spine.
+			StoreAppend.Name: {
+				Include: []string{""},
+				Exclude: []string{"internal/dataset"},
 			},
 			// The two packages whose exported API spawns goroutines:
 			// the campaign engine (checkpoint/resume depends on

@@ -19,6 +19,7 @@ var goldenFixtures = map[string]*Analyzer{
 	"floateq":      FloatEq,
 	"uncheckederr": UncheckedErr,
 	"ctxpropagate": CtxPropagate,
+	"storeappend":  StoreAppend,
 	"suppress":     FloatEq,
 }
 

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// storeFields are the dataset.Store record slices whose only sanctioned
+// writers live in internal/dataset: everyone else must construct stores
+// with FromRecords, grow them through AddPing/AddTrace/Merge, or stream
+// records through a Sink. A direct append elsewhere bypasses the
+// streaming spine and silently diverges from the sealed columnar store.
+var storeFields = map[string]bool{"Pings": true, "Traces": true}
+
+// isDatasetStore reports whether t (after unwrapping pointers and
+// aliases) is the named type Store of a package named dataset.
+func isDatasetStore(t types.Type) bool {
+	for t != nil {
+		t = types.Unalias(t)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Store" && obj.Pkg() != nil && obj.Pkg().Name() == "dataset"
+}
+
+// storeWriteTarget unwraps an assignment LHS down to a selector on a
+// dataset.Store record slice: s.Pings, (s.Pings), s.Pings[i], ....
+func storeWriteTarget(info *types.Info, lhs ast.Expr) (*ast.SelectorExpr, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			if storeFields[e.Sel.Name] && isDatasetStore(info.TypeOf(e.X)) {
+				return e, true
+			}
+			return nil, false
+		default:
+			return nil, false
+		}
+	}
+}
+
+// StoreAppend forbids direct writes to dataset.Store.Pings/Traces
+// outside internal/dataset (the scope exclusion in DefaultConfig).
+var StoreAppend = &Analyzer{
+	Name: "storeappend",
+	Doc:  "forbid direct writes to dataset.Store.Pings/Traces outside internal/dataset; use FromRecords, AddPing/AddTrace or a Sink",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						if sel, ok := storeWriteTarget(pass.Info, lhs); ok {
+							pass.Reportf(sel.Pos(),
+								"direct write to dataset.Store.%s; construct with FromRecords, grow with AddPing/AddTrace, or stream through a Sink",
+								sel.Sel.Name)
+						}
+					}
+				case *ast.CompositeLit:
+					if !isDatasetStore(pass.Info.TypeOf(n)) {
+						return true
+					}
+					// An empty literal is how a fresh spill store starts;
+					// only literals that populate the record slices bypass
+					// the sanctioned constructors.
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							// Positional literal: every field, including
+							// the record slices, is being set.
+							pass.Reportf(n.Pos(),
+								"dataset.Store composite literal sets record slices directly; use FromRecords")
+							break
+						}
+						if id, ok := kv.Key.(*ast.Ident); ok && storeFields[id.Name] {
+							pass.Reportf(kv.Pos(),
+								"dataset.Store composite literal sets %s directly; use FromRecords", id.Name)
+						}
+					}
+				}
+				return true
+			})
+		}
+	},
+}

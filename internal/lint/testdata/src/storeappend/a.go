@@ -1,0 +1,35 @@
+// Package dataset is a cloudyvet golden-file fixture for storeappend;
+// the Store type here mirrors repro/internal/dataset.Store. (The real
+// internal/dataset package is exempted by scope, not by the analyzer.)
+package dataset
+
+type Store struct {
+	Pings  []int
+	Traces []int
+}
+
+func bad(s *Store, recs []int) {
+	s.Pings = recs                 // want "direct write to dataset.Store.Pings"
+	s.Traces = append(s.Traces, 1) // want "direct write to dataset.Store.Traces"
+	(s.Pings) = recs               // want "direct write to dataset.Store.Pings"
+	s.Pings[0] = 7                 // want "direct write to dataset.Store.Pings"
+	var v Store
+	v.Pings, v.Traces = recs, recs // want "direct write to dataset.Store.Pings" "direct write to dataset.Store.Traces"
+}
+
+func badLiterals(recs []int) {
+	_ = Store{Pings: recs}   // want "composite literal sets Pings directly"
+	_ = &Store{Traces: recs} // want "composite literal sets Traces directly"
+	_ = Store{recs, recs}    // want "composite literal sets record slices directly"
+}
+
+type other struct{ Pings []int }
+
+func fine(s *Store, o *other, recs []int) {
+	_ = &Store{}      // a fresh spill store starts empty
+	_ = len(s.Pings)  // reads are unrestricted
+	xs := s.Pings     // so is aliasing the slice for reading
+	_ = xs
+	o.Pings = recs    // a Pings field on another type is not the store
+	_ = append([]int(nil), s.Traces...)
+}

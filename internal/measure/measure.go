@@ -39,6 +39,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/netsim"
 	"repro/internal/probes"
+	"repro/internal/sample"
 	"repro/internal/stats"
 )
 
@@ -118,6 +119,18 @@ type Config struct {
 	// abort: remaining records spill into the returned store and the
 	// sink error is reported alongside the complete dataset.
 	Sink dataset.Sink
+	// Sinks adds further destinations. When the effective sink set
+	// (Sink plus Sinks) has more than one member, the campaign fans
+	// records out through a bounded sample.Bus, so one run can feed the
+	// export files, an in-memory store and an incremental columnar
+	// store.Feed at once under backpressure. Each sink is closed before
+	// Run returns; a failed sink degrades the whole streaming path and
+	// the remainder spills into the returned store, as with Sink.
+	Sinks []dataset.Sink
+	// SinkBuffer is the fan-out bus capacity when more than one sink is
+	// configured (default sample.DefaultBusBuffer). A full buffer blocks
+	// the collector — backpressure, not unbounded queueing.
+	SinkBuffer int
 
 	// Faults injects deterministic failures (nil = fault-free run).
 	Faults faults.Injector
@@ -250,6 +263,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("measure: BreakerCooldown %v is negative", c.BreakerCooldown)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("measure: CheckpointEvery %d is negative", c.CheckpointEvery)
+	case c.SinkBuffer < 0:
+		return fmt.Errorf("measure: SinkBuffer %d is negative", c.SinkBuffer)
 	}
 	if c.Resume != nil {
 		if c.Resume.Version != checkpointVersion {
@@ -437,7 +452,31 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 			}
 		}()
 	}
-	col := &collector{sink: cfg.Sink, inj: cfg.Faults, store: store, st: &st, inflight: &inflight}
+	// The collector always emits onto a sink. With no configured sinks
+	// the default is a StoreSink over the returned store (the historical
+	// materializing path); with several, a bounded bus fans records out
+	// to all of them. Injected sink faults only apply to user-supplied
+	// sinks, so fault profiles keep their historical meaning for
+	// materializing campaigns.
+	sinks := make([]dataset.Sink, 0, len(cfg.Sinks)+1)
+	if cfg.Sink != nil {
+		sinks = append(sinks, cfg.Sink)
+	}
+	for _, s := range cfg.Sinks {
+		if s != nil {
+			sinks = append(sinks, s)
+		}
+	}
+	external := len(sinks) > 0
+	if !external {
+		sinks = append(sinks, dataset.NewStoreSink(store))
+	}
+	sink := sinks[0]
+	if len(sinks) > 1 {
+		sink = sample.NewBus(sample.BusOptions{Buffer: cfg.SinkBuffer}, sinks...)
+	}
+
+	col := &collector{sink: sink, external: external, inj: cfg.Faults, store: store, st: &st, inflight: &inflight}
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
@@ -449,10 +488,8 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 	wg.Wait()
 	close(results)
 	<-collectorDone
-	if cfg.Sink != nil {
-		if cerr := cfg.Sink.Close(); cerr != nil && col.err == nil {
-			col.err = cerr
-		}
+	if cerr := sink.Close(); cerr != nil && external && col.err == nil {
+		col.err = cerr
 	}
 	if err == nil && col.err != nil {
 		err = fmt.Errorf("measure: sink degraded, %d records spilled to the in-memory store: %w",
@@ -463,10 +500,15 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 	return store, st, err
 }
 
-// collector is the single goroutine that owns record delivery: store or
-// sink, with transient-error retries and permanent-failure spill.
+// collector is the single goroutine that owns record delivery onto the
+// sink (possibly a fan-out bus), with transient-error retries and
+// permanent-failure spill into the in-memory store.
 type collector struct {
-	sink     dataset.Sink
+	sink dataset.Sink
+	// external is true when the sink set was supplied by the caller;
+	// injected sink faults and spill accounting only apply then — the
+	// internal default StoreSink cannot fail.
+	external bool
 	inj      faults.Injector
 	store    *dataset.Store
 	st       *Stats
@@ -500,17 +542,13 @@ const maxSinkRetries = 3
 // errors), or — once the sink has degraded — into the in-memory store,
 // so a broken sink costs memory, never data.
 func (co *collector) deliver(toSink func() error, toStore func()) {
-	if co.sink == nil {
-		toStore()
-		return
-	}
 	if co.broken {
 		toStore()
 		co.st.Spilled++
 		return
 	}
 	for try := 0; ; try++ {
-		if co.inj != nil {
+		if co.external && co.inj != nil {
 			if err := co.inj.Sink(co.seq); err != nil {
 				co.seq++
 				if faults.IsTransient(err) && try < maxSinkRetries {

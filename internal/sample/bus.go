@@ -1,0 +1,164 @@
+package sample
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Sink consumes measurement records as they are produced. The campaign
+// engine calls it from a single collector goroutine, so implementations
+// need no locking. Close flushes buffered output; in this codebase
+// Close means "flush", not "invalidate" — closing twice is harmless and
+// a closed file sink may be reused by a later campaign.
+type Sink interface {
+	Ping(Sample) error
+	Trace(TraceSample) error
+	Close() error
+}
+
+// ErrClosed is returned by Bus.Ping/Trace after Close.
+var ErrClosed = errors.New("sample: bus is closed")
+
+// event is one queued delivery; isTrace selects the payload.
+type event struct {
+	ping    Sample
+	trace   TraceSample
+	isTrace bool
+}
+
+// Bus fans each record out to a set of sinks through a bounded buffer.
+// The producer side (Ping/Trace) blocks once the buffer is full —
+// backpressure, not unbounded queueing — and a single delivery
+// goroutine hands records to every sink in order, preserving the
+// single-writer contract each sink relies on.
+//
+// A sink that returns an error is degraded: the error is latched, the
+// sink receives no further records, and the next Ping/Trace (and Close)
+// report the error so the producer can react — the campaign collector
+// responds by spilling the remainder to memory, exactly as it does for
+// a direct sink failure. Healthy sinks keep receiving every record.
+//
+// Like any Sink, a Bus expects one producer: Ping, Trace and Close must
+// be called from a single goroutine (the campaign collector already
+// is); delivery to the sinks runs concurrently inside the bus.
+type Bus struct {
+	ch    chan event
+	done  chan struct{}
+	sinks []Sink
+	dead  []bool // delivery goroutine only
+
+	mu     sync.Mutex
+	err    error // first sink error, latched
+	closed bool
+}
+
+// DefaultBusBuffer is the bus capacity when BusOptions.Buffer is zero:
+// deep enough to absorb sink latency jitter, small enough that a stuck
+// sink stalls the campaign instead of eating the heap.
+const DefaultBusBuffer = 1024
+
+// BusOptions sizes a Bus.
+type BusOptions struct {
+	// Buffer is the bounded queue capacity (default DefaultBusBuffer).
+	Buffer int
+}
+
+// NewBus starts a bus over the given sinks. Close releases its delivery
+// goroutine.
+func NewBus(opts BusOptions, sinks ...Sink) *Bus {
+	if opts.Buffer <= 0 {
+		opts.Buffer = DefaultBusBuffer
+	}
+	b := &Bus{
+		ch:    make(chan event, opts.Buffer),
+		done:  make(chan struct{}),
+		sinks: sinks,
+		dead:  make([]bool, len(sinks)),
+	}
+	go b.deliver()
+	return b
+}
+
+func (b *Bus) deliver() {
+	defer close(b.done)
+	for ev := range b.ch {
+		for i, s := range b.sinks {
+			if b.dead[i] {
+				continue
+			}
+			var err error
+			if ev.isTrace {
+				err = s.Trace(ev.trace)
+			} else {
+				err = s.Ping(ev.ping)
+			}
+			if err != nil {
+				b.dead[i] = true
+				b.latch(fmt.Errorf("sample: bus sink %d: %w", i, err))
+			}
+		}
+	}
+}
+
+func (b *Bus) latch(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+}
+
+// Err returns the first sink error observed so far (nil while all sinks
+// are healthy).
+func (b *Bus) Err() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
+}
+
+func (b *Bus) send(ev event) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	err := b.err
+	b.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	b.ch <- ev // blocks when the buffer is full: backpressure
+	return nil
+}
+
+// Ping implements Sink: it enqueues the sample for delivery to every
+// healthy sink, blocking while the buffer is full. It returns any sink
+// error latched so far (delivery is asynchronous, so an error surfaces
+// on a later call than the record that caused it).
+func (b *Bus) Ping(s Sample) error { return b.send(event{ping: s}) }
+
+// Trace implements Sink; see Ping for the error contract.
+func (b *Bus) Trace(t TraceSample) error { return b.send(event{trace: t, isTrace: true}) }
+
+// Close drains the buffer, stops the delivery goroutine, closes every
+// sink (flush semantics), and returns the first error any sink
+// reported. Close is idempotent.
+func (b *Bus) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return b.Err()
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.ch)
+	<-b.done
+	for i, s := range b.sinks {
+		if err := s.Close(); err != nil && !b.dead[i] {
+			b.dead[i] = true
+			b.latch(fmt.Errorf("sample: closing bus sink %d: %w", i, err))
+		}
+	}
+	return b.Err()
+}

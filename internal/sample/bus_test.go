@@ -1,0 +1,194 @@
+package sample
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// memSink records everything it receives.
+type memSink struct {
+	mu     sync.Mutex
+	pings  []Sample
+	traces []TraceSample
+	closed int
+}
+
+func (m *memSink) Ping(s Sample) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.pings = append(m.pings, s)
+	return nil
+}
+
+func (m *memSink) Trace(t TraceSample) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traces = append(m.traces, t)
+	return nil
+}
+
+func (m *memSink) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed++
+	return nil
+}
+
+func (m *memSink) counts() (int, int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pings), len(m.traces)
+}
+
+// failSink fails every ping after the first n.
+type failSink struct {
+	memSink
+	n int
+}
+
+var errBoom = errors.New("boom")
+
+func (f *failSink) Ping(s Sample) error {
+	np, _ := f.counts()
+	if np >= f.n {
+		return errBoom
+	}
+	return f.memSink.Ping(s)
+}
+
+func ping(i int) Sample {
+	return Sample{VP: VantagePoint{ProbeID: "p"}, RTTms: float64(i), Cycle: i}
+}
+
+func TestBusFansOutInOrder(t *testing.T) {
+	a, b := &memSink{}, &memSink{}
+	bus := NewBus(BusOptions{Buffer: 4}, a, b)
+	for i := 0; i < 100; i++ {
+		if err := bus.Ping(ping(i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			if err := bus.Trace(TraceSample{Cycle: i}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]*memSink{"a": a, "b": b} {
+		np, nt := s.counts()
+		if np != 100 || nt != 10 {
+			t.Fatalf("sink %s: got %d pings, %d traces, want 100, 10", name, np, nt)
+		}
+		for i, p := range s.pings {
+			if p.Cycle != i {
+				t.Fatalf("sink %s: out-of-order delivery at %d: %+v", name, i, p)
+			}
+		}
+		if s.closed == 0 {
+			t.Fatalf("sink %s never closed", name)
+		}
+	}
+}
+
+func TestBusDegradesOneSinkKeepsOthers(t *testing.T) {
+	bad := &failSink{n: 3}
+	good := &memSink{}
+	bus := NewBus(BusOptions{Buffer: 1}, bad, good)
+	sawErr := false
+	for i := 0; i < 50; i++ {
+		if err := bus.Ping(ping(i)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	err := bus.Close()
+	if !sawErr && err == nil {
+		t.Fatal("sink failure never surfaced")
+	}
+	if !errors.Is(err, errBoom) && err != nil {
+		// Close must report the latched error when Ping did not.
+		t.Fatalf("Close() = %v, want wrapped %v", err, errBoom)
+	}
+	np, _ := bad.counts()
+	if np != 3 {
+		t.Fatalf("degraded sink got %d pings, want 3", np)
+	}
+	gp, _ := good.counts()
+	if gp < 3 {
+		t.Fatalf("healthy sink got %d pings, want every delivered record", gp)
+	}
+}
+
+func TestBusCloseIdempotentAndRejectsAfterClose(t *testing.T) {
+	s := &memSink{}
+	bus := NewBus(BusOptions{}, s)
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatalf("second Close() = %v", err)
+	}
+	if err := bus.Ping(ping(0)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ping after Close = %v, want ErrClosed", err)
+	}
+	if err := bus.Trace(TraceSample{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Trace after Close = %v, want ErrClosed", err)
+	}
+	if s.closed != 1 {
+		t.Fatalf("sink closed %d times, want 1", s.closed)
+	}
+}
+
+func TestSliceSourceAndDrain(t *testing.T) {
+	xs := []Sample{ping(0), ping(1), ping(2)}
+	var got []Sample
+	if err := Drain(NewSliceSource(xs), func(s Sample) error {
+		got = append(got, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[2].Cycle != 2 {
+		t.Fatalf("drained %+v", got)
+	}
+	src := NewSliceSource(nil)
+	if _, ok, err := src.Next(); ok || err != nil {
+		t.Fatalf("empty source Next = %v, %v", ok, err)
+	}
+	ts := NewSliceTraceSource([]TraceSample{{Cycle: 7}})
+	n := 0
+	if err := DrainTraces(ts, func(t TraceSample) error { n++; return nil }); err != nil || n != 1 {
+		t.Fatalf("DrainTraces n=%d err=%v", n, err)
+	}
+}
+
+func TestProtocolRoundTrip(t *testing.T) {
+	for _, p := range []Protocol{TCP, ICMP} {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Fatalf("round trip %v: %v, %v", p, got, err)
+		}
+	}
+	if _, err := ParseProtocol("udp"); err == nil {
+		t.Fatal("udp should not parse")
+	}
+}
+
+func TestTraceSampleRTTAndReached(t *testing.T) {
+	tr := TraceSample{Hops: []Hop{
+		{TTL: 1, RTTms: 5, Responded: true},
+		{TTL: 2, RTTms: 9, Responded: false},
+	}}
+	if got := tr.RTTms(); got != 5 {
+		t.Fatalf("RTTms = %v, want 5", got)
+	}
+	if tr.Reached() {
+		t.Fatal("unreached trace reported Reached")
+	}
+	if (&TraceSample{}).RTTms() != 0 {
+		t.Fatal("empty trace RTT should be 0")
+	}
+}

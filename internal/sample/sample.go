@@ -1,0 +1,123 @@
+// Package sample is the domain layer of the measurement spine: the
+// unified record model every layer above speaks — the campaign engine
+// producing records, the codecs streaming them to and from disk, the
+// sharded store ingesting them, and the figure analyses reducing them.
+//
+// The package also defines the two streaming primitives the spine is
+// built from:
+//
+//   - Source: a pull cursor (Next-style) over samples, so analyses and
+//     store builds consume records one at a time in constant memory
+//     instead of materializing slices first.
+//   - Sink and Bus: the push side. A Bus fans every record out to a set
+//     of sinks through a bounded buffer, so a running campaign can feed
+//     the export files, an in-memory store and an incremental columnar
+//     build at once, with backpressure instead of unbounded queueing.
+//
+// repro/internal/dataset re-exports these types under its historical
+// names (PingRecord, TracerouteRecord, ...) via type aliases, so the
+// two packages share one model rather than converting between two.
+package sample
+
+import (
+	"fmt"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+)
+
+// Protocol is the measurement protocol. The campaign runs TCP pings and
+// ICMP traceroutes in parallel (§3.3).
+type Protocol uint8
+
+// Protocols.
+const (
+	TCP Protocol = iota
+	ICMP
+)
+
+// String returns the protocol name.
+func (p Protocol) String() string {
+	if p == ICMP {
+		return "icmp"
+	}
+	return "tcp"
+}
+
+// ParseProtocol is the inverse of String.
+func ParseProtocol(s string) (Protocol, error) {
+	switch s {
+	case "tcp":
+		return TCP, nil
+	case "icmp":
+		return ICMP, nil
+	}
+	return 0, fmt.Errorf("sample: unknown protocol %q", s)
+}
+
+// VantagePoint captures the probe-side fields every record carries.
+type VantagePoint struct {
+	ProbeID   string
+	Platform  string // "speedchecker" or "atlas"
+	Country   string
+	Continent geo.Continent
+	ISP       asn.Number
+	Access    lastmile.Access
+}
+
+// Target captures the endpoint-side fields.
+type Target struct {
+	Region    string // region ID
+	Provider  string // provider code
+	Country   string
+	Continent geo.Continent
+	IP        netaddr.IP
+}
+
+// Sample is one round-trip measurement.
+type Sample struct {
+	VP       VantagePoint
+	Target   Target
+	Protocol Protocol
+	RTTms    float64
+	// Cycle is the measurement cycle index (the campaign cycles through
+	// all countries roughly every two weeks, §3.3).
+	Cycle int
+}
+
+// Hop is one traceroute hop as captured on the wire: the pipeline adds
+// AS attribution later.
+type Hop struct {
+	TTL       int
+	IP        netaddr.IP
+	RTTms     float64
+	Responded bool
+}
+
+// TraceSample is one ICMP traceroute.
+type TraceSample struct {
+	VP     VantagePoint
+	Target Target
+	Hops   []Hop
+	Cycle  int
+}
+
+// RTTms returns the end-to-end round trip of the traceroute — the RTT
+// reported by the final responding hop — or 0 when the trace never
+// reached a responder.
+func (t *TraceSample) RTTms() float64 {
+	for i := len(t.Hops) - 1; i >= 0; i-- {
+		if t.Hops[i].Responded {
+			return t.Hops[i].RTTms
+		}
+	}
+	return 0
+}
+
+// Reached reports whether the trace reached the target address.
+func (t *TraceSample) Reached() bool {
+	n := len(t.Hops)
+	return n > 0 && t.Hops[n-1].Responded && t.Hops[n-1].IP == t.Target.IP
+}

@@ -1,0 +1,90 @@
+package sample
+
+// Source is a pull cursor over ping samples. Next returns the next
+// sample and true, or the zero Sample and false once the stream is
+// exhausted or fails; a non-nil error is terminal and every later call
+// must keep returning it. The Next style (rather than a callback) lets
+// a consumer own the loop — the single-pass analysis core and the
+// incremental store build both drain a Source in constant memory.
+type Source interface {
+	Next() (Sample, bool, error)
+}
+
+// TraceSource is the traceroute counterpart of Source.
+type TraceSource interface {
+	Next() (TraceSample, bool, error)
+}
+
+// SliceSource cursors over an in-memory slice — the adapter that lets
+// batch callers drive the streaming core.
+type SliceSource struct {
+	xs []Sample
+	i  int
+}
+
+// NewSliceSource wraps xs without copying; the slice must not be
+// mutated while the cursor is live.
+func NewSliceSource(xs []Sample) *SliceSource { return &SliceSource{xs: xs} }
+
+// Next implements Source.
+func (s *SliceSource) Next() (Sample, bool, error) {
+	if s.i >= len(s.xs) {
+		return Sample{}, false, nil
+	}
+	s.i++
+	return s.xs[s.i-1], true, nil
+}
+
+// SliceTraceSource cursors over an in-memory traceroute slice.
+type SliceTraceSource struct {
+	xs []TraceSample
+	i  int
+}
+
+// NewSliceTraceSource wraps xs without copying.
+func NewSliceTraceSource(xs []TraceSample) *SliceTraceSource {
+	return &SliceTraceSource{xs: xs}
+}
+
+// Next implements TraceSource.
+func (s *SliceTraceSource) Next() (TraceSample, bool, error) {
+	if s.i >= len(s.xs) {
+		return TraceSample{}, false, nil
+	}
+	s.i++
+	return s.xs[s.i-1], true, nil
+}
+
+// Drain pumps every sample of src into fn, stopping at the first error
+// from either side.
+func Drain(src Source, fn func(Sample) error) error {
+	for {
+		s, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+}
+
+// DrainTraces pumps every traceroute of src into fn, stopping at the
+// first error from either side.
+func DrainTraces(src TraceSource, fn func(TraceSample) error) error {
+	for {
+		t, ok, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}

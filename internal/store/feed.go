@@ -1,0 +1,119 @@
+package store
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/dataset"
+	"repro/internal/pipeline"
+)
+
+// Feed is a dataset.Sink that builds the sealed columnar store
+// incrementally while a campaign runs (or while an export streams
+// through the codec cursors): pings accumulate into the per-platform
+// nearest-datacenter collectors, traces are classified on arrival and
+// folded into the §6 interconnection tallies. Nothing is materialized
+// into a dataset.Store — peak memory is the grouped sample lists, the
+// same order as the sealed store itself.
+//
+// Like every sink, a Feed is single-writer: the campaign collector (or
+// the bus delivery goroutine) owns Ping/Trace/Close. Call Seal once the
+// stream has ended; the feed must not be used afterwards.
+type Feed struct {
+	opts   Options
+	sc     *analysis.NearestCollector
+	atlas  *analysis.NearestCollector
+	region map[string]string // region → provider, learned from pings
+	proc   *pipeline.Processor
+	counts map[string]map[pipeline.Class]int
+	pings  int
+	traces int
+}
+
+// NewFeed returns an empty feed. proc classifies incoming traceroutes
+// for the peering tallies; pass nil to ignore traces (ping-only store).
+func NewFeed(proc *pipeline.Processor, opts Options) *Feed {
+	return &Feed{
+		opts:   opts,
+		sc:     analysis.NewNearestCollector("speedchecker"),
+		atlas:  analysis.NewNearestCollector("atlas"),
+		region: map[string]string{},
+		proc:   proc,
+		counts: map[string]map[pipeline.Class]int{},
+	}
+}
+
+// Ping implements dataset.Sink.
+func (f *Feed) Ping(r dataset.PingRecord) error {
+	f.pings++
+	f.region[r.Target.Region] = r.Target.Provider
+	f.sc.Add(&r)
+	f.atlas.Add(&r)
+	return nil
+}
+
+// Trace implements dataset.Sink. The record is copied to the heap
+// because the pipeline retains a pointer to it.
+func (f *Feed) Trace(r dataset.TracerouteRecord) error {
+	f.traces++
+	if f.proc == nil {
+		return nil
+	}
+	rec := r
+	p := f.proc.Process(&rec)
+	analysis.CountInterconnect(f.counts, &p)
+	return nil
+}
+
+// Close implements dataset.Sink; the feed keeps no buffers to flush.
+func (f *Feed) Close() error { return nil }
+
+// Len returns the (pings, traces) counts seen so far.
+func (f *Feed) Len() (int, int) { return f.pings, f.traces }
+
+// AddPeeringCounts folds pre-computed interconnection tallies in — the
+// batch adapter path, where traces were already classified.
+func (f *Feed) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
+	for prov, classes := range counts {
+		dst := f.counts[prov]
+		if dst == nil {
+			dst = map[pipeline.Class]int{}
+			f.counts[prov] = dst
+		}
+		for cl, n := range classes {
+			dst[cl] += n
+		}
+	}
+}
+
+// Seal finalizes both nearest-DC assignments and freezes everything
+// into an immutable Store. Probes are ingested in sorted order so the
+// sealed store is deterministic for a given stream.
+func (f *Feed) Seal() *Store {
+	b := NewBuilder(f.opts)
+	for _, pl := range []struct {
+		name string
+		c    *analysis.NearestCollector
+	}{{"speedchecker", f.sc}, {"atlas", f.atlas}} {
+		na := pl.c.Finalize()
+		probes := make([]string, 0, len(na.Samples))
+		for probe := range na.Samples {
+			probes = append(probes, probe)
+		}
+		sort.Strings(probes)
+		for _, probe := range probes {
+			vp := na.Meta[probe]
+			prov := f.region[na.Region[probe]]
+			for _, rtt := range na.Samples[probe] {
+				b.Add(Sample{
+					Platform: pl.name, Country: vp.Country,
+					Continent: vp.Continent, Provider: prov, RTTms: rtt,
+				})
+			}
+		}
+	}
+	if len(f.counts) > 0 {
+		b.AddPeeringCounts(f.counts)
+	}
+	return b.Seal()
+}

@@ -118,31 +118,20 @@ func (b *Builder) Seal() *Store {
 
 // FromDataset builds a store from a collected dataset: the
 // nearest-datacenter assignment of both platforms plus, when processed
-// traceroutes are supplied, the §6 interconnection tallies.
+// traceroutes are supplied, the §6 interconnection tallies. It is the
+// batch adapter over Feed — one pass over the materialized pings drives
+// the same incremental build a live campaign sink would.
 func FromDataset(ds *dataset.Store, processed []pipeline.Processed, opts Options) *Store {
-	b := NewBuilder(opts)
-	regionProvider := map[string]string{}
+	f := NewFeed(nil, opts)
 	for i := range ds.Pings {
-		t := &ds.Pings[i].Target
-		regionProvider[t.Region] = t.Provider
-	}
-	for _, platform := range []string{"speedchecker", "atlas"} {
-		na := analysis.Nearest(ds, platform)
-		for probe, xs := range na.Samples {
-			vp := na.Meta[probe]
-			prov := regionProvider[na.Region[probe]]
-			for _, rtt := range xs {
-				b.Add(Sample{
-					Platform: platform, Country: vp.Country,
-					Continent: vp.Continent, Provider: prov, RTTms: rtt,
-				})
-			}
+		if err := f.Ping(ds.Pings[i]); err != nil {
+			panic("store: Feed.Ping cannot fail: " + err.Error())
 		}
 	}
 	if len(processed) > 0 {
-		b.AddPeeringCounts(analysis.InterconnectCounts(processed))
+		f.AddPeeringCounts(analysis.InterconnectCounts(processed))
 	}
-	return b.Seal()
+	return f.Seal()
 }
 
 // Store is the sealed, read-only store. All query methods are safe for
