@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz fuzz-smoke bench verify
+.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke verify
 
 build:
 	$(GO) build ./...
@@ -43,6 +43,17 @@ fuzz-smoke:
 # fan-out/merge and the serve cached-vs-cold comparison.
 bench:
 	$(GO) test -run=NONE -bench=. -benchmem ./...
+
+# Observability overhead: the full spine (campaign → feed → seal) bare
+# vs instrumented. Reference numbers live in BENCH_obs.json; the
+# instrumented run must stay within ~5% of the bare one.
+bench-obs:
+	$(GO) test -run=NONE -bench=BenchmarkObsOverhead -benchtime=5x -count=3 ./internal/obs/
+
+# CI smoke slice: one iteration per case, just proving the instrumented
+# spine runs end to end.
+bench-obs-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkObsOverhead -benchtime=1x ./internal/obs/
 
 # verify is the pre-merge gate: generic static analysis (vet), the
 # repo-specific determinism/concurrency lint (cloudyvet), the full

@@ -32,6 +32,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/faults"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/probes"
 	"repro/internal/report"
@@ -343,12 +344,20 @@ func cmdServe(ctx context.Context, args []string) error {
 	shards := fs.Int("shards", 0, "store shard count (0 = default)")
 	cacheEntries := fs.Int("cache", 256, "response cache entries")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*pingsPath == "") != (*tracesPath == "") {
 		return fmt.Errorf("serve needs both -pings and -traces to load an export")
 	}
+
+	// One registry and tracer span the whole process: campaign, bus,
+	// store feed, seal and the query service all register here, so
+	// /v1/metricsz and /v1/tracez show the full spine.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	ctx = obs.ContextWithTracer(ctx, tracer)
 
 	// Both paths below build the columnar store incrementally through a
 	// store.Feed — no dataset.Store is ever materialized for serving.
@@ -358,7 +367,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		if err != nil {
 			return err
 		}
-		feed = store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *shards})
+		feed = store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *shards, Obs: reg})
 		if err := scanExport(*pingsPath, *tracesPath, feed); err != nil {
 			return err
 		}
@@ -368,13 +377,20 @@ func cmdServe(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
 			*f.seed, *f.scale, *f.cycles)
 		setup, err := core.Prepare(core.Config{
-			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: reg,
 		})
 		if err != nil {
 			return err
 		}
-		feed = store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: *shards})
-		spill, scStats, atStats, err := setup.RunCampaigns(ctx, feed)
+		feed = store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: *shards, Obs: reg})
+		// The progress sink rides alongside the feed so the campaign fans
+		// out through the bounded bus — the same streaming spine a
+		// multi-destination run uses, with its queue telemetry live on
+		// /v1/metricsz while the campaign runs.
+		spill, scStats, atStats, err := setup.RunCampaigns(ctx, feed, &progressSink{
+			pings:  reg.Counter("stream_pings_total"),
+			traces: reg.Counter("stream_traces_total"),
+		})
 		if err != nil {
 			if spill == nil || !(scStats.SinkDegraded || atStats.SinkDegraded) {
 				return err
@@ -398,15 +414,33 @@ func cmdServe(ctx context.Context, args []string) error {
 			scStats.Pings+atStats.Pings, scStats.Traceroutes+atStats.Traceroutes)
 	}
 
-	st := feed.Seal()
+	st := feed.SealContext(ctx)
 	sum := st.Summary()
 	fmt.Fprintf(os.Stderr, "store sealed: %d rows in %d shards (%d countries, %d providers; shard balance %d..%d rows)\n",
 		sum.Rows, sum.Shards, sum.Countries, sum.Providers, sum.MinShardRows, sum.MaxShardRows)
 
-	srv := serve.New(st, serve.Options{CacheEntries: *cacheEntries, Timeout: *timeout})
-	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,statsz} (ctrl-c drains)\n", *addr)
+	srv := serve.New(st, serve.Options{
+		CacheEntries: *cacheEntries, Timeout: *timeout,
+		Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag,
+	})
+	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
 	return serve.ListenAndServe(ctx, *addr, srv.Handler())
 }
+
+// progressSink is `cloudy serve`'s second campaign sink: it mirrors the
+// record stream onto two registry counters and drops the records. Its
+// real job is engaging the fan-out bus (a single sink bypasses it), so
+// the serve path exercises the same backpressure spine as a
+// multi-destination export.
+type progressSink struct {
+	pings, traces *obs.Counter
+}
+
+func (p *progressSink) Ping(dataset.PingRecord) error { p.pings.Inc(); return nil }
+
+func (p *progressSink) Trace(dataset.TracerouteRecord) error { p.traces.Inc(); return nil }
+
+func (p *progressSink) Close() error { return nil }
 
 // scanExport streams a previously exported dataset into any sink
 // through the constant-memory codec cursors — the one export-loading

@@ -22,6 +22,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/measure"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/probes"
 	"repro/internal/report"
@@ -55,6 +56,12 @@ type Config struct {
 	// campaign engine's retries, circuit breaker and spill handling keep
 	// the study completing under every built-in profile.
 	FaultProfile string
+	// Obs registers every layer's instruments — campaign engine, fault
+	// injections, fan-out bus, store feed — on one registry, so a single
+	// /v1/metricsz scrape covers the whole spine. Nil runs
+	// uninstrumented. Tracing rides the ctx handed to RunCampaigns
+	// instead (see obs.ContextWithTracer).
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -183,9 +190,14 @@ func (s *Setup) RunCampaigns(ctx context.Context, sinks ...dataset.Sink) (*datas
 		Traceroutes:              true,
 		NeighborContinentTargets: true,
 		Sinks:                    sinks,
+		Obs:                      cfg.Obs,
 	}
 	if s.Plan != nil {
-		scCfg.Faults = s.Plan
+		// The control-plane injector is instrumented
+		// (faults_injected_total by profile and kind); the simulator keeps
+		// the bare plan so data-plane consultations of the same trace
+		// draws are not double-counted.
+		scCfg.Faults = faults.Instrument(s.Plan, s.Plan.Name, cfg.Obs)
 	}
 	scCampaign, err := measure.New(s.Sim, s.SC, scCfg)
 	if err != nil {

@@ -1,0 +1,100 @@
+package faults
+
+import "repro/internal/obs"
+
+// instrumented wraps an Injector and counts every fault that actually
+// strikes (not every consultation), labeled by plan profile and fault
+// kind. Counting is pure observation: the wrapped injector's decisions
+// pass through untouched, so an instrumented chaos campaign injects
+// byte-for-byte the same faults as a bare one.
+type instrumented struct {
+	inner Injector
+
+	dropouts      *obs.Counter
+	pingLost      *obs.Counter
+	pingDelayed   *obs.Counter
+	traceLost     *obs.Counter
+	traceTrunc    *obs.Counter
+	rttCorrupted  *obs.Counter
+	sinkTransient *obs.Counter
+	sinkPermanent *obs.Counter
+}
+
+// Instrument wraps inj so every injected fault increments
+// faults_injected_total{profile,kind} on reg. The profile label should
+// be the plan name ("flaky-wireless"); kind is the fault stream. A nil
+// injector stays nil (fault-free runs register nothing); a nil registry
+// still wraps, with unregistered counters, so behaviour never depends
+// on whether observability is enabled.
+func Instrument(inj Injector, profile string, reg *obs.Registry) Injector {
+	if inj == nil {
+		return nil
+	}
+	c := func(kind string) *obs.Counter {
+		return reg.Counter("faults_injected_total", "profile", profile, "kind", kind)
+	}
+	return &instrumented{
+		inner:         inj,
+		dropouts:      c("probe_dropout"),
+		pingLost:      c("ping_loss"),
+		pingDelayed:   c("ping_delay"),
+		traceLost:     c("trace_loss"),
+		traceTrunc:    c("trace_truncate"),
+		rttCorrupted:  c("rtt_outlier"),
+		sinkTransient: c("sink_transient"),
+		sinkPermanent: c("sink_permanent"),
+	}
+}
+
+// ProbeDropout implements Injector.
+func (m *instrumented) ProbeDropout(probeID string, cycle int) bool {
+	out := m.inner.ProbeDropout(probeID, cycle)
+	if out {
+		m.dropouts.Inc()
+	}
+	return out
+}
+
+// Ping implements Injector.
+func (m *instrumented) Ping(probeID, regionID string, op Op, cycle, attempt int) PingFault {
+	f := m.inner.Ping(probeID, regionID, op, cycle, attempt)
+	if f.Lost {
+		m.pingLost.Inc()
+	} else if f.DelayMs > 0 {
+		m.pingDelayed.Inc()
+	}
+	return f
+}
+
+// Trace implements Injector.
+func (m *instrumented) Trace(probeID, regionID string, cycle int) TraceFault {
+	f := m.inner.Trace(probeID, regionID, cycle)
+	if f.Lost {
+		m.traceLost.Inc()
+	} else if f.MaxHops > 0 {
+		m.traceTrunc.Inc()
+	}
+	return f
+}
+
+// CorruptRTT implements Injector.
+func (m *instrumented) CorruptRTT(probeID, regionID string, cycle int, rtt float64) float64 {
+	out := m.inner.CorruptRTT(probeID, regionID, cycle, rtt)
+	if out != rtt {
+		m.rttCorrupted.Inc()
+	}
+	return out
+}
+
+// Sink implements Injector.
+func (m *instrumented) Sink(seq int) error {
+	err := m.inner.Sink(seq)
+	switch {
+	case err == nil:
+	case IsTransient(err):
+		m.sinkTransient.Inc()
+	default:
+		m.sinkPermanent.Inc()
+	}
+	return err
+}

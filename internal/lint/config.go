@@ -24,11 +24,16 @@ func DefaultConfig() *Config {
 			//     sockets; the wall clock IS the measurement.
 			//   - internal/dnssim: binds real listeners and needs real
 			//     socket deadlines.
+			//   - internal/obs: the observability layer measures the wall
+			//     clock by design (span durations, obs.Time stopwatches);
+			//     it is the ONE place deterministic packages may route
+			//     timing through, which is exactly why it cannot itself be
+			//     clock-free.
 			// cmd/ and examples/ are thin CLI shells over the library
 			// and may time their own runs.
 			NoRawTime.Name: {
 				Include: []string{"internal"},
-				Exclude: []string{"internal/serve", "internal/tcping", "internal/icmp", "internal/dnssim"},
+				Exclude: []string{"internal/serve", "internal/tcping", "internal/icmp", "internal/dnssim", "internal/obs"},
 			},
 			// The global rand source is forbidden everywhere, CLIs
 			// included: a stray global draw anywhere in the process

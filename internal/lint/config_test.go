@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestNoRawTimeObsExemption pins the shape of the norawtime exemption
+// for the observability layer: the same fixture full of time.Now /
+// time.Since / time.Sleep calls is clean when it claims to live in
+// internal/obs and still fails everywhere else under internal/. The
+// fixture is re-tagged rather than duplicated so the exemption is
+// proven against real analyzer findings, not just Scope.Matches.
+func TestNoRawTimeObsExemption(t *testing.T) {
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", "norawtime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+
+	runAs := func(rel string) []Finding {
+		clone := *pkg
+		clone.RelPath = rel
+		var out []Finding
+		for _, f := range Run(cfg, []*Package{&clone}) {
+			if f.Analyzer == NoRawTime.Name {
+				out = append(out, f)
+			}
+		}
+		return out
+	}
+
+	if got := runAs("internal/obs"); len(got) != 0 {
+		t.Errorf("internal/obs must be exempt from norawtime, got %d finding(s): %v", len(got), got)
+	}
+	// Sibling packages — including ones that route timing through obs —
+	// keep the full contract: a plain time.Now() still fails there.
+	for _, rel := range []string{"internal/measure", "internal/store", "internal/obsidian"} {
+		if got := runAs(rel); len(got) == 0 {
+			t.Errorf("norawtime found nothing in %s; the obs exemption leaked", rel)
+		}
+	}
+}

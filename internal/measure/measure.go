@@ -38,6 +38,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/geo"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/probes"
 	"repro/internal/sample"
 	"repro/internal/stats"
@@ -131,6 +132,14 @@ type Config struct {
 	// configured (default sample.DefaultBusBuffer). A full buffer blocks
 	// the collector — backpressure, not unbounded queueing.
 	SinkBuffer int
+
+	// Obs registers the campaign's instruments (pings, retries, breaker
+	// trips, quota burn, RTT histogram, checkpoint age) and, when the
+	// fan-out bus engages, the bus's queue telemetry. Nil runs
+	// uninstrumented; the engine's behaviour is identical either way —
+	// instruments observe the campaign, they never steer it. Span-style
+	// tracing is carried separately, via the ctx handed to Run.
+	Obs *obs.Registry
 
 	// Faults injects deterministic failures (nil = fault-free run).
 	Faults faults.Injector
@@ -329,6 +338,15 @@ type Stats struct {
 	SinkRetries  int
 	Spilled      int
 	SinkDegraded bool
+
+	// Fan-out bus telemetry (zero unless the campaign streamed through
+	// a multi-sink sample.Bus). BusHighWater is the deepest buffer
+	// occupancy seen; BusStalls counts sends that blocked on a full
+	// buffer; BusDropped counts deliveries skipped because a sink had
+	// already degraded (the records behind Spilled).
+	BusHighWater int
+	BusStalls    int
+	BusDropped   int
 }
 
 // clone deep-copies the stats (map and slice included) for checkpoints.
@@ -427,6 +445,9 @@ func New(sim *netsim.Simulator, fleet *probes.Fleet, cfg Config) (*Campaign, err
 func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 	cfg := c.Cfg
 	st := Stats{SamplesPerCountry: make(map[string]int)}
+	m := newCampaignMetrics(cfg.Obs)
+	ctx, span := obs.StartSpan(ctx, "measure.campaign")
+	defer span.End()
 	clock := newVirtualClock(cfg.RequestsPerMinute, cfg.DailyQuota)
 	brk := newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown.Minutes())
 	if cfg.Resume != nil {
@@ -473,17 +494,17 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 	}
 	sink := sinks[0]
 	if len(sinks) > 1 {
-		sink = sample.NewBus(sample.BusOptions{Buffer: cfg.SinkBuffer}, sinks...)
+		sink = sample.NewBus(sample.BusOptions{Buffer: cfg.SinkBuffer, Obs: cfg.Obs}, sinks...)
 	}
 
-	col := &collector{sink: sink, external: external, inj: cfg.Faults, store: store, st: &st, inflight: &inflight}
+	col := &collector{sink: sink, external: external, inj: cfg.Faults, store: store, st: &st, m: m, inflight: &inflight}
 	collectorDone := make(chan struct{})
 	go func() {
 		defer close(collectorDone)
 		col.run(results)
 	}()
 
-	err := c.dispatch(ctx, tasks, clock, brk, &st, &inflight)
+	err := c.dispatch(ctx, tasks, clock, brk, &st, m, &inflight)
 	close(tasks)
 	wg.Wait()
 	close(results)
@@ -495,8 +516,17 @@ func (c *Campaign) Run(ctx context.Context) (*dataset.Store, Stats, error) {
 		err = fmt.Errorf("measure: sink degraded, %d records spilled to the in-memory store: %w",
 			st.Spilled, col.err)
 	}
+	if bus, ok := sink.(*sample.Bus); ok {
+		bs := bus.Stats()
+		st.BusHighWater = bs.HighWater
+		st.BusStalls = int(bs.Stalls)
+		st.BusDropped = int(bs.Dropped)
+	}
 	st.Requests = clock.requests
 	st.VirtualDuration = clock.elapsed()
+	span.SetAttr("pings", fmt.Sprint(st.Pings))
+	span.SetAttr("traceroutes", fmt.Sprint(st.Traceroutes))
+	span.SetAttr("countries", fmt.Sprint(st.CountriesCycled))
 	return store, st, err
 }
 
@@ -512,6 +542,7 @@ type collector struct {
 	inj      faults.Injector
 	store    *dataset.Store
 	st       *Stats
+	m        *campaignMetrics
 	inflight *sync.WaitGroup
 	seq      int
 	broken   bool
@@ -524,9 +555,12 @@ func (co *collector) run(results <-chan any) {
 		case dataset.PingRecord:
 			co.st.Pings++
 			co.st.SamplesPerCountry[rec.VP.Country]++
+			co.m.pings.Inc()
+			co.m.rtt.Observe(rec.RTTms)
 			co.deliver(func() error { return co.sink.Ping(rec) }, func() { co.store.AddPing(rec) })
 		case dataset.TracerouteRecord:
 			co.st.Traceroutes++
+			co.m.traces.Inc()
 			co.deliver(func() error { return co.sink.Trace(rec) }, func() { co.store.AddTrace(rec) })
 		case taskDone:
 			co.inflight.Done()
@@ -544,7 +578,7 @@ const maxSinkRetries = 3
 func (co *collector) deliver(toSink func() error, toStore func()) {
 	if co.broken {
 		toStore()
-		co.st.Spilled++
+		co.spill()
 		return
 	}
 	for try := 0; ; try++ {
@@ -553,11 +587,12 @@ func (co *collector) deliver(toSink func() error, toStore func()) {
 				co.seq++
 				if faults.IsTransient(err) && try < maxSinkRetries {
 					co.st.SinkRetries++
+					co.m.sinkRetries.Inc()
 					continue
 				}
 				co.degrade(err)
 				toStore()
-				co.st.Spilled++
+				co.spill()
 				return
 			}
 		}
@@ -567,11 +602,16 @@ func (co *collector) deliver(toSink func() error, toStore func()) {
 			// have partially landed): degrade immediately.
 			co.degrade(err)
 			toStore()
-			co.st.Spilled++
+			co.spill()
 			return
 		}
 		return
 	}
+}
+
+func (co *collector) spill() {
+	co.st.Spilled++
+	co.m.spilled.Inc()
 }
 
 func (co *collector) degrade(err error) {
@@ -587,7 +627,7 @@ func (co *collector) degrade(err error) {
 // discovery snapshots, probe-persistence counters, fault resolution
 // (retries, breaker) and checkpoint barriers.
 func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtualClock,
-	brk *breaker, st *Stats, inflight *sync.WaitGroup) error {
+	brk *breaker, st *Stats, m *campaignMetrics, inflight *sync.WaitGroup) error {
 	cfg := c.Cfg
 	countries := geo.AllCountries()
 	connectedCycles := make(map[string]int)
@@ -601,7 +641,15 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 		snap = cfg.Resume.Snapshot
 	}
 	sinceCkpt := 0
+	lastCkptMinute := clock.now()
+	// One span per country sweep; cspan outlives each iteration so the
+	// deferred End covers the early returns mid-cycle (End is idempotent,
+	// so the per-iteration End makes the deferred one a no-op normally).
+	var cspan *obs.Span
+	defer func() { cspan.End() }()
 	for cycle := startCycle; cycle < cfg.Cycles; cycle++ {
+		_, cspan = obs.StartSpan(ctx, "measure.cycle")
+		cspan.SetAttr("cycle", fmt.Sprint(cycle))
 		start := 0
 		if cycle == startCycle {
 			start = startCountry
@@ -626,10 +674,12 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 			for pi, p := range connected {
 				if brk.quarantined(p.ID, clock.now()) {
 					st.QuarantineSkipped++
+					m.quarantineSkips.Inc()
 					continue
 				}
 				if cfg.Faults != nil && cfg.Faults.ProbeDropout(p.ID, cycle) {
 					st.ProbeDropouts++
+					m.dropouts.Inc()
 					continue
 				}
 				for _, r := range c.targetsFor(p, cycle, pi) {
@@ -637,8 +687,10 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 						return fmt.Errorf("measure: campaign interrupted: %w", err)
 					}
 					clock.admit()
+					m.quotaRemaining.Set(clock.quotaRemaining())
+					m.checkpointAgeMin.Set(int64(clock.now() - lastCkptMinute))
 					tk := task{probe: p, region: r, cycle: cycle}
-					tripped := c.resolveTask(&tk, clock, brk, st)
+					tripped := c.resolveTask(&tk, clock, brk, st, m)
 					if tk.doTCP || tk.doICMP || len(tk.traces) > 0 {
 						inflight.Add(1)
 						select {
@@ -650,6 +702,7 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 					}
 					if tripped {
 						st.Quarantined++
+						m.breakerTrips.Inc()
 						break // bench this probe's remaining targets
 					}
 				}
@@ -662,6 +715,9 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 					// the checkpointed Stats are exact.
 					inflight.Wait()
 					st.Checkpoints++
+					m.checkpoints.Inc()
+					lastCkptMinute = clock.now()
+					m.checkpointAgeMin.Set(0)
 					cp := c.checkpoint(cycle, ci+1, snap, clock, brk, connectedCycles, st)
 					if err := cfg.OnCheckpoint(cp); err != nil {
 						if errors.Is(err, ErrStopped) {
@@ -673,6 +729,7 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 			}
 		}
 		st.Discovery = append(st.Discovery, snap)
+		cspan.End()
 	}
 	st.EverConnected = len(connectedCycles)
 	st.PersistentProbes = 0
@@ -689,17 +746,17 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 // runs a retry ladder with backoff, each outcome feeds the probe's
 // circuit breaker, and lost traceroutes are booked. It reports whether
 // the breaker tripped on this task.
-func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *Stats) bool {
+func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *Stats, m *campaignMetrics) bool {
 	tripped := false
 	book := func(ok bool) {
 		if brk.onResult(tk.probe.ID, ok, clock.now()) {
 			tripped = true
 		}
 	}
-	tk.doTCP = c.resolvePing(tk.probe, tk.region, faults.OpPingTCP, tk.cycle, clock, st)
+	tk.doTCP = c.resolvePing(tk.probe, tk.region, faults.OpPingTCP, tk.cycle, clock, st, m)
 	book(tk.doTCP)
 	if c.Cfg.BothPingProtocols.Enabled() {
-		tk.doICMP = c.resolvePing(tk.probe, tk.region, faults.OpPingICMP, tk.cycle, clock, st)
+		tk.doICMP = c.resolvePing(tk.probe, tk.region, faults.OpPingICMP, tk.cycle, clock, st, m)
 		book(tk.doICMP)
 	}
 	if c.Cfg.Traceroutes {
@@ -708,6 +765,7 @@ func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *
 		for _, tc := range []int{tk.cycle, tk.cycle + 1<<20} {
 			if c.Cfg.Faults != nil && c.Cfg.Faults.Trace(tk.probe.ID, tk.region.ID, tc).Lost {
 				st.TracesLost++
+				m.tracesLost.Inc()
 				continue
 			}
 			tk.traces = append(tk.traces, tc)
@@ -721,9 +779,10 @@ func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *
 // all (always a success). Retries are booked as platform requests and
 // backoff is charged to the virtual clock.
 func (c *Campaign) resolvePing(p *probes.Probe, r *cloud.Region, op faults.Op, cycle int,
-	clock *virtualClock, st *Stats) bool {
+	clock *virtualClock, st *Stats, m *campaignMetrics) bool {
 	cfg := c.Cfg
 	st.Attempts++
+	m.attempts.Inc()
 	if cfg.Faults == nil {
 		return true
 	}
@@ -734,11 +793,13 @@ func (c *Campaign) resolvePing(p *probes.Probe, r *cloud.Region, op faults.Op, c
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			st.Attempts++
+			m.attempts.Inc()
 		}
 		f := cfg.Faults.Ping(p.ID, r.ID, op, cycle, attempt)
 		failed := f.Lost
 		if !failed && f.DelayMs > cfg.TaskDeadlineMs {
 			st.TimedOut++
+			m.timedOut.Inc()
 			failed = true
 		}
 		if !failed {
@@ -746,9 +807,11 @@ func (c *Campaign) resolvePing(p *probes.Probe, r *cloud.Region, op faults.Op, c
 		}
 		if attempt >= maxRetries {
 			st.Lost++
+			m.lost.Inc()
 			return false
 		}
 		st.Retries++
+		m.retries.Inc()
 		clock.admit() // every retry is one more platform request
 		clock.delay(backoffMs(cfg.BackoffBaseMs, cfg.BackoffMaxMs, attempt,
 			jitterU(cfg.Seed, p.ID, r.ID, int(op), cycle, attempt)))
@@ -936,6 +999,18 @@ func (v *virtualClock) delay(ms float64) {
 
 // now returns the current virtual minute.
 func (v *virtualClock) now() float64 { return v.minutes }
+
+// quotaRemaining returns the requests left in the current virtual day,
+// or -1 when the quota is unlimited.
+func (v *virtualClock) quotaRemaining() int64 {
+	if v.dailyQuota <= 0 {
+		return -1
+	}
+	if rem := v.dailyQuota - v.today; rem > 0 {
+		return int64(rem)
+	}
+	return 0
+}
 
 func (v *virtualClock) elapsed() time.Duration {
 	return time.Duration(v.minutes * float64(time.Minute))

@@ -1,0 +1,54 @@
+package measure
+
+import "repro/internal/obs"
+
+// campaignMetrics interns every instrument the engine touches once, at
+// campaign start, so the hot paths (one ping record, one retry ladder
+// step) cost a single atomic add each. All instruments are valid even
+// without a registry (see obs: nil-registry constructors), so no call
+// site branches on whether observability is enabled.
+//
+// Naming (DESIGN.md §10): measure_<noun>_total for counters,
+// measure_<noun> for gauges, milliseconds for histograms. Labels are
+// deliberately absent here — probe and country would be unbounded
+// cardinality; per-country sample counts stay in Stats.
+type campaignMetrics struct {
+	pings, traces        *obs.Counter
+	attempts, retries    *obs.Counter
+	lost, timedOut       *obs.Counter
+	tracesLost           *obs.Counter
+	spilled, sinkRetries *obs.Counter
+	breakerTrips         *obs.Counter
+	quarantineSkips      *obs.Counter
+	dropouts             *obs.Counter
+	checkpoints          *obs.Counter
+
+	rtt *obs.Histogram
+
+	// quotaRemaining is the daily budget left (-1 when unlimited);
+	// checkpointAgeMin is the virtual minutes elapsed since the last
+	// checkpoint barrier — the "how much would a crash lose" gauge.
+	quotaRemaining   *obs.Gauge
+	checkpointAgeMin *obs.Gauge
+}
+
+func newCampaignMetrics(reg *obs.Registry) *campaignMetrics {
+	return &campaignMetrics{
+		pings:            reg.Counter("measure_pings_total"),
+		traces:           reg.Counter("measure_traceroutes_total"),
+		attempts:         reg.Counter("measure_attempts_total"),
+		retries:          reg.Counter("measure_retries_total"),
+		lost:             reg.Counter("measure_lost_total"),
+		timedOut:         reg.Counter("measure_timeouts_total"),
+		tracesLost:       reg.Counter("measure_traces_lost_total"),
+		spilled:          reg.Counter("measure_spilled_total"),
+		sinkRetries:      reg.Counter("measure_sink_retries_total"),
+		breakerTrips:     reg.Counter("measure_breaker_trips_total"),
+		quarantineSkips:  reg.Counter("measure_quarantine_skips_total"),
+		dropouts:         reg.Counter("measure_probe_dropouts_total"),
+		checkpoints:      reg.Counter("measure_checkpoints_total"),
+		rtt:              reg.Histogram("measure_rtt_ms", obs.RTTBuckets),
+		quotaRemaining:   reg.Gauge("measure_quota_remaining"),
+		checkpointAgeMin: reg.Gauge("measure_checkpoint_age_virtual_minutes"),
+	}
+}

@@ -1,0 +1,91 @@
+package measure
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestCampaignSpanTree runs a two-cycle campaign with a tracer on the
+// context and checks the recorded span tree: one measure.campaign root
+// with campaign-total attrs, and one measure.cycle child per cycle
+// parented on it. It also cross-checks the obs counters against the
+// campaign's own Stats, so the two accounting paths cannot drift apart
+// silently.
+func TestCampaignSpanTree(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := smallConfig()
+	cfg.Cycles = 2
+	cfg.Obs = reg
+	camp := mustNew(t, cfg)
+
+	tr := obs.NewTracer(0)
+	ctx := obs.ContextWithTracer(context.Background(), tr)
+	_, st, err := camp.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var root obs.SpanData
+	var cycles []obs.SpanData
+	for _, sp := range tr.Recent() {
+		switch sp.Name {
+		case "measure.campaign":
+			root = sp
+		case "measure.cycle":
+			cycles = append(cycles, sp)
+		}
+	}
+	if root.ID == 0 {
+		t.Fatal("no measure.campaign span recorded")
+	}
+	if root.ParentID != 0 {
+		t.Errorf("campaign span has parent %d, want root", root.ParentID)
+	}
+	if len(cycles) != cfg.Cycles {
+		t.Fatalf("got %d measure.cycle spans, want %d", len(cycles), cfg.Cycles)
+	}
+	for _, c := range cycles {
+		if c.ParentID != root.ID {
+			t.Errorf("cycle span %d parented on %d, want campaign span %d", c.ID, c.ParentID, root.ID)
+		}
+	}
+	if got, want := root.Attrs["pings"], fmt.Sprint(st.Pings); got != want {
+		t.Errorf("campaign span pings attr = %q, want %q", got, want)
+	}
+
+	// The interned instruments must agree with the campaign's Stats.
+	if got := reg.Counter("measure_pings_total").Load(); got != uint64(st.Pings) {
+		t.Errorf("measure_pings_total = %d, stats say %d", got, st.Pings)
+	}
+	if got := reg.Counter("measure_traceroutes_total").Load(); got != uint64(st.Traceroutes) {
+		t.Errorf("measure_traceroutes_total = %d, stats say %d", got, st.Traceroutes)
+	}
+	if got := reg.Histogram("measure_rtt_ms", obs.RTTBuckets).Count(); got != uint64(st.Pings) {
+		t.Errorf("measure_rtt_ms count = %d, want one observation per ping (%d)", got, st.Pings)
+	}
+
+	// Stage rollups cover both span names.
+	stages := map[string]uint64{}
+	for _, s := range tr.Stages() {
+		stages[s.Name] = s.Count
+	}
+	if stages["measure.campaign"] != 1 || stages["measure.cycle"] != uint64(cfg.Cycles) {
+		t.Errorf("stage rollups = %v, want campaign×1 and cycle×%d", stages, cfg.Cycles)
+	}
+}
+
+// TestCampaignUninstrumented pins the zero-config path: no registry, no
+// tracer, and the campaign still runs (every instrument call no-ops).
+func TestCampaignUninstrumented(t *testing.T) {
+	camp := mustNew(t, smallConfig())
+	_, st, err := camp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pings == 0 {
+		t.Fatal("uninstrumented campaign collected nothing")
+	}
+}

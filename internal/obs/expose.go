@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteMetrics renders every registered instrument in a Prometheus-style
+// text exposition, sorted by instrument identity so the output is
+// stable for tests and diffing. Counters and gauges are one line each;
+// histograms expand to cumulative _bucket lines plus _sum and _count.
+// A nil registry writes nothing.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+8*len(r.hists))
+	for id, c := range r.counters {
+		lines = append(lines, id+" "+strconv.FormatUint(c.Load(), 10))
+	}
+	for id, g := range r.gauges {
+		lines = append(lines, id+" "+strconv.FormatInt(g.Load(), 10))
+	}
+	for id, f := range r.funcs {
+		lines = append(lines, id+" "+formatFloat(f()))
+	}
+	for id, h := range r.hists {
+		lines = append(lines, histLines(id, h.Snapshot())...)
+	}
+	r.mu.Unlock()
+	sort.Strings(lines)
+	for _, ln := range lines {
+		if _, err := io.WriteString(w, ln+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// histLines renders one histogram: cumulative buckets with an `le`
+// label spliced into the instrument's label set, then _sum and _count.
+func histLines(id string, s HistSnapshot) []string {
+	name, labels := id, ""
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		name = id[:i]
+		labels = strings.TrimSuffix(id[i+1:], "}")
+	}
+	bucketID := func(le string) string {
+		if labels == "" {
+			return name + `_bucket{le="` + le + `"}`
+		}
+		return name + "_bucket{" + labels + `,le="` + le + `"}`
+	}
+	suffixed := func(suffix string) string {
+		if labels == "" {
+			return name + suffix
+		}
+		return name + suffix + "{" + labels + "}"
+	}
+	out := make([]string, 0, len(s.Counts)+2)
+	cum := uint64(0)
+	for i, n := range s.Counts {
+		cum += n
+		le := "+Inf"
+		if i < len(s.Bounds) {
+			le = formatFloat(s.Bounds[i])
+		}
+		out = append(out, bucketID(le)+" "+strconv.FormatUint(cum, 10))
+	}
+	out = append(out,
+		suffixed("_sum")+" "+formatFloat(s.Sum),
+		suffixed("_count")+" "+strconv.FormatUint(s.Count, 10))
+	return out
+}
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Tracez is the /v1/tracez payload: the retained spans (oldest first)
+// and the per-stage latency rollups.
+type Tracez struct {
+	Spans  []SpanData     `json:"spans"`
+	Stages []StageLatency `json:"stages"`
+}
+
+// Export builds the tracez payload. A nil tracer exports empty (non-nil)
+// slices so the JSON shape is stable.
+func (t *Tracer) Export() Tracez {
+	if t == nil {
+		return Tracez{Spans: []SpanData{}, Stages: []StageLatency{}}
+	}
+	spans := t.Recent()
+	stages := t.Stages()
+	if spans == nil {
+		spans = []SpanData{}
+	}
+	if stages == nil {
+		stages = []StageLatency{}
+	}
+	return Tracez{Spans: spans, Stages: stages}
+}
+
+// String implements fmt.Stringer for quick logging of one stage line.
+func (s StageLatency) String() string {
+	return fmt.Sprintf("%s: n=%d mean=%.3fms max=%.3fms", s.Name, s.Count, s.MeanMs, s.MaxMs)
+}

@@ -1,0 +1,141 @@
+// Package obs is the repo's unified observability subsystem: a
+// stdlib-only metrics registry (lock-free counters, gauges and
+// fixed-bucket histograms), span-style tracing carried through
+// context.Context, and the text/JSON expositions behind the
+// /v1/metricsz and /v1/tracez endpoints of internal/serve.
+//
+// Design rules (DESIGN.md §10):
+//
+//   - Instruments are interned at registration: looking one up twice
+//     returns the same pointer, so components resolve their instruments
+//     once at construction and the hot path is a single atomic add.
+//   - Every constructor is nil-receiver safe. A component built without
+//     a registry still gets working (just unregistered) instruments, so
+//     call sites carry no "is observability on?" branches.
+//   - Label sets are baked into the instrument identity at registration
+//     (`name{k="v"}`); there is no per-call label lookup and therefore
+//     no per-call allocation. Labels must be low-cardinality — endpoint
+//     names, fault kinds, shard indices — never probe or country IDs.
+//
+// obs is the one deterministic-scope package allowed to read the wall
+// clock (see internal/lint/config.go): span timestamps and latency
+// rollups are operational telemetry about the process, not simulation
+// state, and no simulation decision may depend on them.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry holds every registered instrument. The zero value is not
+// usable; call NewRegistry. A nil *Registry is a valid "unobserved"
+// registry: instrument constructors still return working instruments,
+// they are simply not retained or exposed.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		funcs:    map[string]func() float64{},
+	}
+}
+
+// instrumentID renders the canonical identity of an instrument: the
+// name plus its label pairs in sorted order, Prometheus-style. Labels
+// come as alternating key, value strings.
+func instrumentID(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: instrument %q has odd label list %q", name, labels))
+	}
+	pairs := make([]string, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, fmt.Sprintf("%s=%q", labels[i], labels[i+1]))
+	}
+	sort.Strings(pairs)
+	return name + "{" + strings.Join(pairs, ",") + "}"
+}
+
+// Counter returns the counter registered under name and the given
+// alternating label key/value pairs, creating it on first use. On a nil
+// registry it returns a fresh unregistered counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[id]
+	if c == nil {
+		c = &Counter{}
+		r.counters[id] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name/labels, creating it on
+// first use. On a nil registry it returns a fresh unregistered gauge.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[id]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[id] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name/labels,
+// creating it with the given bucket upper bounds on first use. Buckets
+// must be ascending; an implicit +Inf bucket is always appended. On a
+// nil registry it returns a fresh unregistered histogram. Re-registering
+// with different buckets keeps the original (first registration wins).
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return newHistogram(buckets)
+	}
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[id]
+	if h == nil {
+		h = newHistogram(buckets)
+		r.hists[id] = h
+	}
+	return h
+}
+
+// GaugeFunc registers a callback evaluated at exposition time — for
+// values that live elsewhere (queue depth, cache entries) and would be
+// wasteful to mirror on every change. Re-registering the same id
+// replaces the callback, so a component recreated mid-process (a second
+// campaign's bus) observes its own state. No-op on a nil registry.
+func (r *Registry) GaugeFunc(name string, f func() float64, labels ...string) {
+	if r == nil || f == nil {
+		return
+	}
+	id := instrumentID(name, labels)
+	r.mu.Lock()
+	r.funcs[id] = f
+	r.mu.Unlock()
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one finished span as held in the tracer's ring buffer
+// and served by /v1/tracez. Timestamps are monotonic-clock readings
+// (time.Now carries the monotonic component), so durations are immune
+// to wall-clock steps; they are telemetry about the process, never
+// simulation input.
+type SpanData struct {
+	ID       uint64            `json:"id"`
+	ParentID uint64            `json:"parent_id,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Ms       float64           `json:"duration_ms"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// StageLatency is the per-stage rollup across every finished span with
+// the same name: the pipeline's latency ledger (campaign, bus drain,
+// store seal, serve query) without keeping every span.
+type StageLatency struct {
+	Name    string  `json:"name"`
+	Count   uint64  `json:"count"`
+	TotalMs float64 `json:"total_ms"`
+	MaxMs   float64 `json:"max_ms"`
+	MeanMs  float64 `json:"mean_ms"`
+}
+
+type stageAgg struct {
+	count   uint64
+	totalMs float64
+	maxMs   float64
+}
+
+// Tracer collects finished spans into a bounded ring buffer (newest
+// win, oldest evicted) and aggregates per-stage latency rollups. Safe
+// for concurrent use.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu     sync.Mutex
+	ring   []SpanData
+	next   int
+	filled bool
+	stages map[string]*stageAgg
+}
+
+// DefaultSpanBuffer is the ring capacity when NewTracer gets n <= 0.
+const DefaultSpanBuffer = 256
+
+// NewTracer returns a tracer retaining the last n finished spans.
+func NewTracer(n int) *Tracer {
+	if n <= 0 {
+		n = DefaultSpanBuffer
+	}
+	return &Tracer{ring: make([]SpanData, n), stages: map[string]*stageAgg{}}
+}
+
+// Span is one in-flight operation. A nil *Span (no tracer on the
+// context) is valid: every method is a no-op, so call sites never
+// branch on whether tracing is enabled.
+type Span struct {
+	tr    *Tracer
+	data  SpanData
+	start time.Time
+	ended atomic.Bool
+}
+
+type ctxKey int
+
+const (
+	tracerKey ctxKey = iota
+	spanKey
+)
+
+// ContextWithTracer returns a context carrying tr; StartSpan calls on
+// descendants record into it.
+func ContextWithTracer(ctx context.Context, tr *Tracer) context.Context {
+	return context.WithValue(ctx, tracerKey, tr)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	tr, _ := ctx.Value(tracerKey).(*Tracer)
+	return tr
+}
+
+// StartSpan begins a span named name under the context's current span
+// (if any) and returns a context carrying the new span. Without a
+// tracer on the context it returns ctx unchanged and a nil span, whose
+// methods all no-op.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	tr := TracerFrom(ctx)
+	if tr == nil {
+		return ctx, nil
+	}
+	sp := &Span{
+		tr:    tr,
+		start: time.Now(),
+		data:  SpanData{ID: tr.nextID.Add(1), Name: name},
+	}
+	if parent, _ := ctx.Value(spanKey).(*Span); parent != nil {
+		sp.data.ParentID = parent.data.ID
+	}
+	return context.WithValue(ctx, spanKey, sp), sp
+}
+
+// SetAttr attaches a key=value annotation to the span.
+func (s *Span) SetAttr(k, v string) {
+	if s == nil {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = map[string]string{}
+	}
+	s.data.Attrs[k] = v
+}
+
+// End finishes the span, recording it into the tracer's ring and the
+// per-stage rollups. End is idempotent; only the first call records.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.data.Start = s.start
+	s.data.Ms = float64(time.Since(s.start)) / float64(time.Millisecond)
+	s.tr.record(s.data)
+}
+
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring[t.next] = d
+	t.next++
+	if t.next == len(t.ring) {
+		t.next = 0
+		t.filled = true
+	}
+	agg := t.stages[d.Name]
+	if agg == nil {
+		agg = &stageAgg{}
+		t.stages[d.Name] = agg
+	}
+	agg.count++
+	agg.totalMs += d.Ms
+	if d.Ms > agg.maxMs {
+		agg.maxMs = d.Ms
+	}
+}
+
+// Recent returns the retained spans, oldest first.
+func (t *Tracer) Recent() []SpanData {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []SpanData
+	if t.filled {
+		out = append(out, t.ring[t.next:]...)
+	}
+	return append(out, t.ring[:t.next]...)
+}
+
+// Stages returns the per-stage latency rollups sorted by name.
+func (t *Tracer) Stages() []StageLatency {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageLatency, 0, len(t.stages))
+	for name, a := range t.stages {
+		s := StageLatency{Name: name, Count: a.count, TotalMs: a.totalMs, MaxMs: a.maxMs}
+		if a.count > 0 {
+			s.MeanMs = a.totalMs / float64(a.count)
+		}
+		out = append(out, s)
+	}
+	sortStages(out)
+	return out
+}
+
+func sortStages(s []StageLatency) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].Name < s[j-1].Name; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// Time starts a stopwatch and returns a stop function that records the
+// elapsed milliseconds into h. It exists so deterministic-scope
+// packages (internal/store) can measure their own operational latency
+// without touching the wall clock themselves: the clock reads live
+// here, inside the one allowlisted package. Safe on a nil histogram.
+func Time(h *Histogram) func() {
+	if h == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		h.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+	}
+}

@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestSpanParentChild(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	rootCtx, root := StartSpan(ctx, "root")
+	childCtx, child := StartSpan(rootCtx, "child")
+	_, grand := StartSpan(childCtx, "grandchild")
+	grand.End()
+	child.End()
+	// A sibling started from the root context parents onto root, not
+	// onto the (already ended) child.
+	_, sibling := StartSpan(rootCtx, "sibling")
+	sibling.End()
+	root.End()
+
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("%d spans, want 4", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["root"].ParentID != 0 {
+		t.Errorf("root has parent %d", byName["root"].ParentID)
+	}
+	if got, want := byName["child"].ParentID, byName["root"].ID; got != want {
+		t.Errorf("child parent = %d, want %d", got, want)
+	}
+	if got, want := byName["grandchild"].ParentID, byName["child"].ID; got != want {
+		t.Errorf("grandchild parent = %d, want %d", got, want)
+	}
+	if got, want := byName["sibling"].ParentID, byName["root"].ID; got != want {
+		t.Errorf("sibling parent = %d, want %d", got, want)
+	}
+}
+
+func TestSpanNoTracerNoOps(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan without tracer returned a live span")
+	}
+	sp.SetAttr("k", "v") // must not panic
+	sp.End()
+	if ctx != context.Background() {
+		t.Fatal("context rewritten without a tracer")
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(4)
+	ctx := ContextWithTracer(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(ctx, "s")
+		sp.End()
+	}
+	spans := tr.Recent()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest first, and only the newest four survive (IDs 7..10).
+	for i, s := range spans {
+		if want := uint64(7 + i); s.ID != want {
+			t.Errorf("span %d has ID %d, want %d", i, s.ID, want)
+		}
+	}
+	st := tr.Stages()
+	if len(st) != 1 || st[0].Count != 10 {
+		t.Fatalf("stage rollup = %+v, want one stage with count 10 (rollups outlive eviction)", st)
+	}
+}
+
+func TestSpanEndIdempotent(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := ContextWithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "once")
+	sp.SetAttr("cycle", "3")
+	sp.End()
+	sp.End()
+	spans := tr.Recent()
+	if len(spans) != 1 {
+		t.Fatalf("double End recorded %d spans", len(spans))
+	}
+	if spans[0].Attrs["cycle"] != "3" {
+		t.Errorf("attrs lost: %+v", spans[0].Attrs)
+	}
+	if spans[0].Ms < 0 {
+		t.Errorf("negative duration %v", spans[0].Ms)
+	}
+}
+
+func TestTracezExport(t *testing.T) {
+	var nilTr *Tracer
+	z := nilTr.Export()
+	if z.Spans == nil || z.Stages == nil {
+		t.Fatal("nil tracer export has nil slices; JSON shape must be stable")
+	}
+	tr := NewTracer(8)
+	ctx := ContextWithTracer(context.Background(), tr)
+	_, sp := StartSpan(ctx, "stage.a")
+	sp.End()
+	z = tr.Export()
+	if len(z.Spans) != 1 || len(z.Stages) != 1 || z.Stages[0].Name != "stage.a" {
+		t.Fatalf("export = %+v", z)
+	}
+	if !strings.Contains(z.Stages[0].String(), "stage.a") {
+		t.Fatalf("stage string = %q", z.Stages[0].String())
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	stop := Time(h)
+	stop()
+	if h.Count() != 1 {
+		t.Fatalf("Time recorded %d observations, want 1", h.Count())
+	}
+	Time(nil)() // nil histogram must be safe
+}

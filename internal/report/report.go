@@ -347,9 +347,19 @@ func CampaignStats(w io.Writer, label string, st measure.Stats) {
 // campaigns (no faults, no retries) print a single clean-run line.
 func DataQuality(w io.Writer, label string, st measure.Stats) {
 	fmt.Fprintf(w, "%s data quality:\n", label)
+	// The fan-out bus ledger prints whenever a multi-sink campaign
+	// engaged the bus — even on a clean run, because the high-water mark
+	// is the capacity-planning number for the next campaign.
+	bus := func() {
+		if st.BusHighWater > 0 || st.BusStalls > 0 || st.BusDropped > 0 {
+			fmt.Fprintf(w, "  fan-out bus: high-water %d, %d backpressure stalls, %d deliveries dropped to spill\n",
+				st.BusHighWater, st.BusStalls, st.BusDropped)
+		}
+	}
 	if st.Attempts == st.Pings && st.Lost == 0 && st.TracesLost == 0 &&
 		st.ProbeDropouts == 0 && st.SinkRetries == 0 && !st.SinkDegraded {
 		fmt.Fprintf(w, "  clean run: %d attempts, all delivered\n", st.Attempts)
+		bus()
 		return
 	}
 	fmt.Fprintf(w, "  pings: %d attempts → %d delivered, %d retried, %d lost (%.2f%% loss), %d timed out\n",
@@ -361,6 +371,7 @@ func DataQuality(w io.Writer, label string, st measure.Stats) {
 		fmt.Fprintf(w, "  sink: %d transient errors retried, degraded=%v, %d records spilled to memory\n",
 			st.SinkRetries, st.SinkDegraded, st.Spilled)
 	}
+	bus()
 	if st.Checkpoints > 0 || st.CheckpointResumes > 0 {
 		fmt.Fprintf(w, "  checkpoints: %d taken, %d resumes\n", st.Checkpoints, st.CheckpointResumes)
 	}

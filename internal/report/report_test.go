@@ -195,6 +195,21 @@ func TestDataQualityRenders(t *testing.T) {
 			t.Errorf("data quality render missing %q:\n%s", want, out)
 		}
 	}
+	// A multi-sink campaign prints the bus ledger even on a clean run
+	// (the high-water mark sizes the next campaign's buffer) — and a
+	// single-sink run, which never engages the bus, stays silent.
+	buf.Reset()
+	DataQuality(&buf, "fanout", measure.Stats{
+		Attempts: 10, Pings: 10, BusHighWater: 7, BusStalls: 2, BusDropped: 1,
+	})
+	if !strings.Contains(buf.String(), "fan-out bus: high-water 7, 2 backpressure stalls, 1 deliveries dropped to spill") {
+		t.Errorf("bus ledger missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	DataQuality(&buf, "single", measure.Stats{Attempts: 10, Pings: 10})
+	if strings.Contains(buf.String(), "fan-out bus") {
+		t.Errorf("bus ledger printed without bus engagement:\n%s", buf.String())
+	}
 }
 
 func TestExtensionRenderers(t *testing.T) {

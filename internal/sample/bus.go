@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Sink consumes measurement records as they are produced. The campaign
@@ -48,6 +51,21 @@ type Bus struct {
 	sinks []Sink
 	dead  []bool // delivery goroutine only
 
+	// Operational telemetry. highWater and stalls are written by the
+	// single producer but read concurrently (Stats, metricsz scrapes);
+	// dropped and degraded are written by the delivery goroutine.
+	highWater atomic.Int64
+	stalls    atomic.Uint64
+	dropped   atomic.Uint64
+	degraded  atomic.Int64
+
+	// Interned instruments; always non-nil (a nil registry hands out
+	// unregistered but working instruments).
+	mStalls   *obs.Counter
+	mDropped  *obs.Counter
+	mHigh     *obs.Gauge
+	mDegraded *obs.Gauge
+
 	mu     sync.Mutex
 	err    error // first sink error, latched
 	closed bool
@@ -62,6 +80,28 @@ const DefaultBusBuffer = 1024
 type BusOptions struct {
 	// Buffer is the bounded queue capacity (default DefaultBusBuffer).
 	Buffer int
+	// Obs registers the bus's instruments: queue depth (live, via
+	// GaugeFunc), high-water mark, backpressure stalls, dropped
+	// deliveries and degraded-sink count. Nil disables registration;
+	// Stats still works.
+	Obs *obs.Registry
+}
+
+// BusStats is the bus's delivery ledger, readable at any time (and
+// surfaced in the campaign's data-quality report after Close).
+type BusStats struct {
+	// HighWater is the deepest buffer occupancy observed at enqueue: how
+	// close the campaign came to blocking on its sinks.
+	HighWater int
+	// Stalls counts sends that found the buffer completely full and had
+	// to block — actual backpressure events, not near misses.
+	Stalls uint64
+	// Dropped counts deliveries skipped because a sink had degraded: one
+	// per (record, dead sink) pair. These records are the ones the
+	// collector re-routes to its in-memory spill.
+	Dropped uint64
+	// Degraded is the number of sinks that have failed so far.
+	Degraded int
 }
 
 // NewBus starts a bus over the given sinks. Close releases its delivery
@@ -71,11 +111,18 @@ func NewBus(opts BusOptions, sinks ...Sink) *Bus {
 		opts.Buffer = DefaultBusBuffer
 	}
 	b := &Bus{
-		ch:    make(chan event, opts.Buffer),
-		done:  make(chan struct{}),
-		sinks: sinks,
-		dead:  make([]bool, len(sinks)),
+		ch:        make(chan event, opts.Buffer),
+		done:      make(chan struct{}),
+		sinks:     sinks,
+		dead:      make([]bool, len(sinks)),
+		mStalls:   opts.Obs.Counter("bus_backpressure_stalls_total"),
+		mDropped:  opts.Obs.Counter("bus_dropped_deliveries_total"),
+		mHigh:     opts.Obs.Gauge("bus_queue_high_water"),
+		mDegraded: opts.Obs.Gauge("bus_sinks_degraded"),
 	}
+	// Live queue depth: read at scrape time, replacing any previous
+	// bus's callback so the newest bus owns the gauge.
+	opts.Obs.GaugeFunc("bus_queue_depth", func() float64 { return float64(len(b.ch)) })
 	go b.deliver()
 	return b
 }
@@ -85,6 +132,8 @@ func (b *Bus) deliver() {
 	for ev := range b.ch {
 		for i, s := range b.sinks {
 			if b.dead[i] {
+				b.dropped.Add(1)
+				b.mDropped.Inc()
 				continue
 			}
 			var err error
@@ -95,6 +144,8 @@ func (b *Bus) deliver() {
 			}
 			if err != nil {
 				b.dead[i] = true
+				b.degraded.Add(1)
+				b.mDegraded.Add(1)
 				b.latch(fmt.Errorf("sample: bus sink %d: %w", i, err))
 			}
 		}
@@ -117,6 +168,17 @@ func (b *Bus) Err() error {
 	return b.err
 }
 
+// Stats returns the bus's delivery ledger so far. Safe to call
+// concurrently with delivery, and after Close.
+func (b *Bus) Stats() BusStats {
+	return BusStats{
+		HighWater: int(b.highWater.Load()),
+		Stalls:    b.stalls.Load(),
+		Dropped:   b.dropped.Load(),
+		Degraded:  int(b.degraded.Load()),
+	}
+}
+
 func (b *Bus) send(ev event) error {
 	b.mu.Lock()
 	if b.closed {
@@ -128,7 +190,21 @@ func (b *Bus) send(ev event) error {
 	if err != nil {
 		return err
 	}
-	b.ch <- ev // blocks when the buffer is full: backpressure
+	// Book occupancy including this event; the delivery goroutine drains
+	// concurrently so this is a lower bound, which is the honest reading
+	// for a high-water mark.
+	if depth := int64(len(b.ch)) + 1; depth > b.highWater.Load() {
+		b.highWater.Store(depth) // single producer: no racing writers
+		b.mHigh.SetMax(depth)
+	}
+	select {
+	case b.ch <- ev:
+	default:
+		// Buffer full: this send is a real backpressure stall.
+		b.stalls.Add(1)
+		b.mStalls.Inc()
+		b.ch <- ev
+	}
 	return nil
 }
 
@@ -157,6 +233,8 @@ func (b *Bus) Close() error {
 	for i, s := range b.sinks {
 		if err := s.Close(); err != nil && !b.dead[i] {
 			b.dead[i] = true
+			b.degraded.Add(1)
+			b.mDegraded.Add(1)
 			b.latch(fmt.Errorf("sample: closing bus sink %d: %w", i, err))
 		}
 	}

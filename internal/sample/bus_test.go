@@ -2,8 +2,11 @@ package sample
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // memSink records everything it receives.
@@ -139,6 +142,86 @@ func TestBusCloseIdempotentAndRejectsAfterClose(t *testing.T) {
 	}
 	if s.closed != 1 {
 		t.Fatalf("sink closed %d times, want 1", s.closed)
+	}
+}
+
+// blockSink holds every delivery until released, so the producer side
+// has to fill the buffer and stall.
+type blockSink struct {
+	memSink
+	gate chan struct{}
+}
+
+func (b *blockSink) Ping(s Sample) error {
+	<-b.gate
+	return b.memSink.Ping(s)
+}
+
+func TestBusStatsHighWaterAndStalls(t *testing.T) {
+	blocked := &blockSink{gate: make(chan struct{})}
+	reg := obs.NewRegistry()
+	bus := NewBus(BusOptions{Buffer: 4, Obs: reg}, blocked)
+	// Fill the buffer while delivery is gated: the buffer holds 4 and
+	// one event sits in the delivery goroutine, so 6 sends guarantee at
+	// least one full-buffer stall. Release the gate from a helper after
+	// the producer provably blocks.
+	go func() {
+		for i := 0; i < 20; i++ {
+			blocked.gate <- struct{}{}
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		if err := bus.Ping(ping(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st := bus.Stats()
+	if st.HighWater < 2 || st.HighWater > 5 {
+		t.Errorf("high-water = %d, want full-ish buffer (2..5)", st.HighWater)
+	}
+	if st.Stalls == 0 {
+		t.Error("no backpressure stalls recorded against a gated sink")
+	}
+	if st.Dropped != 0 || st.Degraded != 0 {
+		t.Errorf("healthy run recorded dropped=%d degraded=%d", st.Dropped, st.Degraded)
+	}
+	// The registry mirrors the ledger.
+	var sb strings.Builder
+	if err := reg.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "bus_queue_high_water") ||
+		!strings.Contains(sb.String(), "bus_backpressure_stalls_total") {
+		t.Errorf("bus instruments missing from exposition:\n%s", sb.String())
+	}
+}
+
+func TestBusStatsDroppedAfterDegradation(t *testing.T) {
+	bad := &failSink{n: 2}
+	good := &memSink{}
+	bus := NewBus(BusOptions{Buffer: 2}, bad, good)
+	const total = 40
+	delivered := 0
+	for i := 0; i < total; i++ {
+		if err := bus.Ping(ping(i)); err != nil {
+			break
+		}
+		delivered++
+	}
+	bus.Close()
+	st := bus.Stats()
+	if st.Degraded != 1 {
+		t.Fatalf("degraded = %d, want 1", st.Degraded)
+	}
+	// Every record delivered after the failing sink's third (the one
+	// that kills it) is a drop for that sink: delivered - 3 in total.
+	gp, _ := good.counts()
+	if want := uint64(gp - 3); st.Dropped != want {
+		t.Errorf("dropped = %d, want %d (healthy sink saw %d, dead sink took 3)",
+			st.Dropped, want, gp)
 	}
 }
 

@@ -1,35 +1,36 @@
 package serve
 
 import (
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// endpointMetrics holds lock-free per-endpoint counters.
-type endpointMetrics struct {
-	requests    atomic.Uint64
-	cacheHits   atomic.Uint64
-	cacheMisses atomic.Uint64
-	notModified atomic.Uint64
-	coalesced   atomic.Uint64
-	errors      atomic.Uint64
-	inFlight    atomic.Int64
-	latencyNs   atomic.Int64
-	maxNs       atomic.Int64
+// endpointInstruments is one endpoint's interned slice of the obs
+// registry. The old hand-rolled atomic-counter struct this replaces
+// lived only inside serve; registering the same numbers as labeled
+// instruments puts them on /v1/metricsz while /v1/statsz keeps
+// rendering them under its historical JSON keys.
+type endpointInstruments struct {
+	requests    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	notModified *obs.Counter
+	coalesced   *obs.Counter
+	errors      *obs.Counter
+	inFlight    *obs.Gauge
+	latency     *obs.Histogram // milliseconds
+	maxNs       *obs.Gauge     // slowest request, nanoseconds
 }
 
-func (m *endpointMetrics) observe(d time.Duration) {
-	ns := d.Nanoseconds()
-	m.latencyNs.Add(ns)
-	for {
-		cur := m.maxNs.Load()
-		if ns <= cur || m.maxNs.CompareAndSwap(cur, ns) {
-			return
-		}
-	}
+func (m *endpointInstruments) observe(d time.Duration) {
+	m.latency.Observe(float64(d) / float64(time.Millisecond))
+	m.maxNs.SetMax(d.Nanoseconds())
 }
 
-// EndpointStats is the JSON form of one endpoint's counters.
+// EndpointStats is the JSON form of one endpoint's counters. The keys
+// predate the obs registry and are load-bearing for statsz consumers,
+// so they stay exactly as they were.
 type EndpointStats struct {
 	Requests      uint64  `json:"requests"`
 	CacheHits     uint64  `json:"cache_hits"`
@@ -42,7 +43,7 @@ type EndpointStats struct {
 	MaxLatencyUs  float64 `json:"max_latency_us"`
 }
 
-func (m *endpointMetrics) snapshot() EndpointStats {
+func (m *endpointInstruments) snapshot() EndpointStats {
 	s := EndpointStats{
 		Requests:     m.requests.Load(),
 		CacheHits:    m.cacheHits.Load(),
@@ -53,27 +54,38 @@ func (m *endpointMetrics) snapshot() EndpointStats {
 		InFlight:     m.inFlight.Load(),
 		MaxLatencyUs: float64(m.maxNs.Load()) / 1e3,
 	}
-	if s.Requests > 0 {
-		s.MeanLatencyUs = float64(m.latencyNs.Load()) / float64(s.Requests) / 1e3
+	if n := m.latency.Count(); n > 0 {
+		s.MeanLatencyUs = m.latency.Sum() * 1e3 / float64(n) // ms → µs
 	}
 	return s
 }
 
-// metricSet is the fixed endpoint → counters table; endpoints register
-// at construction, so lookups afterwards are read-only.
+// metricSet is the fixed endpoint → instruments table; endpoints
+// register at construction (interning every instrument once), so the
+// request path does one read-only map lookup and atomic adds.
 type metricSet struct {
-	endpoints map[string]*endpointMetrics
+	endpoints map[string]*endpointInstruments
 }
 
-func newMetricSet(names ...string) *metricSet {
-	ms := &metricSet{endpoints: map[string]*endpointMetrics{}}
+func newMetricSet(reg *obs.Registry, names ...string) *metricSet {
+	ms := &metricSet{endpoints: map[string]*endpointInstruments{}}
 	for _, n := range names {
-		ms.endpoints[n] = &endpointMetrics{}
+		ms.endpoints[n] = &endpointInstruments{
+			requests:    reg.Counter("serve_requests_total", "endpoint", n),
+			cacheHits:   reg.Counter("serve_cache_hits_total", "endpoint", n),
+			cacheMisses: reg.Counter("serve_cache_misses_total", "endpoint", n),
+			notModified: reg.Counter("serve_not_modified_total", "endpoint", n),
+			coalesced:   reg.Counter("serve_coalesced_total", "endpoint", n),
+			errors:      reg.Counter("serve_errors_total", "endpoint", n),
+			inFlight:    reg.Gauge("serve_in_flight", "endpoint", n),
+			latency:     reg.Histogram("serve_request_ms", obs.LatencyBuckets, "endpoint", n),
+			maxNs:       reg.Gauge("serve_request_max_ns", "endpoint", n),
+		}
 	}
 	return ms
 }
 
-func (ms *metricSet) of(endpoint string) *endpointMetrics {
+func (ms *metricSet) of(endpoint string) *endpointInstruments {
 	return ms.endpoints[endpoint]
 }
 

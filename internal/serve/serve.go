@@ -12,7 +12,13 @@
 //	/v1/platform-diff  Figure 5: Speedchecker − Atlas percentile diffs
 //	/v1/peering-shares Figure 10: interconnection class shares
 //	/v1/healthz        liveness
-//	/v1/statsz         cache, store and per-endpoint counters
+//	/v1/statsz         cache, store and per-endpoint counters (JSON)
+//	/v1/metricsz       the obs registry, text exposition
+//	/v1/tracez         recent spans and per-stage latency rollups
+//
+// With Options.EnablePprof the standard /debug/pprof/ endpoints mount
+// alongside /v1, outside the per-request timeout (profiles stream for
+// longer than any query is allowed to run).
 package serve
 
 import (
@@ -23,6 +29,7 @@ import (
 	"hash/fnv"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"reflect"
 	"strconv"
@@ -30,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -54,6 +62,19 @@ type Options struct {
 	MinMapSamples int
 	// CDFPoints is the default curve resolution of /v1/cdf (default 64).
 	CDFPoints int
+	// Obs is the registry behind /v1/metricsz and the per-endpoint
+	// counters in /v1/statsz. Share the campaign's registry here and one
+	// scrape shows the whole spine. Nil gets a private registry, so the
+	// endpoints work either way.
+	Obs *obs.Registry
+	// Tracer makes every request record a "serve.query" span and backs
+	// /v1/tracez. Nil disables spans; /v1/tracez then serves an empty
+	// (but well-formed) payload.
+	Tracer *obs.Tracer
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and should be opted
+	// into per deployment.
+	EnablePprof bool
 }
 
 func (o Options) withDefaults() Options {
@@ -80,6 +101,8 @@ const maxCDFPoints = 4096
 type Server struct {
 	q       Querier
 	opts    Options
+	reg     *obs.Registry
+	tracer  *obs.Tracer
 	cache   *lruCache
 	flights *flightGroup
 	metrics *metricSet
@@ -88,14 +111,33 @@ type Server struct {
 
 // New builds a server over q.
 func New(q Querier, opts Options) *Server {
-	return &Server{
-		q:       q,
-		opts:    opts.withDefaults(),
-		cache:   newLRUCache(opts.withDefaults().CacheEntries),
-		flights: newFlightGroup(),
-		metrics: newMetricSet("latency-map", "cdf", "platform-diff", "peering-shares", "healthz", "statsz"),
-		start:   time.Now(),
+	opts = opts.withDefaults()
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	s := &Server{
+		q:       q,
+		opts:    opts,
+		reg:     reg,
+		tracer:  opts.Tracer,
+		cache:   newLRUCache(opts.CacheEntries),
+		flights: newFlightGroup(),
+		metrics: newMetricSet(reg, "latency-map", "cdf", "platform-diff", "peering-shares",
+			"healthz", "statsz", "metricsz", "tracez"),
+		start: time.Now(),
+	}
+	// Cache occupancy and evictions live in the LRU; expose them as
+	// callbacks rather than mirroring every put.
+	reg.GaugeFunc("serve_cache_entries", func() float64 {
+		entries, _, _ := s.cache.stats()
+		return float64(entries)
+	})
+	reg.GaugeFunc("serve_cache_evictions", func() float64 {
+		_, _, evictions := s.cache.stats()
+		return float64(evictions)
+	})
+	return s
 }
 
 // InvalidateCache drops every cached response — the hook a future
@@ -103,7 +145,8 @@ func New(q Querier, opts Options) *Server {
 func (s *Server) InvalidateCache() { s.cache.purge() }
 
 // Handler returns the routed HTTP handler with the per-request timeout
-// applied.
+// applied to the /v1 API. The pprof endpoints (when enabled) bypass the
+// timeout: a 30-second CPU profile must outlive a 5-second query budget.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/latency-map", s.handleLatencyMap)
@@ -112,7 +155,36 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/peering-shares", s.handlePeeringShares)
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/statsz", s.handleStatsz)
-	return http.TimeoutHandler(mux, s.opts.Timeout, `{"error":"request timed out"}`)
+	mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
+	mux.HandleFunc("/v1/tracez", s.handleTracez)
+	api := http.TimeoutHandler(s.withTrace(mux), s.opts.Timeout, `{"error":"request timed out"}`)
+	if !s.opts.EnablePprof {
+		return api
+	}
+	outer := http.NewServeMux()
+	outer.Handle("/", api)
+	outer.HandleFunc("/debug/pprof/", pprof.Index)
+	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return outer
+}
+
+// withTrace wraps the API mux so every request runs under a
+// "serve.query" span recorded into the server's tracer. Without a
+// tracer the handler is returned unwrapped — zero per-request cost.
+func (s *Server) withTrace(h http.Handler) http.Handler {
+	if s.tracer == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := obs.ContextWithTracer(r.Context(), s.tracer)
+		ctx, span := obs.StartSpan(ctx, "serve.query")
+		span.SetAttr("path", r.URL.Path)
+		defer span.End()
+		h.ServeHTTP(w, r.WithContext(ctx))
+	})
 }
 
 // ---- DTOs ----
@@ -287,15 +359,36 @@ func (s *Server) handlePeeringShares(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics.of("healthz")
-	m.requests.Add(1)
+	s.metrics.of("healthz").requests.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
+// handleMetricsz serves the registry's text exposition. Telemetry is a
+// point-in-time reading: no ETag, Cache-Control forbids storing, so a
+// scraper can never be handed a stale snapshot by an intermediary.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.of("metricsz").requests.Inc()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	s.reg.WriteMetrics(w)
+}
+
+// handleTracez serves the recent spans and per-stage latency rollups.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	s.metrics.of("tracez").requests.Inc()
+	body, err := json.Marshal(s.tracer.Export())
+	if err != nil {
+		http.Error(w, `{"error":"marshal failed"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Write(append(body, '\n'))
+}
+
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
-	m := s.metrics.of("statsz")
-	m.requests.Add(1)
+	s.metrics.of("statsz").requests.Inc()
 	entries, capacity, evictions := s.cache.stats()
 	payload := Statsz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
@@ -333,7 +426,7 @@ func negotiate(r *http.Request) string {
 // every exit.
 func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, params string, compute func() (any, error)) {
 	m := s.metrics.of(endpoint)
-	m.requests.Add(1)
+	m.requests.Inc()
 	m.inFlight.Add(1)
 	started := time.Now()
 	defer func() {
@@ -345,11 +438,11 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 	key := endpoint + "?" + params + "&ct=" + contentType
 
 	if res, ok := s.cache.get(key); ok {
-		m.cacheHits.Add(1)
+		m.cacheHits.Inc()
 		s.write(w, r, m, res, "hit")
 		return
 	}
-	m.cacheMisses.Add(1)
+	m.cacheMisses.Inc()
 	res, shared := s.flights.do(key, func() computed {
 		v, err := compute()
 		if err != nil {
@@ -364,10 +457,10 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 		return res
 	})
 	if shared {
-		m.coalesced.Add(1)
+		m.coalesced.Inc()
 	}
 	if res.err != nil {
-		m.errors.Add(1)
+		m.errors.Inc()
 		http.Error(w, `{"error":"internal query failure"}`, http.StatusInternalServerError)
 		return
 	}
@@ -375,12 +468,12 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 }
 
 // write emits one computed response, honouring If-None-Match.
-func (s *Server) write(w http.ResponseWriter, r *http.Request, m *endpointMetrics, res computed, cacheState string) {
+func (s *Server) write(w http.ResponseWriter, r *http.Request, m *endpointInstruments, res computed, cacheState string) {
 	w.Header().Set("ETag", res.etag)
 	w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag
 	w.Header().Set("X-Cache", cacheState)
 	if etagMatches(r.Header.Get("If-None-Match"), res.etag) {
-		m.notModified.Add(1)
+		m.notModified.Inc()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
@@ -435,8 +528,8 @@ func etagMatches(header, etag string) bool {
 }
 
 func (s *Server) badRequest(w http.ResponseWriter, endpoint string, err error) {
-	s.metrics.of(endpoint).requests.Add(1)
-	s.metrics.of(endpoint).errors.Add(1)
+	s.metrics.of(endpoint).requests.Inc()
+	s.metrics.of(endpoint).errors.Inc()
 	w.Header().Set("Content-Type", ctJSON)
 	w.WriteHeader(http.StatusBadRequest)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})

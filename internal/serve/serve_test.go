@@ -22,6 +22,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/serve"
 	"repro/internal/store"
@@ -245,6 +246,97 @@ func TestNDJSONNegotiation(t *testing.T) {
 		if err := json.Unmarshal([]byte(ln), &e); err != nil {
 			t.Fatalf("line %d unparseable: %v", i, err)
 		}
+	}
+}
+
+// /v1/metricsz must expose live instruments as text, uncacheable and
+// without an ETag — telemetry is a point-in-time reading, never
+// revalidatable.
+func TestMetricszExposition(t *testing.T) {
+	st, _, _ := fixture(t)
+	reg := obs.NewRegistry()
+	h := serve.New(st, serve.Options{Obs: reg}).Handler()
+
+	doGet(h, "/v1/latency-map", nil) // populate serve instruments
+	rec := doGet(h, "/v1/metricsz", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /v1/metricsz = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-store" {
+		t.Errorf("Cache-Control = %q, want no-store", cc)
+	}
+	if etag := rec.Header().Get("ETag"); etag != "" {
+		t.Errorf("metricsz carried ETag %q; telemetry must not be revalidatable", etag)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		`serve_requests_total{endpoint="latency-map"} 1`,
+		`serve_request_ms_count{endpoint="latency-map"} 1`,
+		`serve_cache_entries`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metricsz missing %q:\n%s", want, body)
+		}
+	}
+	// The server's own instruments and any campaign instruments share
+	// one registry: external counters appear in the same scrape.
+	reg.Counter("measure_pings_total").Add(7)
+	if body := doGet(h, "/v1/metricsz", nil).Body.String(); !strings.Contains(body, "measure_pings_total 7") {
+		t.Errorf("externally registered counter missing from scrape:\n%s", body)
+	}
+}
+
+// /v1/tracez serves the spans recorded by the per-request middleware.
+func TestTracezSpans(t *testing.T) {
+	st, _, _ := fixture(t)
+	tr := obs.NewTracer(16)
+	h := serve.New(st, serve.Options{Tracer: tr}).Handler()
+
+	doGet(h, "/v1/latency-map", nil)
+	doGet(h, "/v1/platform-diff", nil)
+	var tz obs.Tracez
+	getJSON(t, h, "/v1/tracez", &tz)
+	if len(tz.Spans) != 2 {
+		t.Fatalf("tracez has %d spans, want 2: %+v", len(tz.Spans), tz.Spans)
+	}
+	paths := map[string]bool{}
+	for _, sp := range tz.Spans {
+		if sp.Name != "serve.query" {
+			t.Errorf("span name %q, want serve.query", sp.Name)
+		}
+		paths[sp.Attrs["path"]] = true
+	}
+	if !paths["/v1/latency-map"] || !paths["/v1/platform-diff"] {
+		t.Errorf("span paths = %v", paths)
+	}
+	if len(tz.Stages) != 1 || tz.Stages[0].Name != "serve.query" || tz.Stages[0].Count != 2 {
+		t.Errorf("stage rollup = %+v", tz.Stages)
+	}
+
+	// Without a tracer the endpoint still answers, with empty slices.
+	var empty obs.Tracez
+	getJSON(t, serve.New(st, serve.Options{}).Handler(), "/v1/tracez", &empty)
+	if empty.Spans == nil || empty.Stages == nil || len(empty.Spans) != 0 {
+		t.Errorf("tracer-less tracez = %+v, want empty non-nil slices", empty)
+	}
+}
+
+// pprof stays off the mux unless opted in, and mounts outside the
+// request timeout when enabled.
+func TestPprofGate(t *testing.T) {
+	st, _, _ := fixture(t)
+	if rec := doGet(serve.New(st, serve.Options{}).Handler(), "/debug/pprof/cmdline", nil); rec.Code != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", rec.Code)
+	}
+	on := serve.New(st, serve.Options{EnablePprof: true}).Handler()
+	if rec := doGet(on, "/debug/pprof/cmdline", nil); rec.Code != http.StatusOK {
+		t.Errorf("pprof with opt-in = %d, want 200", rec.Code)
+	}
+	if rec := doGet(on, "/v1/healthz", nil); rec.Code != http.StatusOK {
+		t.Errorf("API behind pprof-enabled mux = %d, want 200", rec.Code)
 	}
 }
 

@@ -1,10 +1,12 @@
 package store
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 )
 
@@ -28,24 +30,31 @@ type Feed struct {
 	counts map[string]map[pipeline.Class]int
 	pings  int
 	traces int
+
+	// Interned ingest counters (working even without a registry).
+	mPings  *obs.Counter
+	mTraces *obs.Counter
 }
 
 // NewFeed returns an empty feed. proc classifies incoming traceroutes
 // for the peering tallies; pass nil to ignore traces (ping-only store).
 func NewFeed(proc *pipeline.Processor, opts Options) *Feed {
 	return &Feed{
-		opts:   opts,
-		sc:     analysis.NewNearestCollector("speedchecker"),
-		atlas:  analysis.NewNearestCollector("atlas"),
-		region: map[string]string{},
-		proc:   proc,
-		counts: map[string]map[pipeline.Class]int{},
+		opts:    opts,
+		sc:      analysis.NewNearestCollector("speedchecker"),
+		atlas:   analysis.NewNearestCollector("atlas"),
+		region:  map[string]string{},
+		proc:    proc,
+		counts:  map[string]map[pipeline.Class]int{},
+		mPings:  opts.Obs.Counter("store_feed_pings_total"),
+		mTraces: opts.Obs.Counter("store_feed_traces_total"),
 	}
 }
 
 // Ping implements dataset.Sink.
 func (f *Feed) Ping(r dataset.PingRecord) error {
 	f.pings++
+	f.mPings.Inc()
 	f.region[r.Target.Region] = r.Target.Provider
 	f.sc.Add(&r)
 	f.atlas.Add(&r)
@@ -56,6 +65,7 @@ func (f *Feed) Ping(r dataset.PingRecord) error {
 // because the pipeline retains a pointer to it.
 func (f *Feed) Trace(r dataset.TracerouteRecord) error {
 	f.traces++
+	f.mTraces.Inc()
 	if f.proc == nil {
 		return nil
 	}
@@ -89,7 +99,14 @@ func (f *Feed) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
 // Seal finalizes both nearest-DC assignments and freezes everything
 // into an immutable Store. Probes are ingested in sorted order so the
 // sealed store is deterministic for a given stream.
-func (f *Feed) Seal() *Store {
+func (f *Feed) Seal() *Store { return f.SealContext(context.Background()) }
+
+// SealContext is Seal under a tracing context: when ctx carries an
+// obs.Tracer the finalize-sort-freeze pass records a "store.seal" span,
+// parented on whatever span the caller (the campaign runner) holds.
+func (f *Feed) SealContext(ctx context.Context) *Store {
+	_, span := obs.StartSpan(ctx, "store.seal")
+	defer span.End()
 	b := NewBuilder(f.opts)
 	for _, pl := range []struct {
 		name string

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -13,6 +14,7 @@ import (
 // vector per key. The merged vectors may alias shard memory and must be
 // treated as read-only.
 func (s *Store) gather(pick func(*shard) map[groupKey][]float64, platform string) map[string][]float64 {
+	defer obs.Time(s.mMerge)()
 	perShard := make([]map[groupKey][]float64, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {

@@ -16,10 +16,12 @@ package store
 import (
 	"hash/fnv"
 	"sort"
+	"strconv"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
@@ -29,6 +31,12 @@ type Options struct {
 	// Shards is the shard count (default 8). More shards raise ingest
 	// and query parallelism at the cost of merge fan-in.
 	Shards int
+	// Obs registers the store's instruments: feed ingest counters,
+	// seal latency, per-shard row gauges and query merge latency. Nil
+	// runs uninstrumented. The store itself never reads the wall clock
+	// (it is deterministic-scope; see internal/lint); timing happens
+	// through obs.Time, where the clock reads are allowlisted.
+	Obs *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -105,14 +113,20 @@ func (b *Builder) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
 // its per-group RTT vectors once and finalizes its summaries. The
 // builder must not be used afterwards.
 func (b *Builder) Seal() *Store {
+	defer obs.Time(b.opts.Obs.Histogram("store_seal_ms", obs.LatencyBuckets))()
 	s := &Store{
 		shards:  make([]*shard, len(b.shards)),
 		peering: b.peering,
+		mMerge:  b.opts.Obs.Histogram("store_query_merge_ms", obs.LatencyBuckets),
 	}
 	for i, sb := range b.shards {
 		s.shards[i] = sb.seal()
 	}
 	s.summary = s.buildSummary()
+	b.opts.Obs.Gauge("store_rows").Set(int64(s.summary.Rows))
+	for i, sh := range s.shards {
+		b.opts.Obs.Gauge("store_shard_rows", "shard", strconv.Itoa(i)).Set(int64(sh.rows))
+	}
 	return s
 }
 
@@ -140,6 +154,9 @@ type Store struct {
 	shards  []*shard
 	peering map[string]map[pipeline.Class]int
 	summary Summary
+	// mMerge times each gather (shard fan-out + k-way merge); interned
+	// at seal so queries pay one atomic observation, no registry lookup.
+	mMerge *obs.Histogram
 }
 
 // Summary describes the sealed store for /v1/statsz and logs.
