@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke verify
+.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke verify
 
 build:
 	$(GO) build ./...
@@ -54,6 +54,18 @@ bench-obs:
 # spine runs end to end.
 bench-obs-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkObsOverhead -benchtime=1x ./internal/obs/
+
+# Serving-path latency under load: the loadgen harness sweeps
+# concurrency levels against an in-process server, hedging off vs on,
+# over a cache-busting endpoint mix. Reference numbers (p99 vs
+# concurrency) live in BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/cloudy loadgen -scale 0.05 -cycles 2 -clients 8,64,256 -requests 200 -out BENCH_serve.json
+
+# CI smoke slice: one small cell per hedge mode, just proving the
+# harness drives the admission/hedging/swap stack end to end.
+bench-serve-smoke:
+	$(GO) run ./cmd/cloudy loadgen -scale 0.02 -cycles 1 -clients 8 -requests 25
 
 # verify is the pre-merge gate: generic static analysis (vet), the
 # repo-specific determinism/concurrency lint (cloudyvet), the full

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/admit"
+	"repro/internal/core"
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// benchRun is one (concurrency, hedging) cell of the sweep.
+type benchRun struct {
+	Clients     int            `json:"clients"`
+	Hedge       bool           `json:"hedge"`
+	Requests    int            `json:"requests"`
+	DurationSec float64        `json:"duration_sec"`
+	RPS         float64        `json:"rps"`
+	P50Ms       float64        `json:"p50_ms"`
+	P95Ms       float64        `json:"p95_ms"`
+	P99Ms       float64        `json:"p99_ms"`
+	MeanMs      float64        `json:"mean_ms"`
+	Status      map[string]int `json:"status"`
+	Anomalies   int            `json:"anomalies"`
+	Epochs      []string       `json:"epochs"`
+	HedgesFired uint64         `json:"hedges_fired"`
+	HedgesWon   uint64         `json:"hedges_won"`
+}
+
+// benchReport is the BENCH_serve.json document.
+type benchReport struct {
+	Seed              int64      `json:"seed"`
+	Scale             float64    `json:"scale"`
+	Cycles            int        `json:"cycles"`
+	RequestsPerClient int        `json:"requests_per_client"`
+	Endpoints         int        `json:"endpoints"`
+	CacheEntries      int        `json:"cache_entries"`
+	Target            string     `json:"target"` // "in-process" or the -base URL
+	Runs              []benchRun `json:"runs"`
+}
+
+// benchEndpoints is the cache-busting query mix: enough distinct keys
+// that a small response cache keeps missing and the sweep measures the
+// store's hedged fan-out, not LRU lookups. Weights fall off zipf-style
+// by position, like dashboard traffic.
+func benchEndpoints() []load.Endpoint {
+	var eps []load.Endpoint
+	for i := 0; i < 8; i++ {
+		eps = append(eps, load.Endpoint{Path: fmt.Sprintf("/v1/latency-map?min=%d", 10+i)})
+	}
+	for _, platform := range []string{"speedchecker", "atlas"} {
+		for i := 0; i < 4; i++ {
+			eps = append(eps, load.Endpoint{Path: fmt.Sprintf("/v1/cdf?platform=%s&points=%d", platform, 32+8*i)})
+		}
+	}
+	eps = append(eps,
+		load.Endpoint{Path: "/v1/platform-diff"},
+		load.Endpoint{Path: "/v1/peering-shares"})
+	return eps
+}
+
+// cmdLoadgen sweeps concurrency levels against the query API and
+// reports latency quantiles per level. In-process (the default) it
+// builds the store once and A/Bs hedging via store views; with -base
+// it hammers an already-running server over TCP instead.
+func cmdLoadgen(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	base := fs.String("base", "", "target a running server at this base URL (e.g. http://127.0.0.1:8080) instead of in-process")
+	clientsList := fs.String("clients", "8,64,256", "comma-separated concurrency sweep")
+	requests := fs.Int("requests", 200, "requests per client")
+	hedgeMode := fs.String("hedge", "both", "in-process hedging: on, off or both (A/B per concurrency)")
+	cacheEntries := fs.Int("cache", 8, "in-process server cache entries (small, so the sweep hits the store)")
+	outPath := fs.String("out", "", "write the JSON benchmark report here (e.g. BENCH_serve.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sweep, err := parseClients(*clientsList)
+	if err != nil {
+		return err
+	}
+	var hedges []bool
+	switch *hedgeMode {
+	case "off":
+		hedges = []bool{false}
+	case "on":
+		hedges = []bool{true}
+	case "both":
+		hedges = []bool{false, true}
+	default:
+		return fmt.Errorf("-hedge must be on, off or both, got %q", *hedgeMode)
+	}
+
+	report := benchReport{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles,
+		RequestsPerClient: *requests, Endpoints: len(benchEndpoints()),
+		CacheEntries: *cacheEntries, Target: "in-process",
+	}
+
+	if *base != "" {
+		// External target: the server owns its hedging and admission
+		// policy; the sweep just drives it.
+		report.Target = *base
+		client := &http.Client{Timeout: 30 * time.Second}
+		for _, clients := range sweep {
+			run, err := oneRun(ctx, *base, client, clients, *requests, *f.seed, nil, false)
+			if err != nil {
+				return err
+			}
+			report.Runs = append(report.Runs, run)
+			printRun(run)
+		}
+		return writeReport(report, *outPath)
+	}
+
+	// In-process: one store build, shared by every run; hedging toggles
+	// through WithHedge views of the same sealed shards. Quotas and the
+	// concurrency ceiling are disabled — the bench measures the store
+	// and hedging, not the admission layer.
+	buildReg := obs.NewRegistry()
+	st, err := campaignStore(ctx, core.Config{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: buildReg,
+	}, buildReg, 0)
+	if err != nil {
+		return err
+	}
+	fired := buildReg.Counter("store_hedges_fired_total")
+	won := buildReg.Counter("store_hedges_won_total")
+
+	for _, clients := range sweep {
+		for _, hedged := range hedges {
+			view := st
+			if hedged {
+				view = st.WithHedge(store.HedgeOptions{Enabled: true})
+			}
+			runReg := obs.NewRegistry()
+			srv := serve.New(view, serve.Options{
+				CacheEntries: *cacheEntries, Obs: runReg,
+				Admit: admit.Options{RatePerSec: -1, MaxInFlight: -1},
+			})
+			firedBefore, wonBefore := fired.Load(), won.Load()
+			run, err := oneRun(ctx, "http://loadgen", load.HandlerClient{Handler: srv.Handler()},
+				clients, *requests, *f.seed, runReg, hedged)
+			if err != nil {
+				return err
+			}
+			run.HedgesFired = fired.Load() - firedBefore
+			run.HedgesWon = won.Load() - wonBefore
+			report.Runs = append(report.Runs, run)
+			printRun(run)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+		}
+	}
+	return writeReport(report, *outPath)
+}
+
+// oneRun drives one load.Run cell and times it for throughput.
+func oneRun(ctx context.Context, base string, doer load.Doer, clients, requests int, seed int64, reg *obs.Registry, hedged bool) (benchRun, error) {
+	started := time.Now()
+	res, err := load.Run(ctx, base, doer, load.Options{
+		Clients: clients, RequestsPerClient: requests,
+		Endpoints: benchEndpoints(), Seed: seed, Obs: reg,
+	})
+	if err != nil {
+		return benchRun{}, err
+	}
+	elapsed := time.Since(started).Seconds()
+	run := benchRun{
+		Clients: clients, Hedge: hedged, Requests: res.Requests,
+		DurationSec: elapsed,
+		P50Ms:       res.P50Ms, P95Ms: res.P95Ms, P99Ms: res.P99Ms, MeanMs: res.MeanMs,
+		Status:    map[string]int{},
+		Anomalies: res.AnomalyCount,
+		Epochs:    res.Epochs,
+	}
+	if elapsed > 0 {
+		run.RPS = float64(res.Requests) / elapsed
+	}
+	for code, n := range res.Status {
+		run.Status[strconv.Itoa(code)] = n
+	}
+	if res.AnomalyCount > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: %d anomalies at %d clients (first: %v)\n",
+			res.AnomalyCount, clients, res.Anomalies[0])
+	}
+	return run, nil
+}
+
+func printRun(r benchRun) {
+	hedge := "off"
+	if r.Hedge {
+		hedge = "on"
+	}
+	fmt.Fprintf(os.Stdout, "clients=%-4d hedge=%-3s p50=%6.2fms p95=%6.2fms p99=%6.2fms rps=%8.0f anomalies=%d\n",
+		r.Clients, hedge, r.P50Ms, r.P95Ms, r.P99Ms, r.RPS, r.Anomalies)
+}
+
+func writeReport(rep benchReport, path string) error {
+	if path == "" {
+		return nil
+	}
+	body, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d runs)\n", path, len(rep.Runs))
+	return nil
+}
+
+func parseClients(list string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-clients entries must be positive integers, got %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients is empty")
+	}
+	return out, nil
+}

@@ -10,6 +10,11 @@
 //	                                             run the study; write the dataset
 //	cloudy serve  [-seed N] [-scale F] [-addr A] run or load a campaign, build the
 //	                                             sharded store, serve the /v1 query API
+//	                                             (admission control, hedged fan-out and
+//	                                             -reseal live store swaps built in)
+//	cloudy loadgen [-seed N] [-clients LIST]     drive a concurrency sweep against the
+//	                                             query API (in-process or -base URL) and
+//	                                             write BENCH_serve.json
 //
 // Figure IDs accepted by -figure: table1, fig3, fig4, fig5, fig6,
 // fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig15, fig16, fig17,
@@ -26,6 +31,7 @@ import (
 	"os/signal"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/analysis"
 	"repro/internal/atlasfmt"
 	"repro/internal/core"
@@ -36,6 +42,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/probes"
 	"repro/internal/report"
+	"repro/internal/sample"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/world"
@@ -61,6 +68,8 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "loadgen":
+		err = cmdLoadgen(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -79,7 +88,10 @@ func usage() {
   cloudy report  [-seed N] [-scale F] [-cycles N] [-figure ID]
   cloudy export  [-seed N] [-scale F] [-format csv|atlas] -pings FILE -traces FILE
   cloudy analyze [-seed N] -pings FILE -traces FILE
-  cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]`)
+  cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]
+                 [-hedge] [-quota-rate R] [-quota-burst B] [-max-inflight N] [-reseal DUR]
+  cloudy loadgen [-seed N] [-scale F] [-clients LIST] [-requests N] [-hedge on|off|both]
+                 [-base URL] [-out FILE]`)
 }
 
 func cmdWorld(args []string) error {
@@ -334,7 +346,10 @@ func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath strin
 
 // cmdServe builds the sharded measurement store — from a fresh campaign
 // (honouring -faults) or a previously exported dataset — and serves it
-// over the /v1 HTTP query API until interrupted, then drains.
+// over the /v1 HTTP query API until interrupted, then drains (readiness
+// flips first). Admission control is on by default; -reseal re-runs the
+// campaign on an interval and atomically swaps the fresh store in while
+// serving.
 func cmdServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	f := addStudyFlags(fs)
@@ -345,11 +360,19 @@ func cmdServe(ctx context.Context, args []string) error {
 	cacheEntries := fs.Int("cache", 256, "response cache entries")
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	hedgeFlag := fs.Bool("hedge", false, "hedge straggler shards in the query fan-out")
+	quotaRate := fs.Float64("quota-rate", 0, "per-client quota, requests/s (0 = default 100, negative disables)")
+	quotaBurst := fs.Float64("quota-burst", 0, "per-client burst capacity (0 = 2x rate)")
+	maxInflight := fs.Int("max-inflight", 0, "global concurrency ceiling, shed 503 past it (0 = default 1024, negative disables)")
+	reseal := fs.Duration("reseal", 0, "re-run the campaign with a bumped seed and swap the store live on this interval (campaign mode only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if (*pingsPath == "") != (*tracesPath == "") {
 		return fmt.Errorf("serve needs both -pings and -traces to load an export")
+	}
+	if *reseal > 0 && *pingsPath != "" {
+		return fmt.Errorf("-reseal re-runs the campaign and cannot be combined with -pings/-traces")
 	}
 
 	// One registry and tracer span the whole process: campaign, bus,
@@ -361,60 +384,31 @@ func cmdServe(ctx context.Context, args []string) error {
 
 	// Both paths below build the columnar store incrementally through a
 	// store.Feed — no dataset.Store is ever materialized for serving.
-	var feed *store.Feed
+	var st *store.Store
 	if *pingsPath != "" {
 		w, err := world.Build(world.Config{Seed: *f.seed})
 		if err != nil {
 			return err
 		}
-		feed = store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *shards, Obs: reg})
+		feed := store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *shards, Obs: reg})
 		if err := scanExport(*pingsPath, *tracesPath, feed); err != nil {
 			return err
 		}
 		np, nt := feed.Len()
 		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes from export\n", np, nt)
+		st = feed.SealContext(ctx)
 	} else {
-		fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
-			*f.seed, *f.scale, *f.cycles)
-		setup, err := core.Prepare(core.Config{
+		var err error
+		st, err = campaignStore(ctx, core.Config{
 			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: reg,
-		})
+		}, reg, *shards)
 		if err != nil {
 			return err
 		}
-		feed = store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: *shards, Obs: reg})
-		// The progress sink rides alongside the feed so the campaign fans
-		// out through the bounded bus — the same streaming spine a
-		// multi-destination run uses, with its queue telemetry live on
-		// /v1/metricsz while the campaign runs.
-		spill, scStats, atStats, err := setup.RunCampaigns(ctx, feed, &progressSink{
-			pings:  reg.Counter("stream_pings_total"),
-			traces: reg.Counter("stream_traces_total"),
-		})
-		if err != nil {
-			if spill == nil || !(scStats.SinkDegraded || atStats.SinkDegraded) {
-				return err
-			}
-			// The campaigns completed; the undelivered remainder sits in
-			// the spill store. Fold it back in and serve the full dataset.
-			fmt.Fprintf(os.Stderr, "sink degraded (%v); folding %d spilled records back into the feed\n",
-				err, scStats.Spilled+atStats.Spilled)
-			for i := range spill.Pings {
-				if perr := feed.Ping(spill.Pings[i]); perr != nil {
-					return perr
-				}
-			}
-			for i := range spill.Traces {
-				if terr := feed.Trace(spill.Traces[i]); terr != nil {
-					return terr
-				}
-			}
-		}
-		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n",
-			scStats.Pings+atStats.Pings, scStats.Traceroutes+atStats.Traceroutes)
 	}
-
-	st := feed.SealContext(ctx)
+	if *hedgeFlag {
+		st = st.WithHedge(store.HedgeOptions{Enabled: true})
+	}
 	sum := st.Summary()
 	fmt.Fprintf(os.Stderr, "store sealed: %d rows in %d shards (%d countries, %d providers; shard balance %d..%d rows)\n",
 		sum.Rows, sum.Shards, sum.Countries, sum.Providers, sum.MinShardRows, sum.MaxShardRows)
@@ -422,25 +416,86 @@ func cmdServe(ctx context.Context, args []string) error {
 	srv := serve.New(st, serve.Options{
 		CacheEntries: *cacheEntries, Timeout: *timeout,
 		Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag,
+		Admit: admit.Options{
+			RatePerSec: *quotaRate, Burst: *quotaBurst, MaxInFlight: *maxInflight,
+		},
 	})
-	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
-	return serve.ListenAndServe(ctx, *addr, srv.Handler())
+	if *reseal > 0 {
+		go resealLoop(ctx, srv, f, reg, *shards, *hedgeFlag, *reseal)
+	}
+	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,readyz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
+	return srv.ListenAndServe(ctx, *addr)
 }
 
-// progressSink is `cloudy serve`'s second campaign sink: it mirrors the
-// record stream onto two registry counters and drops the records. Its
-// real job is engaging the fan-out bus (a single sink bypasses it), so
-// the serve path exercises the same backpressure spine as a
-// multi-destination export.
-type progressSink struct {
-	pings, traces *obs.Counter
+// campaignStore runs the campaigns into a fresh store.Feed and seals
+// it. A sample.CounterSink rides alongside the feed so the campaign
+// fans out through the bounded bus — the same streaming spine a
+// multi-destination run uses, with its queue telemetry live on
+// /v1/metricsz while the campaign runs.
+func campaignStore(ctx context.Context, cfg core.Config, reg *obs.Registry, shards int) (*store.Store, error) {
+	fmt.Fprintf(os.Stderr, "running study: seed %d, scale %.2f, %d cycles...\n",
+		cfg.Seed, cfg.Scale, cfg.Cycles)
+	setup, err := core.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	feed := store.NewFeed(pipeline.NewProcessor(setup.World), store.Options{Shards: shards, Obs: reg})
+	spill, scStats, atStats, err := setup.RunCampaigns(ctx, feed, sample.NewCounterSink(reg))
+	if err != nil {
+		if spill == nil || !(scStats.SinkDegraded || atStats.SinkDegraded) {
+			return nil, err
+		}
+		// The campaigns completed; the undelivered remainder sits in
+		// the spill store. Fold it back in and serve the full dataset.
+		fmt.Fprintf(os.Stderr, "sink degraded (%v); folding %d spilled records back into the feed\n",
+			err, scStats.Spilled+atStats.Spilled)
+		for i := range spill.Pings {
+			if perr := feed.Ping(spill.Pings[i]); perr != nil {
+				return nil, perr
+			}
+		}
+		for i := range spill.Traces {
+			if terr := feed.Trace(spill.Traces[i]); terr != nil {
+				return nil, terr
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes\n",
+		scStats.Pings+atStats.Pings, scStats.Traceroutes+atStats.Traceroutes)
+	return feed.SealContext(ctx), nil
 }
 
-func (p *progressSink) Ping(dataset.PingRecord) error { p.pings.Inc(); return nil }
-
-func (p *progressSink) Trace(dataset.TracerouteRecord) error { p.traces.Inc(); return nil }
-
-func (p *progressSink) Close() error { return nil }
+// resealLoop is the live re-seal: on every tick it re-runs the
+// campaign with a bumped seed into a brand-new feed — the old store
+// keeps serving throughout — and atomically swaps the fresh seal in.
+// Cache keys, singleflight keys and ETags all carry the store epoch,
+// so the swap drops zero requests and can never confirm a stale 304.
+func resealLoop(ctx context.Context, srv *serve.Server, f studyFlags, reg *obs.Registry, shards int, hedge bool, interval time.Duration) {
+	for n := int64(1); ; n++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
+		seed := *f.seed + n
+		st, err := campaignStore(ctx, core.Config{
+			Seed: seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: reg,
+		}, reg, shards)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			fmt.Fprintf(os.Stderr, "reseal: %v\n", err)
+			continue
+		}
+		if hedge {
+			st = st.WithHedge(store.HedgeOptions{Enabled: true})
+		}
+		epoch := srv.Swap(st)
+		fmt.Fprintf(os.Stderr, "resealed: epoch %d mounted (seed %d, %d rows)\n",
+			epoch, seed, st.Summary().Rows)
+	}
+}
 
 // scanExport streams a previously exported dataset into any sink
 // through the constant-memory codec cursors — the one export-loading

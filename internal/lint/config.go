@@ -57,11 +57,13 @@ func DefaultConfig() *Config {
 				Include: []string{""},
 				Exclude: []string{"internal/dataset"},
 			},
-			// The two packages whose exported API spawns goroutines:
-			// the campaign engine (checkpoint/resume depends on
-			// cancellation) and the HTTP service (graceful drain).
+			// The packages whose exported API spawns goroutines or
+			// blocks: the campaign engine (checkpoint/resume depends on
+			// cancellation), the HTTP service (graceful drain), the
+			// admission layer in front of it, and the load harness
+			// (thousands of client goroutines must die with the run).
 			CtxPropagate.Name: {
-				Include: []string{"internal/measure", "internal/serve"},
+				Include: []string{"internal/measure", "internal/serve", "internal/admit", "internal/load"},
 			},
 		},
 	}

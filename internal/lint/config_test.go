@@ -39,9 +39,31 @@ func TestNoRawTimeObsExemption(t *testing.T) {
 	}
 	// Sibling packages — including ones that route timing through obs —
 	// keep the full contract: a plain time.Now() still fails there.
-	for _, rel := range []string{"internal/measure", "internal/store", "internal/obsidian"} {
+	// internal/admit and internal/load are pinned explicitly: the
+	// admission layer and the load harness were built clock-free
+	// (injected Clock, obs.Time/obs.After) precisely so they would NOT
+	// need an exemption, and this keeps anyone from quietly adding one.
+	for _, rel := range []string{
+		"internal/measure", "internal/store", "internal/obsidian",
+		"internal/admit", "internal/load",
+	} {
 		if got := runAs(rel); len(got) == 0 {
 			t.Errorf("norawtime found nothing in %s; the obs exemption leaked", rel)
 		}
+	}
+}
+
+// TestCtxPropagateCoversAdmissionAndLoad pins the ctxpropagate scope:
+// the admission controller and the load harness ship goroutine-spawning
+// APIs and must stay inside the analyzer's Include list.
+func TestCtxPropagateCoversAdmissionAndLoad(t *testing.T) {
+	scope := DefaultConfig().Scopes[CtxPropagate.Name]
+	for _, rel := range []string{"internal/measure", "internal/serve", "internal/admit", "internal/load"} {
+		if !scope.Matches(rel) {
+			t.Errorf("ctxpropagate scope must cover %s", rel)
+		}
+	}
+	if scope.Matches("internal/stats") {
+		t.Error("ctxpropagate scope unexpectedly covers internal/stats")
 	}
 }

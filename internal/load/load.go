@@ -1,0 +1,382 @@
+// Package load is the closed-loop load harness behind `cloudy
+// loadgen`: N concurrent clients hammer the query service with a
+// zipf-weighted endpoint mix, revalidating with remembered ETags like
+// real HTTP caches do, and every response is checked for anomalies —
+// unexpected status codes, validator/epoch disagreements, whatever the
+// caller's Validate hook rejects. The result carries the latency
+// quantiles (p50/p95/p99 straight from an obs histogram), the status
+// mix and every store epoch observed, which is exactly the evidence
+// the live re-seal chaos test and BENCH_serve.json need.
+//
+// The package never reads the wall clock: request latency is measured
+// through obs.Time (the allowlisted stopwatch) and quantiles come from
+// the histogram snapshot, so load stays inside the repo's norawtime
+// contract. Wall-clock throughput is the caller's business — cmd/cloudy
+// times the whole run and divides.
+package load
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Doer issues one HTTP request. *http.Client satisfies it; the
+// in-process HandlerClient below avoids sockets entirely.
+type Doer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// HandlerClient is a Doer that invokes an http.Handler directly — the
+// loadgen path for in-process benchmarks and chaos tests, where the
+// kernel's TCP stack would only add noise to the numbers.
+type HandlerClient struct {
+	Handler http.Handler
+}
+
+// Do serves the request against the wrapped handler and materializes
+// the recorded response.
+func (c HandlerClient) Do(req *http.Request) (*http.Response, error) {
+	w := &memWriter{header: http.Header{}}
+	c.Handler.ServeHTTP(w, req)
+	code := w.code
+	if code == 0 {
+		code = http.StatusOK
+	}
+	return &http.Response{
+		StatusCode: code,
+		Header:     w.header,
+		Body:       io.NopCloser(bytes.NewReader(w.buf.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+// memWriter is a minimal in-memory http.ResponseWriter.
+type memWriter struct {
+	header http.Header
+	buf    bytes.Buffer
+	code   int
+}
+
+func (w *memWriter) Header() http.Header { return w.header }
+
+func (w *memWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.buf.Write(p)
+}
+
+func (w *memWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+}
+
+// Endpoint is one entry in the request mix.
+type Endpoint struct {
+	// Path is the request path (plus query string) relative to the base
+	// URL, e.g. "/v1/latency-map".
+	Path string
+	// Weight is the relative request share. Zero weights are assigned
+	// zipf-style by position: endpoint i gets 1/(i+1)^s, so the first
+	// few endpoints dominate the mix the way a handful of dashboards
+	// dominate real query traffic.
+	Weight float64
+}
+
+// DefaultEndpoints is the query mix when Options.Endpoints is empty:
+// the four figure endpoints, zipf-weighted in dashboard order.
+func DefaultEndpoints() []Endpoint {
+	return []Endpoint{
+		{Path: "/v1/latency-map"},
+		{Path: "/v1/cdf?platform=speedchecker"},
+		{Path: "/v1/cdf?platform=atlas"},
+		{Path: "/v1/platform-diff"},
+		{Path: "/v1/peering-shares"},
+	}
+}
+
+// zipfExponent shapes the positional default weights.
+const zipfExponent = 1.2
+
+// Options tunes a load run.
+type Options struct {
+	// Clients is the number of concurrent closed-loop clients
+	// (default 64). Each carries its own X-Client-ID, so per-client
+	// quotas see them as distinct callers.
+	Clients int
+	// RequestsPerClient is how many requests each client issues
+	// (default 100). The run is closed-loop: a client fires its next
+	// request the moment the previous response is consumed.
+	RequestsPerClient int
+	// Endpoints is the request mix (default DefaultEndpoints()).
+	Endpoints []Endpoint
+	// RevalidateFraction is the share of repeat requests that replay
+	// the last ETag seen for that path via If-None-Match (default 0.5,
+	// negative disables) — real caches revalidate, so the harness does.
+	RevalidateFraction float64
+	// Seed feeds the per-client RNGs; runs with equal seeds issue the
+	// identical request sequence.
+	Seed int64
+	// AllowedStatus is the set of status codes that are not anomalies
+	// (default 200, 304, 429, 503 — the codes a robust server may
+	// legitimately answer under fire).
+	AllowedStatus []int
+	// Validate, when set, inspects every allowed response; a non-nil
+	// error records an anomaly. The chaos test uses it to catch
+	// mixed-epoch bodies.
+	Validate func(status int, epoch string, header http.Header, body []byte) error
+	// Obs receives the harness instruments (loadgen_request_ms,
+	// loadgen_requests_total, per-status counters). Nil gets a private
+	// registry; the latency quantiles in Result work either way.
+	Obs *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Clients <= 0 {
+		o.Clients = 64
+	}
+	if o.RequestsPerClient <= 0 {
+		o.RequestsPerClient = 100
+	}
+	if len(o.Endpoints) == 0 {
+		o.Endpoints = DefaultEndpoints()
+	}
+	if o.RevalidateFraction == 0 {
+		o.RevalidateFraction = 0.5
+	}
+	if o.RevalidateFraction < 0 {
+		o.RevalidateFraction = 0
+	}
+	if len(o.AllowedStatus) == 0 {
+		o.AllowedStatus = []int{http.StatusOK, http.StatusNotModified,
+			http.StatusTooManyRequests, http.StatusServiceUnavailable}
+	}
+	return o
+}
+
+// maxRecordedAnomalies bounds Result.Anomalies; the count keeps
+// climbing past it.
+const maxRecordedAnomalies = 16
+
+// Result summarizes one load run.
+type Result struct {
+	// Requests is the number of requests issued.
+	Requests int `json:"requests"`
+	// Status maps status code → count.
+	Status map[int]int `json:"status"`
+	// AnomalyCount is the total number of anomalous responses:
+	// disallowed status codes, transport errors and Validate failures.
+	AnomalyCount int `json:"anomaly_count"`
+	// Anomalies holds the first few anomaly descriptions for debugging.
+	Anomalies []string `json:"anomalies,omitempty"`
+	// Epochs lists every distinct X-Store-Epoch value observed, sorted
+	// — a run across a live re-seal sees at least two.
+	Epochs []string `json:"epochs"`
+	// Latency quantiles in milliseconds, from the harness histogram.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// MeanMs is the mean request latency in milliseconds.
+	MeanMs float64 `json:"mean_ms"`
+}
+
+// clientState is one client's partial tally, merged after the run.
+type clientState struct {
+	requests  int
+	status    map[int]int
+	anomalies []string
+	anomalyN  int
+	epochs    map[string]struct{}
+	etags     map[string]string // path → last ETag seen
+}
+
+// Run drives the load: opts.Clients concurrent clients issue
+// closed-loop requests against base (e.g. "http://host:port" for a
+// real socket, "http://loadgen" for a HandlerClient) until each has
+// sent its share or ctx is cancelled. Cancellation is not an error —
+// the partial Result is returned with whatever was observed.
+func Run(ctx context.Context, base string, d Doer, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	if d == nil {
+		return Result{}, fmt.Errorf("load: nil Doer")
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	hist := reg.Histogram("loadgen_request_ms", obs.LatencyBuckets)
+	mRequests := reg.Counter("loadgen_requests_total")
+	mAnomalies := reg.Counter("loadgen_anomalies_total")
+
+	cum := cumulativeWeights(opts.Endpoints)
+	states := make([]*clientState, opts.Clients)
+	var wg sync.WaitGroup
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			states[c] = runClient(ctx, base, d, opts, cum, c, hist, mRequests, mAnomalies)
+		}(c)
+	}
+	wg.Wait()
+
+	res := Result{Status: map[int]int{}}
+	epochs := map[string]struct{}{}
+	for _, st := range states {
+		res.Requests += st.requests
+		res.AnomalyCount += st.anomalyN
+		for code, n := range st.status {
+			res.Status[code] += n
+		}
+		for _, a := range st.anomalies {
+			if len(res.Anomalies) < maxRecordedAnomalies {
+				res.Anomalies = append(res.Anomalies, a)
+			}
+		}
+		for e := range st.epochs {
+			epochs[e] = struct{}{}
+		}
+	}
+	res.Epochs = make([]string, 0, len(epochs))
+	for e := range epochs {
+		res.Epochs = append(res.Epochs, e)
+	}
+	sort.Strings(res.Epochs)
+	snap := hist.Snapshot()
+	res.P50Ms = snap.Quantile(0.50)
+	res.P95Ms = snap.Quantile(0.95)
+	res.P99Ms = snap.Quantile(0.99)
+	if snap.Count > 0 {
+		res.MeanMs = snap.Sum / float64(snap.Count)
+	}
+	return res, nil
+}
+
+// runClient is one closed-loop client: pick an endpoint from the zipf
+// mix, maybe revalidate with the remembered ETag, issue, tally.
+func runClient(ctx context.Context, base string, d Doer, opts Options, cum []float64, idx int,
+	hist *obs.Histogram, mRequests, mAnomalies *obs.Counter) *clientState {
+	st := &clientState{
+		status: map[int]int{},
+		epochs: map[string]struct{}{},
+		etags:  map[string]string{},
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + int64(idx)*7919))
+	clientID := fmt.Sprintf("load-%d", idx)
+	for i := 0; i < opts.RequestsPerClient; i++ {
+		if ctx.Err() != nil {
+			return st
+		}
+		path := opts.Endpoints[pickEndpoint(cum, rng.Float64())].Path
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
+		if err != nil {
+			st.anomaly(fmt.Sprintf("build %s: %v", path, err))
+			mAnomalies.Inc()
+			continue
+		}
+		req.Header.Set("X-Client-ID", clientID)
+		if etag := st.etags[path]; etag != "" && rng.Float64() < opts.RevalidateFraction {
+			req.Header.Set("If-None-Match", etag)
+		}
+		st.requests++
+		mRequests.Inc()
+
+		stop := obs.Time(hist)
+		resp, err := d.Do(req)
+		if err != nil {
+			stop()
+			if ctx.Err() != nil {
+				return st // cancellation, not an anomaly
+			}
+			st.anomaly(fmt.Sprintf("GET %s: %v", path, err))
+			mAnomalies.Inc()
+			continue
+		}
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		stop()
+		if readErr != nil {
+			st.anomaly(fmt.Sprintf("GET %s: read: %v", path, readErr))
+			mAnomalies.Inc()
+			continue
+		}
+		st.status[resp.StatusCode]++
+		if epoch := resp.Header.Get("X-Store-Epoch"); epoch != "" {
+			st.epochs[epoch] = struct{}{}
+		}
+		if etag := resp.Header.Get("ETag"); etag != "" {
+			st.etags[path] = etag
+		}
+		if !statusAllowed(opts.AllowedStatus, resp.StatusCode) {
+			st.anomaly(fmt.Sprintf("GET %s: status %d: %.120s", path, resp.StatusCode, body))
+			mAnomalies.Inc()
+			continue
+		}
+		if opts.Validate != nil {
+			if verr := opts.Validate(resp.StatusCode, resp.Header.Get("X-Store-Epoch"), resp.Header, body); verr != nil {
+				st.anomaly(fmt.Sprintf("GET %s: %v", path, verr))
+				mAnomalies.Inc()
+			}
+		}
+	}
+	return st
+}
+
+func (st *clientState) anomaly(desc string) {
+	st.anomalyN++
+	if len(st.anomalies) < maxRecordedAnomalies {
+		st.anomalies = append(st.anomalies, desc)
+	}
+}
+
+// cumulativeWeights normalizes the endpoint weights (filling zeros
+// zipf-style by position) into a cumulative distribution over [0, 1).
+func cumulativeWeights(eps []Endpoint) []float64 {
+	weights := make([]float64, len(eps))
+	total := 0.0
+	for i, ep := range eps {
+		w := ep.Weight
+		if w <= 0 {
+			w = 1 / math.Pow(float64(i+1), zipfExponent)
+		}
+		weights[i] = w
+		total += w
+	}
+	cum := make([]float64, len(weights))
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / total
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1 // guard against float drift
+	return cum
+}
+
+// pickEndpoint maps a uniform draw onto the cumulative mix.
+func pickEndpoint(cum []float64, u float64) int {
+	for i, c := range cum {
+		if u < c {
+			return i
+		}
+	}
+	return len(cum) - 1
+}
+
+func statusAllowed(allowed []int, code int) bool {
+	for _, a := range allowed {
+		if a == code {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,186 @@
+package load_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+)
+
+// stubHandler answers every path with a tiny JSON body, an ETag and a
+// fixed store epoch, honouring If-None-Match.
+type stubHandler struct {
+	epoch atomic.Uint64
+	hits  atomic.Int64
+	paths chan string
+}
+
+func newStub() *stubHandler {
+	s := &stubHandler{paths: make(chan string, 1<<16)}
+	s.epoch.Store(1)
+	return s
+}
+
+func (s *stubHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.hits.Add(1)
+	select {
+	case s.paths <- r.URL.Path + "?" + r.URL.RawQuery:
+	default:
+	}
+	epoch := s.epoch.Load()
+	etag := fmt.Sprintf("%q", fmt.Sprintf("e%d-stub", epoch))
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Store-Epoch", fmt.Sprintf("%d", epoch))
+	if r.Header.Get("If-None-Match") == etag {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, `{"epoch":%d}`, epoch)
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	stub := newStub()
+	reg := obs.NewRegistry()
+	res, err := load.Run(context.Background(), "http://stub", load.HandlerClient{Handler: stub},
+		load.Options{Clients: 8, RequestsPerClient: 25, Seed: 1, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 200 {
+		t.Errorf("requests = %d, want 200", res.Requests)
+	}
+	if got := stub.hits.Load(); got != 200 {
+		t.Errorf("handler saw %d requests, want 200", got)
+	}
+	if res.AnomalyCount != 0 {
+		t.Errorf("anomalies = %d (%v), want 0", res.AnomalyCount, res.Anomalies)
+	}
+	if res.Status[http.StatusOK]+res.Status[http.StatusNotModified] != 200 {
+		t.Errorf("status mix = %v, want only 200/304", res.Status)
+	}
+	// ETag replay must have produced some revalidations.
+	if res.Status[http.StatusNotModified] == 0 {
+		t.Error("no 304s: ETag revalidation never happened")
+	}
+	if len(res.Epochs) != 1 || res.Epochs[0] != "1" {
+		t.Errorf("epochs = %v, want [1]", res.Epochs)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms || res.MeanMs <= 0 {
+		t.Errorf("quantiles p50=%v p99=%v mean=%v", res.P50Ms, res.P99Ms, res.MeanMs)
+	}
+	if got := reg.Counter("loadgen_requests_total").Load(); got != 200 {
+		t.Errorf("loadgen_requests_total = %d, want 200", got)
+	}
+}
+
+// The endpoint mix must be zipf-ish: earlier endpoints get strictly
+// more traffic, and a fixed seed reproduces the exact mix.
+func TestZipfMixAndDeterminism(t *testing.T) {
+	counts := func(seed int64) map[string]int {
+		stub := newStub()
+		_, err := load.Run(context.Background(), "http://stub", load.HandlerClient{Handler: stub},
+			load.Options{Clients: 4, RequestsPerClient: 250, Seed: seed, RevalidateFraction: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		close(stub.paths)
+		got := map[string]int{}
+		for p := range stub.paths {
+			got[p]++
+		}
+		return got
+	}
+	a := counts(42)
+	first := a["/v1/latency-map?"]
+	last := a["/v1/peering-shares?"]
+	if first == 0 || last == 0 {
+		t.Fatalf("mix missed endpoints entirely: %v", a)
+	}
+	if first <= last {
+		t.Errorf("zipf mix inverted: first endpoint %d ≤ last %d", first, last)
+	}
+	b := counts(42)
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("seeded rerun diverged at %s: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+// Disallowed statuses and Validate rejections are anomalies; allowed
+// shed/throttle codes are not.
+func TestAnomalyDetection(t *testing.T) {
+	boom := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+	})
+	res, err := load.Run(context.Background(), "http://stub", load.HandlerClient{Handler: boom},
+		load.Options{Clients: 2, RequestsPerClient: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnomalyCount != 20 {
+		t.Errorf("anomalies = %d, want 20 (every 502)", res.AnomalyCount)
+	}
+	if len(res.Anomalies) == 0 || !strings.Contains(res.Anomalies[0], "status 502") {
+		t.Errorf("anomaly descriptions = %v", res.Anomalies)
+	}
+
+	shed := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	})
+	res, err = load.Run(context.Background(), "http://stub", load.HandlerClient{Handler: shed},
+		load.Options{Clients: 2, RequestsPerClient: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnomalyCount != 0 {
+		t.Errorf("503s counted as anomalies: %d", res.AnomalyCount)
+	}
+
+	stub := newStub()
+	res, err = load.Run(context.Background(), "http://stub", load.HandlerClient{Handler: stub},
+		load.Options{Clients: 1, RequestsPerClient: 5, Validate: func(status int, epoch string, _ http.Header, _ []byte) error {
+			return fmt.Errorf("reject everything")
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AnomalyCount != 5 {
+		t.Errorf("Validate rejections = %d anomalies, want 5", res.AnomalyCount)
+	}
+}
+
+// Cancellation stops the run early and is not an anomaly.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := atomic.Int64{}
+	slow := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1) == 4 {
+			cancel()
+		}
+		w.Write([]byte("{}"))
+	})
+	res, err := load.Run(ctx, "http://stub", load.HandlerClient{Handler: slow},
+		load.Options{Clients: 2, RequestsPerClient: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests >= 1<<20 {
+		t.Error("cancellation did not stop the run")
+	}
+	if res.AnomalyCount != 0 {
+		t.Errorf("cancellation produced %d anomalies: %v", res.AnomalyCount, res.Anomalies)
+	}
+}
+
+func TestRunNilDoer(t *testing.T) {
+	if _, err := load.Run(context.Background(), "http://x", nil, load.Options{}); err == nil {
+		t.Error("nil Doer accepted")
+	}
+}

@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform over (0, 1]: all land in the first bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	s := h.Snapshot()
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("p50 of uniform(0,1] = %v, want 0.5", got)
+	}
+	if got := s.Quantile(0.95); math.Abs(got-0.95) > 1e-9 {
+		t.Errorf("p95 = %v, want 0.95", got)
+	}
+
+	// Spread across buckets: 50 in (0,1], 50 in (1,2]. p75 interpolates
+	// halfway through the second bucket.
+	h2 := newHistogram([]float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.5)
+		h2.Observe(1.5)
+	}
+	if got := h2.Snapshot().Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+
+	// Tail beyond the last finite bound clamps to it.
+	h3 := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h3.Observe(100)
+	}
+	if got := h3.Snapshot().Quantile(0.99); got != 2 {
+		t.Errorf("overflow-bucket quantile = %v, want clamp to 2", got)
+	}
+
+	// Empty histogram answers 0.
+	if got := newHistogram([]float64{1}).Snapshot().Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}

@@ -1,0 +1,33 @@
+package sample
+
+import "repro/internal/obs"
+
+// CounterSink mirrors the record stream onto two registry counters and
+// drops the records. Its job is visibility, not storage: riding as a
+// second sink it puts live stream_pings_total / stream_traces_total on
+// /v1/metricsz while a campaign runs — and, because a multi-sink run
+// engages the fan-out Bus, it exercises the same bounded-buffer
+// backpressure spine a multi-destination export uses. `cloudy serve`
+// attaches one to the initial build and to every live re-seal.
+type CounterSink struct {
+	Pings  *obs.Counter
+	Traces *obs.Counter
+}
+
+// NewCounterSink interns the stream counters on reg (nil-safe, like
+// every obs constructor).
+func NewCounterSink(reg *obs.Registry) *CounterSink {
+	return &CounterSink{
+		Pings:  reg.Counter("stream_pings_total"),
+		Traces: reg.Counter("stream_traces_total"),
+	}
+}
+
+// Ping implements Sink.
+func (c *CounterSink) Ping(Sample) error { c.Pings.Inc(); return nil }
+
+// Trace implements Sink.
+func (c *CounterSink) Trace(TraceSample) error { c.Traces.Inc(); return nil }
+
+// Close implements Sink; counting needs no flush.
+func (c *CounterSink) Close() error { return nil }

@@ -1,0 +1,57 @@
+package sample
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// CounterSink counts every record, flushes as a no-op, and keeps
+// counting when reused by a later campaign (Close means flush here).
+func TestCounterSink(t *testing.T) {
+	reg := obs.NewRegistry()
+	cs := NewCounterSink(reg)
+	for i := 0; i < 5; i++ {
+		if err := cs.Ping(Sample{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := cs.Trace(TraceSample{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Ping(Sample{}); err != nil {
+		t.Errorf("CounterSink unusable after Close: %v", err)
+	}
+	if got := reg.Counter("stream_pings_total").Load(); got != 6 {
+		t.Errorf("stream_pings_total = %d, want 6", got)
+	}
+	if got := reg.Counter("stream_traces_total").Load(); got != 3 {
+		t.Errorf("stream_traces_total = %d, want 3", got)
+	}
+	var sb strings.Builder
+	reg.WriteMetrics(&sb)
+	if !strings.Contains(sb.String(), "stream_pings_total 6") {
+		t.Errorf("metrics exposition missing stream counter:\n%s", sb.String())
+	}
+
+	// As a Bus member it receives every record like any other sink.
+	reg2 := obs.NewRegistry()
+	bus := NewBus(BusOptions{Buffer: 4}, NewCounterSink(reg2))
+	for i := 0; i < 10; i++ {
+		if err := bus.Ping(Sample{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bus.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg2.Counter("stream_pings_total").Load(); got != 10 {
+		t.Errorf("bus-fed CounterSink saw %d pings, want 10", got)
+	}
+}

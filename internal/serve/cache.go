@@ -11,6 +11,7 @@ type computed struct {
 	body        []byte
 	etag        string
 	contentType string
+	epoch       uint64 // store epoch the body was computed against
 	err         error
 }
 

@@ -1,0 +1,165 @@
+package serve_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/load"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestChaosLiveResealUnderLoad is the zero-drop proof: 1024 concurrent
+// clients hammer the API through the load harness while the store is
+// live-swapped between two different datasets every few milliseconds.
+// The run must finish with
+//
+//   - zero anomalies — every response is 200, 304, 429 or 503, nothing
+//     else (no 500s, no timeouts, no torn reads);
+//   - zero mixed-epoch bodies — every 200 body is byte-identical to
+//     the canonical body of the store its X-Store-Epoch names;
+//   - at least two store epochs observed by the clients;
+//   - the hedge, quota, shed and swap counters visible on /v1/metricsz.
+func TestChaosLiveResealUnderLoad(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, ds, processed := fixture(t)
+	// Both stores share the registry (hedge counters intern once) and
+	// hedge aggressively so the fan-out's recovery path runs under load.
+	hedge := store.HedgeOptions{Enabled: true, Delay: 300 * time.Microsecond}
+	stA := store.FromDataset(ds, processed, store.Options{Shards: 4, Obs: reg, Hedge: hedge})
+	stB := altStore(store.Options{Shards: 4, Obs: reg, Hedge: hedge})
+
+	// Canonical bodies per store for every path in the chaos mix. The
+	// stores are sealed and the queries deterministic, so each (store,
+	// path) pair has exactly one 200 body.
+	endpoints := load.DefaultEndpoints()
+	canon := map[string]string{} // body → "A" or "B"
+	for name, st := range map[string]serve.Querier{"A": stA, "B": stB} {
+		h := serve.New(st, serve.Options{}).Handler()
+		for _, ep := range endpoints {
+			rec := doGet(h, ep.Path, nil)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("canonical GET %s on %s = %d", ep.Path, name, rec.Code)
+			}
+			body := rec.Body.String()
+			if prev, dup := canon[body]; dup && prev != name {
+				t.Fatalf("stores A and B share a body for %s; torn-store detection would be blind", ep.Path)
+			}
+			canon[body] = name
+		}
+	}
+
+	// Epoch parity: the server mounts A as epoch 1 and the swap loop
+	// alternates B, A, B, ... — odd epochs are A, even are B.
+	storeFor := func(epoch string) string {
+		n, err := strconv.ParseUint(epoch, 10, 64)
+		if err != nil || n == 0 {
+			return ""
+		}
+		if n%2 == 1 {
+			return "A"
+		}
+		return "B"
+	}
+
+	srv := serve.New(stA, serve.Options{Obs: reg})
+	h := srv.Handler()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	loadDone := make(chan struct{})
+	swapsDone := make(chan int)
+	go func() {
+		swaps := 0
+		next := []serve.Querier{stB, stA}
+		for {
+			select {
+			case <-loadDone:
+				swapsDone <- swaps
+				return
+			case <-time.After(3 * time.Millisecond):
+				srv.Swap(next[swaps%2])
+				swaps++
+			}
+		}
+	}()
+
+	res, err := load.Run(ctx, "http://chaos", load.HandlerClient{Handler: h}, load.Options{
+		Clients:           1024,
+		RequestsPerClient: 4,
+		Endpoints:         endpoints,
+		Seed:              7,
+		Obs:               reg,
+		Validate: func(status int, epoch string, _ http.Header, body []byte) error {
+			if status != http.StatusOK {
+				return nil // 304 has no body; 429/503 are admission, not data
+			}
+			want := storeFor(epoch)
+			if want == "" {
+				return fmt.Errorf("200 with unparseable X-Store-Epoch %q", epoch)
+			}
+			got, known := canon[string(body)]
+			if !known {
+				return fmt.Errorf("epoch %s: body matches neither store (torn read?): %.80s", epoch, body)
+			}
+			if got != want {
+				return fmt.Errorf("mixed epoch: X-Store-Epoch %s (store %s) served store %s's body", epoch, want, got)
+			}
+			return nil
+		},
+	})
+	close(loadDone)
+	swaps := <-swapsDone
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Requests != 1024*4 {
+		t.Errorf("requests = %d, want %d", res.Requests, 1024*4)
+	}
+	if res.AnomalyCount != 0 {
+		t.Errorf("%d anomalies under chaos (first %d: %v)", res.AnomalyCount, len(res.Anomalies), res.Anomalies)
+	}
+	for code := range res.Status {
+		switch code {
+		case http.StatusOK, http.StatusNotModified, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		default:
+			t.Errorf("status %d appeared under chaos: %v", code, res.Status)
+		}
+	}
+	if res.Status[http.StatusOK] == 0 {
+		t.Error("no 200s at all; the chaos run never exercised the data path")
+	}
+	if len(res.Epochs) < 2 {
+		t.Errorf("epochs observed = %v (%d swaps fired); a live re-seal run must span at least 2", res.Epochs, swaps)
+	}
+	if swaps == 0 {
+		t.Error("swap loop never fired; the run was not a re-seal chaos test")
+	}
+
+	// The robustness counters must all be scrapeable on /v1/metricsz.
+	body := doGet(h, "/v1/metricsz", nil).Body.String()
+	for _, name := range []string{
+		"store_hedges_fired_total",
+		"store_hedges_won_total",
+		"admit_quota_denied_total",
+		"admit_shed_total",
+		"admit_in_flight",
+		"serve_store_swaps_total",
+		"serve_store_epoch",
+		"loadgen_requests_total",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("metricsz missing %s after the chaos run", name)
+		}
+	}
+	if !strings.Contains(body, fmt.Sprintf("serve_store_swaps_total %d", swaps)) {
+		t.Errorf("metricsz swap counter disagrees with the %d swaps fired", swaps)
+	}
+}

@@ -5,15 +5,34 @@
 // with ETag revalidation, JSON/NDJSON content negotiation, per-request
 // timeouts and graceful drain on shutdown.
 //
+// Three robustness layers stand between the listener and the store
+// (DESIGN.md §11):
+//
+//   - Admission control (internal/admit): a global concurrency ceiling
+//     sheds excess load with 503 before the TimeoutHandler can burn a
+//     worker on it, and per-client token buckets answer 429 with
+//     Retry-After once a client outruns its quota.
+//   - The store behind the server is swappable while serving: Swap
+//     atomically replaces the Querier and bumps the store epoch; cache
+//     keys, singleflight keys and ETags all carry the epoch, so a
+//     request observes exactly one store and a stale If-None-Match can
+//     never be confirmed with a 304 after a swap.
+//   - Liveness and readiness are split: /v1/healthz answers as long as
+//     the process runs, /v1/readyz answers 200 only while a store is
+//     mounted, admission is initialized and the server is not
+//     draining — and graceful drain flips readiness first, so load
+//     balancers stop routing before the listener closes.
+//
 // Endpoints:
 //
 //	/v1/latency-map    Figure 3: per-country median RTT map
 //	/v1/cdf            Figure 4: per-continent latency CDFs
 //	/v1/platform-diff  Figure 5: Speedchecker − Atlas percentile diffs
 //	/v1/peering-shares Figure 10: interconnection class shares
-//	/v1/healthz        liveness
+//	/v1/healthz        liveness (process up; bypasses admission)
+//	/v1/readyz         readiness (store mounted, not draining; bypasses admission)
 //	/v1/statsz         cache, store and per-endpoint counters (JSON)
-//	/v1/metricsz       the obs registry, text exposition
+//	/v1/metricsz       the obs registry, text exposition (bypasses admission)
 //	/v1/tracez         recent spans and per-stage latency rollups
 //
 // With Options.EnablePprof the standard /debug/pprof/ endpoints mount
@@ -27,6 +46,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -34,8 +54,10 @@ import (
 	"reflect"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admit"
 	"repro/internal/analysis"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -75,6 +97,12 @@ type Options struct {
 	// default: profiling endpoints expose internals and should be opted
 	// into per deployment.
 	EnablePprof bool
+	// Admit configures admission control. The zero value enables both
+	// layers with the admit defaults (per-client 100 req/s with a 200
+	// burst, 1024 requests in flight); set RatePerSec or MaxInFlight
+	// negative to disable a layer. Obs and Clock are filled in by the
+	// server when unset.
+	Admit admit.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -97,19 +125,32 @@ func (o Options) withDefaults() Options {
 // for an absurd curve.
 const maxCDFPoints = 4096
 
-// Server answers the /v1 API over a Querier.
-type Server struct {
-	q       Querier
-	opts    Options
-	reg     *obs.Registry
-	tracer  *obs.Tracer
-	cache   *lruCache
-	flights *flightGroup
-	metrics *metricSet
-	start   time.Time
+// epochStore pairs a store with the epoch it was mounted under. One
+// atomic load hands a request both halves, so a request can never
+// observe store A with epoch B — the pair is immutable after Swap.
+type epochStore struct {
+	q     Querier
+	epoch uint64
 }
 
-// New builds a server over q.
+// Server answers the /v1 API over a swappable Querier.
+type Server struct {
+	cur      atomic.Pointer[epochStore]
+	epoch    atomic.Uint64
+	draining atomic.Bool
+	opts     Options
+	reg      *obs.Registry
+	tracer   *obs.Tracer
+	cache    *lruCache
+	flights  *flightGroup
+	metrics  *metricSet
+	admit    *admit.Controller
+	mSwaps   *obs.Counter
+	gEpoch   *obs.Gauge
+	start    time.Time
+}
+
+// New builds a server over q, mounted as store epoch 1.
 func New(q Querier, opts Options) *Server {
 	opts = opts.withDefaults()
 	reg := opts.Obs
@@ -117,16 +158,28 @@ func New(q Querier, opts Options) *Server {
 		reg = obs.NewRegistry()
 	}
 	s := &Server{
-		q:       q,
 		opts:    opts,
 		reg:     reg,
 		tracer:  opts.Tracer,
 		cache:   newLRUCache(opts.CacheEntries),
 		flights: newFlightGroup(),
 		metrics: newMetricSet(reg, "latency-map", "cdf", "platform-diff", "peering-shares",
-			"healthz", "statsz", "metricsz", "tracez"),
-		start: time.Now(),
+			"healthz", "readyz", "statsz", "metricsz", "tracez"),
+		mSwaps: reg.Counter("serve_store_swaps_total"),
+		gEpoch: reg.Gauge("serve_store_epoch"),
+		start:  time.Now(),
 	}
+	ao := opts.Admit
+	ao.Obs = reg
+	if ao.Clock == nil {
+		// Admission never reads the wall clock itself; the HTTP layer
+		// (norawtime-exempt) hands it a monotonic stopwatch.
+		ao.Clock = func() time.Duration { return time.Since(s.start) }
+	}
+	s.admit = admit.New(ao)
+	s.epoch.Store(1)
+	s.gEpoch.Set(1)
+	s.cur.Store(&epochStore{q: q, epoch: 1})
 	// Cache occupancy and evictions live in the LRU; expose them as
 	// callbacks rather than mirroring every put.
 	reg.GaugeFunc("serve_cache_entries", func() float64 {
@@ -140,35 +193,129 @@ func New(q Querier, opts Options) *Server {
 	return s
 }
 
-// InvalidateCache drops every cached response — the hook a future
-// incremental-ingest path (or a benchmark) uses after swapping stores.
+// Swap atomically replaces the served store and returns the new epoch.
+// In-flight requests finish against the store they loaded at entry;
+// every later request sees the new pair. The response cache is purged
+// (old-epoch entries are unreachable anyway — keys carry the epoch —
+// but holding dead bodies in the LRU would waste its capacity), and
+// because ETags embed the epoch, a client revalidating a pre-swap ETag
+// always receives a full 200 with the new body, never a stale 304.
+//
+// Swap is the live re-seal hook: a new campaign streams into a fresh
+// store.Feed while this server keeps answering from the sealed store,
+// and the finished seal is mounted here with zero dropped requests.
+func (s *Server) Swap(q Querier) uint64 {
+	epoch := s.epoch.Add(1)
+	s.cur.Store(&epochStore{q: q, epoch: epoch})
+	s.cache.purge()
+	s.mSwaps.Inc()
+	s.gEpoch.Set(int64(epoch))
+	return epoch
+}
+
+// Epoch returns the current store epoch.
+func (s *Server) Epoch() uint64 { return s.epoch.Load() }
+
+// current returns the mounted (store, epoch) pair.
+func (s *Server) current() *epochStore { return s.cur.Load() }
+
+// InvalidateCache drops every cached response — the hook an
+// incremental-ingest path (or a benchmark) uses without swapping
+// stores. Swap already purges internally.
 func (s *Server) InvalidateCache() { s.cache.purge() }
 
-// Handler returns the routed HTTP handler with the per-request timeout
-// applied to the /v1 API. The pprof endpoints (when enabled) bypass the
-// timeout: a 30-second CPU profile must outlive a 5-second query budget.
+// BeginDrain marks the server as draining: /v1/readyz starts answering
+// 503 so load balancers route new traffic elsewhere, while in-flight
+// and straggler requests keep being served until the listener closes.
+// Drain is one-way; a draining server never becomes ready again.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Ready reports whether the server would answer /v1/readyz with 200.
+func (s *Server) Ready() bool {
+	return !s.draining.Load() && s.cur.Load() != nil && s.admit != nil
+}
+
+// Handler returns the routed HTTP handler. The data endpoints sit
+// behind admission control and the per-request timeout, in that order:
+// the concurrency ceiling sheds with a cheap 503 *before* the
+// TimeoutHandler allocates a worker to the request. The control
+// endpoints (healthz, readyz, metricsz) bypass both — an operator must
+// be able to probe and scrape a saturated server — as do the pprof
+// endpoints when enabled (a 30-second CPU profile must outlive a
+// 5-second query budget).
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/latency-map", s.handleLatencyMap)
-	mux.HandleFunc("/v1/cdf", s.handleCDF)
-	mux.HandleFunc("/v1/platform-diff", s.handlePlatformDiff)
-	mux.HandleFunc("/v1/peering-shares", s.handlePeeringShares)
-	mux.HandleFunc("/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/statsz", s.handleStatsz)
-	mux.HandleFunc("/v1/metricsz", s.handleMetricsz)
-	mux.HandleFunc("/v1/tracez", s.handleTracez)
-	api := http.TimeoutHandler(s.withTrace(mux), s.opts.Timeout, `{"error":"request timed out"}`)
-	if !s.opts.EnablePprof {
-		return api
-	}
+	data := http.NewServeMux()
+	data.HandleFunc("/v1/latency-map", s.handleLatencyMap)
+	data.HandleFunc("/v1/cdf", s.handleCDF)
+	data.HandleFunc("/v1/platform-diff", s.handlePlatformDiff)
+	data.HandleFunc("/v1/peering-shares", s.handlePeeringShares)
+	data.HandleFunc("/v1/statsz", s.handleStatsz)
+	data.HandleFunc("/v1/tracez", s.handleTracez)
+	api := s.withAdmission(http.TimeoutHandler(s.withTrace(data), s.opts.Timeout, `{"error":"request timed out"}`))
+
 	outer := http.NewServeMux()
 	outer.Handle("/", api)
-	outer.HandleFunc("/debug/pprof/", pprof.Index)
-	outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	outer.HandleFunc("/v1/healthz", s.handleHealthz)
+	outer.HandleFunc("/v1/readyz", s.handleReadyz)
+	outer.HandleFunc("/v1/metricsz", s.handleMetricsz)
+	if s.opts.EnablePprof {
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return outer
+}
+
+// withAdmission wraps the data endpoints with the two admission
+// layers: the global concurrency ceiling (503, shed) and the
+// per-client token bucket (429, Retry-After). The client key is the
+// X-Client-ID header when present — multiplexed proxies can pass
+// through end-client identity — else the remote host.
+func (s *Server) withAdmission(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		release, ok := s.admit.Acquire()
+		if !ok {
+			w.Header().Set("Content-Type", ctJSON)
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"server overloaded, request shed"}`)
+			return
+		}
+		defer release()
+		if ok, retry := s.admit.Allow(clientKey(r)); !ok {
+			w.Header().Set("Content-Type", ctJSON)
+			w.Header().Set("Retry-After", retryAfterSeconds(retry))
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprintln(w, `{"error":"client quota exhausted"}`)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// clientKey identifies the client for quota accounting.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// retryAfterSeconds renders a Retry-After value: whole seconds,
+// rounded up, at least 1 (a zero Retry-After invites an instant retry
+// storm).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
 }
 
 // withTrace wraps the API mux so every request runs under a
@@ -286,6 +433,8 @@ func PeeringSharesDTO(shares []analysis.InterconnectShare) []PeeringShareEntry {
 // Statsz is the /v1/statsz payload.
 type Statsz struct {
 	UptimeSeconds float64                  `json:"uptime_seconds"`
+	StoreEpoch    uint64                   `json:"store_epoch"`
+	Ready         bool                     `json:"ready"`
 	Store         store.Summary            `json:"store"`
 	Cache         CacheStats               `json:"cache"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
@@ -306,8 +455,8 @@ func (s *Server) handleLatencyMap(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "latency-map", err)
 		return
 	}
-	s.respond(w, r, "latency-map", fmt.Sprintf("min=%d", minSamples), func() (any, error) {
-		return LatencyMapDTO(s.q.LatencyMap(minSamples)), nil
+	s.respond(w, r, "latency-map", fmt.Sprintf("min=%d", minSamples), func(q Querier) (any, error) {
+		return LatencyMapDTO(q.LatencyMap(minSamples)), nil
 	})
 }
 
@@ -331,8 +480,8 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	key := fmt.Sprintf("platform=%s&continent=%s&points=%d", platform, continent, points)
-	s.respond(w, r, "cdf", key, func() (any, error) {
-		dists := s.q.ContinentCDFs(platform)
+	s.respond(w, r, "cdf", key, func(q Querier) (any, error) {
+		dists := q.ContinentCDFs(platform)
 		if continent != "" {
 			kept := dists[:0:0]
 			for _, d := range dists {
@@ -347,21 +496,40 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlatformDiff(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, r, "platform-diff", "", func() (any, error) {
-		return PlatformDiffDTO(s.q.PlatformDiff()), nil
+	s.respond(w, r, "platform-diff", "", func(q Querier) (any, error) {
+		return PlatformDiffDTO(q.PlatformDiff()), nil
 	})
 }
 
 func (s *Server) handlePeeringShares(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, r, "peering-shares", "", func() (any, error) {
-		return PeeringSharesDTO(s.q.PeeringShares()), nil
+	s.respond(w, r, "peering-shares", "", func(q Querier) (any, error) {
+		return PeeringSharesDTO(q.PeeringShares()), nil
 	})
 }
 
+// handleHealthz is pure liveness: it answers 200 as long as the
+// process can run a handler, even while draining or swapping — restart
+// decisions must not be coupled to routing decisions.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.of("healthz").requests.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// handleReadyz is routability: 200 only while a store is mounted,
+// admission is initialized and the server is not draining. Graceful
+// shutdown flips this to 503 before the listener closes, so load
+// balancers drain the instance instead of surfacing connection resets.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.of("readyz").requests.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Cache-Control", "no-store")
+	if !s.Ready() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, `{"status":"draining"}`)
+		return
+	}
+	fmt.Fprintf(w, "{\"status\":\"ready\",\"epoch\":%d}\n", s.epoch.Load())
 }
 
 // handleMetricsz serves the registry's text exposition. Telemetry is a
@@ -390,9 +558,12 @@ func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.metrics.of("statsz").requests.Inc()
 	entries, capacity, evictions := s.cache.stats()
+	es := s.current()
 	payload := Statsz{
 		UptimeSeconds: time.Since(s.start).Seconds(),
-		Store:         s.q.Summary(),
+		StoreEpoch:    es.epoch,
+		Ready:         s.Ready(),
+		Store:         es.q.Summary(),
 		Cache:         CacheStats{Entries: entries, Capacity: capacity, Evictions: evictions},
 		Endpoints:     s.metrics.snapshot(),
 	}
@@ -423,8 +594,12 @@ func negotiate(r *http.Request) string {
 
 // respond runs the cached/coalesced read path: canonical key → LRU →
 // singleflight compute → encode → cache, with ETag revalidation at
-// every exit.
-func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, params string, compute func() (any, error)) {
+// every exit. The (store, epoch) pair is loaded exactly once per
+// request — the compute closure runs against that snapshot, and the
+// epoch prefixes the cache and singleflight keys, so concurrent
+// requests racing a Swap coalesce per-epoch and each one's cache
+// entry, ETag and X-Store-Epoch all describe the same store.
+func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, params string, compute func(q Querier) (any, error)) {
 	m := s.metrics.of(endpoint)
 	m.requests.Inc()
 	m.inFlight.Add(1)
@@ -434,8 +609,9 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 		m.observe(time.Since(started))
 	}()
 
+	es := s.current()
 	contentType := negotiate(r)
-	key := endpoint + "?" + params + "&ct=" + contentType
+	key := fmt.Sprintf("e%d:%s?%s&ct=%s", es.epoch, endpoint, params, contentType)
 
 	if res, ok := s.cache.get(key); ok {
 		m.cacheHits.Inc()
@@ -444,7 +620,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 	}
 	m.cacheMisses.Inc()
 	res, shared := s.flights.do(key, func() computed {
-		v, err := compute()
+		v, err := compute(es.q)
 		if err != nil {
 			return computed{err: err}
 		}
@@ -452,7 +628,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 		if err != nil {
 			return computed{err: err}
 		}
-		res := computed{body: body, etag: etagOf(body), contentType: contentType}
+		res := computed{body: body, etag: etagOf(es.epoch, body), contentType: contentType, epoch: es.epoch}
 		s.cache.put(key, res)
 		return res
 	})
@@ -467,11 +643,15 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 	s.write(w, r, m, res, "miss")
 }
 
-// write emits one computed response, honouring If-None-Match.
+// write emits one computed response, honouring If-None-Match. The ETag
+// embeds the store epoch, so a conditional request made before a Swap
+// can never be confirmed against the new store — the tags differ even
+// when the bodies happen to hash alike.
 func (s *Server) write(w http.ResponseWriter, r *http.Request, m *endpointInstruments, res computed, cacheState string) {
 	w.Header().Set("ETag", res.etag)
 	w.Header().Set("Cache-Control", "no-cache") // revalidate via ETag
 	w.Header().Set("X-Cache", cacheState)
+	w.Header().Set("X-Store-Epoch", strconv.FormatUint(res.epoch, 10))
 	if etagMatches(r.Header.Get("If-None-Match"), res.etag) {
 		m.notModified.Inc()
 		w.WriteHeader(http.StatusNotModified)
@@ -506,10 +686,13 @@ func encode(v any, contentType string) ([]byte, error) {
 	return append(body, '\n'), nil
 }
 
-func etagOf(body []byte) string {
+// etagOf derives the entity tag from the store epoch plus the body
+// hash: "e<epoch>-<fnv64a>". The epoch prefix is the zero-drop swap
+// guarantee — validators from different epochs never compare equal.
+func etagOf(epoch uint64, body []byte) string {
 	h := fnv.New64a()
 	h.Write(body)
-	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+	return fmt.Sprintf("%q", fmt.Sprintf("e%d-%016x", epoch, h.Sum64()))
 }
 
 // etagMatches implements the If-None-Match comparison over a
@@ -566,8 +749,26 @@ func platformParam(q url.Values) (string, error) {
 
 // ---- lifecycle ----
 
+// ListenAndServe serves the server's Handler on addr until ctx is
+// cancelled, then drains: readiness flips to 503 first (load balancers
+// stop routing), then in-flight requests finish gracefully.
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.ServeListener(ctx, ln)
+}
+
+// ServeListener is Server.ListenAndServe over an existing listener
+// (tests pass one bound to an ephemeral port).
+func (s *Server) ServeListener(ctx context.Context, ln net.Listener) error {
+	return serveListener(ctx, ln, s.Handler(), s.BeginDrain)
+}
+
 // ListenAndServe serves h on addr until ctx is cancelled, then drains
-// in-flight requests gracefully before returning.
+// in-flight requests gracefully before returning. Prefer the Server
+// method, which also flips /v1/readyz before draining.
 func ListenAndServe(ctx context.Context, addr string, h http.Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -576,13 +777,19 @@ func ListenAndServe(ctx context.Context, addr string, h http.Handler) error {
 	return ServeListener(ctx, ln, h)
 }
 
-// ServeListener is ListenAndServe over an existing listener (tests pass
-// one bound to an ephemeral port).
+// ServeListener is ListenAndServe over an existing listener.
 func ServeListener(ctx context.Context, ln net.Listener, h http.Handler) error {
+	return serveListener(ctx, ln, h, nil)
+}
+
+func serveListener(ctx context.Context, ln net.Listener, h http.Handler, beginDrain func()) error {
 	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
+		if beginDrain != nil {
+			beginDrain() // readyz → 503 before the listener closes
+		}
 		drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		done <- srv.Shutdown(drainCtx)

@@ -1,0 +1,130 @@
+package store
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/geo"
+	"repro/internal/obs"
+)
+
+// hedgeFixture builds a small sealed store spread over 4 shards.
+func hedgeFixture(opts Options) *Store {
+	b := NewBuilder(opts)
+	countries := []struct {
+		code string
+		cont geo.Continent
+	}{{"DE", geo.EU}, {"FR", geo.EU}, {"US", geo.NA}, {"JP", geo.AS}, {"BR", geo.SA}}
+	for ci, c := range countries {
+		for _, prov := range []string{"AMZN", "GCP", "MSFT"} {
+			for k := 0; k < 20; k++ {
+				b.Add(Sample{
+					Platform: "speedchecker", Country: c.code, Continent: c.cont,
+					Provider: prov, RTTms: float64(10*ci + k),
+				})
+			}
+		}
+	}
+	return b.Seal()
+}
+
+// A hedged query over a store with one stalled shard must return
+// exactly what the unhedged query returns, fire at least one hedge,
+// and win with it (the hedge attempt is not stalled, so it finishes
+// first).
+func TestHedgeRecoversStalledShard(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := hedgeFixture(Options{Shards: 4, Obs: reg})
+	want := st.CountrySamples("speedchecker")
+	if len(want) == 0 {
+		t.Fatal("fixture produced no groups")
+	}
+
+	hedged := st.WithHedge(HedgeOptions{Enabled: true, Delay: 2 * time.Millisecond})
+	// The primary attempt on shard 1 stalls for much longer than the
+	// hedge delay; its hedge twin runs clean.
+	block := make(chan struct{})
+	defer close(block)
+	hedged.shardStall = func(shardIdx int, isHedge bool) {
+		if shardIdx == 1 && !isHedge {
+			select {
+			case <-block:
+			case <-time.After(2 * time.Second): // fail-safe, not expected
+			}
+		}
+	}
+
+	got := hedged.CountrySamples("speedchecker")
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("hedged query diverges from unhedged:\ngot  %d groups\nwant %d groups", len(got), len(want))
+	}
+	fired := reg.Counter("store_hedges_fired_total").Load()
+	won := reg.Counter("store_hedges_won_total").Load()
+	if fired == 0 {
+		t.Error("no hedge fired against a stalled shard")
+	}
+	if won == 0 {
+		t.Error("hedge fired but never won against a 2s stall")
+	}
+	if won > fired {
+		t.Errorf("hedges won (%d) exceeds hedges fired (%d)", won, fired)
+	}
+}
+
+// With hedging disabled the fan-out must never fire a hedge, and the
+// WithHedge view must share the underlying shards (same data answers).
+func TestHedgeDisabledAndViewSharing(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := hedgeFixture(Options{Shards: 4, Obs: reg})
+	base := st.CountrySamples("speedchecker")
+	if got := reg.Counter("store_hedges_fired_total").Load(); got != 0 {
+		t.Errorf("hedges fired with hedging disabled: %d", got)
+	}
+
+	view := st.WithHedge(HedgeOptions{Enabled: true, Delay: time.Millisecond})
+	if got := view.CountrySamples("speedchecker"); !reflect.DeepEqual(got, base) {
+		t.Error("WithHedge view answers differently from the base store")
+	}
+	if !reflect.DeepEqual(view.Summary(), st.Summary()) {
+		t.Error("WithHedge view has a different summary")
+	}
+}
+
+// The derived hedge delay: fixed Delay wins; cold histogram falls back
+// to the cold default; a warm histogram derives p95 floored at
+// MinDelay.
+func TestHedgeDelayDerivation(t *testing.T) {
+	st := hedgeFixture(Options{Shards: 2})
+
+	fixed := st.WithHedge(HedgeOptions{Enabled: true, Delay: 7 * time.Millisecond})
+	if got := fixed.hedgeDelay(); got != 7*time.Millisecond {
+		t.Errorf("fixed delay = %v, want 7ms", got)
+	}
+
+	derived := st.WithHedge(HedgeOptions{Enabled: true, MinDelay: time.Millisecond})
+	if got := derived.hedgeDelay(); got != coldHedgeDelay {
+		t.Errorf("cold delay = %v, want %v", got, coldHedgeDelay)
+	}
+	// Warm the pick histogram: 100 observations around 4–6ms put the
+	// p95 well above the 1ms floor.
+	for i := 0; i < 100; i++ {
+		derived.mPick.Observe(4 + float64(i%3))
+	}
+	got := derived.hedgeDelay()
+	if got < time.Millisecond || got > 50*time.Millisecond {
+		t.Errorf("derived p95 delay = %v, want within (1ms, 50ms)", got)
+	}
+	if got == coldHedgeDelay {
+		t.Errorf("warm histogram still using cold default %v", got)
+	}
+
+	// A floor above the p95 clamps upward.
+	floored := st.WithHedge(HedgeOptions{Enabled: true, MinDelay: time.Second})
+	for i := 0; i < 100; i++ {
+		floored.mPick.Observe(0.01)
+	}
+	if got := floored.hedgeDelay(); got != time.Second {
+		t.Errorf("floored delay = %v, want 1s", got)
+	}
+}

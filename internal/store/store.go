@@ -17,6 +17,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dataset"
@@ -31,17 +32,39 @@ type Options struct {
 	// Shards is the shard count (default 8). More shards raise ingest
 	// and query parallelism at the cost of merge fan-in.
 	Shards int
+	// Hedge configures straggler hedging in the query fan-out.
+	Hedge HedgeOptions
 	// Obs registers the store's instruments: feed ingest counters,
 	// seal latency, per-shard row gauges and query merge latency. Nil
 	// runs uninstrumented. The store itself never reads the wall clock
 	// (it is deterministic-scope; see internal/lint); timing happens
-	// through obs.Time, where the clock reads are allowlisted.
+	// through obs.Time and obs.After, where the clock reads are
+	// allowlisted.
 	Obs *obs.Registry
+}
+
+// HedgeOptions tunes the hedged shard fan-out: when a shard query has
+// not answered within the hedge delay, a duplicate attempt launches
+// and the first response wins (the loser is cancelled). Because shards
+// are immutable, a hedge can only trade duplicated work for tail
+// latency — never a different answer.
+type HedgeOptions struct {
+	// Enabled turns hedging on.
+	Enabled bool
+	// Delay is a fixed hedge trigger. Zero derives the trigger from
+	// the p95 of observed shard-query latency instead.
+	Delay time.Duration
+	// MinDelay floors the derived trigger so a uniformly-fast store
+	// does not hedge on scheduler noise (default 200µs).
+	MinDelay time.Duration
 }
 
 func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 8
+	}
+	if o.Hedge.MinDelay <= 0 {
+		o.Hedge.MinDelay = 200 * time.Microsecond
 	}
 	return o
 }
@@ -115,9 +138,13 @@ func (b *Builder) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
 func (b *Builder) Seal() *Store {
 	defer obs.Time(b.opts.Obs.Histogram("store_seal_ms", obs.LatencyBuckets))()
 	s := &Store{
-		shards:  make([]*shard, len(b.shards)),
-		peering: b.peering,
-		mMerge:  b.opts.Obs.Histogram("store_query_merge_ms", obs.LatencyBuckets),
+		shards:       make([]*shard, len(b.shards)),
+		peering:      b.peering,
+		hedge:        b.opts.Hedge,
+		mMerge:       b.opts.Obs.Histogram("store_query_merge_ms", obs.LatencyBuckets),
+		mPick:        b.opts.Obs.Histogram("store_shard_query_ms", obs.LatencyBuckets),
+		mHedgesFired: b.opts.Obs.Counter("store_hedges_fired_total"),
+		mHedgesWon:   b.opts.Obs.Counter("store_hedges_won_total"),
 	}
 	for i, sb := range b.shards {
 		s.shards[i] = sb.seal()
@@ -154,9 +181,31 @@ type Store struct {
 	shards  []*shard
 	peering map[string]map[pipeline.Class]int
 	summary Summary
-	// mMerge times each gather (shard fan-out + k-way merge); interned
-	// at seal so queries pay one atomic observation, no registry lookup.
-	mMerge *obs.Histogram
+	hedge   HedgeOptions
+	// mMerge times each gather (shard fan-out + k-way merge); mPick
+	// times each per-shard pick (and feeds the p95 the hedge delay
+	// derives from). Both are interned at seal so queries pay one
+	// atomic observation, no registry lookup.
+	mMerge       *obs.Histogram
+	mPick        *obs.Histogram
+	mHedgesFired *obs.Counter
+	mHedgesWon   *obs.Counter
+	// shardStall, when set (tests only), runs at the start of every
+	// shard attempt so a straggler shard can be simulated.
+	shardStall func(shardIdx int, hedged bool)
+}
+
+// WithHedge returns a view of the same sealed store with a different
+// hedging policy. The shards, summaries and instruments are shared —
+// the store stays immutable — so toggling hedging (the loadgen A/B
+// comparison, a serve flag flip) costs one small allocation.
+func (s *Store) WithHedge(h HedgeOptions) *Store {
+	clone := *s
+	if h.MinDelay <= 0 {
+		h.MinDelay = 200 * time.Microsecond
+	}
+	clone.hedge = h
+	return &clone
 }
 
 // Summary describes the sealed store for /v1/statsz and logs.
