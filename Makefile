@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke verify
+.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke bench-wire bench-wire-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -23,12 +23,14 @@ lint:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# Short fuzz pass over the NDJSON codec (regression corpus + 10s each).
+# Short fuzz pass over the text and binary codecs (regression corpus +
+# 10s each).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzImportPings -fuzztime=10s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=10s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=10s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wirecodec/
 
 # fuzz-smoke is the pre-merge slice of the fuzz pass: 2s per codec
 # target, enough to replay the corpus and shake out shallow regressions
@@ -38,6 +40,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=2s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=2s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=2s ./internal/dataset/
+	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=2s ./internal/wirecodec/
 
 # Full benchmark suite with allocation stats, including the store
 # fan-out/merge and the serve cached-vs-cold comparison.
@@ -66,6 +69,22 @@ bench-serve:
 # harness drives the admission/hedging/swap stack end to end.
 bench-serve-smoke:
 	$(GO) run ./cmd/cloudy loadgen -scale 0.02 -cycles 1 -clients 8 -requests 25
+
+# Wire codec vs NDJSON on real campaign records; the acceptance floor
+# is a 2x encode+decode speedup. Reference numbers live in
+# BENCH_wire.json.
+bench-wire:
+	$(GO) run ./cmd/cloudy benchwire -scale 0.02 -cycles 1 -iters 5 -out BENCH_wire.json
+
+# CI smoke slice: one pass per codec, no report file.
+bench-wire-smoke:
+	$(GO) run ./cmd/cloudy benchwire -scale 0.02 -cycles 1 -iters 1
+
+# Worker-kill chaos test under the race detector: one worker of three
+# dies mid-stream, its shard must be reassigned and the merged store
+# must seal bit-identical to the single-process run.
+chaos-smoke:
+	$(GO) test -race -run 'TestChaosWorkerKilledMidSweep' -count=1 ./internal/cluster/
 
 # verify is the pre-merge gate: generic static analysis (vet), the
 # repo-specific determinism/concurrency lint (cloudyvet), the full

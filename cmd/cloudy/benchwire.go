@@ -1,0 +1,200 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/wirecodec"
+)
+
+// wireBenchSide is one codec's encode+decode measurement.
+type wireBenchSide struct {
+	NsPerPass      int64   `json:"ns_per_pass"`
+	Bytes          int     `json:"bytes"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	BytesPerRecord float64 `json:"bytes_per_record"`
+}
+
+// wireBenchReport is the BENCH_wire.json document: the binary wire
+// codec A/B'd against the NDJSON-era text codecs (ping CSV +
+// traceroute JSONL) over the same campaign records.
+type wireBenchReport struct {
+	Seed      int64         `json:"seed"`
+	Scale     float64       `json:"scale"`
+	Cycles    int           `json:"cycles"`
+	Pings     int           `json:"pings"`
+	Traces    int           `json:"traces"`
+	Iters     int           `json:"iters"`
+	Wire      wireBenchSide `json:"wire"`
+	NDJSON    wireBenchSide `json:"ndjson"`
+	Speedup   float64       `json:"speedup"`    // ndjson ns / wire ns
+	SizeRatio float64       `json:"size_ratio"` // ndjson bytes / wire bytes
+}
+
+// cmdBenchwire benchmarks the cluster wire protocol's sample codec
+// against the text formats on real campaign records and writes
+// BENCH_wire.json. Each side's figure is the best full encode+decode
+// pass of -iters attempts.
+func cmdBenchwire(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("benchwire", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	iters := fs.Int("iters", 5, "measurement passes per codec (best-of)")
+	outPath := fs.String("out", "", "write the JSON benchmark report here (e.g. BENCH_wire.json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "collecting corpus: seed %d, scale %.2f, %d cycles...\n",
+		*f.seed, *f.scale, *f.cycles)
+	study, err := core.Run(ctx, core.Config{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+	})
+	if err != nil {
+		return err
+	}
+	pings, traces := study.Store.Pings, study.Store.Traces
+	if len(pings) == 0 {
+		return fmt.Errorf("benchwire: campaign produced no records")
+	}
+	fmt.Fprintf(os.Stderr, "corpus: %d pings, %d traceroutes\n", len(pings), len(traces))
+
+	rep := wireBenchReport{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles,
+		Pings: len(pings), Traces: len(traces), Iters: *iters,
+	}
+	records := float64(len(pings) + len(traces))
+
+	rep.Wire, err = bestOf(*iters, records, func() (int, error) { return wirePass(pings, traces) })
+	if err != nil {
+		return err
+	}
+	rep.NDJSON, err = bestOf(*iters, records, func() (int, error) { return ndjsonPass(pings, traces) })
+	if err != nil {
+		return err
+	}
+	rep.Speedup = float64(rep.NDJSON.NsPerPass) / float64(rep.Wire.NsPerPass)
+	rep.SizeRatio = float64(rep.NDJSON.Bytes) / float64(rep.Wire.Bytes)
+
+	fmt.Fprintf(os.Stdout, "wire:   %8.2f ms/pass  %7.2f MB/s  %5.1f B/record\n",
+		float64(rep.Wire.NsPerPass)/1e6, rep.Wire.MBPerSec, rep.Wire.BytesPerRecord)
+	fmt.Fprintf(os.Stdout, "ndjson: %8.2f ms/pass  %7.2f MB/s  %5.1f B/record\n",
+		float64(rep.NDJSON.NsPerPass)/1e6, rep.NDJSON.MBPerSec, rep.NDJSON.BytesPerRecord)
+	fmt.Fprintf(os.Stdout, "wire codec is %.1fx faster and %.1fx smaller than NDJSON\n",
+		rep.Speedup, rep.SizeRatio)
+
+	if *outPath != "" {
+		body, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outPath, append(body, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outPath)
+	}
+	return nil
+}
+
+// bestOf runs pass() n times and keeps the fastest, deriving the
+// throughput figures from it.
+func bestOf(n int, records float64, pass func() (int, error)) (wireBenchSide, error) {
+	var side wireBenchSide
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		nBytes, err := pass()
+		ns := time.Since(start).Nanoseconds()
+		if err != nil {
+			return side, err
+		}
+		if side.NsPerPass == 0 || ns < side.NsPerPass {
+			side.NsPerPass = ns
+			side.Bytes = nBytes
+		}
+	}
+	secs := float64(side.NsPerPass) / 1e9
+	if secs > 0 {
+		side.MBPerSec = float64(side.Bytes) / (1 << 20) / secs
+	}
+	if records > 0 {
+		side.BytesPerRecord = float64(side.Bytes) / records
+	}
+	return side, nil
+}
+
+// wirePass encodes everything through the binary codec and decodes it
+// back, verifying the counts.
+func wirePass(pings []sample.Sample, traces []sample.TraceSample) (int, error) {
+	var buf bytes.Buffer
+	w := wirecodec.NewWriter(&buf, wirecodec.Options{})
+	for i := range pings {
+		if err := w.Ping(pings[i]); err != nil {
+			return 0, err
+		}
+	}
+	for i := range traces {
+		if err := w.Trace(traces[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := w.Finish(); err != nil {
+		return 0, err
+	}
+	nP, nT, err := wirecodec.NewReader(bytes.NewReader(buf.Bytes()), wirecodec.Options{}).Scan(nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	if nP != uint64(len(pings)) || nT != uint64(len(traces)) {
+		return 0, fmt.Errorf("benchwire: wire pass decoded %d/%d records, want %d/%d",
+			nP, nT, len(pings), len(traces))
+	}
+	return buf.Len(), nil
+}
+
+// ndjsonPass is the same round trip through the text formats the
+// cluster plane replaces: ping CSV plus traceroute JSONL.
+func ndjsonPass(pings []sample.Sample, traces []sample.TraceSample) (int, error) {
+	var csvBuf, jsonlBuf bytes.Buffer
+	sink := dataset.NewFileSink(&csvBuf, &jsonlBuf)
+	for i := range pings {
+		if err := sink.Ping(pings[i]); err != nil {
+			return 0, err
+		}
+	}
+	for i := range traces {
+		if err := sink.Trace(traces[i]); err != nil {
+			return 0, err
+		}
+	}
+	if err := sink.Close(); err != nil {
+		return 0, err
+	}
+	total := csvBuf.Len() + jsonlBuf.Len()
+	nP := 0
+	if err := dataset.ScanPings(bytes.NewReader(csvBuf.Bytes()), func(dataset.PingRecord) error {
+		nP++
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	nT := 0
+	if err := dataset.ScanTraces(bytes.NewReader(jsonlBuf.Bytes()), func(dataset.TracerouteRecord) error {
+		nT++
+		return nil
+	}); err != nil && err != io.EOF {
+		return 0, err
+	}
+	if nP != len(pings) || nT != len(traces) {
+		return 0, fmt.Errorf("benchwire: ndjson pass decoded %d/%d records, want %d/%d",
+			nP, nT, len(pings), len(traces))
+	}
+	return total, nil
+}

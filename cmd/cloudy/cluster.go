@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/store"
+	"repro/internal/world"
+)
+
+// cmdCoordinator runs the distributed campaign plane's control side:
+// it listens for workers, leases out country shards, merges the
+// returned binary sample streams into a store.Feed, and prints the
+// sealed store's summary and digest — the value a single-process run
+// of the same seed would produce bit for bit.
+func cmdCoordinator(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
+	f := addStudyFlags(fs)
+	addr := fs.String("addr", "127.0.0.1:9070", "listen address for workers")
+	clusterShards := fs.Int("cluster-shards", 0, "country shards to lease out (0 = default 8)")
+	storeShards := fs.Int("shards", 0, "store shard count (0 = default)")
+	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "reclaim a shard after its worker goes silent this long (0 = only on disconnect)")
+	allowFaults := fs.Bool("allow-faults", false, "permit -faults profiles (forfeits bit-identical merging)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	ctx = obs.ContextWithTracer(ctx, tracer)
+	w, err := world.Build(world.Config{Seed: *f.seed})
+	if err != nil {
+		return err
+	}
+	feed := store.NewFeed(pipeline.NewProcessor(w), store.Options{Shards: *storeShards, Obs: reg})
+
+	start := time.Now()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
+		Campaign: cluster.CampaignConfig{
+			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+		},
+		Shards:      *clusterShards,
+		LeaseTTL:    *leaseTTL,
+		Clock:       func() time.Duration { return time.Since(start) },
+		AllowFaults: *allowFaults,
+		Obs:         reg,
+	}, feed)
+	if err != nil {
+		return err
+	}
+
+	ln, bound, err := cluster.ListenTCP(*addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "coordinator listening on %s (seed %d, scale %.2f, %d cycles; ctrl-c aborts)\n",
+		bound, *f.seed, *f.scale, *f.cycles)
+	res, err := coord.Run(ctx, ln)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "merged %d pings, %d traceroutes from %d workers (%d shards, %d reassigned)\n",
+		res.Pings, res.Traces, res.Workers, res.Shards, res.Reassigned)
+
+	st := feed.SealContext(ctx)
+	sum := st.Summary()
+	fmt.Fprintf(os.Stdout, "store sealed: %d rows in %d shards (%d countries, %d providers)\n",
+		sum.Rows, sum.Shards, sum.Countries, sum.Providers)
+	fmt.Fprintf(os.Stdout, "store digest: %s\n", st.Digest())
+	return nil
+}
+
+// cmdWorker runs one member of the worker fleet: it dials the
+// coordinator, receives the campaign config, and serves leased shards
+// until the coordinator shuts the fleet down.
+func cmdWorker(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9070", "coordinator address")
+	name := fs.String("name", "", "worker name (default: host-pid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	fmt.Fprintf(os.Stderr, "worker %s dialing %s\n", *name, *addr)
+	w := cluster.NewWorker(cluster.WorkerOptions{Name: *name, Obs: obs.NewRegistry()})
+	err := w.Run(ctx, func(ctx context.Context) (cluster.Conn, error) {
+		return cluster.DialTCP(ctx, *addr)
+	})
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "worker %s done\n", *name)
+	}
+	return err
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -39,14 +40,52 @@ type benchRun struct {
 
 // benchReport is the BENCH_serve.json document.
 type benchReport struct {
-	Seed              int64      `json:"seed"`
-	Scale             float64    `json:"scale"`
-	Cycles            int        `json:"cycles"`
-	RequestsPerClient int        `json:"requests_per_client"`
-	Endpoints         int        `json:"endpoints"`
-	CacheEntries      int        `json:"cache_entries"`
-	Target            string     `json:"target"` // "in-process" or the -base URL
-	Runs              []benchRun `json:"runs"`
+	Seed              int64   `json:"seed"`
+	Scale             float64 `json:"scale"`
+	Cycles            int     `json:"cycles"`
+	RequestsPerClient int     `json:"requests_per_client"`
+	Endpoints         int     `json:"endpoints"`
+	CacheEntries      int     `json:"cache_entries"`
+	Target            string  `json:"target"` // "in-process" or the -base URL
+	// HedgeCrossoverClients is the smallest swept concurrency at which
+	// hedge-on p99 stops beating hedge-off p99 (0 = hedging stayed
+	// ahead at every level). Only present for -hedge both sweeps.
+	HedgeCrossoverClients *int       `json:"hedge_crossover_clients,omitempty"`
+	Runs                  []benchRun `json:"runs"`
+}
+
+// hedgeCrossover pairs the sweep's hedge-on/off runs by concurrency
+// and returns the smallest level where hedging's p99 no longer beats
+// the unhedged p99 — the point where firing duplicate shard probes
+// starts amplifying the very load that causes the stragglers. Returns
+// 0 if hedging won at every level, and ok=false when the sweep holds
+// no comparable pair.
+func hedgeCrossover(runs []benchRun) (crossover int, ok bool) {
+	on := map[int]float64{}
+	off := map[int]float64{}
+	for _, r := range runs {
+		if r.Hedge {
+			on[r.Clients] = r.P99Ms
+		} else {
+			off[r.Clients] = r.P99Ms
+		}
+	}
+	var levels []int
+	for c := range on {
+		if _, both := off[c]; both {
+			levels = append(levels, c)
+		}
+	}
+	if len(levels) == 0 {
+		return 0, false
+	}
+	sort.Ints(levels)
+	for _, c := range levels {
+		if on[c] >= off[c] {
+			return c, true
+		}
+	}
+	return 0, true
 }
 
 // benchEndpoints is the cache-busting query mix: enough distinct keys
@@ -161,6 +200,14 @@ func cmdLoadgen(ctx context.Context, args []string) error {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
+		}
+	}
+	if cross, ok := hedgeCrossover(report.Runs); ok {
+		report.HedgeCrossoverClients = &cross
+		if cross == 0 {
+			fmt.Fprintln(os.Stdout, "hedge crossover: none — hedging beat the unhedged p99 at every swept concurrency")
+		} else {
+			fmt.Fprintf(os.Stdout, "hedge crossover: %d clients — hedge-on p99 stops beating hedge-off there\n", cross)
 		}
 	}
 	return writeReport(report, *outPath)

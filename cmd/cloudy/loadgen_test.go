@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func runPair(clients int, p99Off, p99On float64) []benchRun {
+	return []benchRun{
+		{Clients: clients, Hedge: false, P99Ms: p99Off},
+		{Clients: clients, Hedge: true, P99Ms: p99On},
+	}
+}
+
+func TestHedgeCrossover(t *testing.T) {
+	var runs []benchRun
+	runs = append(runs, runPair(8, 10, 6)...)    // hedging wins
+	runs = append(runs, runPair(64, 20, 15)...)  // still wins
+	runs = append(runs, runPair(256, 40, 55)...) // amplification: loses
+	cross, ok := hedgeCrossover(runs)
+	if !ok || cross != 256 {
+		t.Errorf("crossover = %d (ok=%v), want 256", cross, ok)
+	}
+
+	// Hedging ahead everywhere → crossover 0, still comparable.
+	cross, ok = hedgeCrossover(append(runPair(8, 10, 6), runPair(64, 20, 12)...))
+	if !ok || cross != 0 {
+		t.Errorf("all-wins sweep: crossover = %d (ok=%v), want 0, true", cross, ok)
+	}
+
+	// A tie counts as the crossover: hedging no longer pays for its
+	// duplicate probes.
+	cross, ok = hedgeCrossover(runPair(32, 25, 25))
+	if !ok || cross != 32 {
+		t.Errorf("tie: crossover = %d (ok=%v), want 32", cross, ok)
+	}
+
+	// Single-sided sweeps have nothing to compare.
+	if _, ok := hedgeCrossover([]benchRun{{Clients: 8, Hedge: true, P99Ms: 5}}); ok {
+		t.Error("hedge-only sweep should not report a crossover")
+	}
+	if _, ok := hedgeCrossover(nil); ok {
+		t.Error("empty sweep should not report a crossover")
+	}
+
+	// Unpaired levels are ignored; the earliest paired loss wins even
+	// when runs arrive out of order.
+	runs = append(runPair(128, 30, 35), benchRun{Clients: 512, Hedge: true, P99Ms: 99})
+	runs = append(runs, runPair(16, 12, 8)...)
+	cross, ok = hedgeCrossover(runs)
+	if !ok || cross != 128 {
+		t.Errorf("out-of-order sweep: crossover = %d (ok=%v), want 128", cross, ok)
+	}
+}

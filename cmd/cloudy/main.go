@@ -15,6 +15,11 @@
 //	cloudy loadgen [-seed N] [-clients LIST]     drive a concurrency sweep against the
 //	                                             query API (in-process or -base URL) and
 //	                                             write BENCH_serve.json
+//	cloudy coordinator [-seed N] [-addr A]       lease campaign shards to a worker fleet
+//	                                             and merge the returned binary streams
+//	cloudy worker [-addr A] [-name ID]           serve campaign shards for a coordinator
+//	cloudy benchwire [-out F]                    benchmark the binary wire codec against
+//	                                             the NDJSON text formats
 //
 // Figure IDs accepted by -figure: table1, fig3, fig4, fig5, fig6,
 // fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig15, fig16, fig17,
@@ -70,6 +75,12 @@ func main() {
 		err = cmdServe(ctx, os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(ctx, os.Args[2:])
+	case "coordinator":
+		err = cmdCoordinator(ctx, os.Args[2:])
+	case "worker":
+		err = cmdWorker(ctx, os.Args[2:])
+	case "benchwire":
+		err = cmdBenchwire(ctx, os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -91,7 +102,11 @@ func usage() {
   cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]
                  [-hedge] [-quota-rate R] [-quota-burst B] [-max-inflight N] [-reseal DUR]
   cloudy loadgen [-seed N] [-scale F] [-clients LIST] [-requests N] [-hedge on|off|both]
-                 [-base URL] [-out FILE]`)
+                 [-base URL] [-out FILE]
+  cloudy coordinator [-seed N] [-scale F] [-addr HOST:PORT] [-cluster-shards N]
+                 [-lease-ttl DUR] [-shards N]
+  cloudy worker  [-addr HOST:PORT] [-name ID]
+  cloudy benchwire [-seed N] [-scale F] [-cycles N] [-iters N] [-out FILE]`)
 }
 
 func cmdWorld(args []string) error {
@@ -406,14 +421,33 @@ func cmdServe(ctx context.Context, args []string) error {
 			return err
 		}
 	}
+	// Hedging is gated on the server's live admission gauge: past half
+	// the in-flight ceiling, firing a second shard probe per straggler
+	// would amplify exactly the load that is causing the straggling.
+	// The server doesn't exist yet, so the gauge is late-bound; srv is
+	// assigned before the listener accepts its first request.
+	var srv *serve.Server
+	hedgeOpts := store.HedgeOptions{Enabled: true}
+	if eff := *maxInflight; eff >= 0 {
+		if eff == 0 {
+			eff = admit.DefaultMaxInFlight
+		}
+		hedgeOpts.InFlight = func() int64 {
+			if srv == nil {
+				return 0
+			}
+			return srv.InFlight()
+		}
+		hedgeOpts.InFlightLimit = int64(eff) / 2
+	}
 	if *hedgeFlag {
-		st = st.WithHedge(store.HedgeOptions{Enabled: true})
+		st = st.WithHedge(hedgeOpts)
 	}
 	sum := st.Summary()
 	fmt.Fprintf(os.Stderr, "store sealed: %d rows in %d shards (%d countries, %d providers; shard balance %d..%d rows)\n",
 		sum.Rows, sum.Shards, sum.Countries, sum.Providers, sum.MinShardRows, sum.MaxShardRows)
 
-	srv := serve.New(st, serve.Options{
+	srv = serve.New(st, serve.Options{
 		CacheEntries: *cacheEntries, Timeout: *timeout,
 		Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag,
 		Admit: admit.Options{
@@ -421,7 +455,7 @@ func cmdServe(ctx context.Context, args []string) error {
 		},
 	})
 	if *reseal > 0 {
-		go resealLoop(ctx, srv, f, reg, *shards, *hedgeFlag, *reseal)
+		go resealLoop(ctx, srv, f, reg, *shards, *hedgeFlag, hedgeOpts, *reseal)
 	}
 	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,readyz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
 	return srv.ListenAndServe(ctx, *addr)
@@ -470,7 +504,7 @@ func campaignStore(ctx context.Context, cfg core.Config, reg *obs.Registry, shar
 // keeps serving throughout — and atomically swaps the fresh seal in.
 // Cache keys, singleflight keys and ETags all carry the store epoch,
 // so the swap drops zero requests and can never confirm a stale 304.
-func resealLoop(ctx context.Context, srv *serve.Server, f studyFlags, reg *obs.Registry, shards int, hedge bool, interval time.Duration) {
+func resealLoop(ctx context.Context, srv *serve.Server, f studyFlags, reg *obs.Registry, shards int, hedge bool, hedgeOpts store.HedgeOptions, interval time.Duration) {
 	for n := int64(1); ; n++ {
 		select {
 		case <-ctx.Done():
@@ -489,7 +523,7 @@ func resealLoop(ctx context.Context, srv *serve.Server, f studyFlags, reg *obs.R
 			continue
 		}
 		if hedge {
-			st = st.WithHedge(store.HedgeOptions{Enabled: true})
+			st = st.WithHedge(hedgeOpts)
 		}
 		epoch := srv.Swap(st)
 		fmt.Fprintf(os.Stderr, "resealed: epoch %d mounted (seed %d, %d rows)\n",

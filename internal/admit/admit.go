@@ -24,6 +24,11 @@ import (
 // be monotonic; absolute wall time is never needed.
 type Clock func() time.Duration
 
+// DefaultMaxInFlight is the concurrency ceiling when Options leaves
+// MaxInFlight zero. Exported so layers that key off saturation (the
+// store's adaptive hedging guard) can derive thresholds from it.
+const DefaultMaxInFlight = 1024
+
 // Options tunes a Controller.
 type Options struct {
 	// RatePerSec is the per-client token refill rate (default 100).
@@ -35,8 +40,8 @@ type Options struct {
 	// client is evicted past it (default 8192). A fresh bucket starts
 	// full, so eviction can only ever be generous, never starving.
 	MaxClients int
-	// MaxInFlight is the global concurrency ceiling (default 1024).
-	// Negative disables shedding.
+	// MaxInFlight is the global concurrency ceiling (default
+	// DefaultMaxInFlight). Negative disables shedding.
 	MaxInFlight int
 	// Clock supplies monotonic time for bucket refill. Required when
 	// the quota layer is enabled.
@@ -58,7 +63,7 @@ func (o Options) withDefaults() Options {
 		o.MaxClients = 8192
 	}
 	if o.MaxInFlight == 0 {
-		o.MaxInFlight = 1024
+		o.MaxInFlight = DefaultMaxInFlight
 	}
 	return o
 }

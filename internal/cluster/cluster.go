@@ -1,0 +1,170 @@
+// Package cluster is the distributed campaign plane: a coordinator
+// that partitions a measurement campaign into country shards and
+// leases them to a fleet of worker processes, each running its own
+// measure engine and streaming samples back over the binary wire
+// protocol (internal/wirecodec), merged through the coordinator's
+// sample.Bus into whatever sinks the caller mounts (a store.Feed, an
+// export file, both).
+//
+// # Protocol
+//
+// Every connection speaks wirecodec frames. Control messages are JSON
+// bodies in control frames; samples ride the binary batch frames
+// between them, sharing the per-connection dictionary state:
+//
+//	worker → hello{worker}            coordinator → campaign{config}
+//	worker → lease_request            coordinator → lease{shard, countries, ttl} | shutdown
+//	worker → ping/trace batches, heartbeat{shard} …
+//	worker → shard_done{shard, pings, traces}
+//
+// # Liveness and reassignment
+//
+// Any frame from a worker refreshes its lease. When a lease goes
+// quiet past the TTL the coordinator closes the connection; a closed
+// or errored connection with an active lease sends the shard back to
+// the pending queue and discards the partial stream. Exactly-once
+// merging falls out of that: a shard's records are buffered on the
+// coordinator and committed to the bus only when shard_done arrives
+// with matching counts, so a dead worker contributes nothing and its
+// replacement re-runs the shard from scratch.
+//
+// # Determinism
+//
+// Re-running a shard re-emits the identical record stream: probe and
+// target selection, retry jitter and every sample value are pure
+// functions of (probe, country, cycle) — the same property the
+// campaign engine's checkpoint/resume replay relies on — and a probe
+// belongs to exactly one country, hence exactly one shard. A merged
+// store seals bit-identically to a single-process run (the chaos test
+// asserts store.ShardDigests equality) provided the campaign stays
+// fault-free with no daily quota: fault windows and quota day-jumps
+// couple countries through the shared virtual clock, so the
+// coordinator refuses fault profiles unless explicitly forced.
+//
+// Like admit, the package never reads the wall clock: lease expiry
+// reads the injected Clock, and periodic work paces itself on
+// obs.After. Deterministic tests hand-crank the clock.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geo"
+	"repro/internal/obs"
+	"repro/internal/wirecodec"
+)
+
+// Clock returns elapsed time from an arbitrary fixed origin; it must
+// be monotonic (the admit pattern — wall time is never needed).
+type Clock func() time.Duration
+
+// CampaignConfig is the campaign shape the coordinator broadcasts to
+// every worker in the campaign message: the full core.Config minus
+// process-local concerns (registries, sinks). Both sides must derive
+// their world and fleets from the same values or shard replay breaks.
+type CampaignConfig struct {
+	Seed            int64   `json:"seed"`
+	Scale           float64 `json:"scale,omitempty"`
+	Cycles          int     `json:"cycles,omitempty"`
+	ProbeCap        int     `json:"probe_cap,omitempty"`
+	TargetsPerProbe int     `json:"targets_per_probe,omitempty"`
+	MinProbes       int     `json:"min_probes,omitempty"`
+	// FaultProfile is carried for completeness but refused by the
+	// coordinator unless AllowFaults is set: fault windows consult the
+	// shared virtual clock, which couples countries across shards and
+	// voids the bit-identical merge guarantee.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	// Workers is the per-worker engine concurrency (0 = GOMAXPROCS);
+	// it does not affect emitted records, only speed.
+	Workers int `json:"workers,omitempty"`
+}
+
+// coreConfig expands the wire form back into a core.Config.
+func (c CampaignConfig) coreConfig(reg *obs.Registry) core.Config {
+	return core.Config{
+		Seed: c.Seed, Scale: c.Scale, Cycles: c.Cycles,
+		ProbeCap: c.ProbeCap, TargetsPerProbe: c.TargetsPerProbe,
+		MinProbes: c.MinProbes, Workers: c.Workers,
+		FaultProfile: c.FaultProfile, Obs: reg,
+	}
+}
+
+// Control message types.
+const (
+	msgHello        = "hello"
+	msgCampaign     = "campaign"
+	msgLeaseRequest = "lease_request"
+	msgLease        = "lease"
+	msgHeartbeat    = "heartbeat"
+	msgShardDone    = "shard_done"
+	msgShutdown     = "shutdown"
+)
+
+// msg is the one JSON envelope every control frame carries; Type
+// selects which fields are meaningful.
+type msg struct {
+	Type       string          `json:"type"`
+	Worker     string          `json:"worker,omitempty"`
+	Campaign   *CampaignConfig `json:"campaign,omitempty"`
+	Shard      int             `json:"shard"`
+	Countries  []string        `json:"countries,omitempty"`
+	LeaseTTLMs int64           `json:"lease_ttl_ms,omitempty"`
+	Pings      uint64          `json:"pings"`
+	Traces     uint64          `json:"traces"`
+}
+
+// writeControl frames, writes and flushes one control message.
+// (Control messages must reach the peer promptly; record batches ride
+// the shared buffered writer and flush on their own cadence.)
+func writeControl(fw *wirecodec.FrameWriter, m msg) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding %s: %w", m.Type, err)
+	}
+	if err := fw.WriteFrame(append([]byte{wirecodec.FrameControl}, body...)); err != nil {
+		return err
+	}
+	return fw.Flush()
+}
+
+func parseControl(payload []byte) (msg, error) {
+	var m msg
+	if len(payload) < 1 || payload[0] != wirecodec.FrameControl {
+		return m, fmt.Errorf("cluster: expected a control frame, got type 0x%02x", payload[0])
+	}
+	if err := json.Unmarshal(payload[1:], &m); err != nil {
+		return m, fmt.Errorf("cluster: malformed control frame: %w", err)
+	}
+	return m, nil
+}
+
+// readControl reads the next frame and requires it to be control.
+func readControl(fr *wirecodec.FrameReader) (msg, error) {
+	payload, err := fr.ReadFrame()
+	if err != nil {
+		return msg{}, err
+	}
+	return parseControl(payload)
+}
+
+// partitionCountries deals every country code round-robin into at
+// most n shards (empty shards are dropped when n exceeds the country
+// count). Sharding by country is what makes replay exact: a probe
+// lives in one country, so its whole stream comes from one shard.
+func partitionCountries(n int) [][]string {
+	if n <= 0 {
+		n = 1
+	}
+	all := geo.AllCountries()
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([][]string, n)
+	for i, c := range all {
+		out[i%n] = append(out[i%n], c.Code)
+	}
+	return out
+}

@@ -1,0 +1,446 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/wirecodec"
+)
+
+// DefaultShards is the shard count when CoordinatorOptions.Shards is
+// zero: enough parallelism for a handful of workers without slicing
+// the country set into confetti.
+const DefaultShards = 8
+
+// CoordinatorOptions configures a campaign coordinator.
+type CoordinatorOptions struct {
+	// Campaign is broadcast to every worker; both sides derive their
+	// world and fleets from it.
+	Campaign CampaignConfig
+	// Shards is the number of country shards to lease out (default
+	// DefaultShards, capped at the country count).
+	Shards int
+	// LeaseTTL bounds how long a lease may go without any frame from
+	// its worker before the coordinator declares the worker dead and
+	// re-queues the shard. Zero disables expiry: only connection errors
+	// reassign.
+	LeaseTTL time.Duration
+	// Clock feeds lease expiry; required when LeaseTTL > 0 (the admit
+	// pattern: the caller owns the clock, tests hand-crank it).
+	Clock Clock
+	// BusBuffer sizes the merge bus (default sample.DefaultBusBuffer).
+	BusBuffer int
+	// AllowFaults permits a fault-injecting campaign, surrendering the
+	// bit-identical merge guarantee (fault windows couple countries
+	// through the shared virtual clock). Off by default.
+	AllowFaults bool
+	// Obs registers the cluster instruments and the merge bus's; nil
+	// runs uninstrumented.
+	Obs *obs.Registry
+}
+
+// Result summarizes a coordinator run.
+type Result struct {
+	// Shards is how many country shards the campaign was split into.
+	Shards int
+	// Workers is how many distinct workers registered.
+	Workers int
+	// Assigned counts lease grants, including re-grants of reclaimed
+	// shards; Reassigned counts shards reclaimed from dead workers.
+	Assigned   int
+	Reassigned int
+	// Pings and Traces are the merged record totals.
+	Pings  uint64
+	Traces uint64
+}
+
+// Coordinator leases campaign shards to workers and merges their
+// record streams into the mounted sinks. Build with NewCoordinator,
+// drive with Run.
+type Coordinator struct {
+	opts  CoordinatorOptions
+	sinks []dataset.Sink
+
+	gWorkers    *obs.Gauge
+	cAssigned   *obs.Counter
+	cReassigned *obs.Counter
+	cDone       *obs.Counter
+	cExpired    *obs.Counter
+	rxFrames    *obs.Counter
+	rxBytes     *obs.Counter
+	txFrames    *obs.Counter
+	txBytes     *obs.Counter
+}
+
+// NewCoordinator validates the options and builds a coordinator over
+// the given sinks (a store.Feed, an export sink, any combination).
+func NewCoordinator(opts CoordinatorOptions, sinks ...dataset.Sink) (*Coordinator, error) {
+	if opts.LeaseTTL > 0 && opts.Clock == nil {
+		return nil, fmt.Errorf("cluster: LeaseTTL %v requires a Clock", opts.LeaseTTL)
+	}
+	if p := opts.Campaign.FaultProfile; p != "" && p != "none" && !opts.AllowFaults {
+		return nil, fmt.Errorf("cluster: fault profile %q breaks bit-identical shard merging; set AllowFaults to run it anyway", p)
+	}
+	if opts.Shards <= 0 {
+		opts.Shards = DefaultShards
+	}
+	reg := opts.Obs
+	return &Coordinator{
+		opts: opts, sinks: sinks,
+		gWorkers:    reg.Gauge("cluster_workers_live"),
+		cAssigned:   reg.Counter("cluster_shards_assigned_total"),
+		cReassigned: reg.Counter("cluster_shards_reassigned_total"),
+		cDone:       reg.Counter("cluster_shards_done_total"),
+		cExpired:    reg.Counter("cluster_lease_expiries_total"),
+		rxFrames:    reg.Counter("cluster_stream_rx_frames_total"),
+		rxBytes:     reg.Counter("cluster_stream_rx_bytes_total"),
+		txFrames:    reg.Counter("cluster_stream_tx_frames_total"),
+		txBytes:     reg.Counter("cluster_stream_tx_bytes_total"),
+	}, nil
+}
+
+// lease is one shard currently assigned to a worker connection.
+type lease struct {
+	shard    int
+	worker   string
+	conn     Conn
+	lastBeat time.Duration
+}
+
+// runState is the shared bookkeeping of one Run.
+type runState struct {
+	shards  [][]string
+	pending chan int      // shards awaiting (re-)assignment; cap = len(shards)
+	doneCh  chan struct{} // closed when every shard has merged, or on fatal error
+	once    sync.Once
+
+	commitMu sync.Mutex // serializes bus commits (the bus is single-producer)
+
+	mu         sync.Mutex
+	remaining  int
+	leases     map[int]*lease
+	conns      map[Conn]struct{}
+	workers    map[string]bool
+	assigned   int
+	reassigned int
+	pings      uint64
+	traces     uint64
+	err        error
+}
+
+func (st *runState) finish() { st.once.Do(func() { close(st.doneCh) }) }
+
+func (st *runState) fail(err error) {
+	st.mu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.mu.Unlock()
+	st.finish()
+}
+
+// Run accepts workers on ln, leases every shard, merges the returned
+// streams, and finishes when all shards have committed (or ctx is
+// done). The merged totals and assignment ledger come back in Result.
+func (c *Coordinator) Run(ctx context.Context, ln Listener) (Result, error) {
+	shards := partitionCountries(c.opts.Shards)
+	st := &runState{
+		shards:    shards,
+		pending:   make(chan int, len(shards)),
+		doneCh:    make(chan struct{}),
+		remaining: len(shards),
+		leases:    map[int]*lease{},
+		conns:     map[Conn]struct{}{},
+		workers:   map[string]bool{},
+	}
+	for i := range shards {
+		st.pending <- i
+	}
+	if len(shards) == 0 {
+		st.finish()
+	}
+	bus := sample.NewBus(sample.BusOptions{Buffer: c.opts.BusBuffer, Obs: c.opts.Obs}, c.sinks...)
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept(runCtx)
+			if err != nil {
+				return
+			}
+			st.mu.Lock()
+			st.conns[conn] = struct{}{}
+			st.mu.Unlock()
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.handleConn(runCtx, st, bus, conn)
+				st.mu.Lock()
+				delete(st.conns, conn)
+				st.mu.Unlock()
+				conn.Close()
+			}()
+		}
+	}()
+	if c.opts.LeaseTTL > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.reap(runCtx, st)
+		}()
+	}
+
+	select {
+	case <-st.doneCh:
+	case <-ctx.Done():
+	}
+	cancel()
+	ln.Close()
+	// Unblock handlers parked in ReadFrame on idle connections.
+	st.mu.Lock()
+	for conn := range st.conns {
+		conn.Close()
+	}
+	st.mu.Unlock()
+	wg.Wait()
+	busErr := bus.Close()
+
+	st.mu.Lock()
+	res := Result{
+		Shards: len(shards), Workers: len(st.workers),
+		Assigned: st.assigned, Reassigned: st.reassigned,
+		Pings: st.pings, Traces: st.traces,
+	}
+	remaining, err := st.remaining, st.err
+	st.mu.Unlock()
+	if err == nil {
+		err = busErr
+	}
+	if err == nil && ctx.Err() != nil {
+		err = fmt.Errorf("cluster: coordinator stopped with %d of %d shards unmerged: %w",
+			remaining, len(shards), ctx.Err())
+	}
+	return res, err
+}
+
+// handleConn owns one worker connection for its lifetime: handshake,
+// lease grants, stream buffering, commit on shard_done. Any error —
+// protocol, codec, transport — simply ends the connection; the
+// deferred requeue puts an in-flight shard back on the market.
+func (c *Coordinator) handleConn(ctx context.Context, st *runState, bus *sample.Bus, conn Conn) {
+	fr := wirecodec.NewFrameReader(conn, wirecodec.Options{Frames: c.rxFrames, Bytes: c.rxBytes})
+	fw := wirecodec.NewFrameWriter(conn, wirecodec.Options{Frames: c.txFrames, Bytes: c.txBytes})
+	hello, err := readControl(fr)
+	if err != nil || hello.Type != msgHello {
+		return
+	}
+	worker := hello.Worker
+	st.mu.Lock()
+	st.workers[worker] = true
+	st.mu.Unlock()
+	c.gWorkers.Add(1)
+	defer c.gWorkers.Add(-1)
+	camp := c.opts.Campaign
+	if err := writeControl(fw, msg{Type: msgCampaign, Campaign: &camp}); err != nil {
+		return
+	}
+
+	// One decoder for the connection's whole life: the wire dictionary
+	// and delta baselines span shard boundaries.
+	dec := wirecodec.NewDecoder()
+	var cur *lease
+	var bufP []sample.Sample
+	var bufT []sample.TraceSample
+	defer func() {
+		if cur != nil {
+			c.requeue(st, cur)
+		}
+	}()
+	for {
+		payload, err := fr.ReadFrame()
+		if err != nil {
+			return
+		}
+		if cur != nil && c.opts.Clock != nil {
+			// Any frame is proof of life, not just heartbeats: a worker
+			// mid-stream is as alive as one idling between batches.
+			st.mu.Lock()
+			cur.lastBeat = c.opts.Clock()
+			st.mu.Unlock()
+		}
+		switch payload[0] {
+		case wirecodec.FrameControl:
+			m, err := parseControl(payload)
+			if err != nil {
+				return
+			}
+			switch m.Type {
+			case msgLeaseRequest:
+				if cur != nil {
+					return // a lease is already out; protocol violation
+				}
+				select {
+				case id := <-st.pending:
+					var now time.Duration
+					if c.opts.Clock != nil {
+						now = c.opts.Clock()
+					}
+					cur = &lease{shard: id, worker: worker, conn: conn, lastBeat: now}
+					st.mu.Lock()
+					st.leases[id] = cur
+					st.assigned++
+					st.mu.Unlock()
+					c.cAssigned.Inc()
+					bufP, bufT = bufP[:0], bufT[:0]
+					grant := msg{Type: msgLease, Shard: id, Countries: st.shards[id],
+						LeaseTTLMs: c.opts.LeaseTTL.Milliseconds()}
+					if err := writeControl(fw, grant); err != nil {
+						return
+					}
+				case <-st.doneCh:
+					writeControl(fw, msg{Type: msgShutdown})
+					return
+				case <-ctx.Done():
+					return
+				}
+			case msgHeartbeat:
+				// Liveness already refreshed above.
+			case msgShardDone:
+				if cur == nil || m.Shard != cur.shard {
+					return
+				}
+				if m.Pings != uint64(len(bufP)) || m.Traces != uint64(len(bufT)) {
+					st.fail(fmt.Errorf(
+						"cluster: worker %s shard %d reports %d pings / %d traces but the stream carried %d / %d",
+						worker, cur.shard, m.Pings, m.Traces, len(bufP), len(bufT)))
+					return
+				}
+				if err := c.commit(ctx, st, bus, cur, bufP, bufT); err != nil {
+					st.fail(err)
+					return
+				}
+				st.mu.Lock()
+				delete(st.leases, cur.shard)
+				st.pings += uint64(len(bufP))
+				st.traces += uint64(len(bufT))
+				st.remaining--
+				done := st.remaining == 0
+				st.mu.Unlock()
+				cur = nil
+				c.cDone.Inc()
+				if done {
+					st.finish()
+				}
+			default:
+				return
+			}
+		case wirecodec.FramePings:
+			if cur == nil {
+				return
+			}
+			err := dec.DecodePings(payload, func(s sample.Sample) error {
+				bufP = append(bufP, s)
+				return nil
+			})
+			if err != nil {
+				return
+			}
+		case wirecodec.FrameTraces:
+			if cur == nil {
+				return
+			}
+			err := dec.DecodeTraces(payload, func(t sample.TraceSample) error {
+				bufT = append(bufT, t)
+				return nil
+			})
+			if err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// requeue reclaims a dead worker's shard: the buffered partial stream
+// is discarded by the caller and the shard goes back on the pending
+// queue for the next lease_request — exactly-once by construction.
+func (c *Coordinator) requeue(st *runState, l *lease) {
+	st.mu.Lock()
+	if st.leases[l.shard] != l {
+		st.mu.Unlock()
+		return
+	}
+	delete(st.leases, l.shard)
+	st.reassigned++
+	st.mu.Unlock()
+	c.cReassigned.Inc()
+	st.pending <- l.shard // cap = len(shards): never blocks
+}
+
+// commit replays one completed shard's buffered records into the merge
+// bus. The commit mutex upholds the bus's single-producer contract;
+// within the shard, per-kind record order is the worker's engine order,
+// which is all store.Feed needs for a bit-identical seal.
+func (c *Coordinator) commit(ctx context.Context, st *runState, bus *sample.Bus, l *lease, pings []sample.Sample, traces []sample.TraceSample) error {
+	_, span := obs.StartSpan(ctx, "cluster.merge")
+	span.SetAttr("shard", fmt.Sprint(l.shard))
+	span.SetAttr("worker", l.worker)
+	span.SetAttr("pings", fmt.Sprint(len(pings)))
+	span.SetAttr("traces", fmt.Sprint(len(traces)))
+	defer span.End()
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	for _, p := range pings {
+		if err := bus.Ping(p); err != nil {
+			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
+		}
+	}
+	for _, t := range traces {
+		if err := bus.Trace(t); err != nil {
+			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
+		}
+	}
+	return nil
+}
+
+// reap expires leases that have gone quiet past the TTL by closing
+// their connections; the connection handler then requeues the shard.
+// Paced on obs.After so the package stays wall-clock-free.
+func (c *Coordinator) reap(ctx context.Context, st *runState) {
+	interval := c.opts.LeaseTTL / 4
+	if interval <= 0 {
+		interval = c.opts.LeaseTTL
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-st.doneCh:
+			return
+		case <-obs.After(interval):
+			now := c.opts.Clock()
+			st.mu.Lock()
+			var stale []Conn
+			for _, l := range st.leases {
+				if now-l.lastBeat > c.opts.LeaseTTL {
+					stale = append(stale, l.conn)
+				}
+			}
+			st.mu.Unlock()
+			for _, conn := range stale {
+				c.cExpired.Inc()
+				conn.Close()
+			}
+		}
+	}
+}

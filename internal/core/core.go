@@ -177,6 +177,19 @@ func Prepare(cfg Config) (*Setup, error) {
 // Stats.SinkDegraded / Stats.Spilled), and the error reports the first
 // sink failure. The store is nil only when a campaign itself fails.
 func (s *Setup) RunCampaigns(ctx context.Context, sinks ...dataset.Sink) (*dataset.Store, measure.Stats, measure.Stats, error) {
+	return s.RunCampaignsOver(ctx, nil, sinks...)
+}
+
+// RunCampaignsOver is RunCampaigns restricted to a set of country codes
+// — the shard unit of the distributed campaign plane (internal/
+// cluster). An empty set means the full sweep. Because probe and target
+// selection, retry jitter and every record value are pure functions of
+// (probe, country, cycle), a fault-free restricted run emits exactly
+// the records the full sweep emits for those countries, in the same
+// per-probe order; fault profiles and daily quotas couple countries
+// through the shared virtual clock, so sharded runs should stay
+// fault-free (the coordinator's default).
+func (s *Setup) RunCampaignsOver(ctx context.Context, countries []string, sinks ...dataset.Sink) (*dataset.Store, measure.Stats, measure.Stats, error) {
 	cfg := s.Config
 	scCfg := measure.Config{
 		Seed:                     cfg.Seed,
@@ -184,6 +197,7 @@ func (s *Setup) RunCampaigns(ctx context.Context, sinks ...dataset.Sink) (*datas
 		ProbesPerCountry:         cfg.ProbeCap,
 		TargetsPerProbe:          cfg.TargetsPerProbe,
 		MinProbesPerCountry:      cfg.MinProbes,
+		Countries:                countries,
 		RequestsPerMinute:        1000, // virtual-clock pacing only
 		Workers:                  cfg.Workers,
 		BothPingProtocols:        measure.FlagOn,

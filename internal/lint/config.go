@@ -60,10 +60,13 @@ func DefaultConfig() *Config {
 			// The packages whose exported API spawns goroutines or
 			// blocks: the campaign engine (checkpoint/resume depends on
 			// cancellation), the HTTP service (graceful drain), the
-			// admission layer in front of it, and the load harness
-			// (thousands of client goroutines must die with the run).
+			// admission layer in front of it, the load harness
+			// (thousands of client goroutines must die with the run),
+			// and the distributed campaign plane (coordinator accept
+			// loops, worker lease loops and both transports block on
+			// peers that may never answer).
 			CtxPropagate.Name: {
-				Include: []string{"internal/measure", "internal/serve", "internal/admit", "internal/load"},
+				Include: []string{"internal/measure", "internal/serve", "internal/admit", "internal/load", "internal/cluster"},
 			},
 		},
 	}

@@ -46,6 +46,11 @@ func TestNoRawTimeObsExemption(t *testing.T) {
 	for _, rel := range []string{
 		"internal/measure", "internal/store", "internal/obsidian",
 		"internal/admit", "internal/load",
+		// The distributed campaign plane and its wire codec are also
+		// clock-free by construction — lease expiry reads an injected
+		// Clock and the reaper/heartbeats pace on obs.After — so
+		// neither may ever grow a norawtime exemption.
+		"internal/cluster", "internal/wirecodec",
 	} {
 		if got := runAs(rel); len(got) == 0 {
 			t.Errorf("norawtime found nothing in %s; the obs exemption leaked", rel)
@@ -54,11 +59,15 @@ func TestNoRawTimeObsExemption(t *testing.T) {
 }
 
 // TestCtxPropagateCoversAdmissionAndLoad pins the ctxpropagate scope:
-// the admission controller and the load harness ship goroutine-spawning
-// APIs and must stay inside the analyzer's Include list.
+// the admission controller, the load harness and the distributed
+// campaign plane ship goroutine-spawning / channel-blocking APIs and
+// must stay inside the analyzer's Include list.
 func TestCtxPropagateCoversAdmissionAndLoad(t *testing.T) {
 	scope := DefaultConfig().Scopes[CtxPropagate.Name]
-	for _, rel := range []string{"internal/measure", "internal/serve", "internal/admit", "internal/load"} {
+	for _, rel := range []string{
+		"internal/measure", "internal/serve", "internal/admit",
+		"internal/load", "internal/cluster",
+	} {
 		if !scope.Matches(rel) {
 			t.Errorf("ctxpropagate scope must cover %s", rel)
 		}

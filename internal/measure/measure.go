@@ -95,6 +95,15 @@ type Config struct {
 	// paper required at least 100 probes (default 100). Scaled-down
 	// fleets should scale this down too.
 	MinProbesPerCountry int
+	// Countries, when non-empty, restricts the sweep to these country
+	// codes — the distributed campaign plane's shard unit. Probe and
+	// target selection, retry jitter and record values are all pure
+	// functions of (probe, country, cycle), so a fault-free,
+	// quota-free campaign over a country subset emits exactly the
+	// records the full sweep would emit for those countries, in the
+	// same per-probe order (internal/cluster relies on this for its
+	// replay-on-reassign determinism).
+	Countries []string
 	// RequestsPerMinute is the self-imposed rate limit (default 1).
 	RequestsPerMinute float64
 	// DailyQuota is the measurement budget per virtual day; zero means
@@ -630,6 +639,13 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 	brk *breaker, st *Stats, m *campaignMetrics, inflight *sync.WaitGroup) error {
 	cfg := c.Cfg
 	countries := geo.AllCountries()
+	var only map[string]bool
+	if len(cfg.Countries) > 0 {
+		only = make(map[string]bool, len(cfg.Countries))
+		for _, cc := range cfg.Countries {
+			only[cc] = true
+		}
+	}
 	connectedCycles := make(map[string]int)
 	startCycle, startCountry := 0, 0
 	var snap DiscoverySnapshot
@@ -659,6 +675,9 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 		}
 		for ci := start; ci < len(countries); ci++ {
 			country := countries[ci]
+			if only != nil && !only[country.Code] {
+				continue
+			}
 			all := c.Fleet.InCountry(country.Code)
 			if len(all) < cfg.MinProbesPerCountry {
 				continue

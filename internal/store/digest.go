@@ -1,0 +1,127 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"repro/internal/pipeline"
+)
+
+// ShardDigests returns one fnv-64a digest per sealed shard, computed
+// over the shard's complete queryable content in a canonical order:
+// row count, per-platform row counts, the provider set, every
+// per-country and per-continent RTT vector (exact float bits), and the
+// Welford summary. Two stores built from the same logical sample
+// stream — whatever process or machine each shard's samples travelled
+// through — have equal digest slices; any bit-level divergence in any
+// vector changes the digest. This is the equality the distributed
+// campaign plane's chaos test asserts between a merged multi-worker
+// store and a single-process run (internal/cluster).
+func (s *Store) ShardDigests() []string {
+	out := make([]string, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = sh.digest()
+	}
+	return out
+}
+
+// Digest condenses ShardDigests plus the store-level peering tallies
+// into one hex token — the whole sealed store in one comparable string.
+func (s *Store) Digest() string {
+	h := fnv.New64a()
+	for _, d := range s.ShardDigests() {
+		h.Write([]byte(d))
+		h.Write([]byte{0xff})
+	}
+	provs := make([]string, 0, len(s.peering))
+	for prov := range s.peering {
+		provs = append(provs, prov)
+	}
+	sort.Strings(provs)
+	var buf [8]byte
+	for _, prov := range provs {
+		h.Write([]byte(prov))
+		classes := s.peering[prov]
+		keys := make([]int, 0, len(classes))
+		for cl := range classes {
+			keys = append(keys, int(cl))
+		}
+		sort.Ints(keys)
+		for _, cl := range keys {
+			binary.LittleEndian.PutUint64(buf[:], uint64(cl))
+			h.Write(buf[:])
+			binary.LittleEndian.PutUint64(buf[:], uint64(classes[pipeline.Class(cl)]))
+			h.Write(buf[:])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (sh *shard) digest() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeStr := func(s string) {
+		writeU64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+	writeVecs := func(m map[groupKey][]float64) {
+		keys := make([]groupKey, 0, len(m))
+		for g := range m {
+			keys = append(keys, g)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].platform != keys[j].platform {
+				return keys[i].platform < keys[j].platform
+			}
+			return keys[i].name < keys[j].name
+		})
+		writeU64(uint64(len(keys)))
+		for _, g := range keys {
+			writeStr(g.platform)
+			writeStr(g.name)
+			xs := m[g]
+			writeU64(uint64(len(xs)))
+			for _, x := range xs {
+				writeU64(math.Float64bits(x))
+			}
+		}
+	}
+
+	writeU64(uint64(sh.rows))
+	plats := make([]string, 0, len(sh.platformRows))
+	for p := range sh.platformRows {
+		plats = append(plats, p)
+	}
+	sort.Strings(plats)
+	for _, p := range plats {
+		writeStr(p)
+		writeU64(uint64(sh.platformRows[p]))
+	}
+	provs := make([]string, 0, len(sh.providers))
+	for p := range sh.providers {
+		provs = append(provs, p)
+	}
+	sort.Strings(provs)
+	for _, p := range provs {
+		writeStr(p)
+	}
+	writeVecs(sh.byCountry)
+	writeVecs(sh.byContinent)
+	// The Welford summary is a float-order-sensitive reduction; it is
+	// included because the seal path feeds it in a canonical order
+	// (sorted probes × per-probe stream order), so bit-equality here is
+	// part of the "same sealed store" claim.
+	writeU64(uint64(sh.rtt.N()))
+	writeU64(math.Float64bits(sh.rtt.Mean()))
+	writeU64(math.Float64bits(sh.rtt.Variance()))
+	writeU64(math.Float64bits(sh.rtt.Min()))
+	writeU64(math.Float64bits(sh.rtt.Max()))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -128,3 +128,69 @@ func TestHedgeDelayDerivation(t *testing.T) {
 		t.Errorf("floored delay = %v, want 1s", got)
 	}
 }
+
+// The adaptive hedging guard: with an InFlight gauge past the limit,
+// a due hedge is suppressed (counted, never fired) and the query waits
+// out the stalled primary; below the limit the same query hedges as
+// usual. This pins the fire-time semantics — saturation is sampled
+// when the hedge timer expires, not when the query starts.
+func TestHedgeSuppressedWhenSaturated(t *testing.T) {
+	run := func(inflight int64) (fired, suppressed uint64) {
+		reg := obs.NewRegistry()
+		st := hedgeFixture(Options{Shards: 4, Obs: reg})
+		hedged := st.WithHedge(HedgeOptions{
+			Enabled: true, Delay: time.Millisecond,
+			InFlight:      func() int64 { return inflight },
+			InFlightLimit: 100,
+		})
+		// Stall every primary briefly so each shard's hedge timer fires.
+		hedged.shardStall = func(shardIdx int, isHedge bool) {
+			if !isHedge {
+				time.Sleep(20 * time.Millisecond)
+			}
+		}
+		if got := hedged.CountrySamples("speedchecker"); len(got) == 0 {
+			t.Fatal("query returned no groups")
+		}
+		return reg.Counter("store_hedges_fired_total").Load(),
+			reg.Counter("store_hedges_suppressed_total").Load()
+	}
+
+	fired, suppressed := run(10) // well under the limit of 100
+	if fired == 0 {
+		t.Error("unsaturated server never hedged a stalled shard")
+	}
+	if suppressed != 0 {
+		t.Errorf("unsaturated server suppressed %d hedges", suppressed)
+	}
+
+	fired, suppressed = run(100) // at the limit: saturated
+	if fired != 0 {
+		t.Errorf("saturated server still fired %d hedges", fired)
+	}
+	if suppressed == 0 {
+		t.Error("saturated server recorded no suppressed hedges")
+	}
+}
+
+// Saturation semantics of the options themselves: the guard engages
+// only when both the gauge and a positive limit are configured.
+func TestHedgeSaturatedPredicate(t *testing.T) {
+	at := func(v int64) func() int64 { return func() int64 { return v } }
+	cases := []struct {
+		name string
+		o    HedgeOptions
+		want bool
+	}{
+		{"no gauge", HedgeOptions{InFlightLimit: 10}, false},
+		{"no limit", HedgeOptions{InFlight: at(1000)}, false},
+		{"below", HedgeOptions{InFlight: at(9), InFlightLimit: 10}, false},
+		{"at", HedgeOptions{InFlight: at(10), InFlightLimit: 10}, true},
+		{"above", HedgeOptions{InFlight: at(11), InFlightLimit: 10}, true},
+	}
+	for _, c := range cases {
+		if got := c.o.saturated(); got != c.want {
+			t.Errorf("%s: saturated() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

@@ -81,6 +81,14 @@ func (s *Store) queryShard(idx int, sh *shard, pick func(*shard) map[groupKey][]
 	case r := <-results:
 		return r.groups
 	case <-obs.After(s.hedgeDelay()):
+		if s.hedge.saturated() {
+			// Adaptive gate: the server is at its admission ceiling, so a
+			// duplicate attempt would steal CPU from live requests. Wait
+			// for the primary instead of hedging.
+			s.mHedgesSupp.Inc()
+			r := <-results
+			return r.groups
+		}
 		s.mHedgesFired.Inc()
 		go run(true)
 		// A cancelled attempt returns nil without sending, and we only

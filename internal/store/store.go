@@ -57,6 +57,24 @@ type HedgeOptions struct {
 	// MinDelay floors the derived trigger so a uniformly-fast store
 	// does not hedge on scheduler noise (default 200µs).
 	MinDelay time.Duration
+	// InFlight, when set together with InFlightLimit, reports the
+	// server's current admitted-request concurrency (the admit
+	// in-flight gauge). A hedge that comes due while InFlight() >=
+	// InFlightLimit is suppressed instead of fired: hedging duplicates
+	// work, and duplicated work on a saturated server buys tail
+	// latency for one request by stealing CPU from all the others
+	// (BENCH_serve shows hedging pays at low concurrency and costs at
+	// CPU saturation). Suppressions are counted in
+	// store_hedges_suppressed_total.
+	InFlight func() int64
+	// InFlightLimit is the saturation threshold for InFlight; zero
+	// disables the gate.
+	InFlightLimit int64
+}
+
+// saturated reports whether the adaptive gate vetoes hedging right now.
+func (o HedgeOptions) saturated() bool {
+	return o.InFlight != nil && o.InFlightLimit > 0 && o.InFlight() >= o.InFlightLimit
 }
 
 func (o Options) withDefaults() Options {
@@ -145,6 +163,7 @@ func (b *Builder) Seal() *Store {
 		mPick:        b.opts.Obs.Histogram("store_shard_query_ms", obs.LatencyBuckets),
 		mHedgesFired: b.opts.Obs.Counter("store_hedges_fired_total"),
 		mHedgesWon:   b.opts.Obs.Counter("store_hedges_won_total"),
+		mHedgesSupp:  b.opts.Obs.Counter("store_hedges_suppressed_total"),
 	}
 	for i, sb := range b.shards {
 		s.shards[i] = sb.seal()
@@ -190,6 +209,7 @@ type Store struct {
 	mPick        *obs.Histogram
 	mHedgesFired *obs.Counter
 	mHedgesWon   *obs.Counter
+	mHedgesSupp  *obs.Counter
 	// shardStall, when set (tests only), runs at the start of every
 	// shard attempt so a straggler shard can be simulated.
 	shardStall func(shardIdx int, hedged bool)

@@ -1,0 +1,100 @@
+package wirecodec
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+)
+
+// benchFixture is a realistic mixed stream: many pings, some traces,
+// heavy string repetition (the dictionary's best case and the text
+// codecs' worst).
+func benchFixture() ([]sample.Sample, []sample.TraceSample) {
+	return genRecordsB(97, 8192, 1024)
+}
+
+func genRecordsB(seed int64, nPings, nTraces int) ([]sample.Sample, []sample.TraceSample) {
+	// Reuse the test generator through a tiny shim so benchmarks work
+	// without a *testing.T.
+	return genRecords(seed, nPings, nTraces)
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	pings, traces := benchFixture()
+	var bytesOut int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := NewWriter(&buf, Options{})
+		for _, p := range pings {
+			if err := w.Ping(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range traces {
+			if err := w.Trace(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = int64(buf.Len())
+		nP, nT, err := NewReader(bytes.NewReader(buf.Bytes()), Options{}).Scan(
+			func(sample.Sample) error { return nil },
+			func(sample.TraceSample) error { return nil })
+		if err != nil || nP != uint64(len(pings)) || nT != uint64(len(traces)) {
+			b.Fatalf("decode: pings=%d traces=%d err=%v", nP, nT, err)
+		}
+	}
+	b.SetBytes(bytesOut)
+	b.ReportMetric(float64(bytesOut)/float64(len(pings)+len(traces)), "wire-bytes/record")
+}
+
+func BenchmarkNDJSONEncodeDecode(b *testing.B) {
+	pings, traces := benchFixture()
+	var bytesOut int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var csvBuf, jsonlBuf bytes.Buffer
+		fs := dataset.NewFileSink(&csvBuf, &jsonlBuf)
+		for _, p := range pings {
+			if err := fs.Ping(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, tr := range traces {
+			if err := fs.Trace(tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := fs.Close(); err != nil {
+			b.Fatal(err)
+		}
+		bytesOut = int64(csvBuf.Len() + jsonlBuf.Len())
+		nP := 0
+		if err := dataset.ScanPings(bytes.NewReader(csvBuf.Bytes()), func(dataset.PingRecord) error {
+			nP++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		nT := 0
+		if err := dataset.ScanTraces(bytes.NewReader(jsonlBuf.Bytes()), func(dataset.TracerouteRecord) error {
+			nT++
+			return nil
+		}); err != nil && err != io.EOF {
+			b.Fatal(err)
+		}
+		if nP != len(pings) || nT != len(traces) {
+			b.Fatalf("decode: pings=%d traces=%d", nP, nT)
+		}
+	}
+	b.SetBytes(bytesOut)
+	b.ReportMetric(float64(bytesOut)/float64(len(pings)+len(traces)), "text-bytes/record")
+}

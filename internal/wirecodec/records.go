@@ -1,0 +1,366 @@
+package wirecodec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/asn"
+	"repro/internal/geo"
+	"repro/internal/lastmile"
+	"repro/internal/netaddr"
+	"repro/internal/sample"
+)
+
+// Encoder holds the per-stream compression state: the string
+// dictionary and the cycle delta baselines. One Encoder serves one
+// stream; its frames must be decoded in order by one Decoder.
+type Encoder struct {
+	dict           map[string]uint64
+	lastPingCycle  int64
+	lastTraceCycle int64
+}
+
+// NewEncoder returns a fresh per-stream encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{dict: make(map[string]uint64, 256)}
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// appendString emits a dictionary reference: known strings cost one
+// varint; a first sighting is sent inline and assigned the next id.
+func (e *Encoder) appendString(dst []byte, s string) []byte {
+	if id, ok := e.dict[s]; ok {
+		return binary.AppendUvarint(dst, id)
+	}
+	e.dict[s] = uint64(len(e.dict)) + 1
+	dst = binary.AppendUvarint(dst, 0)
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func (e *Encoder) appendVP(dst []byte, vp *sample.VantagePoint) []byte {
+	dst = e.appendString(dst, vp.ProbeID)
+	dst = e.appendString(dst, vp.Platform)
+	dst = e.appendString(dst, vp.Country)
+	dst = append(dst, byte(vp.Continent))
+	dst = binary.AppendUvarint(dst, uint64(vp.ISP))
+	return append(dst, byte(vp.Access))
+}
+
+func (e *Encoder) appendTarget(dst []byte, t *sample.Target) []byte {
+	dst = e.appendString(dst, t.Region)
+	dst = e.appendString(dst, t.Provider)
+	dst = e.appendString(dst, t.Country)
+	dst = append(dst, byte(t.Continent))
+	return binary.AppendUvarint(dst, uint64(t.IP))
+}
+
+// AppendPing encodes one Sample onto dst.
+func (e *Encoder) AppendPing(dst []byte, s sample.Sample) []byte {
+	dst = e.appendVP(dst, &s.VP)
+	dst = e.appendTarget(dst, &s.Target)
+	dst = append(dst, byte(s.Protocol))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.RTTms))
+	dst = binary.AppendUvarint(dst, zigzag(int64(s.Cycle)-e.lastPingCycle))
+	e.lastPingCycle = int64(s.Cycle)
+	return dst
+}
+
+// AppendTrace encodes one TraceSample onto dst. Hop TTLs are
+// delta-encoded against the previous hop (usually +1, one byte); RTTs
+// keep their exact float bits.
+func (e *Encoder) AppendTrace(dst []byte, t sample.TraceSample) []byte {
+	dst = e.appendVP(dst, &t.VP)
+	dst = e.appendTarget(dst, &t.Target)
+	dst = binary.AppendUvarint(dst, zigzag(int64(t.Cycle)-e.lastTraceCycle))
+	e.lastTraceCycle = int64(t.Cycle)
+	dst = binary.AppendUvarint(dst, uint64(len(t.Hops)))
+	prevTTL := int64(0)
+	for _, h := range t.Hops {
+		dst = binary.AppendUvarint(dst, zigzag(int64(h.TTL)-prevTTL))
+		prevTTL = int64(h.TTL)
+		dst = binary.AppendUvarint(dst, uint64(h.IP))
+		flag := byte(0)
+		if h.Responded {
+			flag = 1
+		}
+		dst = append(dst, flag)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(h.RTTms))
+	}
+	return dst
+}
+
+// EncodePingBatch frames count-prefixed pings into a FramePings
+// payload (type byte included), appended to dst.
+func (e *Encoder) EncodePingBatch(dst []byte, batch []sample.Sample) []byte {
+	dst = append(dst, FramePings)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for i := range batch {
+		dst = e.AppendPing(dst, batch[i])
+	}
+	return dst
+}
+
+// EncodeTraceBatch frames count-prefixed traces into a FrameTraces
+// payload (type byte included), appended to dst.
+func (e *Encoder) EncodeTraceBatch(dst []byte, batch []sample.TraceSample) []byte {
+	dst = append(dst, FrameTraces)
+	dst = binary.AppendUvarint(dst, uint64(len(batch)))
+	for i := range batch {
+		dst = e.AppendTrace(dst, batch[i])
+	}
+	return dst
+}
+
+// EncodeEOF builds the FrameEOF payload carrying stream totals.
+func EncodeEOF(pings, traces uint64) []byte {
+	dst := []byte{FrameEOF}
+	dst = binary.AppendUvarint(dst, pings)
+	return binary.AppendUvarint(dst, traces)
+}
+
+// Decoder mirrors Encoder: it rebuilds the dictionary and delta
+// baselines as batches arrive, in stream order.
+type Decoder struct {
+	dict           []string
+	lastPingCycle  int64
+	lastTraceCycle int64
+}
+
+// NewDecoder returns a fresh per-stream decoder.
+func NewDecoder() *Decoder { return &Decoder{dict: make([]string, 0, 256)} }
+
+var errShort = fmt.Errorf("wirecodec: record body ends mid-field")
+
+func (d *Decoder) readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, errShort
+	}
+	return v, b[n:], nil
+}
+
+func (d *Decoder) readString(b []byte) (string, []byte, error) {
+	id, b, err := d.readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if id == 0 {
+		l, b, err := d.readUvarint(b)
+		if err != nil {
+			return "", nil, err
+		}
+		if l > maxString {
+			return "", nil, fmt.Errorf("wirecodec: dictionary string of %d bytes exceeds limit", l)
+		}
+		if uint64(len(b)) < l {
+			return "", nil, errShort
+		}
+		s := string(b[:l])
+		d.dict = append(d.dict, s)
+		return s, b[l:], nil
+	}
+	if id > uint64(len(d.dict)) {
+		return "", nil, fmt.Errorf("wirecodec: string ref %d beyond dictionary of %d", id, len(d.dict))
+	}
+	return d.dict[id-1], b, nil
+}
+
+func (d *Decoder) readVP(b []byte) (sample.VantagePoint, []byte, error) {
+	var vp sample.VantagePoint
+	var err error
+	if vp.ProbeID, b, err = d.readString(b); err != nil {
+		return vp, nil, err
+	}
+	if vp.Platform, b, err = d.readString(b); err != nil {
+		return vp, nil, err
+	}
+	if vp.Country, b, err = d.readString(b); err != nil {
+		return vp, nil, err
+	}
+	if len(b) < 1 {
+		return vp, nil, errShort
+	}
+	vp.Continent, b = geo.Continent(b[0]), b[1:]
+	isp, b, err := d.readUvarint(b)
+	if err != nil {
+		return vp, nil, err
+	}
+	if isp > math.MaxUint32 {
+		return vp, nil, fmt.Errorf("wirecodec: ASN %d overflows uint32", isp)
+	}
+	vp.ISP = asn.Number(isp)
+	if len(b) < 1 {
+		return vp, nil, errShort
+	}
+	vp.Access, b = lastmile.Access(b[0]), b[1:]
+	return vp, b, nil
+}
+
+func (d *Decoder) readTarget(b []byte) (sample.Target, []byte, error) {
+	var t sample.Target
+	var err error
+	if t.Region, b, err = d.readString(b); err != nil {
+		return t, nil, err
+	}
+	if t.Provider, b, err = d.readString(b); err != nil {
+		return t, nil, err
+	}
+	if t.Country, b, err = d.readString(b); err != nil {
+		return t, nil, err
+	}
+	if len(b) < 1 {
+		return t, nil, errShort
+	}
+	t.Continent, b = geo.Continent(b[0]), b[1:]
+	ip, b, err := d.readUvarint(b)
+	if err != nil {
+		return t, nil, err
+	}
+	if ip > math.MaxUint32 {
+		return t, nil, fmt.Errorf("wirecodec: IP %d overflows uint32", ip)
+	}
+	t.IP = netaddr.IP(ip)
+	return t, b, nil
+}
+
+// DecodePings walks a FramePings payload (type byte included), calling
+// fn per record. A fn error aborts the walk and is returned as-is.
+func (d *Decoder) DecodePings(payload []byte, fn func(sample.Sample) error) error {
+	if len(payload) < 1 || payload[0] != FramePings {
+		return fmt.Errorf("wirecodec: not a ping batch")
+	}
+	count, b, err := d.readUvarint(payload[1:])
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var s sample.Sample
+		if s.VP, b, err = d.readVP(b); err != nil {
+			return fmt.Errorf("ping %d/%d: %w", i, count, err)
+		}
+		if s.Target, b, err = d.readTarget(b); err != nil {
+			return fmt.Errorf("ping %d/%d: %w", i, count, err)
+		}
+		if len(b) < 1+8 {
+			return fmt.Errorf("ping %d/%d: %w", i, count, errShort)
+		}
+		s.Protocol, b = sample.Protocol(b[0]), b[1:]
+		s.RTTms = math.Float64frombits(binary.LittleEndian.Uint64(b))
+		b = b[8:]
+		delta, rest, err := d.readUvarint(b)
+		if err != nil {
+			return fmt.Errorf("ping %d/%d: %w", i, count, err)
+		}
+		b = rest
+		d.lastPingCycle += unzigzag(delta)
+		s.Cycle = int(d.lastPingCycle)
+		if err := fn(s); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("wirecodec: %d trailing bytes after ping batch", len(b))
+	}
+	return nil
+}
+
+// DecodeTraces walks a FrameTraces payload (type byte included),
+// calling fn per record.
+func (d *Decoder) DecodeTraces(payload []byte, fn func(sample.TraceSample) error) error {
+	if len(payload) < 1 || payload[0] != FrameTraces {
+		return fmt.Errorf("wirecodec: not a trace batch")
+	}
+	count, b, err := d.readUvarint(payload[1:])
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < count; i++ {
+		var t sample.TraceSample
+		if t.VP, b, err = d.readVP(b); err != nil {
+			return fmt.Errorf("trace %d/%d: %w", i, count, err)
+		}
+		if t.Target, b, err = d.readTarget(b); err != nil {
+			return fmt.Errorf("trace %d/%d: %w", i, count, err)
+		}
+		delta, rest, err := d.readUvarint(b)
+		if err != nil {
+			return fmt.Errorf("trace %d/%d: %w", i, count, err)
+		}
+		b = rest
+		d.lastTraceCycle += unzigzag(delta)
+		t.Cycle = int(d.lastTraceCycle)
+		nhops, rest, err := d.readUvarint(b)
+		if err != nil {
+			return fmt.Errorf("trace %d/%d: %w", i, count, err)
+		}
+		b = rest
+		if nhops > maxHops {
+			return fmt.Errorf("wirecodec: trace with %d hops exceeds limit", nhops)
+		}
+		if nhops > 0 {
+			t.Hops = make([]sample.Hop, 0, nhops)
+		}
+		prevTTL := int64(0)
+		for h := uint64(0); h < nhops; h++ {
+			var hop sample.Hop
+			ttlDelta, rest, err := d.readUvarint(b)
+			if err != nil {
+				return fmt.Errorf("trace %d/%d hop %d: %w", i, count, h, err)
+			}
+			b = rest
+			prevTTL += unzigzag(ttlDelta)
+			hop.TTL = int(prevTTL)
+			ip, rest, err := d.readUvarint(b)
+			if err != nil {
+				return fmt.Errorf("trace %d/%d hop %d: %w", i, count, h, err)
+			}
+			b = rest
+			if ip > math.MaxUint32 {
+				return fmt.Errorf("wirecodec: hop IP %d overflows uint32", ip)
+			}
+			hop.IP = netaddr.IP(ip)
+			if len(b) < 1+8 {
+				return fmt.Errorf("trace %d/%d hop %d: %w", i, count, h, errShort)
+			}
+			if b[0] > 1 {
+				return fmt.Errorf("wirecodec: hop flag %d is not a bool", b[0])
+			}
+			hop.Responded = b[0] == 1
+			b = b[1:]
+			hop.RTTms = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+			t.Hops = append(t.Hops, hop)
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("wirecodec: %d trailing bytes after trace batch", len(b))
+	}
+	return nil
+}
+
+// DecodeEOF parses a FrameEOF payload into its stream totals.
+func DecodeEOF(payload []byte) (pings, traces uint64, err error) {
+	if len(payload) < 1 || payload[0] != FrameEOF {
+		return 0, 0, fmt.Errorf("wirecodec: not an EOF frame")
+	}
+	b := payload[1:]
+	p, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, errShort
+	}
+	t, m := binary.Uvarint(b[n:])
+	if m <= 0 {
+		return 0, 0, errShort
+	}
+	if len(b) != n+m {
+		return 0, 0, fmt.Errorf("wirecodec: %d trailing bytes after EOF frame", len(b)-n-m)
+	}
+	return p, t, nil
+}
