@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke bench-wire bench-wire-smoke chaos-smoke verify
+.PHONY: build test race vet lint lint-json fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke bench-wire bench-wire-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -13,12 +13,19 @@ test:
 vet:
 	$(GO) vet ./...
 
-# lint is the repo-specific determinism & concurrency pass: norawtime,
-# noglobalrand, floateq, uncheckederr, ctxpropagate, storeappend.
-# Findings exit nonzero; grandfathered counts live in lint.baseline
-# (currently empty).
+# lint is the repo-specific determinism & concurrency pass — the
+# determinism analyzers (norawtime, noglobalrand, floateq,
+# uncheckederr, ctxpropagate, storeappend) plus the flow-aware set
+# built on the internal CFG (spanend, goroutineleak, lockheld,
+# frameexhaustive, metricname; DESIGN.md §13). Findings exit nonzero;
+# grandfathered counts live in lint.baseline (currently empty).
 lint:
 	$(GO) run ./cmd/cloudyvet ./...
+
+# lint-json is the CI-facing variant: same run, findings as a JSON
+# array for the GitHub annotation step.
+lint-json:
+	$(GO) run ./cmd/cloudyvet -json ./...
 
 race:
 	$(GO) test -race -shuffle=on ./...

@@ -1,27 +1,35 @@
 // Command cloudyvet runs the repo's determinism & concurrency lint pass
 // (internal/lint) over the module: it loads every package, type-checks
 // it with a stdlib-only importer, and applies the repo-specific
-// analyzers (norawtime, noglobalrand, floateq, uncheckederr,
-// ctxpropagate, storeappend).
+// analyzers — the determinism set (norawtime, noglobalrand, floateq,
+// uncheckederr, ctxpropagate, storeappend) and the flow-aware set
+// (spanend, goroutineleak, lockheld, frameexhaustive, metricname).
 //
 // Usage:
 //
-//	cloudyvet [-baseline file] [-write-baseline] [packages]
+//	cloudyvet [-baseline file] [-write-baseline] [-json] [-v] [-workers n] [packages]
 //
 // Packages default to ./... (the whole module). Findings print as
 // "file:line:col: analyzer: message" and any finding exits 1; load or
 // usage errors exit 2. -write-baseline regenerates the baseline file
 // from the current findings instead of failing, which is how a
-// grandfathered finding set is first recorded.
+// grandfathered finding set is first recorded. -json emits the
+// (baseline-filtered) findings as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout — the shape CI
+// turns into GitHub error annotations — with the same exit codes.
+// -v reports load/analysis wall time and per-analyzer cost on stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
@@ -30,11 +38,24 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonFinding is the -json wire shape. file is module-relative, so the
+// CI annotation step can hand it straight to ::error file=...
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cloudyvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	baselinePath := fs.String("baseline", "lint.baseline", "baseline file of grandfathered findings (module-relative unless absolute; empty to disable)")
 	writeBaseline := fs.Bool("write-baseline", false, "rewrite the baseline file from current findings and exit 0")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	verbose := fs.Bool("v", false, "report load/analysis timing and per-analyzer cost on stderr")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0), "packages analyzed concurrently")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -42,6 +63,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+
+	// The stopwatch lives here, not in internal/lint: the lint package
+	// is itself under norawtime, so the driver injects elapsed time the
+	// same way the engine injects clocks into the simulators.
+	start := time.Now()
+	clock := func() time.Duration { return time.Since(start) }
 
 	loader, err := lint.NewLoader(".")
 	if err != nil {
@@ -53,6 +80,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "cloudyvet:", err)
 		return 2
 	}
+	loadDone := clock()
 
 	rel := func(path string) string {
 		if r, err := filepath.Rel(loader.ModRoot, path); err == nil && !strings.HasPrefix(r, "..") {
@@ -61,7 +89,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return filepath.ToSlash(path)
 	}
 
-	findings := lint.Run(lint.DefaultConfig(), pkgs)
+	opts := lint.RunOptions{Workers: *workers}
+	if *verbose {
+		opts.Clock = clock
+	}
+	findings, timings := lint.RunWith(lint.DefaultConfig(), pkgs, opts)
+	if *verbose {
+		fmt.Fprintf(stderr, "cloudyvet: %d package(s), load %s, analysis %s (%d workers)\n",
+			len(pkgs), loadDone.Round(time.Millisecond), (clock() - loadDone).Round(time.Millisecond), *workers)
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "cloudyvet:   %-16s %8s  %3d pkg(s)  %d finding(s)\n",
+				t.Name, t.Elapsed.Round(10*time.Microsecond), t.Packages, t.Findings)
+		}
+	}
 
 	resolveBaseline := func(p string) string {
 		if filepath.IsAbs(p) {
@@ -107,8 +147,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	for _, f := range findings {
-		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     rel(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Col:      f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(stderr, "cloudyvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", rel(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(stderr, "cloudyvet: %d finding(s)\n", len(findings))

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -71,5 +73,76 @@ func TestBaselineGrandfathersAndCatchesGrowth(t *testing.T) {
 	stderr.Reset()
 	if code := run([]string{"-baseline", base, fixture("norawtime"), fixture("noglobalrand")}, &stdout, &stderr); code != 1 {
 		t.Fatalf("unbaselined package exit = %d, want 1; stdout:\n%s", code, stdout.String())
+	}
+}
+
+// TestJSONRoundTrip drives -json over a fixture with known findings and
+// round-trips the output through the same transformation CI applies
+// (jq building ::error annotations): every object must carry a
+// module-relative file, a 1-based line/col, the analyzer and the
+// message, and reassembling the plain-text form from the JSON must
+// reproduce the non-JSON run exactly.
+func TestJSONRoundTrip(t *testing.T) {
+	var jsonOut, stderr strings.Builder
+	code := run([]string{"-baseline=", "-json", fixture("metricname")}, &jsonOut, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(jsonOut.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, jsonOut.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("no findings decoded from -json output")
+	}
+	var rebuilt, annotations strings.Builder
+	for _, f := range findings {
+		if !strings.HasPrefix(f.File, "internal/lint/testdata/src/metricname/") {
+			t.Errorf("file %q is not module-relative", f.File)
+		}
+		if f.Line <= 0 || f.Col <= 0 {
+			t.Errorf("finding %+v has non-positive position", f)
+		}
+		if f.Analyzer != "metricname" {
+			t.Errorf("analyzer = %q, want metricname", f.Analyzer)
+		}
+		if f.Message == "" {
+			t.Errorf("finding %s:%d has an empty message", f.File, f.Line)
+		}
+		fmt.Fprintf(&rebuilt, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		// The CI annotation shape; its fields must never contain a
+		// newline or the annotation breaks.
+		ann := fmt.Sprintf("::error file=%s,line=%d,col=%d::%s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		if strings.ContainsAny(ann, "\n\r") {
+			t.Errorf("annotation contains a line break: %q", ann)
+		}
+		fmt.Fprintln(&annotations, ann)
+	}
+	var plainOut strings.Builder
+	stderr.Reset()
+	if code := run([]string{"-baseline=", fixture("metricname")}, &plainOut, &stderr); code != 1 {
+		t.Fatalf("plain run exit = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	if rebuilt.String() != plainOut.String() {
+		t.Errorf("JSON does not round-trip to the plain output:\njson-rebuilt:\n%s\nplain:\n%s", rebuilt.String(), plainOut.String())
+	}
+}
+
+// TestJSONCleanIsEmptyArray keeps the clean-run JSON shape stable for
+// the CI jq step: an empty array, not null, and exit 0.
+func TestJSONCleanIsEmptyArray(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-baseline=", "-json", filepath.Join("..", "..", "internal", "stats")}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+	if strings.TrimSpace(stdout.String()) != "[]" {
+		t.Errorf("clean -json output = %q, want []", stdout.String())
 	}
 }

@@ -401,11 +401,13 @@ func (c *Coordinator) commit(ctx context.Context, st *runState, bus *sample.Bus,
 	st.commitMu.Lock()
 	defer st.commitMu.Unlock()
 	for _, p := range pings {
+		//lint:ignore lockheld commitMu exists to serialize bus producers; blocking waiters on backpressure is the intended flow control
 		if err := bus.Ping(p); err != nil {
 			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
 		}
 	}
 	for _, t := range traces {
+		//lint:ignore lockheld commitMu exists to serialize bus producers; blocking waiters on backpressure is the intended flow control
 		if err := bus.Trace(t); err != nil {
 			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
 		}

@@ -1,0 +1,467 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the flow-analysis core behind the concurrency and
+// observability analyzers (spanend, goroutineleak, lockheld): a
+// per-function intraprocedural control-flow graph over ast.Stmt with
+// just enough dataflow machinery for the invariants the repo cares
+// about — "this value must reach a call on every path" (spanend) and
+// "this fact holds between these two calls" (lockheld).
+//
+// Design constraints (DESIGN.md §13):
+//
+//   - Stdlib-only, like the rest of the lint framework: no
+//     golang.org/x/tools/go/cfg. The builder below covers the Go
+//     statements the module actually uses — if/for/range/switch/
+//     type-switch/select, labeled break/continue, goto, fallthrough,
+//     return — and parks unreachable code in predecessor-less blocks.
+//   - Statement granularity. Conditions (if/for/switch tags) are
+//     appended to the block evaluating them; compound statements are
+//     decomposed so their bodies live in successor blocks. The one
+//     wrapper type is rangeHead, which stands in for a RangeStmt's
+//     loop head without dragging the loop body into the head block.
+//   - Function literals are their own functions: the builder never
+//     descends into a FuncLit, and analyzers visit each literal body
+//     as an independent CFG (forEachFuncBody).
+//   - Calls that provably never return (panic, os.Exit, log.Fatal*,
+//     runtime.Goexit) terminate their block with no successors, so a
+//     `default: panic(...)` arm does not count as a path to exit.
+
+// cfgBlock is one straight-line run of nodes: no branching within,
+// control transfers only at the end. nodes holds statements plus the
+// condition/tag expressions evaluated by the block.
+type cfgBlock struct {
+	index int
+	nodes []ast.Node
+	succs []*cfgBlock
+}
+
+// funcCFG is the control-flow graph of one function body. exit is a
+// synthetic empty block every return (and the fall-off-the-end path)
+// feeds into; panicking paths do not reach it.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+// rangeHead marks the loop head of a range statement inside a block:
+// the range expression and the key/value binding, without the body
+// (which lives in the head's successor). Analyzers that care whether
+// a loop ranges over a channel look at Loop.X's type.
+type rangeHead struct {
+	Loop *ast.RangeStmt
+}
+
+func (r rangeHead) Pos() token.Pos { return r.Loop.Pos() }
+func (r rangeHead) End() token.Pos { return r.Loop.X.End() }
+
+// cfgScope is one enclosing breakable/continuable construct.
+type cfgScope struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select scopes
+}
+
+type pendingGoto struct {
+	from  *cfgBlock
+	label string
+}
+
+type cfgBuilder struct {
+	g            *funcCFG
+	cur          *cfgBlock // nil after a terminator; lazily revived for dead code
+	scopes       []cfgScope
+	labels       map[string]*cfgBlock
+	gotos        []pendingGoto
+	pendingLabel string
+	fallTo       *cfgBlock // fallthrough target inside a switch clause
+}
+
+// buildCFG constructs the control-flow graph of body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	g := &funcCFG{}
+	b := &cfgBuilder{g: g, labels: map[string]*cfgBlock{}}
+	g.exit = b.newBlock()
+	g.entry = b.newBlock()
+	b.cur = g.entry
+	b.stmt(body)
+	b.linkCur(g.exit)
+	for _, pg := range b.gotos {
+		if to := b.labels[pg.label]; to != nil {
+			b.link(pg.from, to)
+		}
+	}
+	return g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{index: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) link(from, to *cfgBlock) {
+	from.succs = append(from.succs, to)
+}
+
+// linkCur links the current block to `to` and leaves cur unset; no-op
+// when the current path already terminated.
+func (b *cfgBuilder) linkCur(to *cfgBlock) {
+	if b.cur != nil {
+		b.link(b.cur, to)
+		b.cur = nil
+	}
+}
+
+// add appends a node to the current block, reviving a fresh
+// (unreachable) block for statements after a terminator.
+func (b *cfgBuilder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+// ensure returns the current block, reviving one if the path
+// terminated.
+func (b *cfgBuilder) ensure() *cfgBlock {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// takeLabel consumes the label of an enclosing LabeledStmt, so the
+// construct being built can register it for labeled break/continue.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		after := b.newBlock()
+		then := b.newBlock()
+		b.link(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.linkCur(after)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.link(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.linkCur(after)
+		} else {
+			b.link(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.linkCur(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		if s.Cond != nil {
+			b.link(head, after) // `for {}` has no normal exit, only breaks
+		}
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.linkCur(post)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.linkCur(head)
+		}
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock()
+		b.linkCur(head)
+		b.cur = head
+		b.add(rangeHead{Loop: s})
+		body := b.newBlock()
+		after := b.newBlock()
+		b.link(head, body)
+		b.link(head, after)
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.linkCur(head)
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		var tag ast.Node
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+		b.switchStmt(s.Init, tag, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, s.Assign, s.Body, false)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.ensure()
+		after := b.newBlock()
+		b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			cb := b.newBlock()
+			b.link(head, cb)
+			b.cur = cb
+			b.stmt(cc.Comm)
+			for _, st := range cc.Body {
+				b.stmt(st)
+			}
+			b.linkCur(after)
+		}
+		b.scopes = b.scopes[:len(b.scopes)-1]
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.linkCur(b.g.exit)
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		lb := b.newBlock()
+		b.linkCur(lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.ExprStmt:
+		b.add(s)
+		if callNeverReturns(s.X) {
+			b.cur = nil
+		}
+	default:
+		// Assign, Decl, Send, IncDec, Defer, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// switchStmt builds (type-)switch control flow. tag is the dispatch
+// node evaluated by the head block (the switch tag expression or the
+// type-switch guard assignment; nil for a bare switch). withFallthrough
+// is true for value switches only.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Node, body *ast.BlockStmt, withFallthrough bool) {
+	label := b.takeLabel()
+	b.stmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.ensure()
+	after := b.newBlock()
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	bodies := make([]*cfgBlock, len(clauses))
+	hasDefault := false
+	for i, c := range clauses {
+		bodies[i] = b.newBlock()
+		b.link(head, bodies[i])
+		if c.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.link(head, after)
+	}
+	b.scopes = append(b.scopes, cfgScope{label: label, breakTo: after})
+	savedFall := b.fallTo
+	for i, c := range clauses {
+		b.cur = bodies[i]
+		b.fallTo = nil
+		if withFallthrough && i+1 < len(clauses) {
+			b.fallTo = bodies[i+1]
+		}
+		for _, st := range c.Body {
+			b.stmt(st)
+		}
+		b.linkCur(after)
+	}
+	b.fallTo = savedFall
+	b.scopes = b.scopes[:len(b.scopes)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if label == "" || sc.label == label {
+				b.linkCur(sc.breakTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		for i := len(b.scopes) - 1; i >= 0; i-- {
+			sc := b.scopes[i]
+			if sc.continueTo != nil && (label == "" || sc.label == label) {
+				b.linkCur(sc.continueTo)
+				return
+			}
+		}
+		b.cur = nil
+	case token.GOTO:
+		if b.cur != nil && label != "" {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		if b.fallTo != nil {
+			b.linkCur(b.fallTo)
+		} else {
+			b.cur = nil
+		}
+	}
+}
+
+// callNeverReturns reports whether e is a call that provably does not
+// return: the panic builtin, os.Exit, runtime.Goexit, log.Fatal*.
+// Syntactic on purpose — the CFG builder has no type info, and a
+// shadowed `panic` is not a pattern this module contains.
+func callNeverReturns(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := fn.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fn.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fn.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && (fn.Sel.Name == "Fatal" || fn.Sel.Name == "Fatalf" || fn.Sel.Name == "Fatalln"):
+			return true
+		}
+	}
+	return false
+}
+
+// pathToExit reports whether the function exit is reachable from the
+// node after (from, startIdx) without first passing a node for which
+// stop returns true. When bad is non-nil, reaching a bad node (before
+// any stop node) also counts as an escaping path — spanend uses it to
+// treat re-assignment of a live span as a leak of the old one.
+func (g *funcCFG) pathToExit(from *cfgBlock, startIdx int, stop, bad func(ast.Node) bool) bool {
+	type item struct {
+		b *cfgBlock
+		i int
+	}
+	seen := map[*cfgBlock]bool{}
+	stack := []item{{from, startIdx}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if it.b == g.exit {
+			return true
+		}
+		blocked := false
+		for i := it.i; i < len(it.b.nodes); i++ {
+			n := it.b.nodes[i]
+			if bad != nil && bad(n) {
+				return true
+			}
+			if stop(n) {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		for _, s := range it.b.succs {
+			if s == g.exit {
+				return true
+			}
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, item{s, 0})
+			}
+		}
+	}
+	return false
+}
+
+// forEachFuncBody invokes fn once per function body in file: every
+// FuncDecl with a body and every FuncLit, each treated as its own
+// function. node is the *ast.FuncDecl or *ast.FuncLit.
+func forEachFuncBody(file *ast.File, fn func(node ast.Node, body *ast.BlockStmt)) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.FuncDecl:
+			if d.Body != nil {
+				fn(d, d.Body)
+			}
+		case *ast.FuncLit:
+			fn(d, d.Body)
+		}
+		return true
+	})
+}
+
+// inspectShallow walks n without descending into function literals:
+// the traversal an intraprocedural analyzer wants when a statement's
+// side effects matter but a closure's deferred body does not. The root
+// itself is visited even when it is a FuncLit. A rangeHead root is
+// unwrapped to the expressions the loop head actually evaluates.
+func inspectShallow(n ast.Node, f func(ast.Node) bool) {
+	if rh, ok := n.(rangeHead); ok {
+		inspectShallow(rh.Loop.X, f)
+		return
+	}
+	root := n
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return false
+		}
+		if _, ok := m.(*ast.FuncLit); ok && m != root {
+			return false
+		}
+		return f(m)
+	})
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// parseBody parses src as the body of a single function and returns it.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file, err := parser.ParseFile(token.NewFileSet(), "t.go", "package p\nfunc f() {\n"+src+"\n}\n", 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return file.Decls[0].(*ast.FuncDecl).Body
+}
+
+// callNamed returns a stop/bad predicate matching any statement that
+// contains a call to the named function.
+func callNamed(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		found := false
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+}
+
+// escapes reports whether the function body has a path from entry to
+// exit that avoids every call to the named function — the reachability
+// question spanend asks with stop = "the call that discharges the
+// obligation".
+func escapes(t *testing.T, src, mustPass string) bool {
+	t.Helper()
+	g := buildCFG(parseBody(t, src))
+	return g.pathToExit(g.entry, 0, callNamed(mustPass), nil)
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	if escapes(t, "a(); done(); b()", "done") {
+		t.Error("straight-line path should pass through done()")
+	}
+	if !escapes(t, "a(); b()", "done") {
+		t.Error("exit must be reachable when done() is never called")
+	}
+}
+
+func TestCFGBranches(t *testing.T) {
+	// Only the then-branch discharges: the implicit else escapes.
+	if !escapes(t, "if c {\ndone()\n}", "done") {
+		t.Error("if without else must have an escaping path")
+	}
+	// Both arms discharge: no escape.
+	if escapes(t, "if c {\ndone()\n} else {\ndone()\n}", "done") {
+		t.Error("done() on both branches blocks every path")
+	}
+	// One arm discharges, the other returns early — early return IS a
+	// path to exit.
+	if !escapes(t, "if c {\ndone()\n} else {\nreturn\n}", "done") {
+		t.Error("early return must count as a path to exit")
+	}
+	// One arm panics instead of returning: panic is not a path to exit.
+	if escapes(t, "if c {\ndone()\n} else {\npanic(1)\n}", "done") {
+		t.Error("a panicking arm is not a path to exit")
+	}
+}
+
+func TestCFGLoops(t *testing.T) {
+	// A conditional loop can run zero times: done() inside is skippable.
+	if !escapes(t, "for i := 0; i < n; i++ {\ndone()\n}", "done") {
+		t.Error("conditional loop body may be skipped")
+	}
+	// Same for range loops.
+	if !escapes(t, "for range xs {\ndone()\n}", "done") {
+		t.Error("range loop body may be skipped")
+	}
+	// for{} has no normal exit: the only way out passes through done().
+	if escapes(t, "for {\nif c {\ndone()\nreturn\n}\n}", "done") {
+		t.Error("infinite loop exits only via the guarded return after done()")
+	}
+	// ...but a break before done() escapes.
+	if !escapes(t, "for {\nif c {\nbreak\n}\ndone()\nreturn\n}", "done") {
+		t.Error("break must provide a path around done()")
+	}
+	// Labeled break out of the inner loop still reaches done(); labeled
+	// break out of the OUTER loop escapes.
+	if !escapes(t, "outer:\nfor {\nfor {\nbreak outer\n}\ndone()\nreturn\n}", "done") {
+		t.Error("labeled break must target the labeled loop")
+	}
+}
+
+func TestCFGSwitch(t *testing.T) {
+	// No default: the untaken path escapes.
+	if !escapes(t, "switch x {\ncase 1:\ndone()\n}", "done") {
+		t.Error("switch without default must have an escaping path")
+	}
+	// Every arm including default discharges: no escape.
+	if escapes(t, "switch x {\ncase 1:\ndone()\ndefault:\ndone()\n}", "done") {
+		t.Error("done() in every arm blocks all paths")
+	}
+	// A panicking default does not count as a path to exit.
+	if escapes(t, "switch x {\ncase 1:\ndone()\ndefault:\npanic(1)\n}", "done") {
+		t.Error("panicking default is not a path to exit")
+	}
+	// Fallthrough: case 1 falls into case 2's done().
+	if escapes(t, "switch x {\ncase 1:\nfallthrough\ncase 2:\ndone()\ndefault:\ndone()\n}", "done") {
+		t.Error("fallthrough must reach the next clause's done()")
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	if escapes(t, "select {\ncase <-a:\ndone()\ncase <-b:\ndone()\n}", "done") {
+		t.Error("done() in every comm clause blocks all paths")
+	}
+	if !escapes(t, "select {\ncase <-a:\ndone()\ncase <-b:\n}", "done") {
+		t.Error("a clause without done() must escape")
+	}
+}
+
+func TestCFGDefer(t *testing.T) {
+	// Defer statements are straight-line nodes: they stay in their
+	// block in source order and do not fork control flow. hasDeferredEnd
+	// (spanend) and applyLockOps (lockheld) rely on seeing the
+	// *ast.DeferStmt itself.
+	g := buildCFG(parseBody(t, "defer done()\na()"))
+	var defers int
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				defers++
+			}
+		}
+	}
+	if defers != 1 {
+		t.Fatalf("got %d DeferStmt nodes in the CFG, want 1", defers)
+	}
+	// The defer's call is not executed where it appears, so as a stop
+	// predicate target it must still "block" only via its own node:
+	// pathToExit sees the DeferStmt node containing the call.
+	if escapes(t, "defer done()\na()", "done") {
+		t.Error("the DeferStmt node itself satisfies the stop predicate")
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	// Nothing after a return executes: done() after return does not
+	// block the path.
+	if !escapes(t, "if c {\nreturn\n}\ndone()", "done") {
+		t.Error("return before done() must escape")
+	}
+	// Dead code after return lives in a predecessor-less block and
+	// must not leak into reachability.
+	if !escapes(t, "return\ndone()", "done") {
+		t.Error("unreachable done() must not block the straight return")
+	}
+}
+
+func TestCFGRangeHead(t *testing.T) {
+	// The loop head is represented by a rangeHead wrapper carrying the
+	// range expression but not the body.
+	g := buildCFG(parseBody(t, "for v := range ch {\nuse(v)\n}"))
+	var heads int
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			if rh, ok := n.(rangeHead); ok {
+				heads++
+				found := false
+				inspectShallow(rh, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && id.Name == "ch" {
+						found = true
+					}
+					return true
+				})
+				if !found {
+					t.Error("rangeHead must expose the range expression")
+				}
+				inspectShallow(rh, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						t.Errorf("rangeHead leaked a body node: %v", call)
+					}
+					return true
+				})
+			}
+		}
+	}
+	if heads != 1 {
+		t.Fatalf("got %d rangeHead nodes, want 1", heads)
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	// goto jumps over done() straight to the label.
+	if !escapes(t, "goto out\ndone()\nout:\na()", "done") {
+		t.Error("goto must provide a path around done()")
+	}
+}

@@ -12,7 +12,10 @@ type Config struct {
 // fixing the package first.
 func DefaultConfig() *Config {
 	return &Config{
-		Analyzers: []*Analyzer{NoRawTime, NoGlobalRand, FloatEq, UncheckedErr, CtxPropagate, StoreAppend},
+		Analyzers: []*Analyzer{
+			NoRawTime, NoGlobalRand, FloatEq, UncheckedErr, CtxPropagate, StoreAppend,
+			SpanEnd, GoroutineLeak, LockHeld, FrameExhaustive, MetricName,
+		},
 		Scopes: map[string]Scope{
 			// Everything under internal/ is simulation or analysis code
 			// and must be replayable from a seed, except the packages
@@ -68,6 +71,17 @@ func DefaultConfig() *Config {
 			CtxPropagate.Name: {
 				Include: []string{"internal/measure", "internal/serve", "internal/admit", "internal/load", "internal/cluster"},
 			},
+			// The flow-aware invariants (DESIGN.md §13) hold everywhere:
+			// a leaked span, a fire-and-forget goroutine, a channel op
+			// under a mutex, a non-exhaustive frame switch or an
+			// unbounded metric label is a bug in a CLI shell just as in
+			// the spine. Intentional exceptions are taken in place with
+			// lint:ignore and a recorded reason, never by scope.
+			SpanEnd.Name:         {Include: []string{""}},
+			GoroutineLeak.Name:   {Include: []string{""}},
+			LockHeld.Name:        {Include: []string{""}},
+			FrameExhaustive.Name: {Include: []string{""}},
+			MetricName.Name:      {Include: []string{""}},
 		},
 	}
 }

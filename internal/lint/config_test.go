@@ -76,3 +76,63 @@ func TestCtxPropagateCoversAdmissionAndLoad(t *testing.T) {
 		t.Error("ctxpropagate scope unexpectedly covers internal/stats")
 	}
 }
+
+// TestAnalyzerSetPinned pins the exact analyzer roster. Dropping one
+// silently (a merge artifact, a config refactor) would pass every other
+// test — the fixtures run analyzers one at a time — so the roster
+// itself is part of the contract.
+func TestAnalyzerSetPinned(t *testing.T) {
+	want := []string{
+		"norawtime", "noglobalrand", "floateq", "uncheckederr",
+		"ctxpropagate", "storeappend",
+		"spanend", "goroutineleak", "lockheld", "frameexhaustive", "metricname",
+	}
+	cfg := DefaultConfig()
+	if len(cfg.Analyzers) != len(want) {
+		t.Fatalf("DefaultConfig has %d analyzers, want %d", len(cfg.Analyzers), len(want))
+	}
+	for i, az := range cfg.Analyzers {
+		if az.Name != want[i] {
+			t.Errorf("Analyzers[%d] = %s, want %s", i, az.Name, want[i])
+		}
+		if _, ok := cfg.Scopes[az.Name]; !ok {
+			t.Errorf("analyzer %s has no scope entry", az.Name)
+		}
+	}
+}
+
+// TestNoRawTimeExemptionsPinned pins the norawtime Exclude list
+// verbatim. Every entry is a policy decision documented in
+// DefaultConfig; growing the list is how determinism erodes, so a new
+// exemption must show up here — in review — and not only in config.go.
+func TestNoRawTimeExemptionsPinned(t *testing.T) {
+	want := []string{
+		"internal/serve", "internal/tcping", "internal/icmp",
+		"internal/dnssim", "internal/obs",
+	}
+	got := DefaultConfig().Scopes[NoRawTime.Name].Exclude
+	if len(got) != len(want) {
+		t.Fatalf("norawtime Exclude = %v, want exactly %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("norawtime Exclude[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestFlowAnalyzersCoverEverything pins the flow-aware analyzers to a
+// module-wide scope with no excludes: their exceptions are taken in
+// place with lint:ignore plus a reason, never by carving out packages.
+func TestFlowAnalyzersCoverEverything(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, az := range []*Analyzer{SpanEnd, GoroutineLeak, LockHeld, FrameExhaustive, MetricName} {
+		scope := cfg.Scopes[az.Name]
+		if !scope.Matches("") || !scope.Matches("internal/store") || !scope.Matches("cmd/cloudyvet") {
+			t.Errorf("%s must apply module-wide, got %+v", az.Name, scope)
+		}
+		if len(scope.Exclude) != 0 {
+			t.Errorf("%s must have no package-level excludes, got %v", az.Name, scope.Exclude)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// FrameExhaustive keeps frame-type switches in lockstep with the wire
+// protocol: any switch with a case naming one of wirecodec's Frame*
+// constants must either cover every declared frame type or carry a
+// non-empty default arm that handles the unknown type. The wire format
+// is versioned and append-only — when FrameXxx number five lands, every
+// dispatch that silently ignores unmatched frames corrupts a stream
+// instead of erroring, and no test fails until a mixed-version fleet
+// hits it.
+var FrameExhaustive = &Analyzer{
+	Name: "frameexhaustive",
+	Doc:  "switches over wirecodec frame-type constants must cover every declared type or default to an error path",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok {
+					return true
+				}
+				checkFrameSwitch(pass, sw)
+				return true
+			})
+		}
+	},
+}
+
+// frameConst resolves e to a wirecodec frame-type constant (a
+// package-level const named Frame* in a package named wirecodec).
+func frameConst(pass *Pass, e ast.Expr) *types.Const {
+	var id *ast.Ident
+	switch e := e.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	c, ok := pass.Info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Pkg().Name() != "wirecodec" {
+		return nil
+	}
+	if !strings.HasPrefix(c.Name(), "Frame") || len(c.Name()) == len("Frame") {
+		return nil
+	}
+	return c
+}
+
+// frameGroup enumerates every Frame* constant in the package that
+// declared sample, with a type identical to sample's — the full set a
+// frame switch must cover.
+func frameGroup(sample *types.Const) []*types.Const {
+	scope := sample.Pkg().Scope()
+	var group []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Frame") || len(name) == len("Frame") {
+			continue
+		}
+		if types.Identical(c.Type(), sample.Type()) {
+			group = append(group, c)
+		}
+	}
+	return group
+}
+
+func checkFrameSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	var sample *types.Const
+	covered := map[string]bool{}
+	var defaultClause *ast.CaseClause
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			defaultClause = cc
+			continue
+		}
+		for _, e := range cc.List {
+			if fc := frameConst(pass, e); fc != nil {
+				covered[fc.Name()] = true
+				if sample == nil {
+					sample = fc
+				}
+			}
+		}
+	}
+	if sample == nil {
+		return // not a frame-type switch
+	}
+	if defaultClause != nil {
+		if len(defaultClause.Body) == 0 {
+			pass.Reportf(defaultClause.Pos(),
+				"empty default in a frame-type switch silently drops unknown frames; return or record an error")
+		}
+		return
+	}
+	var missing []string
+	for _, c := range frameGroup(sample) {
+		if !covered[c.Name()] {
+			missing = append(missing, c.Name())
+		}
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		pass.Reportf(sw.Pos(),
+			"frame-type switch misses %s and has no default; new frame types would be silently ignored",
+			strings.Join(missing, ", "))
+	}
+}

@@ -21,6 +21,15 @@ var goldenFixtures = map[string]*Analyzer{
 	"ctxpropagate": CtxPropagate,
 	"storeappend":  StoreAppend,
 	"suppress":     FloatEq,
+
+	// Flow-aware analyzers (DESIGN.md §13). These fixtures import the
+	// real obs/sample/wirecodec packages so the type matching runs
+	// against the genuine signatures.
+	"spanend":         SpanEnd,
+	"goroutineleak":   GoroutineLeak,
+	"lockheld":        LockHeld,
+	"frameexhaustive": FrameExhaustive,
+	"metricname":      MetricName,
 }
 
 // wantRE pulls the quoted regexps out of a // want "..." comment.

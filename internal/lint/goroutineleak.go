@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLeak forbids fire-and-forget goroutines: every `go`
+// statement must have a visible exit path — a context it can watch, a
+// channel it blocks on (so a peer's close/send/receive bounds its
+// life), or a WaitGroup that joins it. An unbounded goroutine in the
+// serving or campaign spine outlives its request, holds references
+// past a store swap, and turns graceful drain into a timeout; the
+// chaos tests only probabilistically catch what this check proves.
+//
+// Accepted exit signals in the spawned body (or, for `go f(args)`, in
+// the arguments handed to f):
+//
+//   - any value of type context.Context (the goroutine, or its callee,
+//     can select on Done)
+//   - a channel operation: send, receive, select, range over a channel
+//   - a channel-typed argument passed onward (the callee blocks on it)
+//   - sync.WaitGroup.Done/Wait (the spawner joins it)
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every go statement needs a ctx/done-channel/WaitGroup exit path; no fire-and-forget goroutines",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goroutineBounded(pass, file, gs) {
+					pass.Reportf(gs.Pos(),
+						"goroutine has no ctx/done-channel/WaitGroup exit path; fire-and-forget goroutines leak past drain")
+				}
+				return true
+			})
+		}
+	},
+}
+
+func goroutineBounded(pass *Pass, file *ast.File, gs *ast.GoStmt) bool {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		// The literal's own parameters bind the call's arguments, so a
+		// ctx/channel passed in is seen as a typed value in the body.
+		return bodyHasExitSignal(pass, lit.Body)
+	}
+	// go f(args): intraprocedural, so trust a context or channel handed
+	// to the callee — the exit path lives on the other side of the call.
+	for _, arg := range gs.Call.Args {
+		if t := pass.Info.TypeOf(arg); isContextType(t) || isChanType(t) {
+			return true
+		}
+	}
+	// go run(x) where run is a closure bound in this file: still
+	// intraprocedural — follow the binding and scan the literal's body.
+	if id, ok := gs.Call.Fun.(*ast.Ident); ok {
+		if lits := localClosureBodies(pass, file, id); len(lits) > 0 {
+			for _, lit := range lits {
+				if !bodyHasExitSignal(pass, lit.Body) {
+					return false
+				}
+			}
+			return true
+		}
+	}
+	// A method value bound to a receiver that carries its own lifecycle
+	// is invisible here; require the explicit signal instead.
+	return false
+}
+
+// localClosureBodies resolves id to the function literals bound to its
+// object anywhere in file (run := func(...) {...}; var run = func...).
+// If the variable is rebound, every binding must prove an exit signal,
+// so all are returned.
+func localClosureBodies(pass *Pass, file *ast.File, id *ast.Ident) []*ast.FuncLit {
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	var lits []*ast.FuncLit
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || (pass.Info.Defs[lid] != obj && pass.Info.Uses[lid] != obj) {
+					continue
+				}
+				if i < len(n.Rhs) {
+					if lit, ok := n.Rhs[i].(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if pass.Info.Defs[name] != obj {
+					continue
+				}
+				if i < len(n.Values) {
+					if lit, ok := n.Values[i].(*ast.FuncLit); ok {
+						lits = append(lits, lit)
+					}
+				}
+			}
+		}
+		return true
+	})
+	return lits
+}
+
+// bodyHasExitSignal scans a goroutine body (including nested literals,
+// which run within the goroutine unless re-spawned) for an exit signal.
+func bodyHasExitSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if isContextType(pass.Info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChanType(pass.Info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if isWaitGroupJoin(pass, n) {
+				found = true
+				return false
+			}
+			for _, arg := range n.Args {
+				if t := pass.Info.TypeOf(arg); isContextType(t) || isChanType(t) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+// isChanType reports whether t (or what it points to) is a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	t = t.Underlying()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem().Underlying()
+	}
+	_, ok := t.(*types.Chan)
+	return ok
+}
+
+// isWaitGroupJoin reports whether call is Done() or Wait() on a
+// sync.WaitGroup.
+func isWaitGroupJoin(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Done" && sel.Sel.Name != "Wait") {
+		return false
+	}
+	f, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	return namedTypeIs(recv.Type(), "sync", "WaitGroup")
+}
+
+// namedTypeIs unwraps pointers/aliases and reports whether t is the
+// named type pkgName.typeName (matching by package *name* so golden
+// fixtures can mirror real packages).
+func namedTypeIs(t types.Type, pkgName, typeName string) bool {
+	for t != nil {
+		t = types.Unalias(t)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}

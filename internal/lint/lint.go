@@ -36,6 +36,8 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named check over a type-checked package.
@@ -104,31 +106,84 @@ func (f Finding) String() string {
 // Baseline filtering is a separate step (Baseline.Filter) so callers
 // can regenerate baselines from the raw finding set.
 func Run(cfg *Config, pkgs []*Package) []Finding {
-	var all []Finding
-	for _, pkg := range pkgs {
-		sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
-		all = append(all, bad...)
-		for _, az := range cfg.Analyzers {
-			if !cfg.Scopes[az.Name].Matches(pkg.RelPath) {
-				continue
-			}
-			var found []Finding
-			pass := &Pass{
-				Analyzer: az,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				RelPath:  pkg.RelPath,
-				findings: &found,
-			}
-			az.Run(pass)
-			for _, f := range found {
-				if !sup.suppressed(f) {
-					all = append(all, f)
-				}
-			}
+	findings, _ := RunWith(cfg, pkgs, RunOptions{})
+	return findings
+}
+
+// RunOptions tunes a lint run.
+type RunOptions struct {
+	// Workers is the number of packages analyzed concurrently; values
+	// below 1 mean serial. Packages are independent after loading (each
+	// analyzer reads its own package's ASTs and the shared, immutable
+	// type info), so the pool is a plain bounded fan-out.
+	Workers int
+	// Clock, when set, samples a monotonic stopwatch (elapsed time since
+	// an arbitrary epoch) around each analyzer run to produce per-
+	// analyzer timings. It is injected by the driver because this
+	// package is itself under norawtime: the lint framework must not
+	// read the wall clock it polices. Nil disables timing.
+	Clock func() time.Duration
+}
+
+// AnalyzerTiming is the aggregate cost of one analyzer across every
+// package it ran on. With Workers > 1 the Elapsed values are summed
+// per-goroutine stopwatch time, i.e. CPU-ish cost, not wall clock.
+type AnalyzerTiming struct {
+	Name     string
+	Elapsed  time.Duration
+	Packages int
+	Findings int
+}
+
+// RunWith is Run with a worker pool and optional per-analyzer timing.
+// Findings are identical to a serial run: per-package results are
+// collected in package order and sorted by position at the end, and
+// each worker touches only its own package's state.
+func RunWith(cfg *Config, pkgs []*Package, opts RunOptions) ([]Finding, []AnalyzerTiming) {
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+
+	var mu sync.Mutex
+	timings := map[string]*AnalyzerTiming{}
+	record := func(name string, d time.Duration, findings int) {
+		mu.Lock()
+		defer mu.Unlock()
+		t := timings[name]
+		if t == nil {
+			t = &AnalyzerTiming{Name: name}
+			timings[name] = t
 		}
+		t.Elapsed += d
+		t.Packages++
+		t.Findings += findings
+	}
+
+	perPkg := make([][]Finding, len(pkgs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				perPkg[i] = runPackage(cfg, pkgs[i], opts.Clock, record)
+			}
+		}()
+	}
+	for i := range pkgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var all []Finding
+	for _, fs := range perPkg {
+		all = append(all, fs...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -143,6 +198,53 @@ func Run(cfg *Config, pkgs []*Package) []Finding {
 		}
 		return a.Analyzer < b.Analyzer
 	})
+
+	var ts []AnalyzerTiming
+	for _, t := range timings {
+		ts = append(ts, *t)
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].Elapsed != ts[j].Elapsed {
+			return ts[i].Elapsed > ts[j].Elapsed
+		}
+		return ts[i].Name < ts[j].Name
+	})
+	return all, ts
+}
+
+// runPackage applies cfg's analyzers to one package.
+func runPackage(cfg *Config, pkg *Package, clock func() time.Duration, record func(string, time.Duration, int)) []Finding {
+	sup, all := collectSuppressions(pkg.Fset, pkg.Files)
+	for _, az := range cfg.Analyzers {
+		if !cfg.Scopes[az.Name].Matches(pkg.RelPath) {
+			continue
+		}
+		var found []Finding
+		pass := &Pass{
+			Analyzer: az,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			RelPath:  pkg.RelPath,
+			findings: &found,
+		}
+		var start time.Duration
+		if clock != nil {
+			start = clock()
+		}
+		az.Run(pass)
+		kept := 0
+		for _, f := range found {
+			if !sup.suppressed(f) {
+				all = append(all, f)
+				kept++
+			}
+		}
+		if clock != nil {
+			record(az.Name, clock()-start, kept)
+		}
+	}
 	return all
 }
 

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked module package, ready for
@@ -182,7 +183,7 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	tpkg, err := l.check(importPath, asts, info)
+	tpkg, err := l.check(importPath, asts, info, false)
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
 	}
@@ -199,29 +200,45 @@ func (l *Loader) LoadDir(dir string) (*Package, error) {
 }
 
 // parseDir parses the buildable non-test Go files of dir, honouring
-// build constraints for the host platform.
+// build constraints for the host platform. Files parse concurrently:
+// token.FileSet is safe for concurrent use, and parsing dominates the
+// cost of the source-based stdlib import, so the fan-out here is what
+// keeps a whole-module run under the CI latency budget.
 func (l *Loader) parseDir(dir string, mode parser.Mode) ([]*ast.File, error) {
 	bp, err := l.ctxt.ImportDir(dir, 0)
 	if err != nil {
 		return nil, err
 	}
-	var asts []*ast.File
-	for _, name := range bp.GoFiles {
-		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode|parser.SkipObjectResolution)
+	asts := make([]*ast.File, len(bp.GoFiles))
+	errs := make([]error, len(bp.GoFiles))
+	var wg sync.WaitGroup
+	for i, name := range bp.GoFiles {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			asts[i], errs[i] = parser.ParseFile(l.fset, filepath.Join(dir, name), nil, mode|parser.SkipObjectResolution)
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		asts = append(asts, file)
 	}
 	return asts, nil
 }
 
 // check type-checks a parsed package, resolving imports through the
-// loader itself.
-func (l *Loader) check(path string, asts []*ast.File, info *types.Info) (*types.Package, error) {
+// loader itself. Imported (non-module) packages are checked with
+// IgnoreFuncBodies: the analyzers only ever look at the module's own
+// ASTs, so the stdlib contributes nothing but its exported API — and
+// skipping its function bodies is what keeps a cold whole-module load
+// inside the CI latency budget on one core.
+func (l *Loader) check(path string, asts []*ast.File, info *types.Info, apiOnly bool) (*types.Package, error) {
 	conf := types.Config{
-		Importer:    l,
-		FakeImportC: true,
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: apiOnly,
 		// Collect the first error but keep going so one bad file does
 		// not hide the rest of the report.
 		Error: func(error) {},
@@ -270,7 +287,7 @@ func (l *Loader) ImportFrom(path, srcDir string, _ types.ImportMode) (*types.Pac
 		entry.busy, entry.err = false, err
 		return nil, err
 	}
-	pkg, err := l.check(path, asts, nil)
+	pkg, err := l.check(path, asts, nil, true)
 	entry.busy, entry.pkg, entry.err = false, pkg, err
 	return pkg, err
 }

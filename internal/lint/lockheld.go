@@ -1,0 +1,312 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+)
+
+// LockHeld forbids blocking operations while a sync.Mutex or RWMutex
+// is held: channel sends/receives/selects, ranging over a channel,
+// network I/O (net / net/http calls, wirecodec frame reads/writes) and
+// sample.Bus delivery (Ping/Trace/Close block on backpressure). A
+// blocking call under a hot-path lock turns backpressure into a
+// pile-up: every reader of that mutex parks behind a channel that may
+// never drain, which is precisely the deadlock shape the serve/store/
+// cluster chaos tests can only sample.
+//
+// The analysis is a forward may-held dataflow over the function CFG:
+// Lock()/RLock() acquires, Unlock()/RUnlock() releases, paths merge by
+// union (held on any incoming path counts as held), and a deferred
+// Unlock intentionally does NOT release — the lock really is held for
+// the rest of the function, which is exactly when a later channel op
+// is a bug. Lock identity is the receiver expression's source text
+// ("s.mu"), so aliased mutexes are out of scope, as is anything
+// interprocedural.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "no channel ops, network I/O or sample.Bus delivery while a sync.Mutex/RWMutex is held",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			forEachFuncBody(file, func(_ ast.Node, body *ast.BlockStmt) {
+				checkLocks(pass, body)
+			})
+		}
+	},
+}
+
+func checkLocks(pass *Pass, body *ast.BlockStmt) {
+	// Cheap pre-scan: no Lock() call, no CFG.
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, kind := mutexOp(pass, call); kind == lockAcquire {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	g := buildCFG(body)
+	in := map[*cfgBlock]map[string]bool{}
+	in[g.entry] = map[string]bool{}
+	work := []*cfgBlock{g.entry}
+	for len(work) > 0 {
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		state := copyLockSet(in[blk])
+		for _, n := range blk.nodes {
+			applyLockOps(pass, n, state)
+		}
+		for _, succ := range blk.succs {
+			if mergeLockSet(in, succ, state) {
+				work = append(work, succ)
+			}
+		}
+	}
+
+	// Reporting pass: walk each block once with its fixpoint in-state.
+	reported := map[token.Pos]bool{}
+	for _, blk := range g.blocks {
+		state, ok := in[blk]
+		if !ok {
+			continue // unreachable
+		}
+		state = copyLockSet(state)
+		for _, n := range blk.nodes {
+			if len(state) > 0 {
+				reportBlockingOps(pass, n, state, reported)
+			}
+			applyLockOps(pass, n, state)
+		}
+	}
+}
+
+type lockOpKind int
+
+const (
+	lockNone lockOpKind = iota
+	lockAcquire
+	lockRelease
+)
+
+// mutexOp classifies call as a Lock/RLock (acquire) or Unlock/RUnlock
+// (release) on a sync.Mutex or sync.RWMutex, returning the lock's
+// identity — the receiver expression's source text.
+func mutexOp(pass *Pass, call *ast.CallExpr) (string, lockOpKind) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", lockNone
+	}
+	var kind lockOpKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = lockAcquire
+	case "Unlock", "RUnlock":
+		kind = lockRelease
+	default:
+		return "", lockNone
+	}
+	t := pass.Info.TypeOf(sel.X)
+	if !namedTypeIs(t, "sync", "Mutex") && !namedTypeIs(t, "sync", "RWMutex") {
+		return "", lockNone
+	}
+	return exprText(sel.X), kind
+}
+
+// applyLockOps updates the held-set with the acquires and releases in
+// node n. Deferred unlocks are skipped: the lock stays held until the
+// function returns, so everything after the defer runs under it.
+func applyLockOps(pass *Pass, n ast.Node, state map[string]bool) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch key, kind := mutexOp(pass, call); kind {
+		case lockAcquire:
+			state[key] = true
+		case lockRelease:
+			delete(state, key)
+		}
+		return true
+	})
+}
+
+// reportBlockingOps flags channel and I/O operations in node n while
+// any lock in state is held.
+func reportBlockingOps(pass *Pass, n ast.Node, state map[string]bool, reported map[token.Pos]bool) {
+	held := anyLock(state)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !reported[pos] {
+			reported[pos] = true
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	switch h := n.(type) {
+	case rangeHead:
+		if isChanType(pass.Info.TypeOf(h.Loop.X)) {
+			report(h.Loop.Pos(), "ranging over a channel while %s is held blocks every waiter on the lock", held)
+		}
+		return
+	case *ast.DeferStmt:
+		return // runs at exit, not here
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			report(m.Arrow, "channel send while %s is held blocks every waiter on the lock", held)
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				report(m.OpPos, "channel receive while %s is held blocks every waiter on the lock", held)
+			}
+		case *ast.CallExpr:
+			if pkg, name, ok := calleeFromPkg(pass, m); ok {
+				switch pkg {
+				case "net", "net/http":
+					report(m.Pos(), "network I/O (%s.%s) while %s is held", pkg, name, held)
+				}
+			}
+			if recv, method, ok := methodOnNamed(pass, m); ok {
+				switch {
+				case recvIs(recv, "sample", "Bus") && (method == "Ping" || method == "Trace" || method == "Close"):
+					report(m.Pos(), "sample.Bus.%s blocks on backpressure; calling it while %s is held stalls every waiter", method, held)
+				case recvInPkg(recv, "wirecodec") && blockingWireMethod(method):
+					report(m.Pos(), "wirecodec %s does stream I/O; calling it while %s is held serializes the fleet on the lock", method, held)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// anyLock returns one held lock name for the message (deterministic:
+// the lexicographically smallest).
+func anyLock(state map[string]bool) string {
+	best := ""
+	for k := range state {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+func copyLockSet(s map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// mergeLockSet unions state into in[blk], reporting whether anything
+// changed (union merge: held on any path counts).
+func mergeLockSet(in map[*cfgBlock]map[string]bool, blk *cfgBlock, state map[string]bool) bool {
+	cur, ok := in[blk]
+	if !ok {
+		in[blk] = copyLockSet(state)
+		return true
+	}
+	changed := false
+	for k := range state {
+		if !cur[k] {
+			cur[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// calleeFromPkg resolves a call to a package-level function and
+// returns its package path and name.
+func calleeFromPkg(pass *Pass, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return "", "", false
+	}
+	f, isFn := pass.Info.Uses[id].(*types.Func)
+	if !isFn || f.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, isSig := f.Type().(*types.Signature); isSig && sig.Recv() != nil {
+		return "", "", false // methods resolved by methodOnNamed
+	}
+	return f.Pkg().Path(), f.Name(), true
+}
+
+// methodOnNamed resolves a call to a method and returns the receiver
+// type and method name.
+func methodOnNamed(pass *Pass, call *ast.CallExpr) (recv types.Type, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	f, isFn := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, "", false
+	}
+	sig, isSig := f.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	return sig.Recv().Type(), f.Name(), true
+}
+
+func recvIs(t types.Type, pkgName, typeName string) bool {
+	return namedTypeIs(t, pkgName, typeName)
+}
+
+// recvInPkg reports whether the receiver's named type lives in a
+// package with the given name.
+func recvInPkg(t types.Type, pkgName string) bool {
+	for t != nil {
+		t = types.Unalias(t)
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// blockingWireMethod lists the wirecodec methods that touch the
+// underlying stream (as opposed to the pure encoders/decoders).
+// Writer.Ping/Trace buffer, but flush to the stream at batch
+// boundaries, so they block just as unpredictably.
+func blockingWireMethod(name string) bool {
+	switch name {
+	case "WriteFrame", "Flush", "ReadFrame", "Scan",
+		"WritePings", "WriteTraces", "WriteEOF",
+		"Ping", "Trace", "Close", "Finish":
+		return true
+	}
+	return false
+}
+
+// exprText renders an expression's source text, the identity key for
+// lock expressions.
+func exprText(e ast.Expr) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), e)
+	return buf.String()
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"regexp"
+)
+
+// MetricName enforces the instrument-naming contract of DESIGN.md §10:
+// obs instrument names and label keys are compile-time snake_case
+// constants, and label values must come from a bounded set. Instrument
+// identity is interned at registration, so a name or label computed
+// per call defeats the interning (one instrument per request) and an
+// unbounded label value — probe IDs, country codes, raw paths — grows
+// the registry without bound and makes /v1/metricsz scrape-hostile.
+//
+// Concretely, at every Registry.Counter/Gauge/Histogram/GaugeFunc call:
+//
+//   - the name argument must be a compile-time string constant matching
+//     ^[a-z][a-z0-9]*(_[a-z0-9]+)*$
+//   - label keys (the even variadic positions) must be compile-time
+//     snake_case constants too
+//   - label values may be constants or plain variable/field reads (a
+//     value threaded from a bounded enumeration), but never an inline
+//     computation (fmt.Sprint, strconv.Itoa, concatenation): compute
+//     the bounded value upstream, or suppress with a recorded reason
+//     if the cardinality really is bounded (e.g. a fixed shard count).
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "obs instrument names must be compile-time snake_case constants with bounded label sets",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				method, ok := registryCall(pass, call)
+				if !ok {
+					return true
+				}
+				checkInstrumentCall(pass, call, method)
+				return true
+			})
+		}
+	},
+}
+
+var snakeCaseRE = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// registryCall reports whether call is one of the instrument
+// constructors on obs.Registry.
+func registryCall(pass *Pass, call *ast.CallExpr) (string, bool) {
+	recv, method, ok := methodOnNamed(pass, call)
+	if !ok {
+		return "", false
+	}
+	switch method {
+	case "Counter", "Gauge", "Histogram", "GaugeFunc":
+	default:
+		return "", false
+	}
+	if !namedTypeIs(recv, "obs", "Registry") {
+		return "", false
+	}
+	return method, true
+}
+
+func checkInstrumentCall(pass *Pass, call *ast.CallExpr, method string) {
+	if len(call.Args) == 0 {
+		return
+	}
+	if name, ok := constString(pass, call.Args[0]); !ok {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs instrument name must be a compile-time constant, not a computed value")
+	} else if !snakeCaseRE.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"obs instrument name %q is not snake_case", name)
+	}
+
+	labelStart := 1
+	if method == "Histogram" || method == "GaugeFunc" {
+		labelStart = 2 // (name, buckets|func, labels...)
+	}
+	if len(call.Args) <= labelStart {
+		return
+	}
+	labels := call.Args[labelStart:]
+	if call.Ellipsis.IsValid() {
+		// labels... spread: the slice's contents are invisible here.
+		pass.Reportf(call.Ellipsis,
+			"obs labels passed as a spread slice cannot be checked for bounded cardinality; pass literal key/value pairs")
+		return
+	}
+	if len(labels)%2 != 0 {
+		pass.Reportf(labels[0].Pos(),
+			"obs labels must be alternating key/value pairs; got %d trailing argument(s)", len(labels))
+	}
+	for i, arg := range labels {
+		if i%2 == 0 { // key
+			if key, ok := constString(pass, arg); !ok {
+				pass.Reportf(arg.Pos(), "obs label key must be a compile-time constant")
+			} else if !snakeCaseRE.MatchString(key) {
+				pass.Reportf(arg.Pos(), "obs label key %q is not snake_case", key)
+			}
+			continue
+		}
+		if !boundedLabelValue(pass, arg) {
+			pass.Reportf(arg.Pos(),
+				"obs label value is computed inline; unbounded label cardinality grows the registry without limit — hoist a bounded value or suppress with a reason")
+		}
+	}
+}
+
+// constString extracts a compile-time string constant value.
+func constString(pass *Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+// boundedLabelValue accepts label values we can argue are bounded: a
+// compile-time constant, or a plain read of a variable/field (a value
+// chosen upstream from an enumeration, like an endpoint name or fault
+// kind). An inline computation — call, concatenation, index — is the
+// signature of per-record cardinality.
+func boundedLabelValue(pass *Pass, e ast.Expr) bool {
+	if _, ok := constString(pass, e); ok {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		_, ok := e.X.(*ast.Ident)
+		return ok
+	case *ast.ParenExpr:
+		return boundedLabelValue(pass, e.X)
+	}
+	return false
+}

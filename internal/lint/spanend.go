@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SpanEnd enforces the tracing contract: every span returned by
+// obs.StartSpan must reach its End() on every path out of the function
+// that started it — a deferred End, or an explicit End on each return
+// path. A span that exits un-Ended never records into the tracer's
+// ring or the per-stage rollups, so /v1/tracez silently under-reports
+// exactly the operations that failed, which is when the data matters.
+//
+// The check is flow-sensitive (CFG reachability), intraprocedural, and
+// deliberately forgiving at the boundary: a span whose variable
+// escapes the function — returned, passed as an argument, stored in a
+// field — is assumed to be Ended by its new owner.
+var SpanEnd = &Analyzer{
+	Name: "spanend",
+	Doc:  "every obs.StartSpan result must reach .End() on all paths (defer or explicit)",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Files {
+			forEachFuncBody(file, func(_ ast.Node, body *ast.BlockStmt) {
+				checkSpans(pass, body)
+			})
+		}
+	},
+}
+
+// isStartSpanCall reports whether call invokes StartSpan from a
+// package named obs (the real repro/internal/obs, or a fixture
+// mirroring it).
+func isStartSpanCall(pass *Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return false
+	}
+	f, ok := pass.Info.Uses[id].(*types.Func)
+	return ok && f.Name() == "StartSpan" && f.Pkg() != nil && f.Pkg().Name() == "obs"
+}
+
+// spanDef is one StartSpan assignment being tracked: the defining
+// statement's position in the CFG and the span variable's object.
+type spanDef struct {
+	call  *ast.CallExpr
+	stmt  *ast.AssignStmt
+	block *cfgBlock
+	idx   int
+	obj   types.Object
+}
+
+func checkSpans(pass *Pass, body *ast.BlockStmt) {
+	// Cheap pre-scan: most functions start no spans and never pay for
+	// a CFG.
+	found := false
+	inspectShallow(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isStartSpanCall(pass, call) {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	g := buildCFG(body)
+	var defs []spanDef
+	for _, blk := range g.blocks {
+		for i, n := range blk.nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				continue
+			}
+			call, ok := as.Rhs[0].(*ast.CallExpr)
+			if !ok || !isStartSpanCall(pass, call) {
+				continue
+			}
+			if len(as.Lhs) != 2 {
+				continue
+			}
+			id, ok := as.Lhs[1].(*ast.Ident)
+			if !ok {
+				// Assigned straight into a field or element: the span
+				// escapes; its owner is responsible for End.
+				continue
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(),
+					"result of obs.StartSpan discarded; the span can never End and will not record")
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj == nil {
+				continue
+			}
+			defs = append(defs, spanDef{call: call, stmt: as, block: blk, idx: i, obj: obj})
+		}
+	}
+
+	for _, d := range defs {
+		if spanEscapes(pass, body, d) {
+			continue
+		}
+		if hasDeferredEnd(pass, g, d.obj) {
+			continue
+		}
+		stop := func(n ast.Node) bool { return nodeEndsSpan(pass, n, d.obj) }
+		bad := func(n ast.Node) bool { return reassignsSpan(pass, n, d.obj, d.stmt) }
+		if g.pathToExit(d.block, d.idx+1, stop, bad) {
+			pass.Reportf(d.call.Pos(),
+				"span %s may exit the function without End(); defer %s.End() or End it on every path",
+				d.obj.Name(), d.obj.Name())
+		}
+	}
+}
+
+// spanEscapes reports whether the span object is used as a plain value
+// anywhere in body: anything other than a method call on it
+// (span.End(), span.SetAttr(...)) or a re-assignment of the variable
+// hands the span to code this intraprocedural pass cannot see.
+func spanEscapes(pass *Pass, body *ast.BlockStmt, d spanDef) bool {
+	escaped := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+		id, ok := n.(*ast.Ident)
+		if !ok || escaped {
+			return !escaped
+		}
+		if pass.Info.Uses[id] != d.obj && pass.Info.Defs[id] != d.obj {
+			return true
+		}
+		if len(stack) >= 2 {
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.SelectorExpr:
+				if parent.X == id {
+					return true // span.Method(...): stays local
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range parent.Lhs {
+					if lhs == id {
+						return true // (re-)definition, not an escape
+					}
+				}
+			case *ast.ValueSpec:
+				return true // var declaration
+			}
+		}
+		escaped = true
+		return false
+	})
+	return escaped
+}
+
+// hasDeferredEnd reports whether any defer in the function (a direct
+// `defer span.End()` or a deferred closure whose body calls it)
+// guarantees End at function exit.
+func hasDeferredEnd(pass *Pass, g *funcCFG, obj types.Object) bool {
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			def, ok := n.(*ast.DeferStmt)
+			if !ok {
+				continue
+			}
+			if endsSpanCall(pass, def.Call, obj) {
+				return true
+			}
+			if lit, ok := def.Call.Fun.(*ast.FuncLit); ok && containsEndOf(pass, lit.Body, obj) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// endsSpanCall reports whether call is `obj.End()`.
+func endsSpanCall(pass *Pass, call *ast.CallExpr, obj types.Object) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// containsEndOf reports whether n contains a call to obj.End(),
+// descending into nested literals (a closure that Ends the span runs
+// in this function's dynamic extent when deferred or invoked inline).
+func containsEndOf(pass *Pass, n ast.Node, obj types.Object) bool {
+	if rh, ok := n.(rangeHead); ok {
+		return containsEndOf(pass, rh.Loop.X, obj)
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok && endsSpanCall(pass, call, obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// nodeEndsSpan is the CFG stop predicate: the node contains obj.End().
+func nodeEndsSpan(pass *Pass, n ast.Node, obj types.Object) bool {
+	return containsEndOf(pass, n, obj)
+}
+
+// reassignsSpan reports whether node n overwrites the span variable
+// with a fresh StartSpan result (other than the tracked definition
+// itself) — reaching it means the old span leaks.
+func reassignsSpan(pass *Pass, n ast.Node, obj types.Object, self *ast.AssignStmt) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || as == self || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isStartSpanCall(pass, call) {
+		return false
+	}
+	id, ok := as.Lhs[1].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.Info.Uses[id] == obj || pass.Info.Defs[id] == obj
+}

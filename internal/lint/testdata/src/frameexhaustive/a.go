@@ -1,0 +1,69 @@
+// Package frameexhaustive is a cloudyvet golden-file fixture. It
+// imports the real repro/internal/wirecodec so the constant-group
+// enumeration runs against the genuine frame-type declarations.
+package frameexhaustive
+
+import (
+	"errors"
+
+	"repro/internal/wirecodec"
+)
+
+var errUnknownFrame = errors.New("unknown frame type")
+
+func handle(byte) {}
+
+// Covering every declared frame type is exhaustive; no default needed.
+func exhaustive(ft byte) {
+	switch ft {
+	case wirecodec.FrameControl:
+		handle(ft)
+	case wirecodec.FramePings:
+		handle(ft)
+	case wirecodec.FrameTraces:
+		handle(ft)
+	case wirecodec.FrameEOF:
+		handle(ft)
+	}
+}
+
+// A non-empty default arm handles the unknown type; partial coverage
+// is fine.
+func defaultErrors(ft byte) error {
+	switch ft {
+	case wirecodec.FramePings, wirecodec.FrameTraces:
+		handle(ft)
+	default:
+		return errUnknownFrame
+	}
+	return nil
+}
+
+// An empty default swallows unknown frames silently.
+func emptyDefault(ft byte) {
+	switch ft {
+	case wirecodec.FrameControl:
+		handle(ft)
+	default: // want "empty default in a frame-type switch silently drops unknown frames"
+	}
+}
+
+// Partial coverage with no default: new frame types vanish.
+func partial(ft byte) {
+	switch ft { // want "frame-type switch misses FrameEOF, FrameTraces and has no default"
+	case wirecodec.FrameControl:
+		handle(ft)
+	case wirecodec.FramePings:
+		handle(ft)
+	}
+}
+
+// Switches that never name a frame constant are not frame switches.
+func unrelated(x byte) {
+	switch x {
+	case 1:
+		handle(x)
+	case 2:
+		handle(x)
+	}
+}

@@ -1,0 +1,93 @@
+// Package goroutineleak is a cloudyvet golden-file fixture.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+// No exit signal anywhere in the body: fire-and-forget.
+func fireAndForget() {
+	go func() { // want "goroutine has no ctx/done-channel/WaitGroup exit path"
+		work()
+	}()
+}
+
+// A context in the body is an exit path.
+func watchesCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// A channel send bounds the goroutine's life (its peer must receive).
+func sendsResult(results chan int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+// Receiving, selecting and ranging over a channel all count.
+func drains(ch chan int, done chan struct{}) {
+	go func() {
+		for range ch {
+			work()
+		}
+	}()
+	go func() {
+		select {
+		case <-ch:
+		case <-done:
+		}
+	}()
+}
+
+// A WaitGroup joins the goroutine back to its spawner.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// go f(args): a context or channel argument carries the exit path to
+// the callee.
+func spawnsNamed(ctx context.Context, ch chan int) {
+	go worker(ctx)
+	go pump(ch)
+}
+
+func worker(ctx context.Context) { <-ctx.Done() }
+func pump(ch chan int)           { ch <- 1 }
+
+// A named call with no signalling argument is opaque — flagged.
+func spawnsOpaque() {
+	go work() // want "goroutine has no ctx/done-channel/WaitGroup exit path"
+}
+
+// go run(x) where run is a closure bound in this function: the binding
+// is followed and its body scanned.
+func spawnsClosureVar(results chan int) {
+	run := func(hedged bool) {
+		if hedged {
+			results <- 2
+			return
+		}
+		results <- 1
+	}
+	go run(false)
+	go run(true)
+}
+
+// The same shape without a signal in the closure body is still flagged.
+func spawnsLeakyClosureVar() {
+	spin := func() {
+		for {
+			work()
+		}
+	}
+	go spin() // want "goroutine has no ctx/done-channel/WaitGroup exit path"
+}

@@ -1,0 +1,97 @@
+// Package lockheld is a cloudyvet golden-file fixture. It imports the
+// real repro/internal/sample and repro/internal/wirecodec so the
+// blocking-method matching runs against the genuine types.
+package lockheld
+
+import (
+	"sync"
+
+	"repro/internal/sample"
+	"repro/internal/wirecodec"
+)
+
+type server struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+}
+
+// Channel ops after Unlock are fine.
+func (s *server) releasedFirst(v int) {
+	s.mu.Lock()
+	x := v * 2
+	s.mu.Unlock()
+	s.ch <- x
+}
+
+// A send while the lock is held parks every other waiter.
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// Deferred unlock does NOT release: the lock is genuinely held for the
+// rest of the function, so the receive below runs under it.
+func (s *server) deferUnlock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want "channel receive while s.mu is held"
+}
+
+// Read locks block writers just the same.
+func (s *server) rlockRange() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	for v := range s.ch { // want "ranging over a channel while s.rw is held"
+		_ = v
+	}
+}
+
+// May-held merge: the lock is taken on only one branch, but the op
+// after the merge point still runs under it on that path.
+func (s *server) mergeHeld(cond bool, v int) {
+	if cond {
+		s.mu.Lock()
+	}
+	s.ch <- v // want "channel send while s.mu is held"
+	if cond {
+		s.mu.Unlock()
+	}
+}
+
+// Bus delivery blocks on backpressure; calling it under a lock turns
+// backpressure into a pile-up.
+func (s *server) busUnderLock(b *sample.Bus, p sample.Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return b.Ping(p) // want "sample.Bus.Ping blocks on backpressure"
+}
+
+// Wire-stream I/O under a lock serializes the fleet on it.
+func (s *server) wireUnderLock(w *wirecodec.Writer, p sample.Sample) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return w.Ping(p) // want "wirecodec Ping does stream I/O"
+}
+
+func (s *server) wireFlushUnderLock(fw *wirecodec.FrameWriter) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fw.Flush() // want "wirecodec Flush does stream I/O"
+}
+
+// Bus calls with no lock held are fine.
+func busFree(b *sample.Bus, p sample.Sample) error {
+	return b.Ping(p)
+}
+
+// Distinct mutexes are tracked by receiver text: releasing one does
+// not release the other.
+func (s *server) twoLocks(o *server, v int) {
+	s.mu.Lock()
+	o.mu.Lock()
+	o.mu.Unlock()
+	s.ch <- v // want "channel send while s.mu is held"
+	s.mu.Unlock()
+}

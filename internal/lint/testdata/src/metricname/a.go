@@ -1,0 +1,62 @@
+// Package metricname is a cloudyvet golden-file fixture. It imports
+// the real repro/internal/obs so the Registry-method matching runs
+// against the genuine constructors.
+package metricname
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+const endpointLabel = "endpoint"
+
+// Well-formed instruments: constant snake_case names, constant keys,
+// bounded values.
+func good(r *obs.Registry, endpoint string) {
+	r.Counter("requests_total").Inc()
+	r.Counter("requests_by_endpoint_total", "endpoint", endpoint).Inc()
+	r.Counter("faults_total", endpointLabel, endpoint).Inc()
+	r.Gauge("queue_depth").Set(0)
+	r.Histogram("latency_ms", []float64{1, 2, 4}, "endpoint", endpoint)
+	r.GaugeFunc("uptime_seconds", func() float64 { return 0 })
+}
+
+// Names must be compile-time constants.
+func computedName(r *obs.Registry, suffix string) {
+	r.Counter("requests_" + suffix) // want "obs instrument name must be a compile-time constant"
+}
+
+// ...and snake_case.
+func badCase(r *obs.Registry) {
+	r.Counter("RequestsTotal") // want "obs instrument name .RequestsTotal. is not snake_case"
+	r.Gauge("queue-depth")     // want "obs instrument name .queue-depth. is not snake_case"
+	r.Counter("_requests")     // want "obs instrument name ._requests. is not snake_case"
+}
+
+// Label keys follow the same rules as names.
+func badKeys(r *obs.Registry, endpoint, key string) {
+	r.Counter("a_total", key, endpoint)        // want "obs label key must be a compile-time constant"
+	r.Counter("b_total", "EndPoint", endpoint) // want "obs label key .EndPoint. is not snake_case"
+}
+
+// Label values computed inline are per-record cardinality.
+func unboundedValue(r *obs.Registry, i int) {
+	r.Counter("shards_total", "shard", strconv.Itoa(i)).Inc() // want "obs label value is computed inline"
+}
+
+// Labels must come in pairs.
+func oddLabels(r *obs.Registry) {
+	r.Counter("c_total", "endpoint").Inc() // want "obs labels must be alternating key/value pairs"
+}
+
+// A spread slice hides the keys and values entirely.
+func spreadLabels(r *obs.Registry, labels []string) {
+	r.Counter("d_total", labels...).Inc() // want "obs labels passed as a spread slice cannot be checked"
+}
+
+// Histogram and GaugeFunc skip their non-label second argument.
+func skipsSecondArg(r *obs.Registry, i int) {
+	r.Histogram("h_ms", []float64{1}, "shard", strconv.Itoa(i))             // want "obs label value is computed inline"
+	r.GaugeFunc("g", func() float64 { return 0 }, "shard", strconv.Itoa(i)) // want "obs label value is computed inline"
+}

@@ -1,0 +1,98 @@
+// Package spanend is a cloudyvet golden-file fixture. It imports the
+// real repro/internal/obs so the analyzer's type matching runs against
+// the genuine StartSpan signature.
+package spanend
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Deferred End: the canonical shape, never flagged.
+func deferred(ctx context.Context) {
+	ctx, span := obs.StartSpan(ctx, "deferred")
+	defer span.End()
+	_ = ctx
+}
+
+// A deferred closure that Ends the span also counts.
+func deferredClosure(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "closure")
+	defer func() {
+		span.SetAttr("outcome", "done")
+		span.End()
+	}()
+}
+
+// Explicit End on every path out of the function.
+func everyPath(ctx context.Context, cond bool) {
+	_, span := obs.StartSpan(ctx, "every_path")
+	if cond {
+		span.End()
+		return
+	}
+	span.End()
+}
+
+// End only on the early-return path: the fallthrough leaks.
+func missesFallthrough(ctx context.Context, cond bool) {
+	_, span := obs.StartSpan(ctx, "leaky") // want "span span may exit the function without End"
+	if cond {
+		span.End()
+		return
+	}
+}
+
+// No End at all.
+func neverEnds(ctx context.Context) {
+	_, sp := obs.StartSpan(ctx, "never") // want "span sp may exit the function without End"
+	sp.SetAttr("outcome", "lost")
+}
+
+// A discarded span can never be Ended.
+func discarded(ctx context.Context) {
+	_, _ = obs.StartSpan(ctx, "discarded") // want "result of obs.StartSpan discarded"
+}
+
+// Reassigning the variable before End leaks the first span even though
+// the second one is handled.
+func reassigned(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "first") // want "span span may exit the function without End"
+	_, span = obs.StartSpan(ctx, "second")
+	span.End()
+}
+
+// End inside an infinite-retry loop that the exit cannot bypass: the
+// loop body Ends the span before every return.
+func endInLoop(ctx context.Context, tries int) {
+	_, span := obs.StartSpan(ctx, "loop")
+	for i := 0; ; i++ {
+		if i >= tries {
+			span.End()
+			return
+		}
+	}
+}
+
+// A span returned to the caller escapes; its new owner Ends it.
+func escapesReturn(ctx context.Context) (context.Context, *obs.Span) {
+	ctx, span := obs.StartSpan(ctx, "escapes")
+	return ctx, span
+}
+
+// A span handed to another function escapes too.
+func escapesArg(ctx context.Context) {
+	_, span := obs.StartSpan(ctx, "handed_off")
+	endLater(span)
+}
+
+func endLater(s *obs.Span) { s.End() }
+
+// Spans inside function literals are checked per literal.
+func insideClosure(ctx context.Context) func() {
+	return func() {
+		_, span := obs.StartSpan(ctx, "inner") // want "span span may exit the function without End"
+		span.SetAttr("where", "closure")
+	}
+}

@@ -26,10 +26,10 @@ func badLiterals(recs []int) {
 type other struct{ Pings []int }
 
 func fine(s *Store, o *other, recs []int) {
-	_ = &Store{}      // a fresh spill store starts empty
-	_ = len(s.Pings)  // reads are unrestricted
-	xs := s.Pings     // so is aliasing the slice for reading
+	_ = &Store{}     // a fresh spill store starts empty
+	_ = len(s.Pings) // reads are unrestricted
+	xs := s.Pings    // so is aliasing the slice for reading
 	_ = xs
-	o.Pings = recs    // a Pings field on another type is not the store
+	o.Pings = recs // a Pings field on another type is not the store
 	_ = append([]int(nil), s.Traces...)
 }

@@ -123,6 +123,7 @@ func NewBus(opts BusOptions, sinks ...Sink) *Bus {
 	// Live queue depth: read at scrape time, replacing any previous
 	// bus's callback so the newest bus owns the gauge.
 	opts.Obs.GaugeFunc("bus_queue_depth", func() float64 { return float64(len(b.ch)) })
+	//lint:ignore goroutineleak deliver ranges over b.ch and exits when Close closes it, signalling b.done
 	go b.deliver()
 	return b
 }

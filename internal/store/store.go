@@ -171,6 +171,7 @@ func (b *Builder) Seal() *Store {
 	s.summary = s.buildSummary()
 	b.opts.Obs.Gauge("store_rows").Set(int64(s.summary.Rows))
 	for i, sh := range s.shards {
+		//lint:ignore metricname shard count is fixed at seal time, so the label set is bounded by construction
 		b.opts.Obs.Gauge("store_shard_rows", "shard", strconv.Itoa(i)).Set(int64(sh.rows))
 	}
 	return s
