@@ -91,7 +91,7 @@ bench-wire-smoke:
 # dies mid-stream, its shard must be reassigned and the merged store
 # must seal bit-identical to the single-process run.
 chaos-smoke:
-	$(GO) test -race -run 'TestChaosWorkerKilledMidSweep' -count=1 ./internal/cluster/
+	$(GO) test -race -run 'TestChaosWorkerKilledMidSweep|TestChaosWindowedReplay' -count=1 ./internal/cluster/
 
 # verify is the pre-merge gate: generic static analysis (vet), the
 # repo-specific determinism/concurrency lint (cloudyvet), the full

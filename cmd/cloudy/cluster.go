@@ -23,10 +23,11 @@ func cmdCoordinator(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("coordinator", flag.ExitOnError)
 	f := addStudyFlags(fs)
 	addr := fs.String("addr", "127.0.0.1:9070", "listen address for workers")
-	clusterShards := fs.Int("cluster-shards", 0, "country shards to lease out (0 = default 8)")
+	clusterShards := fs.Int("cluster-shards", 0, "country groups to lease out (0 = default 8; bin-packed by probe count)")
+	cycleWindows := fs.Int("cycle-windows", 1, "split the cycle axis into this many windows per group; each (group, window) leases and replays independently")
 	storeShards := fs.Int("shards", 0, "store shard count (0 = default)")
 	leaseTTL := fs.Duration("lease-ttl", 15*time.Second, "reclaim a shard after its worker goes silent this long (0 = only on disconnect)")
-	allowFaults := fs.Bool("allow-faults", false, "permit -faults profiles (forfeits bit-identical merging)")
+	allowFaults := fs.Bool("allow-faults", false, "permit -faults profiles and -cycle-quota (forfeits bit-identical merging)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -44,12 +45,14 @@ func cmdCoordinator(ctx context.Context, args []string) error {
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorOptions{
 		Campaign: cluster.CampaignConfig{
 			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
+			Scenario: *f.scenario, DiurnalAmplitude: *f.diurnal, CycleQuota: *f.cycleQuota,
 		},
-		Shards:      *clusterShards,
-		LeaseTTL:    *leaseTTL,
-		Clock:       func() time.Duration { return time.Since(start) },
-		AllowFaults: *allowFaults,
-		Obs:         reg,
+		Shards:       *clusterShards,
+		CycleWindows: *cycleWindows,
+		LeaseTTL:     *leaseTTL,
+		Clock:        func() time.Duration { return time.Since(start) },
+		AllowFaults:  *allowFaults,
+		Obs:          reg,
 	}, feed)
 	if err != nil {
 		return err

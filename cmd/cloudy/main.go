@@ -30,10 +30,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"time"
 
 	"repro/internal/admit"
@@ -97,14 +99,16 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   cloudy world   [-seed N]
   cloudy report  [-seed N] [-scale F] [-cycles N] [-figure ID]
+                 [-scenario NAME] [-diurnal F] [-cycle-quota N]
   cloudy export  [-seed N] [-scale F] [-format csv|atlas] -pings FILE -traces FILE
   cloudy analyze [-seed N] -pings FILE -traces FILE
   cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]
-                 [-hedge] [-quota-rate R] [-quota-burst B] [-max-inflight N] [-reseal DUR]
+                 [-hedge] [-hedge-inflight-limit N|auto] [-quota-rate R] [-quota-burst B]
+                 [-max-inflight N] [-reseal DUR]
   cloudy loadgen [-seed N] [-scale F] [-clients LIST] [-requests N] [-hedge on|off|both]
                  [-base URL] [-out FILE]
   cloudy coordinator [-seed N] [-scale F] [-addr HOST:PORT] [-cluster-shards N]
-                 [-lease-ttl DUR] [-shards N]
+                 [-cycle-windows N] [-lease-ttl DUR] [-shards N]
   cloudy worker  [-addr HOST:PORT] [-name ID]
   cloudy benchwire [-seed N] [-scale F] [-cycles N] [-iters N] [-out FILE]`)
 }
@@ -146,19 +150,36 @@ func cmdWorld(args []string) error {
 
 const faultsUsage = "fault-injection profile: flaky-wireless, quota-storm, partition or none"
 
+const scenarioUsage = "longitudinal event scenario: cable-cut, region-launch or none (fires at the campaign midpoint; prove it via /v1/changepoint)"
+
 type studyFlags struct {
-	seed   *int64
-	scale  *float64
-	cycles *int
-	faults *string
+	seed       *int64
+	scale      *float64
+	cycles     *int
+	faults     *string
+	scenario   *string
+	diurnal    *float64
+	cycleQuota *int
 }
 
 func addStudyFlags(fs *flag.FlagSet) studyFlags {
 	return studyFlags{
-		seed:   fs.Int64("seed", 1, "study seed"),
-		scale:  fs.Float64("scale", 0.05, "fleet scale (1.0 = the paper's 115K probes)"),
-		cycles: fs.Int("cycles", 4, "country sweeps (the paper's six months ≈ 12)"),
-		faults: fs.String("faults", "", faultsUsage),
+		seed:       fs.Int64("seed", 1, "study seed"),
+		scale:      fs.Float64("scale", 0.05, "fleet scale (1.0 = the paper's 115K probes)"),
+		cycles:     fs.Int("cycles", 4, "country sweeps (the paper's six months ≈ 12)"),
+		faults:     fs.String("faults", "", faultsUsage),
+		scenario:   fs.String("scenario", "", scenarioUsage),
+		diurnal:    fs.Float64("diurnal", 0, "diurnal probe-availability amplitude in [0,1] (0 = off)"),
+		cycleQuota: fs.Int("cycle-quota", 0, "measurement request budget per cycle (0 = unlimited)"),
+	}
+}
+
+// coreConfig expands the study flags into a core.Config.
+func (f studyFlags) coreConfig() core.Config {
+	return core.Config{
+		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles,
+		FaultProfile: *f.faults, Scenario: *f.scenario,
+		DiurnalAmplitude: *f.diurnal, CycleQuota: *f.cycleQuota,
 	}
 }
 
@@ -168,9 +189,10 @@ func runStudy(ctx context.Context, f studyFlags) (*core.Study, core.Results, err
 	if *f.faults != "" && *f.faults != "none" {
 		fmt.Fprintf(os.Stderr, "fault profile: %s\n", *f.faults)
 	}
-	study, err := core.Run(ctx, core.Config{
-		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
-	})
+	if *f.scenario != "" && *f.scenario != "none" {
+		fmt.Fprintf(os.Stderr, "event scenario: %s\n", *f.scenario)
+	}
+	study, err := core.Run(ctx, f.coreConfig())
 	if err != nil {
 		return nil, core.Results{}, err
 	}
@@ -324,9 +346,7 @@ func cmdExport(ctx context.Context, args []string) error {
 // streamExport runs both campaigns with a file sink, never holding the
 // dataset in memory — the path for full-scale (-scale 1) runs.
 func streamExport(ctx context.Context, f studyFlags, pingsPath, tracesPath string) error {
-	setup, err := core.Prepare(core.Config{
-		Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults,
-	})
+	setup, err := core.Prepare(f.coreConfig())
 	if err != nil {
 		return err
 	}
@@ -376,6 +396,7 @@ func cmdServe(ctx context.Context, args []string) error {
 	timeout := fs.Duration("timeout", 5*time.Second, "per-request timeout")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	hedgeFlag := fs.Bool("hedge", false, "hedge straggler shards in the query fan-out")
+	hedgeLimit := fs.String("hedge-inflight-limit", "", `hedging in-flight ceiling: "" = half the admission ceiling, "auto" = the hedge_crossover_clients calibrated into BENCH_serve.json by loadgen, or an explicit integer`)
 	quotaRate := fs.Float64("quota-rate", 0, "per-client quota, requests/s (0 = default 100, negative disables)")
 	quotaBurst := fs.Float64("quota-burst", 0, "per-client burst capacity (0 = 2x rate)")
 	maxInflight := fs.Int("max-inflight", 0, "global concurrency ceiling, shed 503 past it (0 = default 1024, negative disables)")
@@ -413,19 +434,19 @@ func cmdServe(ctx context.Context, args []string) error {
 		fmt.Fprintf(os.Stderr, "streamed %d pings, %d traceroutes from export\n", np, nt)
 		st = feed.SealContext(ctx)
 	} else {
+		cfg := f.coreConfig()
+		cfg.Obs = reg
 		var err error
-		st, err = campaignStore(ctx, core.Config{
-			Seed: *f.seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: reg,
-		}, reg, *shards)
+		st, err = campaignStore(ctx, cfg, reg, *shards)
 		if err != nil {
 			return err
 		}
 	}
-	// Hedging is gated on the server's live admission gauge: past half
-	// the in-flight ceiling, firing a second shard probe per straggler
-	// would amplify exactly the load that is causing the straggling.
-	// The server doesn't exist yet, so the gauge is late-bound; srv is
-	// assigned before the listener accepts its first request.
+	// Hedging is gated on the server's live admission gauge: past the
+	// ceiling, firing a second shard probe per straggler would amplify
+	// exactly the load that is causing the straggling. The server
+	// doesn't exist yet, so the gauge is late-bound; srv is assigned
+	// before the listener accepts its first request.
 	var srv *serve.Server
 	hedgeOpts := store.HedgeOptions{Enabled: true}
 	if eff := *maxInflight; eff >= 0 {
@@ -438,7 +459,11 @@ func cmdServe(ctx context.Context, args []string) error {
 			}
 			return srv.InFlight()
 		}
-		hedgeOpts.InFlightLimit = int64(eff) / 2
+		limit, err := resolveHedgeLimit(*hedgeLimit, eff)
+		if err != nil {
+			return err
+		}
+		hedgeOpts.InFlightLimit = limit
 	}
 	if *hedgeFlag {
 		st = st.WithHedge(hedgeOpts)
@@ -459,6 +484,41 @@ func cmdServe(ctx context.Context, args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,readyz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
 	return srv.ListenAndServe(ctx, *addr)
+}
+
+// resolveHedgeLimit turns the -hedge-inflight-limit flag into the
+// concrete in-flight ceiling above which hedging stands down. The empty
+// spec keeps the historical heuristic (half the admission ceiling);
+// "auto" seeds the ceiling from the hedge_crossover_clients that a
+// `cloudy loadgen` sweep calibrated into BENCH_serve.json — the
+// concurrency where hedging's p99 win inverts — and an explicit
+// integer is taken as-is.
+func resolveHedgeLimit(spec string, admissionCeiling int) (int64, error) {
+	switch spec {
+	case "":
+		return int64(admissionCeiling) / 2, nil
+	case "auto":
+		data, err := os.ReadFile("BENCH_serve.json")
+		if err != nil {
+			return 0, fmt.Errorf("-hedge-inflight-limit auto: %w (run `cloudy loadgen -hedge both -out BENCH_serve.json` first)", err)
+		}
+		var rep struct {
+			HedgeCrossoverClients *int `json:"hedge_crossover_clients"`
+		}
+		if err := json.Unmarshal(data, &rep); err != nil {
+			return 0, fmt.Errorf("-hedge-inflight-limit auto: parsing BENCH_serve.json: %w", err)
+		}
+		if rep.HedgeCrossoverClients == nil {
+			return 0, fmt.Errorf("-hedge-inflight-limit auto: BENCH_serve.json carries no hedge_crossover_clients (the sweep found no crossover); pass an explicit limit")
+		}
+		return int64(*rep.HedgeCrossoverClients), nil
+	default:
+		n, err := strconv.ParseInt(spec, 10, 64)
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf(`-hedge-inflight-limit: want "", "auto" or a non-negative integer, got %q`, spec)
+		}
+		return n, nil
+	}
 }
 
 // campaignStore runs the campaigns into a fresh store.Feed and seals
@@ -512,9 +572,9 @@ func resealLoop(ctx context.Context, srv *serve.Server, f studyFlags, reg *obs.R
 		case <-time.After(interval):
 		}
 		seed := *f.seed + n
-		st, err := campaignStore(ctx, core.Config{
-			Seed: seed, Scale: *f.scale, Cycles: *f.cycles, FaultProfile: *f.faults, Obs: reg,
-		}, reg, shards)
+		cfg := f.coreConfig()
+		cfg.Seed, cfg.Obs = seed, reg
+		st, err := campaignStore(ctx, cfg, reg, shards)
 		if err != nil {
 			if ctx.Err() != nil {
 				return

@@ -78,6 +78,10 @@ type NearestAssignment struct {
 	Region map[string]string
 	// Samples holds every RTT from the probe to its closest region.
 	Samples map[string][]float64
+	// Cycles holds the normalized campaign cycle of each sample,
+	// aligned index-for-index with Samples — the time axis the
+	// partitioned store buckets by.
+	Cycles map[string][]int32
 	// Meta keeps one representative record per probe for grouping.
 	Meta map[string]dataset.VantagePoint
 }

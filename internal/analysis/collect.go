@@ -6,6 +6,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/dataset"
 	"repro/internal/geo"
+	"repro/internal/sample"
 	"repro/internal/stats"
 )
 
@@ -25,6 +26,7 @@ type NearestCollector struct {
 	platform string
 	sums     map[nearestKey]*stats.Welford
 	samples  map[nearestKey][]float64
+	cycles   map[nearestKey][]int32
 	meta     map[string]dataset.VantagePoint
 }
 
@@ -36,6 +38,7 @@ func NewNearestCollector(platform string) *NearestCollector {
 		platform: platform,
 		sums:     make(map[nearestKey]*stats.Welford),
 		samples:  make(map[nearestKey][]float64),
+		cycles:   make(map[nearestKey][]int32),
 		meta:     make(map[string]dataset.VantagePoint),
 	}
 }
@@ -60,6 +63,7 @@ func (c *NearestCollector) Add(r *dataset.PingRecord) {
 	}
 	w.Add(r.RTTms)
 	c.samples[k] = append(c.samples[k], r.RTTms)
+	c.cycles[k] = append(c.cycles[k], int32(sample.CampaignCycle(r.Cycle)))
 	c.meta[r.VP.ProbeID] = r.VP
 }
 
@@ -80,10 +84,12 @@ func (c *NearestCollector) Finalize() NearestAssignment {
 	out := NearestAssignment{
 		Region:  best,
 		Samples: make(map[string][]float64, len(best)),
+		Cycles:  make(map[string][]int32, len(best)),
 		Meta:    c.meta,
 	}
 	for probe, region := range best {
 		out.Samples[probe] = c.samples[nearestKey{probe, region}]
+		out.Cycles[probe] = c.cycles[nearestKey{probe, region}]
 	}
 	return out
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/netaddr"
+	"repro/internal/sample"
 )
 
 // epoch is the start of the paper's Atlas campaign (1 Sep 2019 UTC),
@@ -209,6 +210,7 @@ func ImportPings(r io.Reader, meta *Meta) (recs []dataset.PingRecord, skipped in
 			recs = append(recs, dataset.PingRecord{
 				VP: vp, Target: target, Protocol: proto,
 				RTTms: *reply.RTT, Cycle: cycle,
+				VTime: sample.VTimeOf(cycle, vp.Country),
 			})
 		}
 	}
@@ -262,9 +264,11 @@ func ImportTraces(r io.Reader, meta *Meta) (recs []dataset.TracerouteRecord, ski
 			skipped++
 			continue
 		}
+		cycle := cycleOf(res.MsmID, traceMsmBase, res.Timestamp)
 		rec := dataset.TracerouteRecord{
 			VP: vp, Target: target,
-			Cycle: cycleOf(res.MsmID, traceMsmBase, res.Timestamp),
+			Cycle: cycle,
+			VTime: sample.VTimeOf(cycle, vp.Country),
 		}
 		for _, hop := range res.Result {
 			h := dataset.Hop{TTL: hop.Hop}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
+	"repro/internal/sample"
 )
 
 func samplePing(probe string, cycle int, rtt float64) dataset.PingRecord {
@@ -23,6 +24,7 @@ func samplePing(probe string, cycle int, rtt float64) dataset.PingRecord {
 			Continent: geo.EU, IP: netaddr.MustParseIP("104.16.1.10"),
 		},
 		Protocol: dataset.TCP, RTTms: rtt, Cycle: cycle,
+		VTime: sample.VTimeOf(cycle, "DE"),
 	}
 }
 
@@ -37,6 +39,7 @@ func sampleTrace(probe string, cycle int) dataset.TracerouteRecord {
 			Continent: geo.AS, IP: netaddr.MustParseIP("104.0.1.10"),
 		},
 		Cycle: cycle,
+		VTime: sample.VTimeOf(cycle, "JP"),
 		Hops: []dataset.Hop{
 			{TTL: 1, IP: netaddr.MustParseIP("60.0.0.20"), RTTms: 21.5, Responded: true},
 			{TTL: 2, Responded: false},

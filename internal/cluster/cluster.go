@@ -13,9 +13,14 @@
 // between them, sharing the per-connection dictionary state:
 //
 //	worker → hello{worker}            coordinator → campaign{config}
-//	worker → lease_request            coordinator → lease{shard, countries, ttl} | shutdown
-//	worker → ping/trace batches, heartbeat{shard} …
-//	worker → shard_done{shard, pings, traces}
+//	worker → lease_request            coordinator → lease{shard, countries, cycle window, ttl} | shutdown
+//	worker → ping/trace batches, heartbeat{shard, telemetry} …
+//	worker → shard_done{shard, pings, traces, telemetry}
+//
+// No new frame type was introduced for the longitudinal axis: lease
+// windows and worker telemetry are fields of the JSON control envelope
+// riding the existing FrameControl type, so the wirecodec frame space
+// (and its exhaustiveness lint) is untouched.
 //
 // # Liveness and reassignment
 //
@@ -37,9 +42,20 @@
 // belongs to exactly one country, hence exactly one shard. A merged
 // store seals bit-identically to a single-process run (the chaos test
 // asserts store.ShardDigests equality) provided the campaign stays
-// fault-free with no daily quota: fault windows and quota day-jumps
-// couple countries through the shared virtual clock, so the
-// coordinator refuses fault profiles unless explicitly forced.
+// fault-free with no cycle quota: fault windows and the shared
+// per-cycle request budget couple countries through the engine's
+// virtual clock, so the coordinator refuses fault profiles and cycle
+// quotas unless explicitly forced.
+//
+// With CoordinatorOptions.CycleWindows > 1 the campaign's cycle axis is
+// further split into contiguous windows, and the lease unit becomes
+// (country group, cycle window): a six-month campaign replays one
+// window at a time. The sealed store's determinism contract is
+// per-probe arrival order (probes are sorted at seal), so the
+// coordinator commits a group's windows to the merge bus in ascending
+// window order — a unit finishing early is parked at that barrier —
+// which keeps every probe's stream in cycle order and the merged seal
+// bit-identical to the one-process, one-window run.
 //
 // Like admit, the package never reads the wall clock: lease expiry
 // reads the injected Clock, and periodic work paces itself on
@@ -49,6 +65,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -80,6 +97,18 @@ type CampaignConfig struct {
 	// Workers is the per-worker engine concurrency (0 = GOMAXPROCS);
 	// it does not affect emitted records, only speed.
 	Workers int `json:"workers,omitempty"`
+	// Scenario and DiurnalAmplitude mirror the core.Config longitudinal
+	// knobs. Both are pure functions of (country, cycle) — scenario
+	// penalties are additive post-RNG and the diurnal gate draws no
+	// extra randomness — so they preserve the bit-identical merge
+	// guarantee.
+	Scenario         string  `json:"scenario,omitempty"`
+	DiurnalAmplitude float64 `json:"diurnal_amplitude,omitempty"`
+	// CycleQuota does not preserve it: the per-cycle request budget is
+	// shared across every country an engine sweeps, so a sharded run
+	// spends it differently than the single process. Refused by the
+	// coordinator unless AllowFaults is set, like FaultProfile.
+	CycleQuota int `json:"cycle_quota,omitempty"`
 }
 
 // coreConfig expands the wire form back into a core.Config.
@@ -89,6 +118,9 @@ func (c CampaignConfig) coreConfig(reg *obs.Registry) core.Config {
 		ProbeCap: c.ProbeCap, TargetsPerProbe: c.TargetsPerProbe,
 		MinProbes: c.MinProbes, Workers: c.Workers,
 		FaultProfile: c.FaultProfile, Obs: reg,
+		Scenario:         c.Scenario,
+		DiurnalAmplitude: c.DiurnalAmplitude,
+		CycleQuota:       c.CycleQuota,
 	}
 }
 
@@ -114,6 +146,17 @@ type msg struct {
 	LeaseTTLMs int64           `json:"lease_ttl_ms,omitempty"`
 	Pings      uint64          `json:"pings"`
 	Traces     uint64          `json:"traces"`
+	// FromCycle and ToCycle window a lease on the campaign's cycle axis
+	// (half-open, both zero = the whole campaign) — set on lease grants
+	// when the coordinator runs with CycleWindows > 1.
+	FromCycle int `json:"from_cycle,omitempty"`
+	ToCycle   int `json:"to_cycle,omitempty"`
+	// QuotaExhausted and FaultStrikes are the worker's cumulative engine
+	// counters (cycle-quota exhaustions, injected fault strikes), carried
+	// on heartbeats and shard_done; the coordinator folds the deltas into
+	// its cluster_worker_* rollups.
+	QuotaExhausted uint64 `json:"quota_exhausted,omitempty"`
+	FaultStrikes   uint64 `json:"fault_strikes,omitempty"`
 }
 
 // writeControl frames, writes and flushes one control message.
@@ -150,11 +193,16 @@ func readControl(fr *wirecodec.FrameReader) (msg, error) {
 	return parseControl(payload)
 }
 
-// partitionCountries deals every country code round-robin into at
-// most n shards (empty shards are dropped when n exceeds the country
-// count). Sharding by country is what makes replay exact: a probe
-// lives in one country, so its whole stream comes from one shard.
-func partitionCountries(n int) [][]string {
+// partitionCountries packs every country code into at most n groups by
+// greedy LPT bin-packing on weight — a country's probe allocation —
+// so groups carry comparable measurement work instead of comparable
+// country counts (n is capped at the country count). Sharding by
+// country is what makes replay exact: a probe lives in one country, so
+// its whole stream comes from one shard. Countries missing from the
+// weight map count as 1, so coverage never depends on the weight
+// source; ties keep database order, keeping the partition
+// deterministic for a given weight map.
+func partitionCountries(n int, weight map[string]int) [][]string {
 	if n <= 0 {
 		n = 1
 	}
@@ -162,9 +210,30 @@ func partitionCountries(n int) [][]string {
 	if n > len(all) {
 		n = len(all)
 	}
-	out := make([][]string, n)
+	type wc struct {
+		code string
+		w    int
+	}
+	ws := make([]wc, len(all))
 	for i, c := range all {
-		out[i%n] = append(out[i%n], c.Code)
+		w := weight[c.Code]
+		if w <= 0 {
+			w = 1
+		}
+		ws[i] = wc{c.Code, w}
+	}
+	sort.SliceStable(ws, func(i, j int) bool { return ws[i].w > ws[j].w })
+	out := make([][]string, n)
+	load := make([]int, n)
+	for _, c := range ws {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		out[best] = append(out[best], c.code)
+		load[best] += c.w
 	}
 	return out
 }

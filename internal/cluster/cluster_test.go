@@ -12,6 +12,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/probes"
 	"repro/internal/store"
 	"repro/internal/wirecodec"
 	"repro/internal/world"
@@ -48,8 +49,9 @@ func newTestFeed(t *testing.T, camp CampaignConfig, storeShards int) *store.Feed
 
 func TestPartitionCountries(t *testing.T) {
 	all := geo.AllCountries()
+	weights := probes.CountryQuotas(probes.Config{Scale: 1})
 	for _, n := range []int{1, 3, len(all), len(all) + 50} {
-		shards := partitionCountries(n)
+		shards := partitionCountries(n, weights)
 		seen := map[string]int{}
 		for _, shard := range shards {
 			if len(shard) == 0 {
@@ -70,6 +72,38 @@ func TestPartitionCountries(t *testing.T) {
 	}
 }
 
+// TestPartitionCountriesBalanced pins the bin-packer's balance: with
+// real probe allocations the heaviest group must weigh at most 1.5×
+// the lightest, so no lease is a stand-out straggler.
+func TestPartitionCountriesBalanced(t *testing.T) {
+	weights := probes.CountryQuotas(probes.Config{Scale: 1})
+	for _, n := range []int{2, 4, DefaultShards} {
+		shards := partitionCountries(n, weights)
+		loads := make([]int, len(shards))
+		for i, shard := range shards {
+			for _, code := range shard {
+				w := weights[code]
+				if w <= 0 {
+					w = 1
+				}
+				loads[i] += w
+			}
+		}
+		lo, hi := loads[0], loads[0]
+		for _, l := range loads[1:] {
+			if l < lo {
+				lo = l
+			}
+			if l > hi {
+				hi = l
+			}
+		}
+		if lo == 0 || float64(hi)/float64(lo) > 1.5 {
+			t.Errorf("n=%d shard weights %v: max/min ratio %.2f exceeds 1.5", n, loads, float64(hi)/float64(lo))
+		}
+	}
+}
+
 func TestNewCoordinatorValidation(t *testing.T) {
 	if _, err := NewCoordinator(CoordinatorOptions{LeaseTTL: time.Second}); err == nil {
 		t.Error("LeaseTTL without a Clock must be rejected")
@@ -82,12 +116,35 @@ func TestNewCoordinatorValidation(t *testing.T) {
 	if _, err := NewCoordinator(faulty); err != nil {
 		t.Errorf("AllowFaults should admit a fault profile: %v", err)
 	}
+	quota := CoordinatorOptions{Campaign: CampaignConfig{CycleQuota: 100}}
+	if _, err := NewCoordinator(quota); err == nil {
+		t.Error("cycle quota without AllowFaults must be rejected")
+	}
+	quota.AllowFaults = true
+	if _, err := NewCoordinator(quota); err != nil {
+		t.Errorf("AllowFaults should admit a cycle quota: %v", err)
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{CycleWindows: 3}); err == nil {
+		t.Error("CycleWindows without explicit Campaign.Cycles must be rejected")
+	}
+	if _, err := NewCoordinator(CoordinatorOptions{CycleWindows: 3, Campaign: CampaignConfig{Cycles: 6}}); err != nil {
+		t.Errorf("CycleWindows with explicit cycles should be accepted: %v", err)
+	}
 }
 
 // runFleet drives a coordinator plus n workers over a LocalTransport
 // and returns the run result and each worker's error. wrap, when set,
 // intercepts worker i's connection (the chaos test's kill switch).
 func runFleet(t *testing.T, coord *Coordinator, n int, wrap func(i int, c Conn) Conn) (Result, []error) {
+	t.Helper()
+	return runFleetWorkers(t, coord, n, wrap, func(i int) WorkerOptions {
+		return WorkerOptions{Name: string(rune('a' + i))}
+	})
+}
+
+// runFleetWorkers is runFleet with per-worker options — the telemetry
+// test hands each worker its own registry, as separate processes have.
+func runFleetWorkers(t *testing.T, coord *Coordinator, n int, wrap func(i int, c Conn) Conn, optsFor func(i int) WorkerOptions) (Result, []error) {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
@@ -107,7 +164,7 @@ func runFleet(t *testing.T, coord *Coordinator, n int, wrap func(i int, c Conn) 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			w := NewWorker(WorkerOptions{Name: string(rune('a' + i))})
+			w := NewWorker(optsFor(i))
 			errs[i] = w.Run(ctx, func(ctx context.Context) (Conn, error) {
 				c, err := tr.Dial(ctx)
 				if err != nil || wrap == nil {
@@ -349,5 +406,140 @@ func TestClusterMetrics(t *testing.T) {
 	if reg.Counter("cluster_stream_rx_frames_total").Load() == 0 ||
 		reg.Counter("cluster_stream_rx_bytes_total").Load() == 0 {
 		t.Error("stream rx instruments never moved")
+	}
+}
+
+// windowedCampaign spans two cycles so the cycle axis can be split into
+// two windows per country group.
+var windowedCampaign = CampaignConfig{Seed: 2, Scale: 0.02, Cycles: 2, TargetsPerProbe: 4}
+
+// TestFleetWindowedMergesBitIdentical is the longitudinal tentpole
+// guarantee: splitting every country group into per-window leases —
+// (group, cycle window) units replayed independently, possibly out of
+// order — still seals bit-identical to the one-process, one-window run,
+// thanks to the coordinator's ascending-window commit barrier.
+func TestFleetWindowedMergesBitIdentical(t *testing.T) {
+	want := sealSingleProcess(t, windowedCampaign, 4)
+
+	feed := newTestFeed(t, windowedCampaign, 4)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Campaign: windowedCampaign, Shards: 2, CycleWindows: 2,
+	}, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, errs := runFleet(t, coord, 3, nil)
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if res.Groups != 2 || res.Windows != 2 || res.Shards != 4 {
+		t.Errorf("expected 2 groups x 2 windows = 4 units, got %+v", res)
+	}
+	if res.Pings == 0 || res.Traces == 0 {
+		t.Fatalf("fleet streamed nothing: %+v", res)
+	}
+
+	got := feed.Seal()
+	if got.Digest() != want.Digest() {
+		t.Errorf("windowed merge digest %s != single-process %s", got.Digest(), want.Digest())
+	}
+	gd, wd := got.ShardDigests(), want.ShardDigests()
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Errorf("store shard %d digest diverges: %s != %s", i, gd[i], wd[i])
+		}
+	}
+}
+
+// TestChaosWindowedReplay kills a worker mid-window and requires the
+// coordinator to re-lease just that (group, window) unit — not the
+// whole campaign — and the merged store to still seal bit-identical:
+// deterministic single-window replay under failure.
+func TestChaosWindowedReplay(t *testing.T) {
+	want := sealSingleProcess(t, windowedCampaign, 4)
+
+	feed := newTestFeed(t, windowedCampaign, 4)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Campaign: windowedCampaign, Shards: 2, CycleWindows: 2,
+	}, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, errs := runFleet(t, coord, 3, func(i int, c Conn) Conn {
+		if i != 0 {
+			return c
+		}
+		return &killConn{Conn: c, limit: 2048}
+	})
+	if errs[0] == nil {
+		t.Fatal("killed worker reported no error; the kill never fired")
+	}
+	for i, err := range errs[1:] {
+		if err != nil {
+			t.Errorf("surviving worker %d: %v", i+1, err)
+		}
+	}
+	if res.Reassigned < 1 {
+		t.Fatalf("no window unit was reassigned: %+v", res)
+	}
+	if res.Assigned != res.Shards+res.Reassigned {
+		t.Errorf("assignment ledger inconsistent: %+v", res)
+	}
+
+	got := feed.Seal()
+	if got.Digest() != want.Digest() {
+		t.Errorf("windowed replay diverges after chaos: %s != %s", got.Digest(), want.Digest())
+	}
+	gd, wd := got.ShardDigests(), want.ShardDigests()
+	for i := range gd {
+		if gd[i] != wd[i] {
+			t.Errorf("store shard %d digest diverges after windowed chaos", i)
+		}
+	}
+}
+
+// TestWorkerTelemetryRollsUp runs a quota-capped, fault-injecting
+// campaign (AllowFaults: the run trades bit-identity for telemetry) and
+// requires the coordinator's cluster_worker_* rollups to equal the sum
+// of the per-worker engine counters shipped on heartbeats/shard_done.
+func TestWorkerTelemetryRollsUp(t *testing.T) {
+	camp := CampaignConfig{Seed: 2, Scale: 0.02, Cycles: 1, TargetsPerProbe: 4,
+		FaultProfile: "flaky-wireless", CycleQuota: 50}
+	reg := obs.NewRegistry()
+	feed := newTestFeed(t, camp, 4)
+	coord, err := NewCoordinator(CoordinatorOptions{
+		Campaign: camp, Shards: 2, AllowFaults: true, Obs: reg,
+	}, feed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	workerRegs := make([]*obs.Registry, 2)
+	res, errs := runFleetWorkers(t, coord, 2, nil, func(i int) WorkerOptions {
+		workerRegs[i] = obs.NewRegistry()
+		return WorkerOptions{Name: string(rune('a' + i)), Obs: workerRegs[i]}
+	})
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("worker %d: %v", i, err)
+		}
+	}
+	if res.Pings == 0 {
+		t.Fatalf("fleet streamed nothing: %+v", res)
+	}
+	var wantQuota, wantFaults uint64
+	for _, wr := range workerRegs {
+		wantQuota += wr.Counter("measure_cycle_quota_exhausted_total").Load()
+		wantFaults += wr.SumCounters("faults_injected_total")
+	}
+	if wantQuota == 0 {
+		t.Fatal("quota never exhausted; the telemetry path went unexercised")
+	}
+	if got := reg.Counter("cluster_worker_quota_exhausted_total").Load(); got != wantQuota {
+		t.Errorf("cluster_worker_quota_exhausted_total = %d, workers counted %d", got, wantQuota)
+	}
+	if got := reg.Counter("cluster_worker_fault_strikes_total").Load(); got != wantFaults {
+		t.Errorf("cluster_worker_fault_strikes_total = %d, workers counted %d", got, wantFaults)
 	}
 }

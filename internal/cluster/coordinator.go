@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/obs"
+	"repro/internal/probes"
 	"repro/internal/sample"
 	"repro/internal/wirecodec"
 )
@@ -22,9 +23,21 @@ type CoordinatorOptions struct {
 	// Campaign is broadcast to every worker; both sides derive their
 	// world and fleets from it.
 	Campaign CampaignConfig
-	// Shards is the number of country shards to lease out (default
-	// DefaultShards, capped at the country count).
+	// Shards is the number of country groups to lease out (default
+	// DefaultShards, capped at the country count). Groups are bin-packed
+	// by per-country probe allocation so every lease carries comparable
+	// work.
 	Shards int
+	// CycleWindows splits the campaign's cycle axis into that many
+	// contiguous windows, multiplying the lease units: each unit is one
+	// (country group, cycle window) and replays independently.
+	// Campaign.Cycles must be set explicitly when CycleWindows > 1 (the
+	// coordinator cannot see core's default). A group's windows commit
+	// to the merge bus in ascending order — the window barrier — so
+	// per-probe arrival order, and with it the sealed store's digest,
+	// matches the single-process sweep. Default 1: whole-campaign
+	// leases, the pre-windowed behavior.
+	CycleWindows int
 	// LeaseTTL bounds how long a lease may go without any frame from
 	// its worker before the coordinator declares the worker dead and
 	// re-queues the shard. Zero disables expiry: only connection errors
@@ -46,8 +59,12 @@ type CoordinatorOptions struct {
 
 // Result summarizes a coordinator run.
 type Result struct {
-	// Shards is how many country shards the campaign was split into.
+	// Shards is how many lease units the campaign was split into:
+	// country groups × cycle windows.
 	Shards int
+	// Groups and Windows are the two factors of Shards.
+	Groups  int
+	Windows int
 	// Workers is how many distinct workers registered.
 	Workers int
 	// Assigned counts lease grants, including re-grants of reclaimed
@@ -71,6 +88,8 @@ type Coordinator struct {
 	cReassigned *obs.Counter
 	cDone       *obs.Counter
 	cExpired    *obs.Counter
+	cQuota      *obs.Counter
+	cFaults     *obs.Counter
 	rxFrames    *obs.Counter
 	rxBytes     *obs.Counter
 	txFrames    *obs.Counter
@@ -86,6 +105,12 @@ func NewCoordinator(opts CoordinatorOptions, sinks ...dataset.Sink) (*Coordinato
 	if p := opts.Campaign.FaultProfile; p != "" && p != "none" && !opts.AllowFaults {
 		return nil, fmt.Errorf("cluster: fault profile %q breaks bit-identical shard merging; set AllowFaults to run it anyway", p)
 	}
+	if q := opts.Campaign.CycleQuota; q != 0 && !opts.AllowFaults {
+		return nil, fmt.Errorf("cluster: cycle quota %d couples countries through the shared per-cycle budget, breaking bit-identical shard merging; set AllowFaults to run it anyway", q)
+	}
+	if opts.CycleWindows > 1 && opts.Campaign.Cycles <= 0 {
+		return nil, fmt.Errorf("cluster: CycleWindows %d requires an explicit Campaign.Cycles", opts.CycleWindows)
+	}
 	if opts.Shards <= 0 {
 		opts.Shards = DefaultShards
 	}
@@ -97,6 +122,8 @@ func NewCoordinator(opts CoordinatorOptions, sinks ...dataset.Sink) (*Coordinato
 		cReassigned: reg.Counter("cluster_shards_reassigned_total"),
 		cDone:       reg.Counter("cluster_shards_done_total"),
 		cExpired:    reg.Counter("cluster_lease_expiries_total"),
+		cQuota:      reg.Counter("cluster_worker_quota_exhausted_total"),
+		cFaults:     reg.Counter("cluster_worker_fault_strikes_total"),
 		rxFrames:    reg.Counter("cluster_stream_rx_frames_total"),
 		rxBytes:     reg.Counter("cluster_stream_rx_bytes_total"),
 		txFrames:    reg.Counter("cluster_stream_tx_frames_total"),
@@ -112,14 +139,23 @@ type lease struct {
 	lastBeat time.Duration
 }
 
-// runState is the shared bookkeeping of one Run.
+// runState is the shared bookkeeping of one Run. A lease unit ("shard"
+// in the protocol) is one (country group, cycle window) pair, flattened
+// as shard = window*len(groups) + group, so the FIFO pending queue
+// hands out every group's first window before any later one.
 type runState struct {
-	shards  [][]string
-	pending chan int      // shards awaiting (re-)assignment; cap = len(shards)
-	doneCh  chan struct{} // closed when every shard has merged, or on fatal error
+	groups  [][]string
+	windows int
+	cycles  int
+	pending chan int      // units awaiting (re-)assignment; cap = unit count
+	doneCh  chan struct{} // closed when every unit has merged, or on fatal error
 	once    sync.Once
 
-	commitMu sync.Mutex // serializes bus commits (the bus is single-producer)
+	// commitMu serializes bus commits (the bus is single-producer) and
+	// guards the window barrier state below.
+	commitMu sync.Mutex
+	nextWin  []int             // per group: the next window allowed to commit
+	held     map[int]heldShard // accepted units parked at the barrier
 
 	mu         sync.Mutex
 	remaining  int
@@ -131,6 +167,35 @@ type runState struct {
 	pings      uint64
 	traces     uint64
 	err        error
+}
+
+// heldShard is a completed lease unit whose group has an earlier window
+// still uncommitted; its records wait, copied, at the window barrier.
+type heldShard struct {
+	worker string
+	pings  []sample.Sample
+	traces []sample.TraceSample
+}
+
+func (st *runState) unitCount() int     { return len(st.groups) * st.windows }
+func (st *runState) groupOf(u int) int  { return u % len(st.groups) }
+func (st *runState) windowOf(u int) int { return u / len(st.groups) }
+
+// windowRange is the half-open cycle range of one window: an even split
+// of the campaign's cycles with the remainder spread over the leading
+// windows. A single window means an unbounded lease (the zero window),
+// preserving the pre-windowed wire form.
+func (st *runState) windowRange(win int) (from, to int) {
+	if st.windows <= 1 {
+		return 0, 0
+	}
+	base, rem := st.cycles/st.windows, st.cycles%st.windows
+	from = win*base + min(win, rem)
+	to = from + base
+	if win < rem {
+		to++
+	}
+	return from, to
 }
 
 func (st *runState) finish() { st.once.Do(func() { close(st.doneCh) }) }
@@ -148,20 +213,34 @@ func (st *runState) fail(err error) {
 // streams, and finishes when all shards have committed (or ctx is
 // done). The merged totals and assignment ledger come back in Result.
 func (c *Coordinator) Run(ctx context.Context, ln Listener) (Result, error) {
-	shards := partitionCountries(c.opts.Shards)
+	camp := c.opts.Campaign
+	groups := partitionCountries(c.opts.Shards,
+		probes.CountryQuotas(probes.Config{Seed: camp.Seed, Scale: camp.Scale}))
+	windows := c.opts.CycleWindows
+	if windows <= 0 {
+		windows = 1
+	}
+	if windows > 1 && windows > camp.Cycles {
+		windows = camp.Cycles
+	}
+	n := len(groups) * windows
 	st := &runState{
-		shards:    shards,
-		pending:   make(chan int, len(shards)),
+		groups:    groups,
+		windows:   windows,
+		cycles:    camp.Cycles,
+		pending:   make(chan int, n),
 		doneCh:    make(chan struct{}),
-		remaining: len(shards),
+		remaining: n,
+		nextWin:   make([]int, len(groups)),
+		held:      map[int]heldShard{},
 		leases:    map[int]*lease{},
 		conns:     map[Conn]struct{}{},
 		workers:   map[string]bool{},
 	}
-	for i := range shards {
+	for i := 0; i < n; i++ {
 		st.pending <- i
 	}
-	if len(shards) == 0 {
+	if n == 0 {
 		st.finish()
 	}
 	bus := sample.NewBus(sample.BusOptions{Buffer: c.opts.BusBuffer, Obs: c.opts.Obs}, c.sinks...)
@@ -216,7 +295,8 @@ func (c *Coordinator) Run(ctx context.Context, ln Listener) (Result, error) {
 
 	st.mu.Lock()
 	res := Result{
-		Shards: len(shards), Workers: len(st.workers),
+		Shards: n, Groups: len(groups), Windows: windows,
+		Workers:  len(st.workers),
 		Assigned: st.assigned, Reassigned: st.reassigned,
 		Pings: st.pings, Traces: st.traces,
 	}
@@ -227,7 +307,7 @@ func (c *Coordinator) Run(ctx context.Context, ln Listener) (Result, error) {
 	}
 	if err == nil && ctx.Err() != nil {
 		err = fmt.Errorf("cluster: coordinator stopped with %d of %d shards unmerged: %w",
-			remaining, len(shards), ctx.Err())
+			remaining, n, ctx.Err())
 	}
 	return res, err
 }
@@ -260,6 +340,9 @@ func (c *Coordinator) handleConn(ctx context.Context, st *runState, bus *sample.
 	var cur *lease
 	var bufP []sample.Sample
 	var bufT []sample.TraceSample
+	// Last telemetry values reported by this worker; its counters are
+	// cumulative, so the connection contributes deltas to the rollups.
+	var lastQuota, lastFaults uint64
 	defer func() {
 		if cur != nil {
 			c.requeue(st, cur)
@@ -301,7 +384,10 @@ func (c *Coordinator) handleConn(ctx context.Context, st *runState, bus *sample.
 					st.mu.Unlock()
 					c.cAssigned.Inc()
 					bufP, bufT = bufP[:0], bufT[:0]
-					grant := msg{Type: msgLease, Shard: id, Countries: st.shards[id],
+					from, to := st.windowRange(st.windowOf(id))
+					grant := msg{Type: msgLease, Shard: id,
+						Countries: st.groups[st.groupOf(id)],
+						FromCycle: from, ToCycle: to,
 						LeaseTTLMs: c.opts.LeaseTTL.Milliseconds()}
 					if err := writeControl(fw, grant); err != nil {
 						return
@@ -314,17 +400,19 @@ func (c *Coordinator) handleConn(ctx context.Context, st *runState, bus *sample.
 				}
 			case msgHeartbeat:
 				// Liveness already refreshed above.
+				c.noteTelemetry(m, &lastQuota, &lastFaults)
 			case msgShardDone:
 				if cur == nil || m.Shard != cur.shard {
 					return
 				}
+				c.noteTelemetry(m, &lastQuota, &lastFaults)
 				if m.Pings != uint64(len(bufP)) || m.Traces != uint64(len(bufT)) {
 					st.fail(fmt.Errorf(
 						"cluster: worker %s shard %d reports %d pings / %d traces but the stream carried %d / %d",
 						worker, cur.shard, m.Pings, m.Traces, len(bufP), len(bufT)))
 					return
 				}
-				if err := c.commit(ctx, st, bus, cur, bufP, bufT); err != nil {
+				if err := c.accept(ctx, st, bus, cur, bufP, bufT); err != nil {
 					st.fail(err)
 					return
 				}
@@ -387,29 +475,77 @@ func (c *Coordinator) requeue(st *runState, l *lease) {
 	st.pending <- l.shard // cap = len(shards): never blocks
 }
 
-// commit replays one completed shard's buffered records into the merge
-// bus. The commit mutex upholds the bus's single-producer contract;
-// within the shard, per-kind record order is the worker's engine order,
-// which is all store.Feed needs for a bit-identical seal.
-func (c *Coordinator) commit(ctx context.Context, st *runState, bus *sample.Bus, l *lease, pings []sample.Sample, traces []sample.TraceSample) error {
+// noteTelemetry folds a worker's cumulative engine counters into the
+// cluster rollups. Counters only grow, so each connection contributes
+// the delta since its last report; a reassigned shard's replacement
+// worker reports on its own connection, so nothing double-counts.
+func (c *Coordinator) noteTelemetry(m msg, lastQuota, lastFaults *uint64) {
+	if m.QuotaExhausted > *lastQuota {
+		c.cQuota.Add(m.QuotaExhausted - *lastQuota)
+		*lastQuota = m.QuotaExhausted
+	}
+	if m.FaultStrikes > *lastFaults {
+		c.cFaults.Add(m.FaultStrikes - *lastFaults)
+		*lastFaults = m.FaultStrikes
+	}
+}
+
+// accept merges one completed lease unit, upholding the per-group
+// window barrier: a group's windows commit in ascending order so every
+// probe's samples reach the feed in cycle order — the per-probe arrival
+// order the store's bit-identical seal contract depends on. A unit
+// finishing ahead of its predecessor is copied aside (the caller reuses
+// its buffers) and flushed here by the predecessor's commit.
+func (c *Coordinator) accept(ctx context.Context, st *runState, bus *sample.Bus, l *lease, pings []sample.Sample, traces []sample.TraceSample) error {
+	st.commitMu.Lock()
+	defer st.commitMu.Unlock()
+	g := st.groupOf(l.shard)
+	if st.windowOf(l.shard) != st.nextWin[g] {
+		st.held[l.shard] = heldShard{
+			worker: l.worker,
+			pings:  append([]sample.Sample(nil), pings...),
+			traces: append([]sample.TraceSample(nil), traces...),
+		}
+		return nil
+	}
+	unit, worker := l.shard, l.worker
+	for {
+		if err := c.commit(ctx, bus, unit, worker, pings, traces); err != nil {
+			return err
+		}
+		st.nextWin[g]++
+		next := g + st.nextWin[g]*len(st.groups)
+		h, ok := st.held[next]
+		if !ok {
+			return nil
+		}
+		delete(st.held, next)
+		unit, worker, pings, traces = next, h.worker, h.pings, h.traces
+	}
+}
+
+// commit replays one lease unit's buffered records into the merge bus,
+// under accept's commitMu — the bus's single-producer contract. Within
+// the unit, per-kind record order is the worker's engine order, which
+// together with the window barrier is all store.Feed needs for a
+// bit-identical seal.
+func (c *Coordinator) commit(ctx context.Context, bus *sample.Bus, unit int, worker string, pings []sample.Sample, traces []sample.TraceSample) error {
 	_, span := obs.StartSpan(ctx, "cluster.merge")
-	span.SetAttr("shard", fmt.Sprint(l.shard))
-	span.SetAttr("worker", l.worker)
+	span.SetAttr("shard", fmt.Sprint(unit))
+	span.SetAttr("worker", worker)
 	span.SetAttr("pings", fmt.Sprint(len(pings)))
 	span.SetAttr("traces", fmt.Sprint(len(traces)))
 	defer span.End()
-	st.commitMu.Lock()
-	defer st.commitMu.Unlock()
 	for _, p := range pings {
 		//lint:ignore lockheld commitMu exists to serialize bus producers; blocking waiters on backpressure is the intended flow control
 		if err := bus.Ping(p); err != nil {
-			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
+			return fmt.Errorf("cluster: merging shard %d: %w", unit, err)
 		}
 	}
 	for _, t := range traces {
 		//lint:ignore lockheld commitMu exists to serialize bus producers; blocking waiters on backpressure is the intended flow control
 		if err := bus.Trace(t); err != nil {
-			return fmt.Errorf("cluster: merging shard %d: %w", l.shard, err)
+			return fmt.Errorf("cluster: merging shard %d: %w", unit, err)
 		}
 	}
 	return nil

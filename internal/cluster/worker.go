@@ -109,9 +109,10 @@ func (w *Worker) Run(ctx context.Context, dial Dialer) error {
 	}
 }
 
-// runShard executes one leased shard: the campaign restricted to the
-// lease's countries, streamed through the shared wire writer, sealed
-// with a shard_done carrying this shard's record counts.
+// runShard executes one leased unit: the campaign restricted to the
+// lease's countries and cycle window, streamed through the shared wire
+// writer, sealed with a shard_done carrying this unit's record counts
+// and the worker's cumulative telemetry.
 func (w *Worker) runShard(ctx context.Context, setup *core.Setup, fw *wirecodec.FrameWriter, wr *wirecodec.Writer, grant msg) error {
 	p0, t0 := wr.Len()
 	stop := func() {}
@@ -120,7 +121,7 @@ func (w *Worker) runShard(ctx context.Context, setup *core.Setup, fw *wirecodec.
 		hbCtx, stop = context.WithCancel(ctx)
 		go w.heartbeat(hbCtx, fw, grant.Shard, time.Duration(grant.LeaseTTLMs)*time.Millisecond/3)
 	}
-	_, _, _, err := setup.RunCampaignsOver(ctx, grant.Countries, wr)
+	_, _, _, err := setup.RunCampaignsWindow(ctx, grant.Countries, grant.FromCycle, grant.ToCycle, wr)
 	stop()
 	if err != nil {
 		return fmt.Errorf("cluster: worker %s shard %d: %w", w.opts.Name, grant.Shard, err)
@@ -129,7 +130,18 @@ func (w *Worker) runShard(ctx context.Context, setup *core.Setup, fw *wirecodec.
 		return fmt.Errorf("cluster: worker %s flushing shard %d: %w", w.opts.Name, grant.Shard, err)
 	}
 	p1, t1 := wr.Len()
-	return writeControl(fw, msg{Type: msgShardDone, Shard: grant.Shard, Pings: p1 - p0, Traces: t1 - t0})
+	return writeControl(fw, w.telemetry(msg{Type: msgShardDone, Shard: grant.Shard, Pings: p1 - p0, Traces: t1 - t0}))
+}
+
+// telemetry stamps a control message with the worker's cumulative
+// engine counters: cycle-quota exhaustions and injected fault strikes,
+// summed across the fault kinds. Both read this worker's own registry
+// (zero when the worker runs uninstrumented); the coordinator turns the
+// cumulative values into deltas on its cluster_worker_* rollups.
+func (w *Worker) telemetry(m msg) msg {
+	m.QuotaExhausted = w.opts.Obs.Counter("measure_cycle_quota_exhausted_total").Load()
+	m.FaultStrikes = w.opts.Obs.SumCounters("faults_injected_total")
+	return m
 }
 
 // heartbeat keeps the lease warm while a long shard computes between
@@ -144,7 +156,7 @@ func (w *Worker) heartbeat(ctx context.Context, fw *wirecodec.FrameWriter, shard
 		case <-ctx.Done():
 			return
 		case <-obs.After(every):
-			if writeControl(fw, msg{Type: msgHeartbeat, Shard: shard}) != nil {
+			if writeControl(fw, w.telemetry(msg{Type: msgHeartbeat, Shard: shard})) != nil {
 				return
 			}
 		}

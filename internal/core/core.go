@@ -56,6 +56,18 @@ type Config struct {
 	// campaign engine's retries, circuit breaker and spill handling keep
 	// the study completing under every built-in profile.
 	FaultProfile string
+	// Scenario names a longitudinal event scenario ("cable-cut",
+	// "region-launch"; empty or "none" runs event-free). Scenarios fire
+	// at the campaign midpoint and are seeded into the simulator and the
+	// campaign engine, so the same seed replays the same event — and the
+	// /v1/changepoint detector can prove it happened.
+	Scenario string
+	// DiurnalAmplitude modulates probe availability over the virtual day
+	// (0 = off; see measure.Config.DiurnalAmplitude).
+	DiurnalAmplitude float64
+	// CycleQuota bounds measurement requests per cycle (0 = unlimited;
+	// see measure.Config.CycleQuota).
+	CycleQuota int
 	// Obs registers every layer's instruments — campaign engine, fault
 	// injections, fan-out bus, store feed — on one registry, so a single
 	// /v1/metricsz scrape covers the whole spine. Nil runs
@@ -132,6 +144,10 @@ type Setup struct {
 	// the Speedchecker side only. It aliases Sim when no plan is set.
 	AtlasSim *netsim.Simulator
 	Plan     *faults.Plan
+	// Scenario is the resolved longitudinal event scenario (nil when
+	// none): its Events ride both simulators, and its RegionAvailable
+	// gate is handed to the campaign engine's target selection.
+	Scenario *netsim.Scenario
 	SC       *probes.Fleet
 	Atlas    *probes.Fleet
 }
@@ -156,8 +172,23 @@ func Prepare(cfg Config) (*Setup, error) {
 		// a pure function of the world, so the values are unchanged.
 		atSim = netsim.New(w)
 	}
+	var regionIDs []string
+	for _, r := range w.Inventory.Regions() {
+		regionIDs = append(regionIDs, r.ID)
+	}
+	scn, err := netsim.ScenarioProfile(cfg.Scenario, cfg.Cycles, regionIDs)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if scn != nil {
+		// Both simulators carry the event plan: the additive RTT
+		// penalties leave the RNG stream untouched, so unaffected
+		// measurements stay bit-identical to a scenario-free run.
+		sim.Events = scn.Events
+		atSim.Events = scn.Events
+	}
 	return &Setup{
-		Config: cfg, World: w, Sim: sim, AtlasSim: atSim, Plan: plan,
+		Config: cfg, World: w, Sim: sim, AtlasSim: atSim, Plan: plan, Scenario: scn,
 		SC:    probes.GenerateSpeedchecker(w, probes.Config{Seed: cfg.Seed, Scale: cfg.Scale}),
 		Atlas: probes.GenerateAtlas(w, probes.Config{Seed: cfg.Seed, Scale: 1}),
 	}, nil
@@ -190,6 +221,15 @@ func (s *Setup) RunCampaigns(ctx context.Context, sinks ...dataset.Sink) (*datas
 // through the shared virtual clock, so sharded runs should stay
 // fault-free (the coordinator's default).
 func (s *Setup) RunCampaignsOver(ctx context.Context, countries []string, sinks ...dataset.Sink) (*dataset.Store, measure.Stats, measure.Stats, error) {
+	return s.RunCampaignsWindow(ctx, countries, 0, 0, sinks...)
+}
+
+// RunCampaignsWindow is RunCampaignsOver further restricted to the
+// half-open cycle window [fromCycle, toCycle) on the campaign time axis
+// (zero bounds are unconstrained) — the unit the cluster plane's
+// window-scoped leases replay. The Atlas campaign runs a single cycle
+// (cycle 0), so it only executes when the window contains cycle 0.
+func (s *Setup) RunCampaignsWindow(ctx context.Context, countries []string, fromCycle, toCycle int, sinks ...dataset.Sink) (*dataset.Store, measure.Stats, measure.Stats, error) {
 	cfg := s.Config
 	scCfg := measure.Config{
 		Seed:                     cfg.Seed,
@@ -198,6 +238,10 @@ func (s *Setup) RunCampaignsOver(ctx context.Context, countries []string, sinks 
 		TargetsPerProbe:          cfg.TargetsPerProbe,
 		MinProbesPerCountry:      cfg.MinProbes,
 		Countries:                countries,
+		FromCycle:                fromCycle,
+		ToCycle:                  toCycle,
+		DiurnalAmplitude:         cfg.DiurnalAmplitude,
+		CycleQuota:               cfg.CycleQuota,
 		RequestsPerMinute:        1000, // virtual-clock pacing only
 		Workers:                  cfg.Workers,
 		BothPingProtocols:        measure.FlagOn,
@@ -205,6 +249,9 @@ func (s *Setup) RunCampaignsOver(ctx context.Context, countries []string, sinks 
 		NeighborContinentTargets: true,
 		Sinks:                    sinks,
 		Obs:                      cfg.Obs,
+	}
+	if s.Scenario != nil {
+		scCfg.RegionAvailable = s.Scenario.RegionAvailable
 	}
 	if s.Plan != nil {
 		// The control-plane injector is instrumented

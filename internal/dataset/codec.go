@@ -152,6 +152,9 @@ func parsePingRow(row []string) (PingRecord, error) {
 			Continent: dcCont, IP: ip,
 		},
 		Protocol: proto, RTTms: rtt, Cycle: cycle,
+		// VTime is derived, not a CSV column; the pure (cycle, country)
+		// function reproduces the producer's stamp.
+		VTime: sample.VTimeOf(cycle, row[2]),
 	}
 	return r, nil
 }
@@ -286,6 +289,7 @@ func traceFromJSON(jt *jsonTrace) (TracerouteRecord, error) {
 			Continent: dcCont, IP: dcIP,
 		},
 		Cycle: jt.Cycle,
+		VTime: sample.VTimeOf(jt.Cycle, jt.Country),
 	}
 	for _, jh := range jt.Hops {
 		h := Hop{TTL: jh.TTL, RTTms: jh.RTT, Responded: jh.Responded}

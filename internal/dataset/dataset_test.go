@@ -9,6 +9,7 @@ import (
 	"repro/internal/geo"
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
+	"repro/internal/sample"
 )
 
 func samplePing(i int) PingRecord {
@@ -22,6 +23,7 @@ func samplePing(i int) PingRecord {
 			Continent: geo.EU, IP: netaddr.MustParseIP("104.0.1.10"),
 		},
 		Protocol: TCP, RTTms: 31.25 + float64(i), Cycle: i,
+		VTime: sample.VTimeOf(i, "DE"),
 	}
 }
 
@@ -36,6 +38,7 @@ func sampleTrace() TracerouteRecord {
 			Continent: geo.AS, IP: netaddr.MustParseIP("104.16.1.10"),
 		},
 		Cycle: 3,
+		VTime: sample.VTimeOf(3, "JP"),
 		Hops: []Hop{
 			{TTL: 1, IP: netaddr.MustParseIP("62.99.0.1"), RTTms: 21.0, Responded: true},
 			{TTL: 2, Responded: false},

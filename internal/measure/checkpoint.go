@@ -4,10 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/sample"
 )
 
-// checkpointVersion guards the serialized layout.
-const checkpointVersion = 1
+// checkpointVersion guards the serialized layout. Version 2 added the
+// campaign time-axis position (VTimeMs, CycleRequests); version-1
+// checkpoints predate the longitudinal axis and cannot be resumed.
+const checkpointVersion = 2
 
 // Checkpoint is the full serializable state of a paused campaign: the
 // dispatch position, the virtual clock (rate limit and daily quota
@@ -27,6 +31,15 @@ type Checkpoint struct {
 	// work is countries[NextCountry] of Cycle.
 	Cycle       int `json:"cycle"`
 	NextCountry int `json:"next_country"`
+	// VTimeMs is the campaign-relative virtual timestamp of the dispatch
+	// position — the start of Cycle on the virtual timeline
+	// (sample.CycleMillis per cycle). Purely derived from Cycle; carried
+	// so operators and the cluster plane can place a checkpoint on the
+	// six-month axis without measure's internals.
+	VTimeMs int64 `json:"vtime_ms"`
+	// CycleRequests is the measurement budget spent inside Cycle so far
+	// — the per-cycle quota position (Config.CycleQuota).
+	CycleRequests int `json:"cycle_requests,omitempty"`
 	// Clock is the virtual rate-limit/quota clock.
 	Clock clockState `json:"clock"`
 	// Breaker holds per-probe quarantine state.
@@ -61,7 +74,7 @@ func DecodeCheckpoint(r io.Reader) (*Checkpoint, error) {
 }
 
 // checkpoint assembles the serializable state at a flush barrier.
-func (c *Campaign) checkpoint(cycle, nextCountry int, snap DiscoverySnapshot,
+func (c *Campaign) checkpoint(cycle, nextCountry int, snap DiscoverySnapshot, cycleSpent int,
 	clock *virtualClock, brk *breaker, connectedCycles map[string]int, st *Stats) Checkpoint {
 	cc := make(map[string]int, len(connectedCycles))
 	for k, v := range connectedCycles {
@@ -72,6 +85,8 @@ func (c *Campaign) checkpoint(cycle, nextCountry int, snap DiscoverySnapshot,
 		Seed:            c.Cfg.Seed,
 		Cycle:           cycle,
 		NextCountry:     nextCountry,
+		VTimeMs:         int64(sample.CampaignCycle(cycle)) * sample.CycleMillis,
+		CycleRequests:   cycleSpent,
 		Clock:           clock.state(),
 		Breaker:         brk.snapshot(),
 		ConnectedCycles: cc,

@@ -104,6 +104,35 @@ type Config struct {
 	// same per-probe order (internal/cluster relies on this for its
 	// replay-on-reassign determinism).
 	Countries []string
+	// FromCycle and ToCycle restrict the sweep to the cycle window
+	// [FromCycle, ToCycle) on the campaign time axis — the longitudinal
+	// analogue of Countries, and the other half of the cluster plane's
+	// shard unit. Zero values impose no bound (ToCycle <= 0 runs through
+	// Cycles). Because everything a record carries is a pure function of
+	// (probe, country, cycle), a windowed run emits exactly the records
+	// the full campaign would emit for those cycles.
+	FromCycle int
+	ToCycle   int
+	// DiurnalAmplitude modulates probe availability over the virtual
+	// day (0 disables, the default): a country's discovery probability
+	// is scaled by 1 − A·nightShare, where nightShare follows a cosine
+	// over the country's sweep-phase time of day. The factor is a pure
+	// function of (country, cycle), so modulated campaigns stay
+	// replayable.
+	DiurnalAmplitude float64
+	// CycleQuota bounds the measurement requests dispatched per cycle;
+	// zero means unlimited. When a cycle exhausts its quota the rest of
+	// that cycle's sweep is skipped (booked in
+	// Stats.CycleQuotaExhausted) and the budget refreshes at the next
+	// cycle boundary — the §3.3 budget, re-anchored to the campaign
+	// time axis.
+	CycleQuota int
+	// RegionAvailable, when set, filters the target pool per cycle:
+	// targetsFor only considers regions for which it returns true. The
+	// scenario plane uses this for provider-region launches mid-campaign
+	// (netsim.Scenario.RegionAvailable); it must be a pure function of
+	// (regionID, cycle) to keep campaigns replayable.
+	RegionAvailable func(regionID string, cycle int) bool
 	// RequestsPerMinute is the self-imposed rate limit (default 1).
 	RequestsPerMinute float64
 	// DailyQuota is the measurement budget per virtual day; zero means
@@ -283,6 +312,16 @@ func (c Config) Validate() error {
 		return fmt.Errorf("measure: CheckpointEvery %d is negative", c.CheckpointEvery)
 	case c.SinkBuffer < 0:
 		return fmt.Errorf("measure: SinkBuffer %d is negative", c.SinkBuffer)
+	case c.FromCycle < 0:
+		return fmt.Errorf("measure: FromCycle %d is negative", c.FromCycle)
+	case c.ToCycle < 0:
+		return fmt.Errorf("measure: ToCycle %d is negative", c.ToCycle)
+	case c.FromCycle > 0 && c.ToCycle > 0 && c.FromCycle >= c.ToCycle:
+		return fmt.Errorf("measure: cycle window [%d, %d) is empty", c.FromCycle, c.ToCycle)
+	case c.DiurnalAmplitude < 0 || c.DiurnalAmplitude > 1 || math.IsNaN(c.DiurnalAmplitude):
+		return fmt.Errorf("measure: DiurnalAmplitude %v is outside [0, 1]", c.DiurnalAmplitude)
+	case c.CycleQuota < 0:
+		return fmt.Errorf("measure: CycleQuota %d is negative", c.CycleQuota)
 	}
 	if c.Resume != nil {
 		if c.Resume.Version != checkpointVersion {
@@ -338,6 +377,9 @@ type Stats struct {
 	// counts probe selections skipped while quarantined.
 	Quarantined       int
 	QuarantineSkipped int
+	// CycleQuotaExhausted counts cycles whose per-cycle measurement
+	// budget (Config.CycleQuota) ran out before the sweep finished.
+	CycleQuotaExhausted int
 	// Checkpoints and CheckpointResumes count resilience round trips.
 	Checkpoints       int
 	CheckpointResumes int
@@ -649,12 +691,29 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 	connectedCycles := make(map[string]int)
 	startCycle, startCountry := 0, 0
 	var snap DiscoverySnapshot
+	cycleSpent := 0
 	if cfg.Resume != nil {
 		startCycle, startCountry = cfg.Resume.Cycle, cfg.Resume.NextCountry
 		for k, v := range cfg.Resume.ConnectedCycles {
 			connectedCycles[k] = v
 		}
 		snap = cfg.Resume.Snapshot
+		cycleSpent = cfg.Resume.CycleRequests
+	}
+	// The cycle window [FromCycle, ToCycle) clamps the sweep onto a slice
+	// of the campaign time axis; a resume position inside the window wins
+	// over its lower bound.
+	firstCycle := startCycle
+	if cfg.FromCycle > firstCycle {
+		firstCycle = cfg.FromCycle
+	}
+	endCycle := cfg.Cycles
+	if cfg.ToCycle > 0 && cfg.ToCycle < endCycle {
+		endCycle = cfg.ToCycle
+	}
+	countCycle := 0
+	if cfg.Resume == nil {
+		countCycle = firstCycle
 	}
 	sinceCkpt := 0
 	lastCkptMinute := clock.now()
@@ -663,7 +722,7 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 	// so the per-iteration End makes the deferred one a no-op normally).
 	var cspan *obs.Span
 	defer func() { cspan.End() }()
-	for cycle := startCycle; cycle < cfg.Cycles; cycle++ {
+	for cycle := firstCycle; cycle < endCycle; cycle++ {
 		_, cspan = obs.StartSpan(ctx, "measure.cycle")
 		cspan.SetAttr("cycle", fmt.Sprint(cycle))
 		start := 0
@@ -672,7 +731,9 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 		}
 		if cfg.Resume == nil || cycle != startCycle {
 			snap = DiscoverySnapshot{Cycle: cycle}
+			cycleSpent = 0
 		}
+		quotaOut := false
 		for ci := start; ci < len(countries); ci++ {
 			country := countries[ci]
 			if only != nil && !only[country.Code] {
@@ -682,7 +743,7 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 			if len(all) < cfg.MinProbesPerCountry {
 				continue
 			}
-			if cycle == 0 {
+			if cycle == countCycle {
 				st.CountriesCycled++
 			}
 			connected := c.connectedProbes(all, cycle, cfg.ProbesPerCountry)
@@ -691,6 +752,9 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 				connectedCycles[p.ID]++
 			}
 			for pi, p := range connected {
+				if quotaOut {
+					break
+				}
 				if brk.quarantined(p.ID, clock.now()) {
 					st.QuarantineSkipped++
 					m.quarantineSkips.Inc()
@@ -705,7 +769,16 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 					if err := ctx.Err(); err != nil {
 						return fmt.Errorf("measure: campaign interrupted: %w", err)
 					}
+					if cfg.CycleQuota > 0 && cycleSpent >= cfg.CycleQuota {
+						// This cycle's budget is gone; skip the rest of its
+						// sweep and refresh at the next cycle boundary.
+						quotaOut = true
+						st.CycleQuotaExhausted++
+						m.cycleQuotaExhausted.Inc()
+						break
+					}
 					clock.admit()
+					cycleSpent++
 					m.quotaRemaining.Set(clock.quotaRemaining())
 					m.checkpointAgeMin.Set(int64(clock.now() - lastCkptMinute))
 					tk := task{probe: p, region: r, cycle: cycle}
@@ -737,7 +810,7 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 					m.checkpoints.Inc()
 					lastCkptMinute = clock.now()
 					m.checkpointAgeMin.Set(0)
-					cp := c.checkpoint(cycle, ci+1, snap, clock, brk, connectedCycles, st)
+					cp := c.checkpoint(cycle, ci+1, snap, cycleSpent, clock, brk, connectedCycles, st)
 					if err := cfg.OnCheckpoint(cp); err != nil {
 						if errors.Is(err, ErrStopped) {
 							return err
@@ -746,14 +819,20 @@ func (c *Campaign) dispatch(ctx context.Context, tasks chan<- task, clock *virtu
 					}
 				}
 			}
+			if quotaOut {
+				break // the rest of this cycle's countries are unfunded
+			}
 		}
 		st.Discovery = append(st.Discovery, snap)
 		cspan.End()
 	}
 	st.EverConnected = len(connectedCycles)
 	st.PersistentProbes = 0
+	// A probe is persistent when it answered every cycle the (possibly
+	// windowed) campaign actually ran.
+	fullCycles := endCycle - cfg.FromCycle
 	for _, n := range connectedCycles {
-		if n == cfg.Cycles {
+		if n == fullCycles {
 			st.PersistentProbes++
 		}
 	}
@@ -779,9 +858,10 @@ func (c *Campaign) resolveTask(tk *task, clock *virtualClock, brk *breaker, st *
 		book(tk.doICMP)
 	}
 	if c.Cfg.Traceroutes {
-		// The second trace reuses the parallel-campaign cycle offset so
-		// its samples stay decorrelated from the first.
-		for _, tc := range []int{tk.cycle, tk.cycle + 1<<20} {
+		// The second trace carries the decorated cycle so its samples
+		// stay decorrelated from the first; sample.CampaignCycle maps it
+		// back onto the campaign time axis downstream.
+		for _, tc := range []int{tk.cycle, sample.DecorateTraceCycle(tk.cycle)} {
 			if c.Cfg.Faults != nil && c.Cfg.Faults.Trace(tk.probe.ID, tk.region.ID, tc).Lost {
 				st.TracesLost++
 				m.tracesLost.Inc()
@@ -838,11 +918,16 @@ func (c *Campaign) resolvePing(p *probes.Probe, r *cloud.Region, op faults.Op, c
 }
 
 // connectedProbes samples which probes answer the 4-hourly discovery
-// poll this cycle, then keeps up to limit of them.
+// poll this cycle, then keeps up to limit of them. With diurnal
+// modulation on, the country's sweep-phase time of day scales every
+// probe's availability — the same RNG draws decide connectivity either
+// way, so an amplitude of zero reproduces the unmodulated campaign
+// bit-for-bit.
 func (c *Campaign) connectedProbes(all []*probes.Probe, cycle, limit int) []*probes.Probe {
 	var connected []*probes.Probe
 	for _, p := range all {
-		if c.rngFor(p.ID, cycle).Float64() < p.Availability {
+		avail := p.Availability * diurnalFactor(c.Cfg.DiurnalAmplitude, p.Country, cycle)
+		if c.rngFor(p.ID, cycle).Float64() < avail {
 			connected = append(connected, p)
 		}
 	}
@@ -871,6 +956,10 @@ func (c *Campaign) targetsFor(p *probes.Probe, cycle, probeIdx int) []*cloud.Reg
 		case geo.SA:
 			neighbor = append(neighbor, inv.RegionsIn(geo.NA)...)
 		}
+	}
+	if f := c.Cfg.RegionAvailable; f != nil {
+		home = filterRegions(home, f, cycle)
+		neighbor = filterRegions(neighbor, f, cycle)
 	}
 	if len(home)+len(neighbor) == 0 {
 		return nil
@@ -933,6 +1022,34 @@ func (c *Campaign) targetsFor(p *probes.Probe, cycle, probeIdx int) []*cloud.Reg
 		out = append(out, rest[(start+i*stride+i)%len(rest)])
 	}
 	return out
+}
+
+// filterRegions keeps the regions avail admits for this cycle — the
+// scenario plane's launch gate. pool is always a fresh slice here, so
+// filtering in place is safe.
+func filterRegions(pool []*cloud.Region, avail func(string, int) bool, cycle int) []*cloud.Region {
+	kept := pool[:0]
+	for _, r := range pool {
+		if avail(r.ID, cycle) {
+			kept = append(kept, r)
+		}
+	}
+	return kept
+}
+
+// diurnalFactor is the availability multiplier of a country's discovery
+// poll at the virtual time of day its sweep phase lands on: a cosine
+// night share scaled by the configured amplitude, so the factor spans
+// [1−A, 1]. Pure in (country, cycle) — modulated campaigns replay
+// bit-identically.
+func diurnalFactor(amplitude float64, country string, cycle int) float64 {
+	if amplitude == 0 {
+		return 1
+	}
+	const dayMillis = 24 * 3600 * 1000
+	tod := sample.VTimeOf(cycle, country) % dayMillis
+	nightShare := 0.5 - 0.5*math.Cos(2*math.Pi*float64(tod)/float64(dayMillis))
+	return 1 - amplitude*nightShare
 }
 
 // runTask executes a task's surviving measurements on a worker.

@@ -22,6 +22,7 @@ type campaignMetrics struct {
 	quarantineSkips      *obs.Counter
 	dropouts             *obs.Counter
 	checkpoints          *obs.Counter
+	cycleQuotaExhausted  *obs.Counter
 
 	rtt *obs.Histogram
 
@@ -34,21 +35,22 @@ type campaignMetrics struct {
 
 func newCampaignMetrics(reg *obs.Registry) *campaignMetrics {
 	return &campaignMetrics{
-		pings:            reg.Counter("measure_pings_total"),
-		traces:           reg.Counter("measure_traceroutes_total"),
-		attempts:         reg.Counter("measure_attempts_total"),
-		retries:          reg.Counter("measure_retries_total"),
-		lost:             reg.Counter("measure_lost_total"),
-		timedOut:         reg.Counter("measure_timeouts_total"),
-		tracesLost:       reg.Counter("measure_traces_lost_total"),
-		spilled:          reg.Counter("measure_spilled_total"),
-		sinkRetries:      reg.Counter("measure_sink_retries_total"),
-		breakerTrips:     reg.Counter("measure_breaker_trips_total"),
-		quarantineSkips:  reg.Counter("measure_quarantine_skips_total"),
-		dropouts:         reg.Counter("measure_probe_dropouts_total"),
-		checkpoints:      reg.Counter("measure_checkpoints_total"),
-		rtt:              reg.Histogram("measure_rtt_ms", obs.RTTBuckets),
-		quotaRemaining:   reg.Gauge("measure_quota_remaining"),
-		checkpointAgeMin: reg.Gauge("measure_checkpoint_age_virtual_minutes"),
+		pings:               reg.Counter("measure_pings_total"),
+		traces:              reg.Counter("measure_traceroutes_total"),
+		attempts:            reg.Counter("measure_attempts_total"),
+		retries:             reg.Counter("measure_retries_total"),
+		lost:                reg.Counter("measure_lost_total"),
+		timedOut:            reg.Counter("measure_timeouts_total"),
+		tracesLost:          reg.Counter("measure_traces_lost_total"),
+		spilled:             reg.Counter("measure_spilled_total"),
+		sinkRetries:         reg.Counter("measure_sink_retries_total"),
+		breakerTrips:        reg.Counter("measure_breaker_trips_total"),
+		quarantineSkips:     reg.Counter("measure_quarantine_skips_total"),
+		dropouts:            reg.Counter("measure_probe_dropouts_total"),
+		checkpoints:         reg.Counter("measure_checkpoints_total"),
+		cycleQuotaExhausted: reg.Counter("measure_cycle_quota_exhausted_total"),
+		rtt:                 reg.Histogram("measure_rtt_ms", obs.RTTBuckets),
+		quotaRemaining:      reg.Gauge("measure_quota_remaining"),
+		checkpointAgeMin:    reg.Gauge("measure_checkpoint_age_virtual_minutes"),
 	}
 }

@@ -1,0 +1,140 @@
+package netsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CableCut is a longitudinal data-plane event: starting at FromCycle, a
+// submarine cable serving the Src countries is cut and every
+// measurement from a Src probe towards a foreign region pays ExtraRTTms
+// of detour. Dst, when non-empty, restricts the affected destinations
+// to those region countries; empty means every foreign destination (a
+// cut on the country's main international path). The extra is additive
+// and applied after all random draws, so the un-cut portion of the
+// timeline is bit-identical with or without the event.
+type CableCut struct {
+	FromCycle  int
+	Src        map[string]bool // affected probe countries
+	Dst        map[string]bool // affected region countries (empty = all foreign)
+	ExtraRTTms float64
+}
+
+// affects reports whether the cut applies to a measurement.
+func (c CableCut) affects(srcCountry, dstCountry string, campaignCycle int) bool {
+	if campaignCycle < c.FromCycle || !c.Src[srcCountry] || srcCountry == dstCountry {
+		return false
+	}
+	return len(c.Dst) == 0 || c.Dst[dstCountry]
+}
+
+// Events is the set of timeline events a simulator applies to its data
+// plane. Nil means no events.
+type Events struct {
+	Cuts []CableCut
+}
+
+// ExtraRTT returns the additive RTT penalty for one measurement on the
+// (normalized) campaign cycle.
+func (e *Events) ExtraRTT(srcCountry, dstCountry string, campaignCycle int) float64 {
+	if e == nil {
+		return 0
+	}
+	var extra float64
+	for _, c := range e.Cuts {
+		if c.affects(srcCountry, dstCountry, campaignCycle) {
+			extra += c.ExtraRTTms
+		}
+	}
+	return extra
+}
+
+// Scenario is a named, seeded, reproducible event schedule: data-plane
+// events for the simulator plus control-plane region availability for
+// the campaign engine.
+type Scenario struct {
+	Name string
+	// Events is applied to the simulator's data plane.
+	Events *Events
+	// RegionLaunches maps region ID → the first campaign cycle the
+	// region accepts measurements. Regions not listed exist from cycle
+	// 0.
+	RegionLaunches map[string]int
+	// LaunchProvider, for the region-launch scenario, names the
+	// provider whose regions launch late (every RegionLaunches key
+	// belongs to it).
+	LaunchProvider string
+}
+
+// RegionAvailable reports whether a region accepts measurements on the
+// given campaign cycle.
+func (sc *Scenario) RegionAvailable(regionID string, campaignCycle int) bool {
+	if sc == nil {
+		return true
+	}
+	from, ok := sc.RegionLaunches[regionID]
+	return !ok || campaignCycle >= from
+}
+
+// Scenario names.
+const (
+	// ScenarioCableCut cuts the Fig. 6a African countries off their
+	// international paths at the campaign midpoint: every measurement
+	// from those countries towards a foreign region gains 45 ms.
+	ScenarioCableCut = "cable-cut"
+	// ScenarioRegionLaunch holds back every DigitalOcean region until
+	// the campaign midpoint, modelling a provider launching a new
+	// footprint mid-study: (country, DO) pairs appear in the store only
+	// from that cycle on.
+	ScenarioRegionLaunch = "region-launch"
+)
+
+// cableCutCountries is the Fig. 6a country list — the African vantage
+// points the paper studies for inter-continental latency.
+var cableCutCountries = []string{"DZ", "EG", "ET", "KE", "MA", "SN", "TN", "ZA"}
+
+// ScenarioNames lists the built-in scenarios in a stable order.
+func ScenarioNames() []string {
+	return []string{ScenarioCableCut, ScenarioRegionLaunch}
+}
+
+// ScenarioProfile resolves a scenario name for a campaign of the given
+// cycle count. Events fire at the campaign midpoint (cycle
+// max(1, cycles/2)), so every scenario has both a pre-event and a
+// post-event window. The empty string and "none" resolve to nil.
+func ScenarioProfile(name string, cycles int, regionIDs []string) (*Scenario, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	at := cycles / 2
+	if at < 1 {
+		at = 1
+	}
+	switch name {
+	case ScenarioCableCut:
+		src := make(map[string]bool, len(cableCutCountries))
+		for _, c := range cableCutCountries {
+			src[c] = true
+		}
+		return &Scenario{
+			Name:   name,
+			Events: &Events{Cuts: []CableCut{{FromCycle: at, Src: src, ExtraRTTms: 45}}},
+		}, nil
+	case ScenarioRegionLaunch:
+		const provider = "do"
+		launches := map[string]int{}
+		for _, id := range regionIDs {
+			if len(id) > len(provider) && id[:len(provider)+1] == provider+"-" {
+				launches[id] = at
+			}
+		}
+		if len(launches) == 0 {
+			return nil, fmt.Errorf("netsim: scenario %q found no regions to launch", name)
+		}
+		return &Scenario{Name: name, RegionLaunches: launches, LaunchProvider: "DO"}, nil
+	default:
+		names := ScenarioNames()
+		sort.Strings(names)
+		return nil, fmt.Errorf("netsim: unknown scenario %q (have %v)", name, names)
+	}
+}

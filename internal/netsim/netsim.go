@@ -32,6 +32,7 @@ import (
 	"repro/internal/lastmile"
 	"repro/internal/netaddr"
 	"repro/internal/probes"
+	"repro/internal/sample"
 	"repro/internal/world"
 )
 
@@ -66,6 +67,11 @@ type Simulator struct {
 	// their own keys and never consume this simulator's RNG stream, so
 	// the un-faulted samples are bit-identical with Faults nil or set.
 	Faults faults.Injector
+	// Events, when set, applies timeline events (cable cuts) to the
+	// data plane. Event penalties are additive and drawn from no RNG,
+	// so unaffected measurements are bit-identical with Events nil or
+	// set.
+	Events *Events
 }
 
 // New returns a simulator with the paper-calibrated defaults.
@@ -268,12 +274,14 @@ func (s *Simulator) Ping(p *probes.Probe, r *cloud.Region, proto dataset.Protoco
 	if s.Faults != nil {
 		rtt = s.Faults.CorruptRTT(p.ID, r.ID, cycle, rtt)
 	}
+	rtt += s.Events.ExtraRTT(p.Country, r.Country, sample.CampaignCycle(cycle))
 	return dataset.PingRecord{
 		VP:       s.vantage(p),
 		Target:   s.target(r),
 		Protocol: proto,
 		RTTms:    rtt,
 		Cycle:    cycle,
+		VTime:    sample.VTimeOf(cycle, p.Country),
 	}
 }
 
@@ -290,9 +298,15 @@ func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) data
 	if s.Faults != nil {
 		tf = s.Faults.Trace(p.ID, r.ID, cycle)
 	}
-	rec := dataset.TracerouteRecord{VP: s.vantage(p), Target: s.target(r), Cycle: cycle}
+	rec := dataset.TracerouteRecord{
+		VP: s.vantage(p), Target: s.target(r), Cycle: cycle,
+		VTime: sample.VTimeOf(cycle, p.Country),
+	}
 	ttl := 0
 	cum := 0.0
+	// A cable cut inflates the long-haul: the detour lands on the final
+	// (cloud) segment, shifting its hops and the destination RTT.
+	eventExtra := s.Events.ExtraRTT(p.Country, r.Country, sample.CampaignCycle(cycle))
 	addHop := func(ip netaddr.IP, rtt float64, forceRespond bool) {
 		ttl++
 		h := dataset.Hop{TTL: ttl, IP: ip, RTTms: rtt, Responded: true}
@@ -337,6 +351,9 @@ func (s *Simulator) Traceroute(p *probes.Probe, r *cloud.Region, cycle int) data
 	// Wired segments, hop by hop.
 	for i, seg := range pl.segments {
 		segRTT := s.segmentRTT(seg, rng)
+		if i == len(pl.segments)-1 {
+			segRTT += eventExtra
+		}
 		cum += segRTT
 		perHop := segRTT / float64(seg.routersAtEnd)
 		at := cum - segRTT

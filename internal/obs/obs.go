@@ -125,6 +125,26 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return h
 }
 
+// SumCounters sums every registered counter with the given base name
+// across all label sets — the rollup a cluster worker ships in its
+// heartbeat when the per-label breakdown (faults_injected_total by
+// profile and kind) is not worth putting on the wire. Zero on a nil
+// registry.
+func (r *Registry) SumCounters(name string) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var sum uint64
+	for id, c := range r.counters {
+		if id == name || strings.HasPrefix(id, name+"{") {
+			sum += c.Load()
+		}
+	}
+	return sum
+}
+
 // GaugeFunc registers a callback evaluated at exposition time — for
 // values that live elsewhere (queue depth, cache entries) and would be
 // wasteful to mirror on every change. Re-registering the same id

@@ -176,22 +176,43 @@ var atlasWeightOverride = map[string]float64{
 	"CA": 2.0,
 }
 
+// scApportionment computes the Speedchecker fleet's per-country probe
+// allocation in generation order: GenerateSpeedchecker materializes it,
+// CountryQuotas exposes it without building a fleet.
+func scApportionment(cfg Config) []countryCount {
+	weightFn, overrides := identity, scWeightOverride
+	if cfg.UniformWeights {
+		weightFn, overrides = uniform, nil
+	}
+	var out []countryCount
+	for _, cont := range geo.Continents() {
+		total := int(float64(speedcheckerTotals[cont]) * cfg.Scale)
+		out = append(out, apportion(cont, total, overrides, weightFn)...)
+	}
+	return out
+}
+
+// CountryQuotas returns the per-country Speedchecker probe counts the
+// generator would allocate under cfg, without synthesizing a world or
+// building probes. The cluster coordinator weighs its country shards
+// with it so every lease carries comparable work.
+func CountryQuotas(cfg Config) map[string]int {
+	cfg = cfg.withDefaults()
+	out := make(map[string]int)
+	for _, cc := range scApportionment(cfg) {
+		out[cc.country.Code] = cc.n
+	}
+	return out
+}
+
 // GenerateSpeedchecker builds the wireless end-user fleet.
 func GenerateSpeedchecker(w *world.World, cfg Config) *Fleet {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5c5c))
 	f := &Fleet{Platform: Speedchecker, byCountry: make(map[string][]*Probe)}
-	weightFn, overrides := identity, scWeightOverride
-	if cfg.UniformWeights {
-		weightFn, overrides = uniform, nil
-	}
-	for _, cont := range geo.Continents() {
-		total := int(float64(speedcheckerTotals[cont]) * cfg.Scale)
-		counts := apportion(cont, total, overrides, weightFn)
-		for _, cc := range counts {
-			for i := 0; i < cc.n; i++ {
-				f.add(makeProbe(w, rng, Speedchecker, cc.country, i))
-			}
+	for _, cc := range scApportionment(cfg) {
+		for i := 0; i < cc.n; i++ {
+			f.add(makeProbe(w, rng, Speedchecker, cc.country, i))
 		}
 	}
 	return f

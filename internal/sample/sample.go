@@ -85,6 +85,11 @@ type Sample struct {
 	// Cycle is the measurement cycle index (the campaign cycles through
 	// all countries roughly every two weeks, §3.3).
 	Cycle int
+	// VTime is the campaign-relative virtual timestamp in milliseconds:
+	// the cycle start plus the per-country sweep phase (VTimeOf). It is
+	// derived, never read from a wall clock, so replays reproduce it
+	// bit-identically.
+	VTime int64
 }
 
 // Hop is one traceroute hop as captured on the wire: the pipeline adds
@@ -102,6 +107,9 @@ type TraceSample struct {
 	Target Target
 	Hops   []Hop
 	Cycle  int
+	// VTime is the campaign-relative virtual timestamp in milliseconds
+	// (see Sample.VTime).
+	VTime int64
 }
 
 // RTTms returns the end-to-end round trip of the traceroute — the RTT

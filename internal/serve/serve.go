@@ -29,6 +29,7 @@
 //	/v1/cdf            Figure 4: per-continent latency CDFs
 //	/v1/platform-diff  Figure 5: Speedchecker − Atlas percentile diffs
 //	/v1/peering-shares Figure 10: interconnection class shares
+//	/v1/changepoint    country×provider pairs ranked by RTT shift across a cycle
 //	/v1/healthz        liveness (process up; bypasses admission)
 //	/v1/readyz         readiness (store mounted, not draining; bypasses admission)
 //	/v1/statsz         cache, store and per-endpoint counters (JSON)
@@ -64,12 +65,21 @@ import (
 )
 
 // Querier is the store surface the server needs. *store.Store satisfies
-// it; tests wrap it to count underlying queries.
+// it; tests wrap it to count underlying queries. Every figure query has
+// a windowed variant restricting it to a half-open cycle interval on
+// the campaign time axis; handlers call the unwindowed form when the
+// request carries no from/to, so wrappers that intercept only the
+// legacy methods keep seeing the default traffic.
 type Querier interface {
 	LatencyMap(minSamples int) []analysis.CountryLatency
 	ContinentCDFs(platform string) []analysis.ContinentDistribution
 	PlatformDiff() []analysis.PlatformDiff
 	PeeringShares() []analysis.InterconnectShare
+	LatencyMapWindow(minSamples int, w store.Window) []analysis.CountryLatency
+	ContinentCDFsWindow(platform string, w store.Window) []analysis.ContinentDistribution
+	PlatformDiffWindow(w store.Window) []analysis.PlatformDiff
+	PeeringSharesWindow(w store.Window) []analysis.InterconnectShare
+	Changepoint(platform string, at, width int) []store.ChangepointEntry
 	Summary() store.Summary
 }
 
@@ -164,7 +174,7 @@ func New(q Querier, opts Options) *Server {
 		cache:   newLRUCache(opts.CacheEntries),
 		flights: newFlightGroup(),
 		metrics: newMetricSet(reg, "latency-map", "cdf", "platform-diff", "peering-shares",
-			"healthz", "readyz", "statsz", "metricsz", "tracez"),
+			"changepoint", "healthz", "readyz", "statsz", "metricsz", "tracez"),
 		mSwaps: reg.Counter("serve_store_swaps_total"),
 		gEpoch: reg.Gauge("serve_store_epoch"),
 		start:  time.Now(),
@@ -254,6 +264,7 @@ func (s *Server) Handler() http.Handler {
 	data.HandleFunc("/v1/cdf", s.handleCDF)
 	data.HandleFunc("/v1/platform-diff", s.handlePlatformDiff)
 	data.HandleFunc("/v1/peering-shares", s.handlePeeringShares)
+	data.HandleFunc("/v1/changepoint", s.handleChangepoint)
 	data.HandleFunc("/v1/statsz", s.handleStatsz)
 	data.HandleFunc("/v1/tracez", s.handleTracez)
 	api := s.withAdmission(http.TimeoutHandler(s.withTrace(data), s.opts.Timeout, `{"error":"request timed out"}`))
@@ -460,8 +471,17 @@ func (s *Server) handleLatencyMap(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "latency-map", err)
 		return
 	}
-	s.respond(w, r, "latency-map", fmt.Sprintf("min=%d", minSamples), func(q Querier) (any, error) {
-		return LatencyMapDTO(q.LatencyMap(minSamples)), nil
+	win, err := windowParam(r.URL.Query())
+	if err != nil {
+		s.badRequest(w, "latency-map", err)
+		return
+	}
+	key := fmt.Sprintf("min=%d&%s", minSamples, windowKey(win))
+	s.respond(w, r, "latency-map", key, func(q Querier) (any, error) {
+		if win.All() {
+			return LatencyMapDTO(q.LatencyMap(minSamples)), nil
+		}
+		return LatencyMapDTO(q.LatencyMapWindow(minSamples, win)), nil
 	})
 }
 
@@ -484,9 +504,19 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	key := fmt.Sprintf("platform=%s&continent=%s&points=%d", platform, continent, points)
+	win, err := windowParam(q)
+	if err != nil {
+		s.badRequest(w, "cdf", err)
+		return
+	}
+	key := fmt.Sprintf("platform=%s&continent=%s&points=%d&%s", platform, continent, points, windowKey(win))
 	s.respond(w, r, "cdf", key, func(q Querier) (any, error) {
-		dists := q.ContinentCDFs(platform)
+		var dists []analysis.ContinentDistribution
+		if win.All() {
+			dists = q.ContinentCDFs(platform)
+		} else {
+			dists = q.ContinentCDFsWindow(platform, win)
+		}
 		if continent != "" {
 			kept := dists[:0:0]
 			for _, d := range dists {
@@ -501,14 +531,67 @@ func (s *Server) handleCDF(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePlatformDiff(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, r, "platform-diff", "", func(q Querier) (any, error) {
-		return PlatformDiffDTO(q.PlatformDiff()), nil
+	win, err := windowParam(r.URL.Query())
+	if err != nil {
+		s.badRequest(w, "platform-diff", err)
+		return
+	}
+	s.respond(w, r, "platform-diff", windowKey(win), func(q Querier) (any, error) {
+		if win.All() {
+			return PlatformDiffDTO(q.PlatformDiff()), nil
+		}
+		return PlatformDiffDTO(q.PlatformDiffWindow(win)), nil
 	})
 }
 
 func (s *Server) handlePeeringShares(w http.ResponseWriter, r *http.Request) {
-	s.respond(w, r, "peering-shares", "", func(q Querier) (any, error) {
-		return PeeringSharesDTO(q.PeeringShares()), nil
+	win, err := windowParam(r.URL.Query())
+	if err != nil {
+		s.badRequest(w, "peering-shares", err)
+		return
+	}
+	s.respond(w, r, "peering-shares", windowKey(win), func(q Querier) (any, error) {
+		if win.All() {
+			return PeeringSharesDTO(q.PeeringShares()), nil
+		}
+		return PeeringSharesDTO(q.PeeringSharesWindow(win)), nil
+	})
+}
+
+// handleChangepoint serves the longitudinal event detector: every
+// country×provider pair ranked by how much its RTT distribution shifted
+// across the split cycle `at` (default: the campaign midpoint, where
+// the scenario plane schedules its events). `width` bounds each side's
+// comparison window to that many cycles; zero compares everything
+// before against everything after. The store's entries are already
+// wire-shaped, so no DTO conversion is needed.
+func (s *Server) handleChangepoint(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	platform, err := platformParam(q)
+	if err != nil {
+		s.badRequest(w, "changepoint", err)
+		return
+	}
+	at, width := 0, 0
+	if err := intParam(q, "at", 1, 1<<30, &at); err != nil {
+		s.badRequest(w, "changepoint", err)
+		return
+	}
+	if err := intParam(q, "width", 1, 1<<30, &width); err != nil {
+		s.badRequest(w, "changepoint", err)
+		return
+	}
+	key := fmt.Sprintf("platform=%s&at=%d&width=%d", platform, at, width)
+	s.respond(w, r, "changepoint", key, func(q Querier) (any, error) {
+		split := at
+		if split <= 0 {
+			if c := q.Summary().Cycles; c > 1 {
+				split = c / 2
+			} else {
+				split = 1
+			}
+		}
+		return q.Changepoint(platform, split, width), nil
 	})
 }
 
@@ -633,7 +716,7 @@ func (s *Server) respond(w http.ResponseWriter, r *http.Request, endpoint, param
 		if err != nil {
 			return computed{err: err}
 		}
-		res := computed{body: body, etag: etagOf(es.epoch, body), contentType: contentType, epoch: es.epoch}
+		res := computed{body: body, etag: etagOf(es.epoch, key, body), contentType: contentType, epoch: es.epoch}
 		s.cache.put(key, res)
 		return res
 	})
@@ -691,11 +774,17 @@ func encode(v any, contentType string) ([]byte, error) {
 	return append(body, '\n'), nil
 }
 
-// etagOf derives the entity tag from the store epoch plus the body
-// hash: "e<epoch>-<fnv64a>". The epoch prefix is the zero-drop swap
-// guarantee — validators from different epochs never compare equal.
-func etagOf(epoch uint64, body []byte) string {
+// etagOf derives the entity tag from the store epoch plus a hash of the
+// canonical request key and the body: "e<epoch>-<fnv64a>". The epoch
+// prefix is the zero-drop swap guarantee — validators from different
+// epochs never compare equal — and hashing the key (which carries the
+// endpoint, the cycle window and every other parameter) keeps two
+// windows that happen to render the same bytes from sharing a
+// validator.
+func etagOf(epoch uint64, key string, body []byte) string {
 	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write([]byte{0})
 	h.Write(body)
 	return fmt.Sprintf("%q", fmt.Sprintf("e%d-%016x", epoch, h.Sum64()))
 }
@@ -739,6 +828,29 @@ func intParam(q url.Values, name string, lo, hi int, dst *int) error {
 	}
 	*dst = v
 	return nil
+}
+
+// windowParam parses the optional from/to cycle parameters every figure
+// endpoint accepts: the half-open window [from, to) on the campaign
+// cycle axis. Absent (or zero) bounds are unconstrained, mirroring
+// store.Window semantics.
+func windowParam(q url.Values) (store.Window, error) {
+	var from, to int
+	if err := intParam(q, "from", 0, 1<<30, &from); err != nil {
+		return store.Window{}, err
+	}
+	if err := intParam(q, "to", 0, 1<<30, &to); err != nil {
+		return store.Window{}, err
+	}
+	if from > 0 && to > 0 && from >= to {
+		return store.Window{}, fmt.Errorf("cycle window [%d, %d) is empty", from, to)
+	}
+	return store.Window{From: from, To: to}, nil
+}
+
+// windowKey canonicalizes a window for cache keys and ETags.
+func windowKey(w store.Window) string {
+	return fmt.Sprintf("from=%d&to=%d", w.From, w.To)
 }
 
 func platformParam(q url.Values) (string, error) {

@@ -1,0 +1,110 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"reflect"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/store"
+)
+
+// TestWindowedEndpointsFullRangeMatchUnwindowed pins the HTTP face of
+// the longitudinal refactor: on every figure endpoint, a window
+// explicitly spanning the whole campaign must produce a byte-identical
+// body to the unwindowed request — at partition counts 1/4/16 — while
+// the ETag incorporates the window, so the two responses can never
+// revalidate each other.
+func TestWindowedEndpointsFullRangeMatchUnwindowed(t *testing.T) {
+	_, ds, processed := fixture(t)
+	const cycles = 12 // the fixture pings cover cycles 0..11
+
+	endpoints := []struct {
+		name string
+		base string // no window params
+		full string // explicit [0, cycles) window
+	}{
+		{"latency-map", "/v1/latency-map?min=10", "/v1/latency-map?min=10&from=0&to=12"},
+		{"cdf", "/v1/cdf?platform=speedchecker&points=32", "/v1/cdf?platform=speedchecker&points=32&from=0&to=12"},
+		{"cdf-continent", "/v1/cdf?continent=EU", "/v1/cdf?continent=EU&from=0&to=12"},
+		{"platform-diff", "/v1/platform-diff", "/v1/platform-diff?from=0&to=12"},
+		{"peering-shares", "/v1/peering-shares", "/v1/peering-shares?from=0&to=12"},
+	}
+
+	var baseline [][]byte
+	for _, parts := range []int{1, 4, 16} {
+		st := store.FromDataset(ds, processed, store.Options{Shards: 4, Partitions: parts, Cycles: cycles})
+		h := serve.New(st, serve.Options{}).Handler()
+		for i, ep := range endpoints {
+			plain := doGet(h, ep.base, nil)
+			windowed := doGet(h, ep.full, nil)
+			if plain.Code != http.StatusOK || windowed.Code != http.StatusOK {
+				t.Fatalf("partitions=%d %s: status %d / %d, want 200/200", parts, ep.name, plain.Code, windowed.Code)
+			}
+			if !bytes.Equal(plain.Body.Bytes(), windowed.Body.Bytes()) {
+				t.Errorf("partitions=%d %s: full-window body diverges from unwindowed", parts, ep.name)
+			}
+			if pe, we := plain.Header().Get("ETag"), windowed.Header().Get("ETag"); pe == we {
+				t.Errorf("partitions=%d %s: windowed ETag %q equals unwindowed — window not part of the cache identity", parts, ep.name, we)
+			}
+			// The answer must also be independent of the partition count.
+			if parts == 1 {
+				baseline = append(baseline, append([]byte(nil), plain.Body.Bytes()...))
+			} else if !bytes.Equal(plain.Body.Bytes(), baseline[i]) {
+				t.Errorf("partitions=%d %s: body diverges from the single-partition layout", parts, ep.name)
+			}
+		}
+
+		// A proper sub-window is a distinct resource: 200, own ETag.
+		sub := doGet(h, "/v1/latency-map?min=1&from=6", nil)
+		if sub.Code != http.StatusOK || sub.Header().Get("ETag") == "" {
+			t.Errorf("partitions=%d: sub-window query = %d, ETag %q", parts, sub.Code, sub.Header().Get("ETag"))
+		}
+	}
+}
+
+// TestChangepointEndpoint pins /v1/changepoint against the store's own
+// detector: the default split lands at the campaign midpoint, explicit
+// at/width pass through, and out-of-range params are rejected.
+func TestChangepointEndpoint(t *testing.T) {
+	_, ds, processed := fixture(t)
+	const cycles = 12
+	st := store.FromDataset(ds, processed, store.Options{Shards: 4, Partitions: 4, Cycles: cycles})
+	h := serve.New(st, serve.Options{}).Handler()
+
+	var got []store.ChangepointEntry
+	getJSON(t, h, "/v1/changepoint", &got)
+	if want := st.Changepoint("speedchecker", cycles/2, 0); !reflect.DeepEqual(got, want) {
+		t.Errorf("default changepoint diverges from store.Changepoint at the midpoint:\ngot  %+v\nwant %+v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("changepoint returned no pairs on a populated store")
+	}
+	for _, e := range got {
+		if e.Status != "" {
+			continue
+		}
+		// The fixture has no event, so no pair should look like one.
+		if e.Shift >= 0.95 || e.Shift <= 0.05 {
+			t.Errorf("event-free fixture scored %s×%s at shift %.3f", e.Country, e.Provider, e.Shift)
+		}
+	}
+
+	getJSON(t, h, "/v1/changepoint?platform=atlas&at=3&width=2", &got)
+	if want := st.Changepoint("atlas", 3, 2); !reflect.DeepEqual(got, want) {
+		t.Errorf("explicit at/width changepoint diverges from store.Changepoint")
+	}
+
+	for _, path := range []string{"/v1/changepoint?at=abc", "/v1/changepoint?width=-1", "/v1/changepoint?platform=carrier-pigeon"} {
+		rec := doGet(h, path, nil)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("GET %s = %d, want 400", path, rec.Code)
+		}
+		var msg map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &msg); err != nil || msg["error"] == "" {
+			t.Errorf("GET %s: 400 body not a JSON error: %q", path, rec.Body.String())
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package stats
+
+// MannWhitneyShift computes the Mann-Whitney AUC shift score between
+// two sorted sample vectors: P(after > before) + ½·P(after = before).
+// It is the probability that a random post-window observation exceeds
+// a random pre-window one — 0.5 means no shift, 1.0 a complete upward
+// shift (regression, for RTTs), 0.0 a complete downward shift
+// (improvement). Both inputs must be sorted ascending; the walk is
+// O(n+m) and allocation-free. Either side empty returns 0.5 (no
+// evidence of a shift).
+func MannWhitneyShift(before, after []float64) float64 {
+	n, m := len(before), len(after)
+	if n == 0 || m == 0 {
+		return 0.5
+	}
+	// For each after[j], count the before observations strictly below
+	// it plus half the ties. Both vectors are sorted, so two cursors
+	// over `before` (strictly-less and less-or-equal) advance
+	// monotonically.
+	var u float64
+	lt, le := 0, 0
+	for _, v := range after {
+		for lt < n && before[lt] < v {
+			lt++
+		}
+		for le < n && before[le] <= v {
+			le++
+		}
+		u += float64(lt) + float64(le-lt)/2
+	}
+	return u / (float64(n) * float64(m))
+}

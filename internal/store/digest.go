@@ -29,32 +29,37 @@ func (s *Store) ShardDigests() []string {
 }
 
 // Digest condenses ShardDigests plus the store-level peering tallies
-// into one hex token — the whole sealed store in one comparable string.
+// (per time partition, in window order) into one hex token — the whole
+// sealed store in one comparable string.
 func (s *Store) Digest() string {
 	h := fnv.New64a()
 	for _, d := range s.ShardDigests() {
 		h.Write([]byte(d))
 		h.Write([]byte{0xff})
 	}
-	provs := make([]string, 0, len(s.peering))
-	for prov := range s.peering {
-		provs = append(provs, prov)
-	}
-	sort.Strings(provs)
 	var buf [8]byte
-	for _, prov := range provs {
-		h.Write([]byte(prov))
-		classes := s.peering[prov]
-		keys := make([]int, 0, len(classes))
-		for cl := range classes {
-			keys = append(keys, int(cl))
+	for pi, part := range s.peering {
+		binary.LittleEndian.PutUint64(buf[:], uint64(pi))
+		h.Write(buf[:])
+		provs := make([]string, 0, len(part))
+		for prov := range part {
+			provs = append(provs, prov)
 		}
-		sort.Ints(keys)
-		for _, cl := range keys {
-			binary.LittleEndian.PutUint64(buf[:], uint64(cl))
-			h.Write(buf[:])
-			binary.LittleEndian.PutUint64(buf[:], uint64(classes[pipeline.Class(cl)]))
-			h.Write(buf[:])
+		sort.Strings(provs)
+		for _, prov := range provs {
+			h.Write([]byte(prov))
+			classes := part[prov]
+			keys := make([]int, 0, len(classes))
+			for cl := range classes {
+				keys = append(keys, int(cl))
+			}
+			sort.Ints(keys)
+			for _, cl := range keys {
+				binary.LittleEndian.PutUint64(buf[:], uint64(cl))
+				h.Write(buf[:])
+				binary.LittleEndian.PutUint64(buf[:], uint64(classes[pipeline.Class(cl)]))
+				h.Write(buf[:])
+			}
 		}
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -71,7 +76,7 @@ func (sh *shard) digest() string {
 		writeU64(uint64(len(s)))
 		h.Write([]byte(s))
 	}
-	writeVecs := func(m map[groupKey][]float64) {
+	writeVecs := func(m map[groupKey]vec) {
 		keys := make([]groupKey, 0, len(m))
 		for g := range m {
 			keys = append(keys, g)
@@ -86,10 +91,13 @@ func (sh *shard) digest() string {
 		for _, g := range keys {
 			writeStr(g.platform)
 			writeStr(g.name)
-			xs := m[g]
-			writeU64(uint64(len(xs)))
-			for _, x := range xs {
+			v := m[g]
+			writeU64(uint64(len(v.rtt)))
+			for _, x := range v.rtt {
 				writeU64(math.Float64bits(x))
+			}
+			for _, c := range v.cycle {
+				writeU64(uint64(c))
 			}
 		}
 	}
@@ -112,8 +120,16 @@ func (sh *shard) digest() string {
 	for _, p := range provs {
 		writeStr(p)
 	}
-	writeVecs(sh.byCountry)
-	writeVecs(sh.byContinent)
+	for _, part := range sh.parts {
+		writeU64(uint64(int64(part.window.From)))
+		writeU64(uint64(int64(part.window.To)))
+		writeU64(uint64(part.rows))
+		writeU64(uint64(int64(part.minCycle)))
+		writeU64(uint64(int64(part.maxCycle)))
+		writeVecs(part.byCountry)
+		writeVecs(part.byContinent)
+		writeVecs(part.byPair)
+	}
 	// The Welford summary is a float-order-sensitive reduction; it is
 	// included because the seal path feeds it in a canonical order
 	// (sorted probes × per-probe stream order), so bit-equality here is

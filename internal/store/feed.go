@@ -27,7 +27,10 @@ type Feed struct {
 	atlas  *analysis.NearestCollector
 	region map[string]string // region → provider, learned from pings
 	proc   *pipeline.Processor
-	counts map[string]map[pipeline.Class]int
+	// counts holds the interconnection tallies per time partition: a
+	// trace's tally lands in the partition covering its cycle, so each
+	// partition's peering view is sealed the moment its window closes.
+	counts []map[string]map[pipeline.Class]int
 	pings  int
 	traces int
 
@@ -39,13 +42,18 @@ type Feed struct {
 // NewFeed returns an empty feed. proc classifies incoming traceroutes
 // for the peering tallies; pass nil to ignore traces (ping-only store).
 func NewFeed(proc *pipeline.Processor, opts Options) *Feed {
+	opts = opts.withDefaults()
+	counts := make([]map[string]map[pipeline.Class]int, opts.Partitions)
+	for i := range counts {
+		counts[i] = map[string]map[pipeline.Class]int{}
+	}
 	return &Feed{
 		opts:    opts,
 		sc:      analysis.NewNearestCollector("speedchecker"),
 		atlas:   analysis.NewNearestCollector("atlas"),
 		region:  map[string]string{},
 		proc:    proc,
-		counts:  map[string]map[pipeline.Class]int{},
+		counts:  counts,
 		mPings:  opts.Obs.Counter("store_feed_pings_total"),
 		mTraces: opts.Obs.Counter("store_feed_traces_total"),
 	}
@@ -71,7 +79,7 @@ func (f *Feed) Trace(r dataset.TracerouteRecord) error {
 	}
 	rec := r
 	p := f.proc.Process(&rec)
-	analysis.CountInterconnect(f.counts, &p)
+	analysis.CountInterconnect(f.counts[f.opts.partitionIndex(r.Cycle)], &p)
 	return nil
 }
 
@@ -82,13 +90,15 @@ func (f *Feed) Close() error { return nil }
 func (f *Feed) Len() (int, int) { return f.pings, f.traces }
 
 // AddPeeringCounts folds pre-computed interconnection tallies in — the
-// batch adapter path, where traces were already classified.
+// batch adapter path, where traces were already classified and the
+// time axis is gone; the tallies land in the first partition.
 func (f *Feed) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
+	part := f.counts[0]
 	for prov, classes := range counts {
-		dst := f.counts[prov]
+		dst := part[prov]
 		if dst == nil {
 			dst = map[pipeline.Class]int{}
-			f.counts[prov] = dst
+			part[prov] = dst
 		}
 		for cl, n := range classes {
 			dst[cl] += n
@@ -121,16 +131,21 @@ func (f *Feed) SealContext(ctx context.Context) *Store {
 		for _, probe := range probes {
 			vp := na.Meta[probe]
 			prov := f.region[na.Region[probe]]
-			for _, rtt := range na.Samples[probe] {
+			cycles := na.Cycles[probe]
+			for i, rtt := range na.Samples[probe] {
 				b.Add(Sample{
 					Platform: pl.name, Country: vp.Country,
 					Continent: vp.Continent, Provider: prov, RTTms: rtt,
+					Cycle: int(cycles[i]),
 				})
 			}
 		}
 	}
-	if len(f.counts) > 0 {
-		b.AddPeeringCounts(f.counts)
+	for cycle0, counts := range f.counts {
+		// Partition indexes map 1:1 between feed and builder — the
+		// options are shared — so replaying each partition's tallies at
+		// its window start lands them in the same partition.
+		b.AddPeeringCountsAt(cycle0*f.opts.partitionSpan(), counts)
 	}
 	return b.Seal()
 }

@@ -2,22 +2,26 @@ package store
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/geo"
 	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/stats"
 )
 
-// gather fans out over the shards in parallel — each shard filters its
-// group map down to the requested platform, hedged against stragglers
-// when hedging is enabled — and k-way merges the per-key sorted vectors
-// into one sorted vector per key. The merged vectors may alias shard
-// memory and must be treated as read-only.
-func (s *Store) gather(pick func(*shard) map[groupKey][]float64, platform string) map[string][]float64 {
+// gather fans out over the shards in parallel — each shard restricts
+// the requested dimension to the query window (zone-map pruning over
+// its time partitions) and filters down to the platform, hedged against
+// stragglers when hedging is enabled — and k-way merges the per-key
+// sorted vectors into one sorted vector per key. The merged vectors may
+// alias shard memory and must be treated as read-only.
+func (s *Store) gather(dim dimension, w Window, platform string) map[string][]float64 {
 	defer obs.Time(s.mMerge)()
+	pick := func(sh *shard) map[groupKey][]float64 { return sh.view(dim, w) }
 	perShard := make([]map[string][]float64, len(s.shards))
 	var wg sync.WaitGroup
 	for i, sh := range s.shards {
@@ -156,13 +160,24 @@ func (s *Store) hedgeDelay() time.Duration {
 // CountrySamples returns the platform's nearest-DC RTT samples merged
 // per VP country, each vector sorted ascending.
 func (s *Store) CountrySamples(platform string) map[string][]float64 {
-	return s.gather(func(sh *shard) map[groupKey][]float64 { return sh.byCountry }, platform)
+	return s.CountrySamplesWindow(platform, Window{})
+}
+
+// CountrySamplesWindow is CountrySamples restricted to a cycle window.
+func (s *Store) CountrySamplesWindow(platform string, w Window) map[string][]float64 {
+	return s.gather(dimCountry, w, platform)
 }
 
 // ContinentSamples returns the platform's nearest-DC RTT samples merged
 // per VP continent, each vector sorted ascending.
 func (s *Store) ContinentSamples(platform string) map[geo.Continent][]float64 {
-	byName := s.gather(func(sh *shard) map[groupKey][]float64 { return sh.byContinent }, platform)
+	return s.ContinentSamplesWindow(platform, Window{})
+}
+
+// ContinentSamplesWindow is ContinentSamples restricted to a cycle
+// window.
+func (s *Store) ContinentSamplesWindow(platform string, w Window) map[geo.Continent][]float64 {
+	byName := s.gather(dimContinent, w, platform)
 	out := make(map[geo.Continent][]float64, len(byName))
 	for name, xs := range byName {
 		cont, err := geo.ParseContinent(name)
@@ -177,24 +192,64 @@ func (s *Store) ContinentSamples(platform string) map[geo.Continent][]float64 {
 // LatencyMap answers the Figure 3 query from the sharded vectors,
 // identically to the batch analysis.LatencyMap pass.
 func (s *Store) LatencyMap(minSamples int) []analysis.CountryLatency {
-	return analysis.LatencyMapFrom(s.CountrySamples("speedchecker"), minSamples)
+	return s.LatencyMapWindow(minSamples, Window{})
+}
+
+// LatencyMapWindow is LatencyMap restricted to a cycle window.
+func (s *Store) LatencyMapWindow(minSamples int, w Window) []analysis.CountryLatency {
+	return analysis.LatencyMapFrom(s.CountrySamplesWindow("speedchecker", w), minSamples)
 }
 
 // ContinentCDFs answers the Figure 4 query for one platform.
 func (s *Store) ContinentCDFs(platform string) []analysis.ContinentDistribution {
-	return analysis.ContinentDistributionsFrom(s.ContinentSamples(platform))
+	return s.ContinentCDFsWindow(platform, Window{})
+}
+
+// ContinentCDFsWindow is ContinentCDFs restricted to a cycle window.
+func (s *Store) ContinentCDFsWindow(platform string, w Window) []analysis.ContinentDistribution {
+	return analysis.ContinentDistributionsFrom(s.ContinentSamplesWindow(platform, w))
 }
 
 // PlatformDiff answers the Figure 5 query.
 func (s *Store) PlatformDiff() []analysis.PlatformDiff {
+	return s.PlatformDiffWindow(Window{})
+}
+
+// PlatformDiffWindow is PlatformDiff restricted to a cycle window.
+func (s *Store) PlatformDiffWindow(w Window) []analysis.PlatformDiff {
 	return analysis.PlatformComparisonFrom(
-		s.ContinentSamples("speedchecker"), s.ContinentSamples("atlas"))
+		s.ContinentSamplesWindow("speedchecker", w), s.ContinentSamplesWindow("atlas", w))
 }
 
 // PeeringShares answers the Figure 10 query from the merged
 // interconnection tallies.
 func (s *Store) PeeringShares() []analysis.InterconnectShare {
-	return analysis.InterconnectionsFromCounts(s.peering)
+	return s.PeeringSharesWindow(Window{})
+}
+
+// PeeringSharesWindow is PeeringShares restricted to a cycle window:
+// tallies from partitions overlapping the window sum by addition.
+// Peering tallies are kept at partition granularity (traces are folded
+// in as their partition's window closes), so a window cutting through
+// a partition includes that whole partition's tallies.
+func (s *Store) PeeringSharesWindow(w Window) []analysis.InterconnectShare {
+	merged := map[string]map[pipeline.Class]int{}
+	for i, part := range s.peering {
+		if !s.partWindows[i].OverlapsWindow(w) {
+			continue
+		}
+		for prov, classes := range part {
+			dst := merged[prov]
+			if dst == nil {
+				dst = map[pipeline.Class]int{}
+				merged[prov] = dst
+			}
+			for cl, n := range classes {
+				dst[cl] += n
+			}
+		}
+	}
+	return analysis.InterconnectionsFromCounts(merged)
 }
 
 // CountryQuantiles returns the requested quantiles of one country's
@@ -202,11 +257,15 @@ func (s *Store) PeeringShares() []analysis.InterconnectShare {
 // country's pre-sorted shard vectors instead of re-sorting. It returns
 // stats.ErrEmpty when the country has no samples.
 func (s *Store) CountryQuantiles(platform, country string, qs ...float64) ([]float64, int, error) {
-	vecs := make([][]float64, 0, len(s.shards))
+	return s.CountryQuantilesWindow(platform, country, Window{}, qs...)
+}
+
+// CountryQuantilesWindow is CountryQuantiles restricted to a cycle
+// window.
+func (s *Store) CountryQuantilesWindow(platform, country string, w Window, qs ...float64) ([]float64, int, error) {
+	var vecs [][]float64
 	for _, sh := range s.shards {
-		if xs := sh.byCountry[groupKey{platform, country}]; len(xs) > 0 {
-			vecs = append(vecs, xs)
-		}
+		vecs = append(vecs, sh.keyVectors(dimCountry, groupKey{platform, country}, w)...)
 	}
 	merged := mergeSorted(vecs)
 	out, err := stats.QuantilesSorted(merged, qs...)
@@ -214,4 +273,101 @@ func (s *Store) CountryQuantiles(platform, country string, qs ...float64) ([]flo
 		return nil, 0, err
 	}
 	return out, len(merged), nil
+}
+
+// PairSamples returns the platform's nearest-DC samples merged per
+// (VP country, provider) pair inside the window, each vector sorted
+// ascending — the grouping the changepoint detector scans.
+func (s *Store) PairSamples(platform string, w Window) map[string][]float64 {
+	return s.gather(dimPair, w, platform)
+}
+
+// ChangepointEntry is one country×provider pair scored for a
+// median-RTT shift between the windows on either side of a cycle.
+type ChangepointEntry struct {
+	Country        string  `json:"country"`
+	Provider       string  `json:"provider"`
+	NBefore        int     `json:"n_before"`
+	NAfter         int     `json:"n_after"`
+	MedianBeforeMs float64 `json:"median_before_ms,omitempty"`
+	MedianAfterMs  float64 `json:"median_after_ms,omitempty"`
+	DeltaMs        float64 `json:"delta_ms"`
+	// Shift is the Mann-Whitney AUC score P(after > before) + ½P(=):
+	// 0.5 means no shift, near 1 a regression, near 0 an improvement.
+	Shift float64 `json:"shift"`
+	// Status distinguishes pairs present on both sides ("") from pairs
+	// that only appear after the cycle ("appeared" — e.g. a region
+	// launch) or only before it ("disappeared").
+	Status string `json:"status,omitempty"`
+}
+
+// Changepoint ranks country×provider pairs by the RTT shift between
+// the window before cycle `at` and the window from `at` on. A width of
+// w cycles compares [at-w, at) against [at, at+w); width <= 0 compares
+// everything before against everything after. Two-sided pairs sort by
+// shift score descending (worst regression first, ties by delta);
+// one-sided pairs follow, appeared before disappeared.
+func (s *Store) Changepoint(platform string, at, width int) []ChangepointEntry {
+	before := Window{To: at}
+	after := Window{From: at}
+	if width > 0 {
+		if f := at - width; f > 0 {
+			before.From = f
+		}
+		after.To = at + width
+	}
+	pre := s.PairSamples(platform, before)
+	post := s.PairSamples(platform, after)
+
+	names := make(map[string]struct{}, len(pre)+len(post))
+	for n := range pre {
+		names[n] = struct{}{}
+	}
+	for n := range post {
+		names[n] = struct{}{}
+	}
+	out := make([]ChangepointEntry, 0, len(names))
+	for n := range names {
+		country, provider := splitPair(n)
+		e := ChangepointEntry{Country: country, Provider: provider,
+			NBefore: len(pre[n]), NAfter: len(post[n]), Shift: 0.5}
+		switch {
+		case e.NBefore == 0 && e.NAfter == 0:
+			continue
+		case e.NBefore == 0:
+			e.Status = "appeared"
+			e.MedianAfterMs, _ = stats.MedianSorted(post[n])
+		case e.NAfter == 0:
+			e.Status = "disappeared"
+			e.MedianBeforeMs, _ = stats.MedianSorted(pre[n])
+		default:
+			e.MedianBeforeMs, _ = stats.MedianSorted(pre[n])
+			e.MedianAfterMs, _ = stats.MedianSorted(post[n])
+			e.DeltaMs = e.MedianAfterMs - e.MedianBeforeMs
+			e.Shift = stats.MannWhitneyShift(pre[n], post[n])
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.Status == "") != (b.Status == "") {
+			return a.Status == "" // scored pairs first
+		}
+		if a.Status != b.Status {
+			return a.Status < b.Status // "appeared" before "disappeared"
+		}
+		//lint:ignore floateq ordering comparator: exactly-equal scores fall through to the next tie-break
+		if a.Shift != b.Shift {
+			return a.Shift > b.Shift
+		}
+		//lint:ignore floateq ordering comparator: exactly-equal deltas fall through to the next tie-break
+		if a.DeltaMs != b.DeltaMs {
+			return a.DeltaMs > b.DeltaMs
+		}
+		if a.Country != b.Country {
+			return a.Country < b.Country
+		}
+		return a.Provider < b.Provider
+	})
+	return out
 }

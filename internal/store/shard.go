@@ -8,13 +8,35 @@ import (
 	"repro/internal/stats"
 )
 
-// groupKey addresses one pre-sorted RTT vector inside a shard: samples
-// of one platform grouped by country (dim = byCountry) or by continent
-// (dim = byContinent, name = Continent.String()).
+// groupKey addresses one pre-sorted RTT vector inside a shard
+// partition: samples of one platform grouped by country (byCountry),
+// by continent (byContinent, name = Continent.String()), or by
+// country×provider pair (byPair, name = country + "|" + provider).
 type groupKey struct {
 	platform string
 	name     string
 }
+
+// pairName builds (and splitPair splits) the byPair group name.
+func pairName(country, provider string) string { return country + "|" + provider }
+
+func splitPair(name string) (country, provider string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '|' {
+			return name[:i], name[i+1:]
+		}
+	}
+	return name, ""
+}
+
+// dimension selects one of a partition's group maps.
+type dimension uint8
+
+const (
+	dimCountry dimension = iota
+	dimContinent
+	dimPair
+)
 
 // shardBuilder is the mutable, single-writer ingest side of a shard:
 // plain columnar appends, no sorting until seal.
@@ -25,6 +47,7 @@ type shardBuilder struct {
 	continent []geo.Continent
 	provider  []string
 	rtt       []float64
+	cycle     []int32
 }
 
 func (sb *shardBuilder) add(s Sample) {
@@ -33,44 +56,216 @@ func (sb *shardBuilder) add(s Sample) {
 	sb.continent = append(sb.continent, s.Continent)
 	sb.provider = append(sb.provider, s.Provider)
 	sb.rtt = append(sb.rtt, s.RTTms)
+	sb.cycle = append(sb.cycle, int32(s.Cycle))
 }
 
-// shard is the sealed, read-only form: per-group RTT vectors sorted
-// ascending exactly once, plus incremental summaries.
+// vec is one group's samples: RTTs sorted ascending with the campaign
+// cycle of each observation carried alongside, index-aligned. The
+// cycles let a query window that cuts through a partition filter rows
+// exactly; whole-partition reads never touch them.
+type vec struct {
+	rtt   []float64
+	cycle []int32
+}
+
+// shardPart is one sealed time partition of a shard: the rows whose
+// cycle falls inside window, with per-group RTT vectors sorted
+// ascending and a [minCycle, maxCycle] zone map for pruning.
+type shardPart struct {
+	window   Window
+	rows     int
+	minCycle int
+	maxCycle int
+
+	byCountry   map[groupKey]vec
+	byContinent map[groupKey]vec
+	byPair      map[groupKey]vec
+}
+
+func newShardPart(w Window) *shardPart {
+	return &shardPart{
+		window:      w,
+		byCountry:   map[groupKey]vec{},
+		byContinent: map[groupKey]vec{},
+		byPair:      map[groupKey]vec{},
+	}
+}
+
+func (p *shardPart) groups(dim dimension) map[groupKey]vec {
+	switch dim {
+	case dimCountry:
+		return p.byCountry
+	case dimContinent:
+		return p.byContinent
+	default:
+		return p.byPair
+	}
+}
+
+func (p *shardPart) addTo(dim dimension, k groupKey, rtt float64, cycle int32) {
+	m := p.groups(dim)
+	v := m[k]
+	v.rtt = append(v.rtt, rtt)
+	v.cycle = append(v.cycle, cycle)
+	m[k] = v
+}
+
+// covered reports whether every row of the partition falls inside the
+// query window — the fast path that aliases the partition's vectors
+// instead of filtering them.
+func (p *shardPart) covered(w Window) bool {
+	return w.Contains(p.minCycle) && w.Contains(p.maxCycle)
+}
+
+// filter returns the subsequence of v whose cycles fall inside the
+// window. v is sorted by RTT and filtering preserves order.
+func (v vec) filter(w Window) []float64 {
+	var out []float64
+	for i, c := range v.cycle {
+		if w.Contains(int(c)) {
+			out = append(out, v.rtt[i])
+		}
+	}
+	return out
+}
+
+// shard is the sealed, read-only form: time partitions of per-group
+// sorted RTT vectors, plus shard-global summaries. The global Welford
+// accumulates in arrival order regardless of the partition count, so
+// summary statistics are bit-identical across partition layouts of the
+// same stream.
 type shard struct {
 	rows         int
-	byCountry    map[groupKey][]float64 // sorted ascending
-	byContinent  map[groupKey][]float64 // sorted ascending
+	parts        []*shardPart
 	providers    map[string]struct{}
 	platformRows map[string]int
 	rtt          stats.Welford
 }
 
-func (sb *shardBuilder) seal() *shard {
+func (sb *shardBuilder) seal(opts Options) *shard {
 	sh := &shard{
 		rows:         len(sb.rtt),
-		byCountry:    map[groupKey][]float64{},
-		byContinent:  map[groupKey][]float64{},
+		parts:        make([]*shardPart, opts.Partitions),
 		providers:    map[string]struct{}{},
 		platformRows: map[string]int{},
 	}
+	for i := range sh.parts {
+		sh.parts[i] = newShardPart(opts.partitionWindow(i))
+	}
 	for i, rtt := range sb.rtt {
 		plat := sb.platform[i]
-		ck := groupKey{plat, sb.country[i]}
-		sh.byCountry[ck] = append(sh.byCountry[ck], rtt)
-		nk := groupKey{plat, sb.continent[i].String()}
-		sh.byContinent[nk] = append(sh.byContinent[nk], rtt)
+		cyc := sb.cycle[i]
+		p := sh.parts[opts.partitionIndex(int(cyc))]
+		if p.rows == 0 || int(cyc) < p.minCycle {
+			p.minCycle = int(cyc)
+		}
+		if int(cyc) > p.maxCycle {
+			p.maxCycle = int(cyc)
+		}
+		p.rows++
+		p.addTo(dimCountry, groupKey{plat, sb.country[i]}, rtt, cyc)
+		p.addTo(dimContinent, groupKey{plat, sb.continent[i].String()}, rtt, cyc)
+		p.addTo(dimPair, groupKey{plat, pairName(sb.country[i], sb.provider[i])}, rtt, cyc)
 		sh.providers[sb.provider[i]] = struct{}{}
 		sh.platformRows[plat]++
 		sh.rtt.Add(rtt)
 	}
-	for _, xs := range sh.byCountry {
-		sort.Float64s(xs)
-	}
-	for _, xs := range sh.byContinent {
-		sort.Float64s(xs)
+	for _, p := range sh.parts {
+		p.sortVecs()
 	}
 	return sh
+}
+
+func (p *shardPart) sortVecs() {
+	for _, m := range []map[groupKey]vec{p.byCountry, p.byContinent, p.byPair} {
+		for _, v := range m {
+			sortVec(v)
+		}
+	}
+}
+
+// sortVec orders a group's rows by RTT, keeping the cycle column
+// aligned. The stable sort makes the cycle permutation deterministic
+// under ties; the RTT value sequence itself equals a plain
+// sort.Float64s of the same multiset, so partition layout never changes
+// the bits a query returns.
+func sortVec(v vec) {
+	sort.Stable(byRTT(v))
+}
+
+type byRTT vec
+
+func (v byRTT) Len() int           { return len(v.rtt) }
+func (v byRTT) Less(i, j int) bool { return v.rtt[i] < v.rtt[j] }
+func (v byRTT) Swap(i, j int) {
+	v.rtt[i], v.rtt[j] = v.rtt[j], v.rtt[i]
+	v.cycle[i], v.cycle[j] = v.cycle[j], v.cycle[i]
+}
+
+// view materializes one dimension of the shard restricted to the query
+// window: partitions whose zone map misses the window are pruned,
+// fully-covered partitions alias their frozen vectors, and straddled
+// partitions filter row-by-row. Per key, the surviving sorted vectors
+// merge into one; callers must treat the result as read-only.
+func (sh *shard) view(dim dimension, w Window) map[groupKey][]float64 {
+	perPart := make([]map[groupKey][]float64, 0, len(sh.parts))
+	for _, p := range sh.parts {
+		if p.rows == 0 || !w.Overlaps(p.minCycle, p.maxCycle) {
+			continue
+		}
+		m := p.groups(dim)
+		out := make(map[groupKey][]float64, len(m))
+		if p.covered(w) {
+			for k, v := range m {
+				out[k] = v.rtt
+			}
+		} else {
+			for k, v := range m {
+				if xs := v.filter(w); len(xs) > 0 {
+					out[k] = xs
+				}
+			}
+		}
+		perPart = append(perPart, out)
+	}
+	if len(perPart) == 1 {
+		return perPart[0]
+	}
+	vecsByKey := map[groupKey][][]float64{}
+	for _, m := range perPart {
+		for k, xs := range m {
+			vecsByKey[k] = append(vecsByKey[k], xs)
+		}
+	}
+	out := make(map[groupKey][]float64, len(vecsByKey))
+	for k, vecs := range vecsByKey {
+		out[k] = mergeSorted(vecs)
+	}
+	return out
+}
+
+// keyVectors collects one key's sorted vectors across the shard's
+// overlapping partitions, window-filtered — the single-group analogue
+// of view for point queries.
+func (sh *shard) keyVectors(dim dimension, k groupKey, w Window) [][]float64 {
+	var out [][]float64
+	for _, p := range sh.parts {
+		if p.rows == 0 || !w.Overlaps(p.minCycle, p.maxCycle) {
+			continue
+		}
+		v, ok := p.groups(dim)[k]
+		if !ok {
+			continue
+		}
+		if p.covered(w) {
+			if len(v.rtt) > 0 {
+				out = append(out, v.rtt)
+			}
+		} else if xs := v.filter(w); len(xs) > 0 {
+			out = append(out, xs)
+		}
+	}
+	return out
 }
 
 // mergeSorted k-way merges ascending vectors into one ascending vector.

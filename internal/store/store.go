@@ -24,14 +24,30 @@ import (
 	"repro/internal/geo"
 	"repro/internal/obs"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/stats"
 )
+
+// Window re-exports the campaign cycle window: queries scoped to a
+// half-open [From, To) cycle interval; the zero value selects the whole
+// campaign.
+type Window = sample.Window
 
 // Options sizes the store.
 type Options struct {
 	// Shards is the shard count (default 8). More shards raise ingest
 	// and query parallelism at the cost of merge fan-in.
 	Shards int
+	// Partitions is the time-partition count per shard (default 1 — one
+	// partition spanning the whole campaign, the pre-longitudinal
+	// layout). Each partition covers a contiguous cycle window; windowed
+	// queries fan out only to partitions whose zone map overlaps the
+	// window.
+	Partitions int
+	// Cycles is the campaign cycle count the partition windows divide.
+	// Zero defaults to Partitions (one cycle per partition); cycles at
+	// or past the end clamp into the last partition.
+	Cycles int
 	// Hedge configures straggler hedging in the query fan-out.
 	Hedge HedgeOptions
 	// Obs registers the store's instruments: feed ingest counters,
@@ -81,10 +97,53 @@ func (o Options) withDefaults() Options {
 	if o.Shards <= 0 {
 		o.Shards = 8
 	}
+	if o.Partitions <= 0 {
+		o.Partitions = 1
+	}
+	if o.Cycles <= 0 {
+		o.Cycles = o.Partitions
+	}
 	if o.Hedge.MinDelay <= 0 {
 		o.Hedge.MinDelay = 200 * time.Microsecond
 	}
 	return o
+}
+
+// partitionSpan is the cycle width each partition covers.
+func (o Options) partitionSpan() int {
+	span := (o.Cycles + o.Partitions - 1) / o.Partitions
+	if span < 1 {
+		span = 1
+	}
+	return span
+}
+
+// partitionIndex maps a (possibly trace-decorated) cycle to its
+// partition; cycles past the campaign end clamp into the last one.
+func (o Options) partitionIndex(cycle int) int {
+	i := sample.CampaignCycle(cycle) / o.partitionSpan()
+	if i < 0 {
+		return 0
+	}
+	if i >= o.Partitions {
+		return o.Partitions - 1
+	}
+	return i
+}
+
+// partitionWindow is the cycle window partition i covers. The first
+// partition is unbounded below and the last unbounded above, so the
+// partition set tiles the whole time axis.
+func (o Options) partitionWindow(i int) Window {
+	span := o.partitionSpan()
+	w := Window{From: i * span, To: (i + 1) * span}
+	if i == 0 {
+		w.From = 0
+	}
+	if i == o.Partitions-1 {
+		w.To = 0
+	}
+	return w
 }
 
 // Sample is one nearest-datacenter measurement row: a single RTT from a
@@ -95,14 +154,18 @@ type Sample struct {
 	Continent geo.Continent
 	Provider  string // provider of the probe's nearest region
 	RTTms     float64
+	// Cycle is the normalized campaign cycle the measurement ran on —
+	// the time-partitioning key.
+	Cycle int
 }
 
 // Builder accumulates samples and summaries before sealing them into an
 // immutable Store. It is single-writer, like every campaign sink.
 type Builder struct {
-	opts    Options
-	shards  []*shardBuilder
-	peering map[string]map[pipeline.Class]int
+	opts   Options
+	shards []*shardBuilder
+	// peering holds the interconnection tallies per time partition.
+	peering []map[string]map[pipeline.Class]int
 }
 
 // NewBuilder returns an empty builder.
@@ -111,10 +174,13 @@ func NewBuilder(opts Options) *Builder {
 	b := &Builder{
 		opts:    opts,
 		shards:  make([]*shardBuilder, opts.Shards),
-		peering: map[string]map[pipeline.Class]int{},
+		peering: make([]map[string]map[pipeline.Class]int, opts.Partitions),
 	}
 	for i := range b.shards {
 		b.shards[i] = &shardBuilder{}
+	}
+	for i := range b.peering {
+		b.peering[i] = map[string]map[pipeline.Class]int{}
 	}
 	return b
 }
@@ -137,12 +203,21 @@ func (b *Builder) Add(s Sample) {
 
 // AddPeeringCounts folds per-provider interconnection tallies (as
 // produced by analysis.InterconnectCounts) into the store by addition.
+// Counts without a time axis land in the first partition; the live feed
+// uses AddPeeringCountsAt with the trace cycle instead.
 func (b *Builder) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
+	b.AddPeeringCountsAt(0, counts)
+}
+
+// AddPeeringCountsAt folds interconnection tallies into the partition
+// covering the (possibly trace-decorated) cycle.
+func (b *Builder) AddPeeringCountsAt(cycle int, counts map[string]map[pipeline.Class]int) {
+	part := b.peering[b.opts.partitionIndex(cycle)]
 	for prov, classes := range counts {
-		dst := b.peering[prov]
+		dst := part[prov]
 		if dst == nil {
 			dst = map[pipeline.Class]int{}
-			b.peering[prov] = dst
+			part[prov] = dst
 		}
 		for cl, n := range classes {
 			dst[cl] += n
@@ -155,9 +230,14 @@ func (b *Builder) AddPeeringCounts(counts map[string]map[pipeline.Class]int) {
 // builder must not be used afterwards.
 func (b *Builder) Seal() *Store {
 	defer obs.Time(b.opts.Obs.Histogram("store_seal_ms", obs.LatencyBuckets))()
+	partWindows := make([]Window, b.opts.Partitions)
+	for i := range partWindows {
+		partWindows[i] = b.opts.partitionWindow(i)
+	}
 	s := &Store{
 		shards:       make([]*shard, len(b.shards)),
 		peering:      b.peering,
+		partWindows:  partWindows,
 		hedge:        b.opts.Hedge,
 		mMerge:       b.opts.Obs.Histogram("store_query_merge_ms", obs.LatencyBuckets),
 		mPick:        b.opts.Obs.Histogram("store_shard_query_ms", obs.LatencyBuckets),
@@ -166,9 +246,11 @@ func (b *Builder) Seal() *Store {
 		mHedgesSupp:  b.opts.Obs.Counter("store_hedges_suppressed_total"),
 	}
 	for i, sb := range b.shards {
-		s.shards[i] = sb.seal()
+		s.shards[i] = sb.seal(b.opts)
 	}
 	s.summary = s.buildSummary()
+	s.summary.Partitions = b.opts.Partitions
+	s.summary.Cycles = b.opts.Cycles
 	b.opts.Obs.Gauge("store_rows").Set(int64(s.summary.Rows))
 	for i, sh := range s.shards {
 		//lint:ignore metricname shard count is fixed at seal time, so the label set is bounded by construction
@@ -198,10 +280,14 @@ func FromDataset(ds *dataset.Store, processed []pipeline.Processed, opts Options
 // Store is the sealed, read-only store. All query methods are safe for
 // concurrent use.
 type Store struct {
-	shards  []*shard
-	peering map[string]map[pipeline.Class]int
-	summary Summary
-	hedge   HedgeOptions
+	shards []*shard
+	// peering holds the per-partition interconnection tallies;
+	// partWindows[i] is the cycle window peering[i] (and every shard's
+	// partition i) covers.
+	peering     []map[string]map[pipeline.Class]int
+	partWindows []Window
+	summary     Summary
+	hedge       HedgeOptions
 	// mMerge times each gather (shard fan-out + k-way merge); mPick
 	// times each per-shard pick (and feeds the p95 the hedge delay
 	// derives from). Both are interned at seal so queries pay one
@@ -231,11 +317,16 @@ func (s *Store) WithHedge(h HedgeOptions) *Store {
 
 // Summary describes the sealed store for /v1/statsz and logs.
 type Summary struct {
-	Shards    int            `json:"shards"`
-	Rows      int            `json:"rows"`
-	Countries int            `json:"countries"`
-	Providers int            `json:"providers"`
-	Platforms map[string]int `json:"platform_rows"`
+	Shards int `json:"shards"`
+	// Partitions is the time-partition count per shard; Cycles is the
+	// last cycle of the campaign time axis (exclusive) that the
+	// partition windows divide.
+	Partitions int            `json:"partitions"`
+	Cycles     int            `json:"cycles"`
+	Rows       int            `json:"rows"`
+	Countries  int            `json:"countries"`
+	Providers  int            `json:"providers"`
+	Platforms  map[string]int `json:"platform_rows"`
 	// Shard balance: the smallest and largest shard row counts.
 	MinShardRows int `json:"min_shard_rows"`
 	MaxShardRows int `json:"max_shard_rows"`
@@ -258,8 +349,10 @@ func (s *Store) buildSummary() Summary {
 		if sh.rows > sum.MaxShardRows {
 			sum.MaxShardRows = sh.rows
 		}
-		for g := range sh.byCountry {
-			countries[g.name] = struct{}{}
+		for _, p := range sh.parts {
+			for g := range p.byCountry {
+				countries[g.name] = struct{}{}
+			}
 		}
 		for p := range sh.providers {
 			providers[p] = struct{}{}
@@ -285,9 +378,11 @@ func (s *Store) Summary() Summary { return s.summary }
 func (s *Store) Countries(platform string) []string {
 	set := map[string]struct{}{}
 	for _, sh := range s.shards {
-		for g := range sh.byCountry {
-			if g.platform == platform {
-				set[g.name] = struct{}{}
+		for _, p := range sh.parts {
+			for g := range p.byCountry {
+				if g.platform == platform {
+					set[g.name] = struct{}{}
+				}
 			}
 		}
 	}

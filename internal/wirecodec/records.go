@@ -258,6 +258,9 @@ func (d *Decoder) DecodePings(payload []byte, fn func(sample.Sample) error) erro
 		b = rest
 		d.lastPingCycle += unzigzag(delta)
 		s.Cycle = int(d.lastPingCycle)
+		// VTime is derived, never carried: re-deriving from (cycle,
+		// country) reproduces the producer's stamp bit-for-bit.
+		s.VTime = sample.VTimeOf(s.Cycle, s.VP.Country)
 		if err := fn(s); err != nil {
 			return err
 		}
@@ -293,6 +296,7 @@ func (d *Decoder) DecodeTraces(payload []byte, fn func(sample.TraceSample) error
 		b = rest
 		d.lastTraceCycle += unzigzag(delta)
 		t.Cycle = int(d.lastTraceCycle)
+		t.VTime = sample.VTimeOf(t.Cycle, t.VP.Country)
 		nhops, rest, err := d.readUvarint(b)
 		if err != nil {
 			return fmt.Errorf("trace %d/%d: %w", i, count, err)

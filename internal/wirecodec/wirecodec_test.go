@@ -23,7 +23,7 @@ import (
 // reference path, while RTTs use full-precision floats that CSV's
 // 6-decimal quantization cannot represent.
 func genPing(rng *rand.Rand) sample.Sample {
-	return sample.Sample{
+	s := sample.Sample{
 		VP: sample.VantagePoint{
 			ProbeID:   fmt.Sprintf("probe-%d", rng.Intn(500)),
 			Platform:  []string{"speedchecker", "atlas"}[rng.Intn(2)],
@@ -43,11 +43,15 @@ func genPing(rng *rand.Rand) sample.Sample {
 		RTTms:    rng.Float64()*300 + rng.Float64()*1e-9, // sub-CSV-precision bits
 		Cycle:    rng.Intn(12),
 	}
+	// The decoders re-derive VTime from (cycle, country); stamping the
+	// fixture the same way keeps round trips DeepEqual-exact.
+	s.VTime = sample.VTimeOf(s.Cycle, s.VP.Country)
+	return s
 }
 
 func genTrace(rng *rand.Rand) sample.TraceSample {
 	p := genPing(rng)
-	t := sample.TraceSample{VP: p.VP, Target: p.Target, Cycle: p.Cycle}
+	t := sample.TraceSample{VP: p.VP, Target: p.Target, Cycle: p.Cycle, VTime: p.VTime}
 	n := rng.Intn(12)
 	for i := 0; i < n; i++ {
 		hop := sample.Hop{TTL: i + 1, RTTms: rng.Float64() * 250, Responded: rng.Intn(4) > 0}
