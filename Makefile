@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-json fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke bench-wire bench-wire-smoke chaos-smoke verify
+.PHONY: build test race vet lint lint-json fuzz fuzz-smoke bench bench-obs bench-obs-smoke bench-serve bench-serve-smoke bench-wire bench-wire-smoke bench-segment bench-segment-smoke chaos-smoke verify
 
 build:
 	$(GO) build ./...
@@ -38,16 +38,22 @@ fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=10s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=10s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=10s ./internal/wirecodec/
+	$(GO) test -run=NONE -fuzz=FuzzSegmentDecode -fuzztime=10s -fuzzminimizetime=1x ./internal/segment/
+	$(GO) test -run=NONE -fuzz=FuzzSketchMerge -fuzztime=10s -fuzzminimizetime=1x ./internal/sketch/
 
 # fuzz-smoke is the pre-merge slice of the fuzz pass: 2s per codec
 # target, enough to replay the corpus and shake out shallow regressions
-# on every verify run.
+# on every verify run. The segment/sketch targets cap minimization at
+# one exec: their seeds are whole ~100 KB segment images, and default
+# minimization would stall for a minute per interesting input.
 fuzz-smoke:
 	$(GO) test -run=NONE -fuzz=FuzzImportPings -fuzztime=2s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzImportTraces -fuzztime=2s ./internal/atlasfmt/
 	$(GO) test -run=NONE -fuzz=FuzzReadPingsCSV -fuzztime=2s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzReadTracesJSONL -fuzztime=2s ./internal/dataset/
 	$(GO) test -run=NONE -fuzz=FuzzWireDecode -fuzztime=2s ./internal/wirecodec/
+	$(GO) test -run=NONE -fuzz=FuzzSegmentDecode -fuzztime=2s -fuzzminimizetime=1x ./internal/segment/
+	$(GO) test -run=NONE -fuzz=FuzzSketchMerge -fuzztime=2s -fuzzminimizetime=1x ./internal/sketch/
 
 # Full benchmark suite with allocation stats, including the store
 # fan-out/merge and the serve cached-vs-cold comparison.
@@ -86,6 +92,20 @@ bench-wire:
 # CI smoke slice: one pass per codec, no report file.
 bench-wire-smoke:
 	$(GO) run ./cmd/cloudy benchwire -scale 0.02 -cycles 1 -iters 1
+
+# Columnar segment format vs the in-memory streaming build it
+# complements: build/write/mmap-open timing, per-endpoint query latency
+# exact vs sketch, the 100x single-group sketch probe (must stay
+# sub-ms) and sketch-vs-exact error quantiles. Reference numbers live
+# in BENCH_segment.json; the streaming-build baseline lives in
+# BENCH_streaming.json.
+bench-segment:
+	$(GO) run ./cmd/cloudy benchsegment -rows 200000 -iters 9 -out BENCH_segment.json
+
+# CI smoke slice: small row count, two reps per cell, no report file —
+# just proving write → mmap → every endpoint answers in both modes.
+bench-segment-smoke:
+	$(GO) run ./cmd/cloudy benchsegment -rows 20000 -iters 2
 
 # Worker-kill chaos test under the race detector: one worker of three
 # dies mid-stream, its shard must be reassigned and the merged store

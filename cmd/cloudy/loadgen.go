@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/load"
 	"repro/internal/obs"
+	"repro/internal/segment"
 	"repro/internal/serve"
 	"repro/internal/store"
 )
@@ -36,6 +37,10 @@ type benchRun struct {
 	Epochs      []string       `json:"epochs"`
 	HedgesFired uint64         `json:"hedges_fired"`
 	HedgesWon   uint64         `json:"hedges_won"`
+	// Segment carries the segment reader's counter deltas for this run
+	// (blocks read/pruned, sketch merges) when the sweep targets a
+	// -segments directory.
+	Segment map[string]uint64 `json:"segment,omitempty"`
 }
 
 // benchReport is the BENCH_serve.json document.
@@ -50,8 +55,11 @@ type benchReport struct {
 	// HedgeCrossoverClients is the smallest swept concurrency at which
 	// hedge-on p99 stops beating hedge-off p99 (0 = hedging stayed
 	// ahead at every level). Only present for -hedge both sweeps.
-	HedgeCrossoverClients *int       `json:"hedge_crossover_clients,omitempty"`
-	Runs                  []benchRun `json:"runs"`
+	HedgeCrossoverClients *int `json:"hedge_crossover_clients,omitempty"`
+	// SegmentsDir is set when the in-process sweep served an mmap'd
+	// segment directory instead of a freshly built store.
+	SegmentsDir string     `json:"segments_dir,omitempty"`
+	Runs        []benchRun `json:"runs"`
 }
 
 // hedgeCrossover pairs the sweep's hedge-on/off runs by concurrency
@@ -121,8 +129,16 @@ func cmdLoadgen(ctx context.Context, args []string) error {
 	hedgeMode := fs.String("hedge", "both", "in-process hedging: on, off or both (A/B per concurrency)")
 	cacheEntries := fs.Int("cache", 8, "in-process server cache entries (small, so the sweep hits the store)")
 	outPath := fs.String("out", "", "write the JSON benchmark report here (e.g. BENCH_serve.json)")
+	segmentsDir := fs.String("segments", "", "in-process: sweep an mmap'd segment directory (cloudy segment -out DIR) instead of building a store")
+	exactFlag := fs.Bool("exact", false, "with -segments: exact column scans instead of the merged quantile sketches")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *segmentsDir != "" && *base != "" {
+		return fmt.Errorf("-segments drives an in-process reader and cannot be combined with -base")
+	}
+	if *exactFlag && *segmentsDir == "" {
+		return fmt.Errorf("-exact only applies to -segments")
 	}
 	sweep, err := parseClients(*clientsList)
 	if err != nil {
@@ -158,6 +174,59 @@ func cmdLoadgen(ctx context.Context, args []string) error {
 			}
 			report.Runs = append(report.Runs, run)
 			printRun(run)
+		}
+		return writeReport(report, *outPath)
+	}
+
+	if *segmentsDir != "" {
+		// Segment sweep: one mmap'd reader shared by every run. Hedging
+		// is a live-store fan-out concept and does not apply, so only
+		// unhedged cells run; instead, each run reports the reader's
+		// counter deltas (blocks read vs pruned, sketch merges).
+		segReg := obs.NewRegistry()
+		rd, err := segment.Open(*segmentsDir, segment.Options{Exact: *exactFlag, Obs: segReg})
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		report.SegmentsDir = *segmentsDir
+		mode := "segments"
+		if *exactFlag {
+			mode = "segments-exact"
+		}
+		segCounters := []struct {
+			name string
+			c    *obs.Counter
+		}{
+			{"segment_blocks_read_total", segReg.Counter("segment_blocks_read_total")},
+			{"segment_blocks_pruned_total", segReg.Counter("segment_blocks_pruned_total")},
+			{"segment_sketch_merges_total", segReg.Counter("segment_sketch_merges_total")},
+			{"segment_block_errors_total", segReg.Counter("segment_block_errors_total")},
+		}
+		for _, clients := range sweep {
+			runReg := obs.NewRegistry()
+			srv := serve.New(rd, serve.Options{
+				CacheEntries: *cacheEntries, Obs: runReg, StoreMode: mode,
+				Admit: admit.Options{RatePerSec: -1, MaxInFlight: -1},
+			})
+			before := map[string]uint64{}
+			for _, sc := range segCounters {
+				before[sc.name] = sc.c.Load()
+			}
+			run, err := oneRun(ctx, "http://loadgen", load.HandlerClient{Handler: srv.Handler()},
+				clients, *requests, *f.seed, runReg, false)
+			if err != nil {
+				return err
+			}
+			run.Segment = map[string]uint64{}
+			for _, sc := range segCounters {
+				run.Segment[sc.name] = sc.c.Load() - before[sc.name]
+			}
+			report.Runs = append(report.Runs, run)
+			printRun(run)
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 		}
 		return writeReport(report, *outPath)
 	}

@@ -11,7 +11,14 @@
 //	cloudy serve  [-seed N] [-scale F] [-addr A] run or load a campaign, build the
 //	                                             sharded store, serve the /v1 query API
 //	                                             (admission control, hedged fan-out and
-//	                                             -reseal live store swaps built in)
+//	                                             -reseal live store swaps built in);
+//	                                             -segments DIR serves sealed columnar
+//	                                             files from mmap instead
+//	cloudy segment -out DIR                      run or load a campaign and write the
+//	                                             sealed store as columnar segment files
+//	                                             with merged quantile sketches
+//	cloudy benchsegment [-out F]                 benchmark segment build/open/query
+//	                                             against the in-memory streaming build
 //	cloudy loadgen [-seed N] [-clients LIST]     drive a concurrency sweep against the
 //	                                             query API (in-process or -base URL) and
 //	                                             write BENCH_serve.json
@@ -50,6 +57,7 @@ import (
 	"repro/internal/probes"
 	"repro/internal/report"
 	"repro/internal/sample"
+	"repro/internal/segment"
 	"repro/internal/serve"
 	"repro/internal/store"
 	"repro/internal/world"
@@ -75,6 +83,10 @@ func main() {
 		err = cmdAnalyze(os.Args[2:])
 	case "serve":
 		err = cmdServe(ctx, os.Args[2:])
+	case "segment":
+		err = cmdSegment(ctx, os.Args[2:])
+	case "benchsegment":
+		err = cmdBenchSegment(ctx, os.Args[2:])
 	case "loadgen":
 		err = cmdLoadgen(ctx, os.Args[2:])
 	case "coordinator":
@@ -103,8 +115,11 @@ func usage() {
   cloudy export  [-seed N] [-scale F] [-format csv|atlas] -pings FILE -traces FILE
   cloudy analyze [-seed N] -pings FILE -traces FILE
   cloudy serve   [-seed N] [-scale F] [-addr HOST:PORT] [-shards N] [-pings FILE -traces FILE]
-                 [-hedge] [-hedge-inflight-limit N|auto] [-quota-rate R] [-quota-burst B]
-                 [-max-inflight N] [-reseal DUR]
+                 [-segments DIR [-exact]] [-hedge] [-hedge-inflight-limit N|auto]
+                 [-quota-rate R] [-quota-burst B] [-max-inflight N] [-reseal DUR]
+  cloudy segment [-seed N] [-scale F] [-cycles N] [-shards N] [-pings FILE -traces FILE]
+                 -out DIR [-check]
+  cloudy benchsegment [-seed N] [-rows N] [-shards N] [-partitions N] [-iters N] [-out FILE]
   cloudy loadgen [-seed N] [-scale F] [-clients LIST] [-requests N] [-hedge on|off|both]
                  [-base URL] [-out FILE]
   cloudy coordinator [-seed N] [-scale F] [-addr HOST:PORT] [-cluster-shards N]
@@ -401,6 +416,8 @@ func cmdServe(ctx context.Context, args []string) error {
 	quotaBurst := fs.Float64("quota-burst", 0, "per-client burst capacity (0 = 2x rate)")
 	maxInflight := fs.Int("max-inflight", 0, "global concurrency ceiling, shed 503 past it (0 = default 1024, negative disables)")
 	reseal := fs.Duration("reseal", 0, "re-run the campaign with a bumped seed and swap the store live on this interval (campaign mode only)")
+	segmentsDir := fs.String("segments", "", "serve a segment directory written by `cloudy segment -out DIR` from mmap instead of building a store")
+	exactFlag := fs.Bool("exact", false, "with -segments: answer figure queries from the full columns instead of the merged quantile sketches")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -410,6 +427,9 @@ func cmdServe(ctx context.Context, args []string) error {
 	if *reseal > 0 && *pingsPath != "" {
 		return fmt.Errorf("-reseal re-runs the campaign and cannot be combined with -pings/-traces")
 	}
+	if *exactFlag && *segmentsDir == "" {
+		return fmt.Errorf("-exact only applies to -segments")
+	}
 
 	// One registry and tracer span the whole process: campaign, bus,
 	// store feed, seal and the query service all register here, so
@@ -417,6 +437,36 @@ func cmdServe(ctx context.Context, args []string) error {
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
 	ctx = obs.ContextWithTracer(ctx, tracer)
+
+	// Segment mode: the store was sealed and written earlier; mmap the
+	// columnar files and answer from page cache. Hedging and re-sealing
+	// are live-store concepts and do not apply.
+	if *segmentsDir != "" {
+		if *pingsPath != "" || *reseal > 0 || *hedgeFlag {
+			return fmt.Errorf("-segments serves sealed files and cannot be combined with -pings/-traces, -reseal or -hedge")
+		}
+		rd, err := segment.Open(*segmentsDir, segment.Options{Exact: *exactFlag, Obs: reg})
+		if err != nil {
+			return err
+		}
+		defer rd.Close()
+		mode := "segments"
+		if *exactFlag {
+			mode = "segments-exact"
+		}
+		sum := rd.Summary()
+		fmt.Fprintf(os.Stderr, "segments mounted (%s): %d rows in %d shards (%d countries, %d providers)\n",
+			mode, sum.Rows, sum.Shards, sum.Countries, sum.Providers)
+		srv := serve.New(rd, serve.Options{
+			CacheEntries: *cacheEntries, Timeout: *timeout,
+			Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag, StoreMode: mode,
+			Admit: admit.Options{
+				RatePerSec: *quotaRate, Burst: *quotaBurst, MaxInFlight: *maxInflight,
+			},
+		})
+		fmt.Fprintf(os.Stderr, "serving http://%s/v1/{latency-map,cdf,platform-diff,peering-shares,healthz,readyz,statsz,metricsz,tracez} (ctrl-c drains)\n", *addr)
+		return srv.ListenAndServe(ctx, *addr)
+	}
 
 	// Both paths below build the columnar store incrementally through a
 	// store.Feed — no dataset.Store is ever materialized for serving.
@@ -474,7 +524,7 @@ func cmdServe(ctx context.Context, args []string) error {
 
 	srv = serve.New(st, serve.Options{
 		CacheEntries: *cacheEntries, Timeout: *timeout,
-		Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag,
+		Obs: reg, Tracer: tracer, EnablePprof: *pprofFlag, StoreMode: "memory",
 		Admit: admit.Options{
 			RatePerSec: *quotaRate, Burst: *quotaBurst, MaxInFlight: *maxInflight,
 		},

@@ -51,6 +51,11 @@ func TestNoRawTimeObsExemption(t *testing.T) {
 		// Clock and the reaper/heartbeats pace on obs.After — so
 		// neither may ever grow a norawtime exemption.
 		"internal/cluster", "internal/wirecodec",
+		// The mmap-backed segment reader and the quantile sketches are
+		// pure functions of the bytes on disk; if either ever wanted
+		// the clock it would break replayability of figure queries, so
+		// the exemption list must never grow them.
+		"internal/segment", "internal/sketch",
 	} {
 		if got := runAs(rel); len(got) == 0 {
 			t.Errorf("norawtime found nothing in %s; the obs exemption leaked", rel)
@@ -66,7 +71,7 @@ func TestCtxPropagateCoversAdmissionAndLoad(t *testing.T) {
 	scope := DefaultConfig().Scopes[CtxPropagate.Name]
 	for _, rel := range []string{
 		"internal/measure", "internal/serve", "internal/admit",
-		"internal/load", "internal/cluster",
+		"internal/load", "internal/cluster", "internal/segment",
 	} {
 		if !scope.Matches(rel) {
 			t.Errorf("ctxpropagate scope must cover %s", rel)

@@ -7,17 +7,28 @@ import (
 	"strings"
 )
 
-// FrameExhaustive keeps frame-type switches in lockstep with the wire
-// protocol: any switch with a case naming one of wirecodec's Frame*
-// constants must either cover every declared frame type or carry a
-// non-empty default arm that handles the unknown type. The wire format
-// is versioned and append-only — when FrameXxx number five lands, every
-// dispatch that silently ignores unmatched frames corrupts a stream
-// instead of erroring, and no test fails until a mixed-version fleet
-// hits it.
+// frameConstGroups names the append-only tag-constant families the
+// analyzer keeps switches in lockstep with: the wire protocol's Frame*
+// types and the segment format's Block* kinds. Both formats are
+// versioned and append-only, so a dispatch that silently ignores an
+// unmatched tag corrupts a stream (or skips a block) instead of
+// erroring the moment a newer writer meets an older reader.
+var frameConstGroups = map[string]string{
+	"wirecodec": "Frame",
+	"segment":   "Block",
+}
+
+// FrameExhaustive keeps tag-type switches in lockstep with the binary
+// formats: any switch with a case naming one of wirecodec's Frame* or
+// segment's Block* constants must either cover every declared value of
+// that group or carry a non-empty default arm that handles the unknown
+// tag. The formats are versioned and append-only — when tag number five
+// lands, every dispatch that silently ignores unmatched tags corrupts a
+// stream instead of erroring, and no test fails until a mixed-version
+// fleet hits it.
 var FrameExhaustive = &Analyzer{
 	Name: "frameexhaustive",
-	Doc:  "switches over wirecodec frame-type constants must cover every declared type or default to an error path",
+	Doc:  "switches over wirecodec frame-type or segment block-kind constants must cover every declared value or default to an error path",
 	Run: func(pass *Pass) {
 		for _, file := range pass.Files {
 			ast.Inspect(file, func(n ast.Node) bool {
@@ -32,9 +43,10 @@ var FrameExhaustive = &Analyzer{
 	},
 }
 
-// frameConst resolves e to a wirecodec frame-type constant (a
-// package-level const named Frame* in a package named wirecodec).
-func frameConst(pass *Pass, e ast.Expr) *types.Const {
+// frameConst resolves e to a tag constant from one of the registered
+// groups (a package-level const named <prefix>* in a package listed in
+// frameConstGroups) and returns it with its group prefix.
+func frameConst(pass *Pass, e ast.Expr) (*types.Const, string) {
 	var id *ast.Ident
 	switch e := e.(type) {
 	case *ast.Ident:
@@ -42,27 +54,31 @@ func frameConst(pass *Pass, e ast.Expr) *types.Const {
 	case *ast.SelectorExpr:
 		id = e.Sel
 	default:
-		return nil
+		return nil, ""
 	}
 	c, ok := pass.Info.Uses[id].(*types.Const)
-	if !ok || c.Pkg() == nil || c.Pkg().Name() != "wirecodec" {
-		return nil
+	if !ok || c.Pkg() == nil {
+		return nil, ""
 	}
-	if !strings.HasPrefix(c.Name(), "Frame") || len(c.Name()) == len("Frame") {
-		return nil
+	prefix, ok := frameConstGroups[c.Pkg().Name()]
+	if !ok {
+		return nil, ""
 	}
-	return c
+	if !strings.HasPrefix(c.Name(), prefix) || len(c.Name()) == len(prefix) {
+		return nil, ""
+	}
+	return c, prefix
 }
 
-// frameGroup enumerates every Frame* constant in the package that
+// frameGroup enumerates every <prefix>* constant in the package that
 // declared sample, with a type identical to sample's — the full set a
-// frame switch must cover.
-func frameGroup(sample *types.Const) []*types.Const {
+// tag switch must cover.
+func frameGroup(sample *types.Const, prefix string) []*types.Const {
 	scope := sample.Pkg().Scope()
 	var group []*types.Const
 	for _, name := range scope.Names() {
 		c, ok := scope.Lookup(name).(*types.Const)
-		if !ok || !strings.HasPrefix(name, "Frame") || len(name) == len("Frame") {
+		if !ok || !strings.HasPrefix(name, prefix) || len(name) == len(prefix) {
 			continue
 		}
 		if types.Identical(c.Type(), sample.Type()) {
@@ -74,6 +90,7 @@ func frameGroup(sample *types.Const) []*types.Const {
 
 func checkFrameSwitch(pass *Pass, sw *ast.SwitchStmt) {
 	var sample *types.Const
+	var prefix string
 	covered := map[string]bool{}
 	var defaultClause *ast.CaseClause
 	for _, c := range sw.Body.List {
@@ -86,10 +103,10 @@ func checkFrameSwitch(pass *Pass, sw *ast.SwitchStmt) {
 			continue
 		}
 		for _, e := range cc.List {
-			if fc := frameConst(pass, e); fc != nil {
+			if fc, p := frameConst(pass, e); fc != nil {
 				covered[fc.Name()] = true
 				if sample == nil {
-					sample = fc
+					sample, prefix = fc, p
 				}
 			}
 		}
@@ -105,7 +122,7 @@ func checkFrameSwitch(pass *Pass, sw *ast.SwitchStmt) {
 		return
 	}
 	var missing []string
-	for _, c := range frameGroup(sample) {
+	for _, c := range frameGroup(sample, prefix) {
 		if !covered[c.Name()] {
 			missing = append(missing, c.Name())
 		}

@@ -1,11 +1,13 @@
 // Package frameexhaustive is a cloudyvet golden-file fixture. It
-// imports the real repro/internal/wirecodec so the constant-group
-// enumeration runs against the genuine frame-type declarations.
+// imports the real repro/internal/wirecodec and repro/internal/segment
+// so the constant-group enumeration runs against the genuine frame-type
+// and block-kind declarations.
 package frameexhaustive
 
 import (
 	"errors"
 
+	"repro/internal/segment"
 	"repro/internal/wirecodec"
 )
 
@@ -65,5 +67,29 @@ func unrelated(x byte) {
 		handle(x)
 	case 2:
 		handle(x)
+	}
+}
+
+func handleBlock(segment.BlockKind) {}
+
+// The segment format's Block* kinds are a registered group too: a
+// non-empty default arm handles the unknown kind.
+func blockDefault(k segment.BlockKind) error {
+	switch k {
+	case segment.BlockColumn, segment.BlockSketch:
+		handleBlock(k)
+	default:
+		return errUnknownFrame
+	}
+	return nil
+}
+
+// Partial Block* coverage with no default: new block kinds vanish.
+func blockPartial(k segment.BlockKind) {
+	switch k { // want "frame-type switch misses BlockDict, BlockFooter, BlockMeta, BlockPeering and has no default"
+	case segment.BlockColumn:
+		handleBlock(k)
+	case segment.BlockSketch:
+		handleBlock(k)
 	}
 }

@@ -1,0 +1,229 @@
+// Package segment implements the on-disk columnar format for sealed
+// measurement stores. A store (internal/store) serializes into a
+// directory of segment files — one meta file plus one file per shard —
+// and reopens through a read-only mmap so a multi-month campaign
+// serves figure queries straight from page cache without rebuilding
+// in-memory vectors.
+//
+// Every file starts with the "CSEG"+version preamble and then carries
+// length-prefixed frames in the internal/wirecodec shape: uvarint
+// payload length, payload, CRC32-Castagnoli of the payload. A frame's
+// payload is one block — a kind byte followed by the kind-specific
+// body. Shard files end with a footer block indexing every other
+// block (kind, group identity, time partition, row count, cycle and
+// RTT zone maps, offset, length) and a fixed 16-byte tail locating
+// the footer, so a reader maps the file, reads the tail, parses the
+// footer and dictionary, and touches data blocks only when a query
+// needs them; blocks whose zone map misses the query window are
+// pruned without faulting their pages in.
+//
+// Column blocks hold one group's RTT and cycle columns (≤ 4096 rows
+// per block): RTTs as first-value-raw + uvarint float-bit deltas
+// (group vectors are sorted ascending, so bit patterns of positive
+// floats increase monotonically), cycles as zigzag varint deltas —
+// the same primitives internal/wirecodec frames use on the wire.
+// Sketch blocks hold one group×partition t-digest (internal/sketch).
+// The format is deterministic end to end: the same sealed store
+// always writes byte-identical segment files.
+package segment
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/wirecodec"
+)
+
+// Magic begins every segment file, followed by FormatVersion.
+const Magic = "CSEG"
+
+// FormatVersion is the format generation; readers reject others.
+const FormatVersion = 1
+
+// tailMagic ends a shard file; the 16-byte tail is
+// [8B footer offset LE][4B CRC32C of those 8 bytes][tailMagic].
+const tailMagic = "GESC"
+
+const tailSize = 16
+
+// MaxBlockRows caps one column block so a straddled window filters at
+// block granularity and a point query decodes at most this many rows
+// per block touched.
+const MaxBlockRows = 4096
+
+// maxDictStrings and maxDictStringLen bound dictionary parsing against
+// hostile footers.
+const (
+	maxDictStrings   = 1 << 20
+	maxDictStringLen = 1 << 16
+)
+
+// BlockKind tags a frame payload. The constant group is exhaustively
+// switched by readers; the cloudyvet frameexhaustive analyzer enforces
+// that every switch over BlockKind either covers all kinds or handles
+// the rest in a non-empty default.
+type BlockKind uint8
+
+const (
+	// BlockMeta carries the store-level metadata (shard/partition/cycle
+	// counts, partition windows, per-shard summary moments).
+	BlockMeta BlockKind = 1 + iota
+	// BlockDict carries a shard's string dictionary (platforms and
+	// group names), id-ordered, ids 1-based.
+	BlockDict
+	// BlockColumn carries one slice of a group's RTT+cycle columns.
+	BlockColumn
+	// BlockSketch carries one group×partition quantile sketch.
+	BlockSketch
+	// BlockPeering carries one partition's interconnection tallies.
+	BlockPeering
+	// BlockFooter carries a shard file's block index and zone maps.
+	BlockFooter
+)
+
+// String names the kind for diagnostics.
+func (k BlockKind) String() string {
+	switch k {
+	case BlockMeta:
+		return "meta"
+	case BlockDict:
+		return "dict"
+	case BlockColumn:
+		return "column"
+	case BlockSketch:
+		return "sketch"
+	case BlockPeering:
+		return "peering"
+	case BlockFooter:
+		return "footer"
+	default:
+		return fmt.Sprintf("BlockKind(%d)", uint8(k))
+	}
+}
+
+// Format errors. All corruption detected while parsing or decoding
+// wraps ErrCorrupt; the specific sentinels let tests and the fuzz
+// harness distinguish failure classes.
+var (
+	ErrCorrupt   = errors.New("segment: corrupt")
+	ErrMagic     = fmt.Errorf("%w: bad magic", ErrCorrupt)
+	ErrVersion   = fmt.Errorf("%w: unsupported version", ErrCorrupt)
+	ErrCRC       = fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	ErrTruncated = fmt.Errorf("%w: truncated", ErrCorrupt)
+	// ErrZoneMap marks a block whose decoded rows contradict the
+	// footer's zone map — the footer promised a cycle or RTT range the
+	// data escapes, so pruning decisions based on it would be wrong.
+	ErrZoneMap = fmt.Errorf("%w: zone map contradicts block data", ErrCorrupt)
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+func crc32Of(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// appendFrame appends one framed block: uvarint payload length,
+// payload (kind byte + body), CRC32C of the payload.
+func appendFrame(dst []byte, kind BlockKind, body []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(body))+1)
+	dst = append(dst, byte(kind))
+	dst = append(dst, body...)
+	crc := crc32.Update(0, castagnoli, dst[len(dst)-len(body)-1:])
+	return binary.LittleEndian.AppendUint32(dst, crc)
+}
+
+// frameAt reads the framed block starting at off, verifying bounds and
+// CRC, and returns the kind, the body, and the offset one past the
+// frame.
+func frameAt(data []byte, off int) (BlockKind, []byte, int, error) {
+	if off < 0 || off >= len(data) {
+		return 0, nil, 0, fmt.Errorf("%w: frame offset %d out of range", ErrTruncated, off)
+	}
+	length, n := binary.Uvarint(data[off:])
+	if n <= 0 {
+		return 0, nil, 0, fmt.Errorf("%w: frame length varint", ErrTruncated)
+	}
+	if length == 0 || length > wirecodec.MaxFrame {
+		return 0, nil, 0, fmt.Errorf("%w: frame length %d", ErrCorrupt, length)
+	}
+	start := off + n
+	end := start + int(length)
+	if end+4 > len(data) || end < start {
+		return 0, nil, 0, fmt.Errorf("%w: frame body", ErrTruncated)
+	}
+	payload := data[start:end]
+	want := binary.LittleEndian.Uint32(data[end:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		return 0, nil, 0, ErrCRC
+	}
+	return BlockKind(payload[0]), payload[1:], end + 4, nil
+}
+
+// checkPreamble validates the file preamble and returns the offset of
+// the first frame.
+func checkPreamble(data []byte) (int, error) {
+	if len(data) < len(Magic)+1 {
+		return 0, ErrTruncated
+	}
+	if string(data[:len(Magic)]) != Magic {
+		return 0, ErrMagic
+	}
+	if data[len(Magic)] != FormatVersion {
+		return 0, fmt.Errorf("%w: %d", ErrVersion, data[len(Magic)])
+	}
+	return len(Magic) + 1, nil
+}
+
+// readUvarint consumes one uvarint from b.
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: varint", ErrTruncated)
+	}
+	return v, b[n:], nil
+}
+
+// readZigzag consumes one zigzag-coded signed varint from b.
+func readZigzag(b []byte) (int64, []byte, error) {
+	u, rest, err := readUvarint(b)
+	if err != nil {
+		return 0, nil, err
+	}
+	return wirecodec.Unzigzag(u), rest, nil
+}
+
+// readString consumes one length-prefixed string from b.
+func readString(b []byte) (string, []byte, error) {
+	n, rest, err := readUvarint(b)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxDictStringLen {
+		return "", nil, fmt.Errorf("%w: string length %d", ErrCorrupt, n)
+	}
+	if uint64(len(rest)) < n {
+		return "", nil, fmt.Errorf("%w: string body", ErrTruncated)
+	}
+	return string(rest[:n]), rest[n:], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendZigzag(dst []byte, v int64) []byte {
+	return binary.AppendUvarint(dst, wirecodec.Zigzag(v))
+}
+
+func readFloatBits(b []byte) (float64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("%w: float bits", ErrTruncated)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b)), b[8:], nil
+}
+
+func appendFloatBits(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}

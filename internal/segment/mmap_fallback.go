@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapFile reads the whole file on platforms without mmap support; the
+// reader behaves identically, just without the page-cache laziness.
+func mapFile(path string) ([]byte, func() error, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

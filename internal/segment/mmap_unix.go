@@ -1,0 +1,35 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile memory-maps path read-only. The returned close function
+// unmaps; the file descriptor is closed immediately (the mapping keeps
+// the pages alive). Serving from the mapping means a query's working
+// set is whatever blocks it touches — the kernel pages them in on
+// demand and can evict them under pressure, so resident memory stays
+// flat as the store grows.
+func mapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	info, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, func() error { return nil }, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

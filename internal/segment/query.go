@@ -1,0 +1,517 @@
+package segment
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/geo"
+	"repro/internal/pipeline"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// The Reader serves the same figure-query surface as *store.Store
+// (the serve.Querier contract). Two paths exist:
+//
+// Exact: decode the column blocks the window and zone maps fail to
+// prune, filter straddled blocks row by row, and merge each group's
+// sorted vectors — the reconstructed per-group vectors carry exactly
+// the sealed store's multisets, so every figure function receives
+// bit-identical input and returns bit-identical output.
+//
+// Sketch (default, unless Options.Exact): merge each group's
+// per-shard, per-partition t-digests in canonical order (shard
+// ascending, partition ascending) and answer quantile-shaped figures
+// from the merged digest. Valid only when the query window is
+// partition-aligned — every non-empty partition overlapping the
+// window must be fully inside it — otherwise rows would need
+// cycle-level filtering that a sketch cannot do, and the query falls
+// back to the exact path.
+
+// Summary returns the reconstructed store summary; bit-identical to
+// the sealed store's.
+func (r *Reader) Summary() store.Summary { return r.summary }
+
+// gatherExact reconstructs the per-name merged sorted vectors for one
+// dimension×platform inside the window — the segment counterpart of
+// the store's shard fan-out.
+func (r *Reader) gatherExact(dim store.Dim, platform string, w store.Window) map[string][]float64 {
+	parts := map[string][][]float64{}
+	for _, ss := range r.shards {
+		for _, k := range ss.keys {
+			if k.dim != dim || k.platform != platform {
+				continue
+			}
+			for _, vec := range r.groupVectors(ss, ss.groups[k], w) {
+				parts[k.name] = append(parts[k.name], vec)
+			}
+		}
+	}
+	out := make(map[string][]float64, len(parts))
+	for name, vecs := range parts {
+		if merged := mergeSorted(vecs); len(merged) > 0 {
+			out[name] = merged
+		}
+	}
+	return out
+}
+
+// groupVectors decodes one group's window-surviving column blocks into
+// per-partition sorted vectors.
+func (r *Reader) groupVectors(ss *shardSeg, g *groupBlocks, w store.Window) [][]float64 {
+	var out [][]float64
+	var cur []float64
+	curPart := -1
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+	for _, e := range g.cols {
+		pz := ss.parts[e.part]
+		if pz.rows == 0 || !w.Overlaps(pz.minCycle, pz.maxCycle) {
+			r.mPruned.Inc()
+			continue
+		}
+		covered := w.Contains(pz.minCycle) && w.Contains(pz.maxCycle)
+		if !covered && !w.Overlaps(e.minCycle, e.maxCycle) {
+			r.mPruned.Inc()
+			continue
+		}
+		if e.part != curPart {
+			flush()
+			curPart = e.part
+		}
+		if covered || (w.Contains(e.minCycle) && w.Contains(e.maxCycle)) {
+			rtt, _, err := r.readColumnCounted(ss, e)
+			if err != nil {
+				continue
+			}
+			cur = append(cur, rtt...)
+			continue
+		}
+		rtt, cycle, err := r.readColumnCounted(ss, e)
+		if err != nil {
+			continue
+		}
+		for i, c := range cycle {
+			if w.Contains(int(c)) {
+				cur = append(cur, rtt[i])
+			}
+		}
+	}
+	flush()
+	return out
+}
+
+// readColumnCounted is readColumn plus instrumentation: reads and
+// decode failures count on the shared registry. A failed block is
+// skipped by queries — corruption surfaces through
+// segment_block_errors_total rather than a partial panic.
+func (r *Reader) readColumnCounted(ss *shardSeg, e entry) ([]float64, []int32, error) {
+	rtt, cycle, err := ss.readColumn(e)
+	if err != nil {
+		r.mBlockErrs.Inc()
+		return nil, nil, err
+	}
+	r.mRead.Inc()
+	return rtt, cycle, nil
+}
+
+// mergeSorted merges ascending vectors into one ascending vector. The
+// output depends only on the combined multiset, which is exactly the
+// bit-identity contract the figure functions need.
+func mergeSorted(vecs [][]float64) []float64 {
+	switch len(vecs) {
+	case 0:
+		return nil
+	case 1:
+		return vecs[0]
+	}
+	total := 0
+	for _, v := range vecs {
+		total += len(v)
+	}
+	out := make([]float64, 0, total)
+	for _, v := range vecs {
+		out = append(out, v...)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// sketchView merges each group's sketches across shards and
+// partitions in canonical order. ok is false when the window is not
+// partition-aligned (some overlapping partition is only partially
+// inside it) — the caller must fall back to the exact path.
+func (r *Reader) sketchView(dim store.Dim, platform string, w store.Window) (map[string]*sketch.Sketch, bool) {
+	for _, ss := range r.shards {
+		for _, pz := range ss.parts {
+			if pz.rows == 0 || !w.Overlaps(pz.minCycle, pz.maxCycle) {
+				continue
+			}
+			if !w.Contains(pz.minCycle) || !w.Contains(pz.maxCycle) {
+				return nil, false
+			}
+		}
+	}
+	out := map[string]*sketch.Sketch{}
+	for _, ss := range r.shards {
+		for _, k := range ss.keys {
+			if k.dim != dim || k.platform != platform {
+				continue
+			}
+			r.mergeGroupSketches(ss, ss.groups[k], w, k.name, out)
+		}
+	}
+	return out, true
+}
+
+func (r *Reader) mergeGroupSketches(ss *shardSeg, g *groupBlocks, w store.Window, name string, out map[string]*sketch.Sketch) {
+	for _, e := range g.sketches {
+		pz := ss.parts[e.part]
+		if pz.rows == 0 || !w.Overlaps(pz.minCycle, pz.maxCycle) {
+			r.mPruned.Inc()
+			continue
+		}
+		sk, err := ss.readSketch(e)
+		if err != nil {
+			r.mBlockErrs.Inc()
+			continue
+		}
+		r.mRead.Inc()
+		if dst, ok := out[name]; ok {
+			dst.Merge(sk)
+			r.mSketches.Inc()
+		} else {
+			out[name] = sk
+		}
+	}
+}
+
+// GroupQuantiles answers a single group's quantiles from its merged
+// sketch — the point query the segment bench exercises. It returns
+// ok=false when the window is not partition-aligned or the group has
+// no samples in it; callers then use the exact path.
+func (r *Reader) GroupQuantiles(dim store.Dim, platform, name string, w store.Window, qs ...float64) ([]float64, uint64, bool) {
+	for _, ss := range r.shards {
+		for _, pz := range ss.parts {
+			if pz.rows == 0 || !w.Overlaps(pz.minCycle, pz.maxCycle) {
+				continue
+			}
+			if !w.Contains(pz.minCycle) || !w.Contains(pz.maxCycle) {
+				return nil, 0, false
+			}
+		}
+	}
+	merged := map[string]*sketch.Sketch{}
+	key := qkey{dim: dim, platform: platform, name: name}
+	for _, ss := range r.shards {
+		if g, ok := ss.groups[key]; ok {
+			r.mergeGroupSketches(ss, g, w, name, merged)
+		}
+	}
+	sk := merged[name]
+	if sk == nil || sk.Count() == 0 {
+		return nil, 0, false
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = sk.Quantile(q)
+	}
+	return out, sk.Count(), true
+}
+
+// LatencyMap answers the Figure 3 query.
+func (r *Reader) LatencyMap(minSamples int) []analysis.CountryLatency {
+	return r.LatencyMapWindow(minSamples, store.Window{})
+}
+
+// LatencyMapWindow is LatencyMap restricted to a cycle window.
+func (r *Reader) LatencyMapWindow(minSamples int, w store.Window) []analysis.CountryLatency {
+	if !r.exact {
+		if sks, ok := r.sketchView(store.DimCountry, "speedchecker", w); ok {
+			return latencyMapFromSketches(sks, minSamples)
+		}
+	}
+	return analysis.LatencyMapFrom(r.gatherExact(store.DimCountry, "speedchecker", w), minSamples)
+}
+
+// latencyMapFromSketches approximates the Figure 3 entries from merged
+// country sketches: the median from the digest, the 95% CI from the
+// notched-boxplot approximation ±1.57·IQR/√n (McGill et al.), in place
+// of the exact path's percentile bootstrap.
+func latencyMapFromSketches(sks map[string]*sketch.Sketch, minSamples int) []analysis.CountryLatency {
+	names := make([]string, 0, len(sks))
+	for cc := range sks {
+		names = append(names, cc)
+	}
+	sort.Strings(names)
+	var out []analysis.CountryLatency
+	for _, cc := range names {
+		sk := sks[cc]
+		n := int(sk.Count())
+		if n == 0 || n < minSamples {
+			continue
+		}
+		c, ok := geo.CountryByCode(cc)
+		if !ok {
+			continue
+		}
+		med := sk.Quantile(0.5)
+		iqr := sk.Quantile(0.75) - sk.Quantile(0.25)
+		half := 1.57 * iqr / math.Sqrt(float64(n))
+		out = append(out, analysis.CountryLatency{
+			Country: cc, Continent: c.Continent,
+			MedianMs: med, CILowMs: med - half, CIHighMs: med + half,
+			Band: analysis.BandOf(med), Samples: n,
+		})
+	}
+	return out
+}
+
+// ContinentCDFs answers the Figure 4 query for one platform.
+func (r *Reader) ContinentCDFs(platform string) []analysis.ContinentDistribution {
+	return r.ContinentCDFsWindow(platform, store.Window{})
+}
+
+// sketchCDFPoints is the quantile-grid resolution used to materialize
+// a CDF curve from a merged sketch.
+const sketchCDFPoints = 1024
+
+// ContinentCDFsWindow is ContinentCDFs restricted to a cycle window.
+func (r *Reader) ContinentCDFsWindow(platform string, w store.Window) []analysis.ContinentDistribution {
+	if !r.exact {
+		if sks, ok := r.sketchView(store.DimContinent, platform, w); ok {
+			return continentCDFsFromSketches(sks)
+		}
+	}
+	byName := r.gatherExact(store.DimContinent, platform, w)
+	byCont := make(map[geo.Continent][]float64, len(byName))
+	for name, xs := range byName {
+		cont, err := geo.ParseContinent(name)
+		if err != nil {
+			continue
+		}
+		byCont[cont] = xs
+	}
+	return analysis.ContinentDistributionsFrom(byCont)
+}
+
+// continentCDFsFromSketches materializes each continent's CDF from a
+// dense quantile grid over the merged digest; threshold fractions come
+// straight from the digest's CDF.
+func continentCDFsFromSketches(sks map[string]*sketch.Sketch) []analysis.ContinentDistribution {
+	var out []analysis.ContinentDistribution
+	for _, cont := range geo.Continents() {
+		sk := sks[cont.String()]
+		if sk == nil || sk.Count() == 0 {
+			continue
+		}
+		grid := make([]float64, sketchCDFPoints)
+		for i := range grid {
+			grid[i] = sk.Quantile((float64(i) + 0.5) / sketchCDFPoints)
+		}
+		cdf, err := stats.CDFFromSorted(grid)
+		if err != nil {
+			continue
+		}
+		out = append(out, analysis.ContinentDistribution{
+			Continent: cont, CDF: cdf,
+			UnderMTP: sk.CDF(analysis.MTPms),
+			UnderHPL: sk.CDF(analysis.HPLms),
+			UnderHRT: sk.CDF(analysis.HRTms),
+			N:        int(sk.Count()),
+		})
+	}
+	return out
+}
+
+// PlatformDiff answers the Figure 5 query.
+func (r *Reader) PlatformDiff() []analysis.PlatformDiff {
+	return r.PlatformDiffWindow(store.Window{})
+}
+
+// PlatformDiffWindow is PlatformDiff restricted to a cycle window.
+func (r *Reader) PlatformDiffWindow(w store.Window) []analysis.PlatformDiff {
+	if !r.exact {
+		sc, ok1 := r.sketchView(store.DimContinent, "speedchecker", w)
+		at, ok2 := r.sketchView(store.DimContinent, "atlas", w)
+		if ok1 && ok2 {
+			return platformDiffFromSketches(sc, at)
+		}
+	}
+	toCont := func(byName map[string][]float64) map[geo.Continent][]float64 {
+		out := make(map[geo.Continent][]float64, len(byName))
+		for name, xs := range byName {
+			cont, err := geo.ParseContinent(name)
+			if err != nil {
+				continue
+			}
+			out[cont] = xs
+		}
+		return out
+	}
+	return analysis.PlatformComparisonFrom(
+		toCont(r.gatherExact(store.DimContinent, "speedchecker", w)),
+		toCont(r.gatherExact(store.DimContinent, "atlas", w)))
+}
+
+// platformDiffFromSketches matches the two platforms' distributions
+// percentile by percentile on the 1st..99th grid, like the exact path,
+// with quantiles from the merged digests.
+func platformDiffFromSketches(sc, at map[string]*sketch.Sketch) []analysis.PlatformDiff {
+	var out []analysis.PlatformDiff
+	for _, cont := range geo.Continents() {
+		a, b := sc[cont.String()], at[cont.String()]
+		if a == nil || b == nil || a.Count() == 0 || b.Count() == 0 {
+			continue
+		}
+		d := analysis.PlatformDiff{Continent: cont, NSC: int(a.Count()), NAtlas: int(b.Count())}
+		atlasFaster := 0
+		for p := 1; p <= 99; p++ {
+			q := float64(p) / 100
+			diff := a.Quantile(q) - b.Quantile(q)
+			d.Diffs = append(d.Diffs, diff)
+			if diff > 0 {
+				atlasFaster++
+			}
+		}
+		d.AtlasFasterShare = float64(atlasFaster) / 99
+		out = append(out, d)
+	}
+	return out
+}
+
+// PeeringShares answers the Figure 10 query; tallies live in the meta
+// file, so both modes answer exactly.
+func (r *Reader) PeeringShares() []analysis.InterconnectShare {
+	return r.PeeringSharesWindow(store.Window{})
+}
+
+// PeeringSharesWindow is PeeringShares restricted to a cycle window,
+// with the store's partition-granularity semantics.
+func (r *Reader) PeeringSharesWindow(w store.Window) []analysis.InterconnectShare {
+	merged := map[string]map[pipeline.Class]int{}
+	for i, part := range r.meta.peering {
+		if !r.meta.windows[i].OverlapsWindow(w) {
+			continue
+		}
+		for prov, classes := range part {
+			dst := merged[prov]
+			if dst == nil {
+				dst = map[pipeline.Class]int{}
+				merged[prov] = dst
+			}
+			for cl, n := range classes {
+				dst[cl] += n
+			}
+		}
+	}
+	return analysis.InterconnectionsFromCounts(merged)
+}
+
+// Changepoint ranks country×provider pairs by the RTT shift around
+// cycle `at`, with Store.Changepoint's window semantics.
+func (r *Reader) Changepoint(platform string, at, width int) []store.ChangepointEntry {
+	before := store.Window{To: at}
+	after := store.Window{From: at}
+	if width > 0 {
+		if f := at - width; f > 0 {
+			before.From = f
+		}
+		after.To = at + width
+	}
+	if !r.exact {
+		pre, ok1 := r.sketchView(store.DimPair, platform, before)
+		post, ok2 := r.sketchView(store.DimPair, platform, after)
+		if ok1 && ok2 {
+			return changepointFromSketches(pre, post)
+		}
+	}
+	return store.ChangepointFrom(
+		r.gatherExact(store.DimPair, platform, before),
+		r.gatherExact(store.DimPair, platform, after))
+}
+
+// sketchShiftPoints is the quantile-grid resolution for the
+// Mann-Whitney AUC approximation.
+const sketchShiftPoints = 201
+
+// sketchShift approximates MannWhitneyShift — P(after > before) +
+// ½P(=) — as the mean of F_before over a quantile grid of the after
+// digest (the continuous-distribution identity E_y[F_before(y)]).
+func sketchShift(pre, post *sketch.Sketch) float64 {
+	var sum float64
+	for i := 0; i < sketchShiftPoints; i++ {
+		y := post.Quantile((float64(i) + 0.5) / sketchShiftPoints)
+		sum += pre.CDF(y)
+	}
+	return sum / sketchShiftPoints
+}
+
+// changepointFromSketches scores the pairs from merged digests,
+// mirroring store.ChangepointFrom's entry construction and ordering.
+func changepointFromSketches(pre, post map[string]*sketch.Sketch) []store.ChangepointEntry {
+	names := make(map[string]struct{}, len(pre)+len(post))
+	for n := range pre {
+		names[n] = struct{}{}
+	}
+	for n := range post {
+		names[n] = struct{}{}
+	}
+	out := make([]store.ChangepointEntry, 0, len(names))
+	for n := range names {
+		country, provider := store.SplitPair(n)
+		var nb, na int
+		if sk := pre[n]; sk != nil {
+			nb = int(sk.Count())
+		}
+		if sk := post[n]; sk != nil {
+			na = int(sk.Count())
+		}
+		e := store.ChangepointEntry{Country: country, Provider: provider,
+			NBefore: nb, NAfter: na, Shift: 0.5}
+		switch {
+		case nb == 0 && na == 0:
+			continue
+		case nb == 0:
+			e.Status = "appeared"
+			e.MedianAfterMs = post[n].Quantile(0.5)
+		case na == 0:
+			e.Status = "disappeared"
+			e.MedianBeforeMs = pre[n].Quantile(0.5)
+		default:
+			e.MedianBeforeMs = pre[n].Quantile(0.5)
+			e.MedianAfterMs = post[n].Quantile(0.5)
+			e.DeltaMs = e.MedianAfterMs - e.MedianBeforeMs
+			e.Shift = sketchShift(pre[n], post[n])
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if (a.Status == "") != (b.Status == "") {
+			return a.Status == "" // scored pairs first
+		}
+		if a.Status != b.Status {
+			return a.Status < b.Status // "appeared" before "disappeared"
+		}
+		//lint:ignore floateq ordering comparator: exactly-equal scores fall through to the next tie-break
+		if a.Shift != b.Shift {
+			return a.Shift > b.Shift
+		}
+		//lint:ignore floateq ordering comparator: exactly-equal deltas fall through to the next tie-break
+		if a.DeltaMs != b.DeltaMs {
+			return a.DeltaMs > b.DeltaMs
+		}
+		if a.Country != b.Country {
+			return a.Country < b.Country
+		}
+		return a.Provider < b.Provider
+	})
+	return out
+}

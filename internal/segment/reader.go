@@ -1,0 +1,790 @@
+package segment
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+	"repro/internal/store"
+)
+
+// Options configures a segment reader.
+type Options struct {
+	// Exact forces every figure query down the exact column-decode
+	// path; by default queries answer from the merged quantile
+	// sketches whenever the query window is partition-aligned.
+	Exact bool
+	// Obs registers the reader's instruments: open/read/prune/merge
+	// counters and the mapped-bytes gauge. Nil runs uninstrumented.
+	Obs *obs.Registry
+}
+
+// Reader serves figure queries from a written segment directory. The
+// shard files stay memory-mapped read-only; queries fault in only the
+// blocks their window and zone maps fail to prune. A Reader is safe
+// for concurrent use — all state after Open is immutable except the
+// obs instruments.
+type Reader struct {
+	meta    fileMeta
+	shards  []*shardSeg
+	summary store.Summary
+	exact   bool
+
+	mOpen      *obs.Counter
+	mPruned    *obs.Counter
+	mRead      *obs.Counter
+	mSketches  *obs.Counter
+	mBlockErrs *obs.Counter
+	mOpenBytes *obs.Gauge
+}
+
+// fileMeta is the parsed meta.cseg: the store shape plus per-shard
+// summary inputs and the peering tallies.
+type fileMeta struct {
+	shards     int
+	partitions int
+	cycles     int
+	rows       int
+	windows    []store.Window
+	shardMeta  []shardMeta
+	peering    []map[string]map[pipeline.Class]int
+}
+
+type shardMeta struct {
+	rows         int
+	welfordN     int
+	welfordMean  float64
+	welfordM2    float64
+	welfordMin   float64
+	welfordMax   float64
+	providers    []string
+	platformRows map[string]int
+}
+
+// qkey addresses one group's blocks inside a shard.
+type qkey struct {
+	dim      store.Dim
+	platform string
+	name     string
+}
+
+// groupBlocks are one group's footer entries, split by kind, each
+// sorted by (partition, offset).
+type groupBlocks struct {
+	cols     []entry
+	sketches []entry
+}
+
+// shardSeg is one mapped shard file.
+type shardSeg struct {
+	data    []byte
+	close   func() error
+	dict    []string
+	parts   []partZone
+	groups  map[qkey]*groupBlocks
+	keys    []qkey // sorted; deterministic iteration order
+	entries []entry
+}
+
+// Open maps the segment directory written by Write and returns a
+// reader serving the store.Querier surface. Footers, dictionaries and
+// zone maps parse eagerly (they are the query index); column and
+// sketch blocks decode lazily per query.
+func Open(dir string, opts Options) (*Reader, error) {
+	r := &Reader{
+		exact:      opts.Exact,
+		mOpen:      opts.Obs.Counter("segment_open_total"),
+		mPruned:    opts.Obs.Counter("segment_blocks_pruned_total"),
+		mRead:      opts.Obs.Counter("segment_blocks_read_total"),
+		mSketches:  opts.Obs.Counter("segment_sketch_merges_total"),
+		mBlockErrs: opts.Obs.Counter("segment_block_errors_total"),
+		mOpenBytes: opts.Obs.Gauge("segment_open_bytes"),
+	}
+	metaRaw, err := os.ReadFile(filepath.Join(dir, MetaFile))
+	if err != nil {
+		return nil, err
+	}
+	r.meta, err = parseMeta(metaRaw)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", MetaFile, err)
+	}
+	for i := 0; i < r.meta.shards; i++ {
+		data, closeFn, err := mapFile(filepath.Join(dir, ShardFile(i)))
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		ss, perr := parseShard(data)
+		if perr != nil {
+			closeFn()
+			r.Close()
+			return nil, fmt.Errorf("%s: %w", ShardFile(i), perr)
+		}
+		ss.close = closeFn
+		if len(ss.parts) != r.meta.partitions {
+			closeFn()
+			r.Close()
+			return nil, fmt.Errorf("%w: shard %d has %d partitions, meta says %d",
+				ErrCorrupt, i, len(ss.parts), r.meta.partitions)
+		}
+		r.shards = append(r.shards, ss)
+		r.mOpen.Inc()
+		r.mOpenBytes.Add(int64(len(data)))
+	}
+	if len(r.meta.shardMeta) != len(r.shards) {
+		r.Close()
+		return nil, fmt.Errorf("%w: meta describes %d shards, found %d files",
+			ErrCorrupt, len(r.meta.shardMeta), len(r.shards))
+	}
+	r.summary = r.buildSummary()
+	return r, nil
+}
+
+// Close unmaps every shard file. The Reader must not be used after.
+func (r *Reader) Close() error {
+	var first error
+	for _, ss := range r.shards {
+		r.mOpenBytes.Add(-int64(len(ss.data)))
+		if ss.close != nil {
+			if err := ss.close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	r.shards = nil
+	return first
+}
+
+// buildSummary reconstructs the sealed store's summary from the meta
+// file and the shard indexes, replaying the same shard-order Welford
+// merge the store performs at seal — the result is bit-identical to
+// the original store.Summary().
+func (r *Reader) buildSummary() store.Summary {
+	sum := store.Summary{
+		Shards:     r.meta.shards,
+		Partitions: r.meta.partitions,
+		Cycles:     r.meta.cycles,
+		Platforms:  map[string]int{},
+	}
+	countries := map[string]struct{}{}
+	providers := map[string]struct{}{}
+	var rtt stats.Welford
+	for i, sm := range r.meta.shardMeta {
+		sum.Rows += sm.rows
+		if sm.rows < sum.MinShardRows || i == 0 {
+			sum.MinShardRows = sm.rows
+		}
+		if sm.rows > sum.MaxShardRows {
+			sum.MaxShardRows = sm.rows
+		}
+		for _, k := range r.shards[i].keys {
+			if k.dim == store.DimCountry {
+				countries[k.name] = struct{}{}
+			}
+		}
+		for _, p := range sm.providers {
+			providers[p] = struct{}{}
+		}
+		for plat, n := range sm.platformRows {
+			sum.Platforms[plat] += n
+		}
+		w := stats.WelfordFromMoments(sm.welfordN, sm.welfordMean, sm.welfordM2, sm.welfordMin, sm.welfordMax)
+		rtt.Merge(&w)
+	}
+	sum.Countries = len(countries)
+	sum.Providers = len(providers)
+	sum.RTTMeanMs = rtt.Mean()
+	sum.RTTMinMs = rtt.Min()
+	sum.RTTMaxMs = rtt.Max()
+	return sum
+}
+
+// parseMeta parses a meta.cseg image.
+func parseMeta(data []byte) (fileMeta, error) {
+	var m fileMeta
+	off, err := checkPreamble(data)
+	if err != nil {
+		return m, err
+	}
+	kind, body, next, err := frameAt(data, off)
+	if err != nil {
+		return m, err
+	}
+	if kind != BlockMeta {
+		return m, fmt.Errorf("%w: first block is %v, want meta", ErrCorrupt, kind)
+	}
+	if err := m.parseMetaBlock(body); err != nil {
+		return m, err
+	}
+	m.peering = make([]map[string]map[pipeline.Class]int, m.partitions)
+	for i := range m.peering {
+		m.peering[i] = map[string]map[pipeline.Class]int{}
+	}
+	for next < len(data) {
+		kind, body, n, err := frameAt(data, next)
+		if err != nil {
+			return m, err
+		}
+		next = n
+		switch kind {
+		case BlockPeering:
+			if err := m.parsePeeringBlock(body); err != nil {
+				return m, err
+			}
+		case BlockMeta, BlockDict, BlockColumn, BlockSketch, BlockFooter:
+			return m, fmt.Errorf("%w: unexpected %v block in meta file", ErrCorrupt, kind)
+		default:
+			return m, fmt.Errorf("%w: unknown block kind %v", ErrCorrupt, kind)
+		}
+	}
+	return m, nil
+}
+
+// maxShape bounds the declared store shape against hostile meta files.
+const maxShape = 1 << 20
+
+func (m *fileMeta) parseMetaBlock(b []byte) error {
+	var err error
+	var shards, parts, cycles, rows uint64
+	if shards, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if parts, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if cycles, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if rows, b, err = readUvarint(b); err != nil {
+		return err
+	}
+	if shards > maxShape || parts > maxShape || shards == 0 || parts == 0 {
+		return fmt.Errorf("%w: shape %d shards × %d partitions", ErrCorrupt, shards, parts)
+	}
+	m.shards, m.partitions, m.cycles, m.rows = int(shards), int(parts), int(cycles), int(rows)
+	m.windows = make([]store.Window, m.partitions)
+	for i := range m.windows {
+		var from, to int64
+		if from, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		if to, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		m.windows[i] = store.Window{From: int(from), To: int(to)}
+	}
+	m.shardMeta = make([]shardMeta, m.shards)
+	for i := range m.shardMeta {
+		sm := &m.shardMeta[i]
+		var v uint64
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		sm.rows = int(v)
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		sm.welfordN = int(v)
+		if sm.welfordMean, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		if sm.welfordM2, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		if sm.welfordMin, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		if sm.welfordMax, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		var nprov uint64
+		if nprov, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if nprov > maxDictStrings {
+			return fmt.Errorf("%w: %d providers", ErrCorrupt, nprov)
+		}
+		for j := uint64(0); j < nprov; j++ {
+			var s string
+			if s, b, err = readString(b); err != nil {
+				return err
+			}
+			sm.providers = append(sm.providers, s)
+		}
+		var nplat uint64
+		if nplat, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if nplat > maxDictStrings {
+			return fmt.Errorf("%w: %d platforms", ErrCorrupt, nplat)
+		}
+		sm.platformRows = make(map[string]int, nplat)
+		for j := uint64(0); j < nplat; j++ {
+			var s string
+			if s, b, err = readString(b); err != nil {
+				return err
+			}
+			if v, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			sm.platformRows[s] = int(v)
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in meta block", ErrCorrupt, len(b))
+	}
+	return nil
+}
+
+func (m *fileMeta) parsePeeringBlock(b []byte) error {
+	part, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if part >= uint64(m.partitions) {
+		return fmt.Errorf("%w: peering partition %d of %d", ErrCorrupt, part, m.partitions)
+	}
+	nprov, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if nprov > maxDictStrings {
+		return fmt.Errorf("%w: %d peering providers", ErrCorrupt, nprov)
+	}
+	dst := m.peering[part]
+	for i := uint64(0); i < nprov; i++ {
+		var prov string
+		if prov, b, err = readString(b); err != nil {
+			return err
+		}
+		var ncl uint64
+		if ncl, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if ncl > 256 {
+			return fmt.Errorf("%w: %d peering classes", ErrCorrupt, ncl)
+		}
+		classes := map[pipeline.Class]int{}
+		for j := uint64(0); j < ncl; j++ {
+			var cl, n uint64
+			if cl, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if n, b, err = readUvarint(b); err != nil {
+				return err
+			}
+			if cl > 255 {
+				return fmt.Errorf("%w: peering class %d", ErrCorrupt, cl)
+			}
+			classes[pipeline.Class(cl)] += int(n)
+		}
+		for cl, n := range classes {
+			cur := dst[prov]
+			if cur == nil {
+				cur = map[pipeline.Class]int{}
+				dst[prov] = cur
+			}
+			cur[cl] += n
+		}
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in peering block", ErrCorrupt, len(b))
+	}
+	return nil
+}
+
+// parseShard parses a shard file image: preamble, tail, footer and
+// dictionary, building the per-group block index. Column and sketch
+// block payloads are left untouched for lazy decoding.
+func parseShard(data []byte) (*shardSeg, error) {
+	if _, err := checkPreamble(data); err != nil {
+		return nil, err
+	}
+	if len(data) < tailSize {
+		return nil, ErrTruncated
+	}
+	tail := data[len(data)-tailSize:]
+	if string(tail[12:]) != tailMagic {
+		return nil, fmt.Errorf("%w: tail magic", ErrMagic)
+	}
+	if crc32Of(tail[:8]) != leUint32(tail[8:12]) {
+		return nil, fmt.Errorf("%w: tail", ErrCRC)
+	}
+	footerOff := leUint64(tail[:8])
+	if footerOff > uint64(len(data)-tailSize) {
+		return nil, fmt.Errorf("%w: footer offset %d", ErrTruncated, footerOff)
+	}
+	kind, body, _, err := frameAt(data[:len(data)-tailSize], int(footerOff))
+	if err != nil {
+		return nil, fmt.Errorf("footer: %w", err)
+	}
+	if kind != BlockFooter {
+		return nil, fmt.Errorf("%w: block at footer offset is %v", ErrCorrupt, kind)
+	}
+	ss := &shardSeg{data: data}
+	if err := ss.parseFooter(body, int(footerOff)); err != nil {
+		return nil, err
+	}
+	return ss, nil
+}
+
+func (ss *shardSeg) parseFooter(b []byte, footerOff int) error {
+	dictOff, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	kind, dictBody, _, err := frameAt(ss.data[:len(ss.data)-tailSize], int(dictOff))
+	if err != nil {
+		return fmt.Errorf("dict: %w", err)
+	}
+	if kind != BlockDict {
+		return fmt.Errorf("%w: block at dict offset is %v", ErrCorrupt, kind)
+	}
+	if err := ss.parseDict(dictBody); err != nil {
+		return err
+	}
+	nparts, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if nparts == 0 || nparts > maxShape {
+		return fmt.Errorf("%w: %d partitions", ErrCorrupt, nparts)
+	}
+	ss.parts = make([]partZone, nparts)
+	for i := range ss.parts {
+		var rows uint64
+		var minC, maxC int64
+		if rows, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if minC, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		if maxC, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		if rows > 0 && minC > maxC {
+			return fmt.Errorf("%w: partition %d zone [%d, %d]", ErrCorrupt, i, minC, maxC)
+		}
+		ss.parts[i] = partZone{rows: int(rows), minCycle: int(minC), maxCycle: int(maxC)}
+	}
+	nentries, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if nentries > uint64(len(ss.data)) { // every entry indexes ≥1 distinct byte
+		return fmt.Errorf("%w: %d entries", ErrCorrupt, nentries)
+	}
+	ss.entries = make([]entry, 0, nentries)
+	dataEnd := len(ss.data) - tailSize
+	for i := uint64(0); i < nentries; i++ {
+		var e entry
+		if len(b) < 2 {
+			return fmt.Errorf("%w: entry header", ErrTruncated)
+		}
+		e.kind, e.dim = BlockKind(b[0]), store.Dim(b[1])
+		b = b[2:]
+		if e.kind != BlockColumn && e.kind != BlockSketch {
+			return fmt.Errorf("%w: entry kind %v", ErrCorrupt, e.kind)
+		}
+		if e.dim != store.DimCountry && e.dim != store.DimContinent && e.dim != store.DimPair {
+			return fmt.Errorf("%w: entry dim %d", ErrCorrupt, e.dim)
+		}
+		var v uint64
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		e.platformID = uint32(v)
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		e.nameID = uint32(v)
+		if e.platformID == 0 || int(e.platformID) > len(ss.dict) ||
+			e.nameID == 0 || int(e.nameID) > len(ss.dict) {
+			return fmt.Errorf("%w: entry dict ids %d/%d of %d", ErrCorrupt, e.platformID, e.nameID, len(ss.dict))
+		}
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		if v >= uint64(len(ss.parts)) {
+			return fmt.Errorf("%w: entry partition %d", ErrCorrupt, v)
+		}
+		e.part = int(v)
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		e.rows = int(v)
+		if e.rows == 0 {
+			return fmt.Errorf("%w: empty entry", ErrCorrupt)
+		}
+		if e.kind == BlockColumn && e.rows > MaxBlockRows {
+			return fmt.Errorf("%w: column entry rows %d", ErrCorrupt, e.rows)
+		}
+		var minC, maxC int64
+		if minC, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		if maxC, b, err = readZigzag(b); err != nil {
+			return err
+		}
+		if minC > maxC {
+			return fmt.Errorf("%w: entry zone [%d, %d]", ErrCorrupt, minC, maxC)
+		}
+		e.minCycle, e.maxCycle = int(minC), int(maxC)
+		if e.minRTT, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		if e.maxRTT, b, err = readFloatBits(b); err != nil {
+			return err
+		}
+		if math.IsNaN(e.minRTT) || math.IsNaN(e.maxRTT) || e.minRTT > e.maxRTT {
+			return fmt.Errorf("%w: entry RTT zone", ErrCorrupt)
+		}
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		e.offset = int(v)
+		if v, b, err = readUvarint(b); err != nil {
+			return err
+		}
+		e.length = int(v)
+		if e.offset < 0 || e.length <= 0 || e.offset+e.length > dataEnd || e.offset+e.length < e.offset {
+			return fmt.Errorf("%w: entry span [%d, +%d)", ErrCorrupt, e.offset, e.length)
+		}
+		if e.offset+e.length > footerOff && e.offset < footerOff {
+			return fmt.Errorf("%w: entry overlaps footer", ErrCorrupt)
+		}
+		ss.entries = append(ss.entries, e)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in footer", ErrCorrupt, len(b))
+	}
+	ss.buildIndex()
+	return nil
+}
+
+func (ss *shardSeg) parseDict(b []byte) error {
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return err
+	}
+	if n > maxDictStrings {
+		return fmt.Errorf("%w: %d dict strings", ErrCorrupt, n)
+	}
+	ss.dict = make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s string
+		if s, b, err = readString(b); err != nil {
+			return err
+		}
+		ss.dict = append(ss.dict, s)
+	}
+	if len(b) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes in dict", ErrCorrupt, len(b))
+	}
+	return nil
+}
+
+func (ss *shardSeg) buildIndex() {
+	ss.groups = make(map[qkey]*groupBlocks)
+	for _, e := range ss.entries {
+		k := qkey{dim: e.dim, platform: ss.dict[e.platformID-1], name: ss.dict[e.nameID-1]}
+		g := ss.groups[k]
+		if g == nil {
+			g = &groupBlocks{}
+			ss.groups[k] = g
+			ss.keys = append(ss.keys, k)
+		}
+		if e.kind == BlockColumn {
+			g.cols = append(g.cols, e)
+		} else {
+			g.sketches = append(g.sketches, e)
+		}
+	}
+	for _, g := range ss.groups {
+		sortEntries(g.cols)
+		sortEntries(g.sketches)
+	}
+	sort.Slice(ss.keys, func(a, b int) bool {
+		ka, kb := ss.keys[a], ss.keys[b]
+		if ka.dim != kb.dim {
+			return ka.dim < kb.dim
+		}
+		if ka.platform != kb.platform {
+			return ka.platform < kb.platform
+		}
+		return ka.name < kb.name
+	})
+}
+
+func sortEntries(es []entry) {
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].part != es[j].part {
+			return es[i].part < es[j].part
+		}
+		return es[i].offset < es[j].offset
+	})
+}
+
+// readColumn decodes one column block, cross-checking the decoded rows
+// against the footer entry's row count and zone maps — a block whose
+// data escapes its advertised ranges is a zone-map lie, not valid
+// data.
+func (ss *shardSeg) readColumn(e entry) ([]float64, []int32, error) {
+	kind, body, _, err := frameAt(ss.data[:e.offset+e.length], e.offset)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind != BlockColumn {
+		return nil, nil, fmt.Errorf("%w: entry points at %v block", ErrCorrupt, kind)
+	}
+	rows, body, err := readUvarint(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rows == 0 || rows > MaxBlockRows || int(rows) != e.rows {
+		return nil, nil, fmt.Errorf("%w: block rows %d, entry says %d", ErrCorrupt, rows, e.rows)
+	}
+	if len(body) == 0 {
+		return nil, nil, ErrTruncated
+	}
+	enc := body[0]
+	body = body[1:]
+	rtt := make([]float64, rows)
+	switch enc {
+	case 1: // raw
+		for i := range rtt {
+			if rtt[i], body, err = readFloatBits(body); err != nil {
+				return nil, nil, err
+			}
+		}
+	case 0: // bit-delta
+		if len(body) < 8 {
+			return nil, nil, ErrTruncated
+		}
+		bits := leUint64(body)
+		body = body[8:]
+		rtt[0] = math.Float64frombits(bits)
+		for i := uint64(1); i < rows; i++ {
+			var d uint64
+			if d, body, err = readUvarint(body); err != nil {
+				return nil, nil, err
+			}
+			if bits > math.MaxUint64-d {
+				return nil, nil, fmt.Errorf("%w: RTT bits overflow", ErrCorrupt)
+			}
+			bits += d
+			rtt[i] = math.Float64frombits(bits)
+		}
+	default:
+		return nil, nil, fmt.Errorf("%w: RTT encoding %d", ErrCorrupt, enc)
+	}
+	prev := math.Inf(-1)
+	for _, x := range rtt {
+		if math.IsNaN(x) || x < prev {
+			return nil, nil, fmt.Errorf("%w: RTT column not sorted", ErrCorrupt)
+		}
+		prev = x
+	}
+	if rtt[0] < e.minRTT || rtt[rows-1] > e.maxRTT {
+		return nil, nil, fmt.Errorf("%w: RTT range [%g, %g] outside entry [%g, %g]",
+			ErrZoneMap, rtt[0], rtt[rows-1], e.minRTT, e.maxRTT)
+	}
+	cycle := make([]int32, rows)
+	var cur int64
+	for i := range cycle {
+		var d int64
+		if d, body, err = readZigzag(body); err != nil {
+			return nil, nil, err
+		}
+		if i == 0 {
+			cur = d
+		} else {
+			cur += d
+		}
+		if cur < int64(e.minCycle) || cur > int64(e.maxCycle) {
+			return nil, nil, fmt.Errorf("%w: cycle %d outside entry [%d, %d]",
+				ErrZoneMap, cur, e.minCycle, e.maxCycle)
+		}
+		cycle[i] = int32(cur)
+	}
+	if len(body) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d trailing bytes in column block", ErrCorrupt, len(body))
+	}
+	return rtt, cycle, nil
+}
+
+// readSketch decodes one sketch block, cross-checking its count
+// against the footer entry.
+func (ss *shardSeg) readSketch(e entry) (*sketch.Sketch, error) {
+	kind, body, _, err := frameAt(ss.data[:e.offset+e.length], e.offset)
+	if err != nil {
+		return nil, err
+	}
+	if kind != BlockSketch {
+		return nil, fmt.Errorf("%w: entry points at %v block", ErrCorrupt, kind)
+	}
+	sk, rest, err := sketch.Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes in sketch block", ErrCorrupt, len(rest))
+	}
+	if sk.Count() != uint64(e.rows) {
+		return nil, fmt.Errorf("%w: sketch count %d, entry says %d", ErrZoneMap, sk.Count(), e.rows)
+	}
+	if sk.Count() > 0 && (sk.Min() < e.minRTT || sk.Max() > e.maxRTT) {
+		return nil, fmt.Errorf("%w: sketch range outside entry", ErrZoneMap)
+	}
+	return sk, nil
+}
+
+func leUint32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(leUint32(b)) | uint64(leUint32(b[4:]))<<32
+}
+
+// CheckMeta fully validates a meta file image — the fuzzing entry
+// point for the meta format.
+func CheckMeta(data []byte) error {
+	_, err := parseMeta(data)
+	return err
+}
+
+// CheckShard fully validates a shard file image: structure, CRCs,
+// dictionary, footer index, and every indexed block decoded with its
+// zone maps cross-checked. It is the fuzzing entry point and the
+// integrity pass of `cloudy segment -check`.
+func CheckShard(data []byte) error {
+	ss, err := parseShard(data)
+	if err != nil {
+		return err
+	}
+	for _, e := range ss.entries {
+		switch e.kind {
+		case BlockColumn:
+			if _, _, err := ss.readColumn(e); err != nil {
+				return err
+			}
+		case BlockSketch:
+			if _, err := ss.readSketch(e); err != nil {
+				return err
+			}
+		case BlockMeta, BlockDict, BlockPeering, BlockFooter:
+			return fmt.Errorf("%w: entry kind %v", ErrCorrupt, e.kind)
+		default:
+			return fmt.Errorf("%w: unknown entry kind %v", ErrCorrupt, e.kind)
+		}
+	}
+	return nil
+}

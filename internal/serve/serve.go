@@ -103,6 +103,11 @@ type Options struct {
 	// /v1/tracez. Nil disables spans; /v1/tracez then serves an empty
 	// (but well-formed) payload.
 	Tracer *obs.Tracer
+	// StoreMode labels the Querier backing in /v1/statsz — "memory" for
+	// an in-process sealed store, "segments" / "segments-exact" for an
+	// mmap-backed segment directory. Purely informational; empty omits
+	// the field.
+	StoreMode string
 	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
 	// default: profiling endpoints expose internals and should be opted
 	// into per deployment.
@@ -448,10 +453,14 @@ func PeeringSharesDTO(shares []analysis.InterconnectShare) []PeeringShareEntry {
 
 // Statsz is the /v1/statsz payload.
 type Statsz struct {
-	UptimeSeconds float64                  `json:"uptime_seconds"`
-	StoreEpoch    uint64                   `json:"store_epoch"`
-	Ready         bool                     `json:"ready"`
-	Store         store.Summary            `json:"store"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	StoreEpoch    uint64  `json:"store_epoch"`
+	Ready         bool    `json:"ready"`
+	// StoreMode names the backing of the mounted Querier when the
+	// operator declared one ("memory", "segments", "segments-exact");
+	// empty when unset.
+	StoreMode string                   `json:"store_mode,omitempty"`
+	Store     store.Summary            `json:"store"`
 	Cache         CacheStats               `json:"cache"`
 	Endpoints     map[string]EndpointStats `json:"endpoints"`
 }
@@ -651,6 +660,7 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		StoreEpoch:    es.epoch,
 		Ready:         s.Ready(),
+		StoreMode:     s.opts.StoreMode,
 		Store:         es.q.Summary(),
 		Cache:         CacheStats{Entries: entries, Capacity: capacity, Evictions: evictions},
 		Endpoints:     s.metrics.snapshot(),

@@ -1,0 +1,489 @@
+// Package sketch implements a mergeable quantile sketch — a t-digest
+// with deterministic centroid merging — for the on-disk segment store
+// (internal/segment). One sketch summarizes one (platform × group ×
+// time-partition) RTT vector at seal time; at query time the per-shard,
+// per-partition sketches merge into one digest per group, so quantile
+// and CDF figure endpoints answer in O(centroids) instead of k-way
+// merging full sorted vectors.
+//
+// Determinism contract. A sketch is a pure function of the value
+// sequence fed to Add (the segment writer feeds each group's RTT
+// vector sorted ascending, the canonical order), and Merge(a, b) is a
+// pure function of the ordered pair (a, b): centroids concatenate by a
+// 2-way sorted merge (a's centroid wins ties) and recompress with the
+// fixed compression. Call sites fix the merge order (shard index, then
+// partition index, ascending), so a replayed query reproduces the same
+// bits. No clock, no randomness.
+//
+// Accuracy. The usual t-digest property: relative rank error
+// ~O(q(1-q)/δ), tightest at the tails and the median. Small groups
+// (n ≲ δ) keep every observation as a singleton centroid, so sketch
+// answers on them are interpolation-exact.
+package sketch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultCompression is the δ used by the segment writer: ~2δ centroid
+// ceiling, which keeps per-group sketches around a few KB while holding
+// mid-quantile rank error under a percent.
+const DefaultCompression = 200
+
+// Compression bounds accepted by New and Decode.
+const (
+	minCompression = 10
+	maxCompression = 10000
+)
+
+// maxCentroids bounds one decoded sketch — a corrupt or hostile count
+// must not translate into an unbounded allocation.
+const maxCentroids = 1 << 20
+
+// Sketch is a mergeable t-digest. The zero value is not usable; build
+// with New.
+type Sketch struct {
+	compression int
+	// Centroids sorted by mean ascending; weights[i] observations
+	// collapse onto means[i].
+	means   []float64
+	weights []uint64
+	count   uint64
+	min     float64
+	max     float64
+	// buf holds raw observations not yet folded into centroids.
+	buf []float64
+}
+
+// New returns an empty sketch with the given compression (δ). Out of
+// range compressions clamp into [10, 10000].
+func New(compression int) *Sketch {
+	if compression < minCompression {
+		compression = minCompression
+	}
+	if compression > maxCompression {
+		compression = maxCompression
+	}
+	return &Sketch{compression: compression}
+}
+
+// Compression returns the sketch's δ.
+func (s *Sketch) Compression() int { return s.compression }
+
+// Count returns the number of observations folded in.
+func (s *Sketch) Count() uint64 { return s.count }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Sketch) Min() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (s *Sketch) Max() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Centroids returns the centroid count after compacting the buffer —
+// the sketch's serialized size driver.
+func (s *Sketch) Centroids() int {
+	s.flush()
+	return len(s.means)
+}
+
+// Add folds one observation in.
+func (s *Sketch) Add(x float64) {
+	if s.count == 0 && len(s.buf) == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.buf = append(s.buf, x)
+	if len(s.buf) >= 4*s.compression {
+		s.flush()
+	}
+}
+
+// flush folds the buffered observations into the centroid list.
+func (s *Sketch) flush() {
+	if len(s.buf) == 0 {
+		return
+	}
+	sort.Float64s(s.buf)
+	bufW := make([]uint64, len(s.buf))
+	for i := range bufW {
+		bufW[i] = 1
+	}
+	s.count += uint64(len(s.buf))
+	means, weights := merge2Sorted(s.means, s.weights, s.buf, bufW)
+	s.buf = s.buf[:0]
+	s.compress(means, weights)
+}
+
+// merge2Sorted merges two centroid lists sorted by mean; a's centroid
+// wins ties, which is what makes Merge a deterministic function of its
+// ordered arguments.
+func merge2Sorted(aM []float64, aW []uint64, bM []float64, bW []uint64) ([]float64, []uint64) {
+	means := make([]float64, 0, len(aM)+len(bM))
+	weights := make([]uint64, 0, len(aW)+len(bW))
+	i, j := 0, 0
+	for i < len(aM) && j < len(bM) {
+		if aM[i] <= bM[j] {
+			means = append(means, aM[i])
+			weights = append(weights, aW[i])
+			i++
+		} else {
+			means = append(means, bM[j])
+			weights = append(weights, bW[j])
+			j++
+		}
+	}
+	means = append(means, aM[i:]...)
+	weights = append(weights, aW[i:]...)
+	means = append(means, bM[j:]...)
+	weights = append(weights, bW[j:]...)
+	return means, weights
+}
+
+// kScale is the t-digest k₁ scale function, δ/(2π)·asin(2q−1): steep
+// at the tails (forcing singleton centroids there) and flat in the
+// middle (letting centroids grow). A centroid may span at most one
+// unit of k, which bounds the centroid count by ~δ.
+func (s *Sketch) kScale(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return float64(s.compression) / (2 * math.Pi) * math.Asin(2*q-1)
+}
+
+// compress runs the single deterministic compaction pass over a
+// mean-sorted centroid list: neighbours merge while the combined
+// centroid still spans ≤ 1 unit of the k₁ scale.
+func (s *Sketch) compress(means []float64, weights []uint64) {
+	if len(means) == 0 {
+		s.means, s.weights = s.means[:0], s.weights[:0]
+		return
+	}
+	total := float64(s.count)
+	outM := make([]float64, 0, len(means))
+	outW := make([]uint64, 0, len(weights))
+	var wSoFar float64
+	kLeft := s.kScale(0)
+	curM, curW := means[0], float64(weights[0])
+	for i := 1; i < len(means); i++ {
+		pW := float64(weights[i])
+		if s.kScale((wSoFar+curW+pW)/total)-kLeft <= 1 {
+			curW += pW
+			curM += (means[i] - curM) * pW / curW
+		} else {
+			outM = append(outM, curM)
+			outW = append(outW, uint64(curW))
+			wSoFar += curW
+			kLeft = s.kScale(wSoFar / total)
+			curM, curW = means[i], pW
+		}
+	}
+	s.means = append(outM, curM)
+	s.weights = append(outW, uint64(curW))
+}
+
+// Merge folds other into s. Neither sketch's compression changes; the
+// result keeps s's. The operation is deterministic in the ordered pair
+// (s, other) — callers fix a canonical merge order.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil {
+		return
+	}
+	other.flush()
+	if other.count == 0 {
+		return
+	}
+	s.flush()
+	if s.count == 0 {
+		s.min, s.max = other.min, other.max
+	} else {
+		if other.min < s.min {
+			s.min = other.min
+		}
+		if other.max > s.max {
+			s.max = other.max
+		}
+	}
+	s.count += other.count
+	means, weights := merge2Sorted(s.means, s.weights, other.means, other.weights)
+	s.compress(means, weights)
+}
+
+// Quantile returns the q-th quantile estimate: piecewise-linear
+// interpolation through the centroid centers, anchored at (0, min) and
+// (count, max), so estimates never escape the observed range and are
+// exact at the extremes.
+func (s *Sketch) Quantile(q float64) float64 {
+	s.flush()
+	if s.count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	target := q * float64(s.count)
+	prevPos, prevVal := 0.0, s.min
+	var cum float64
+	for i, w := range s.weights {
+		center := cum + float64(w)/2
+		if target < center {
+			return lerp(prevPos, prevVal, center, s.means[i], target)
+		}
+		prevPos, prevVal = center, s.means[i]
+		cum += float64(w)
+	}
+	return lerp(prevPos, prevVal, float64(s.count), s.max, target)
+}
+
+// CDF returns the estimated P(X ≤ x) — the inverse of the Quantile
+// curve.
+func (s *Sketch) CDF(x float64) float64 {
+	s.flush()
+	if s.count == 0 {
+		return 0
+	}
+	if x < s.min {
+		return 0
+	}
+	if x >= s.max {
+		return 1
+	}
+	total := float64(s.count)
+	prevPos, prevVal := 0.0, s.min
+	var cum float64
+	for i, w := range s.weights {
+		center := cum + float64(w)/2
+		if x < s.means[i] {
+			return lerp(prevVal, prevPos, s.means[i], center, x) / total
+		}
+		prevPos, prevVal = center, s.means[i]
+		cum += float64(w)
+	}
+	return lerp(prevVal, prevPos, s.max, total, x) / total
+}
+
+// lerp interpolates the point at x on the segment (x0,y0)-(x1,y1);
+// a degenerate (vertical) segment answers y1.
+func lerp(x0, y0, x1, y1, x float64) float64 {
+	if x1 <= x0 {
+		return y1
+	}
+	return y0 + (y1-y0)*(x-x0)/(x1-x0)
+}
+
+// ---- serialization ----
+
+// Wire layout (embedded in segment sketch blocks):
+//
+//	byte    version (1)
+//	byte    flags (bit0: means stored raw, no bit-delta coding)
+//	uvarint compression
+//	uvarint count
+//	uvarint ncentroids
+//	8 bytes min (IEEE-754 bits, LE)    — only when count > 0
+//	8 bytes max (IEEE-754 bits, LE)    — only when count > 0
+//	means   first mean raw 8 bytes, then uvarint deltas of the float
+//	        bit patterns (sorted ascending positive floats have
+//	        monotonically increasing bits); raw 8-byte means when the
+//	        flag is set (any non-positive or non-finite mean)
+//	weights uvarint each
+
+const sketchVersion = 1
+
+const flagRawMeans = 0x01
+
+// ErrCorrupt marks a sketch payload that fails structural validation.
+var ErrCorrupt = errors.New("sketch: corrupt payload")
+
+// AppendBinary serializes the sketch onto dst and returns the extended
+// slice. The encoding is canonical: equal sketches serialize to equal
+// bytes.
+func (s *Sketch) AppendBinary(dst []byte) []byte {
+	s.flush()
+	raw := false
+	for _, m := range s.means {
+		if !(m > 0) || math.IsInf(m, 0) {
+			raw = true
+			break
+		}
+	}
+	flags := byte(0)
+	if raw {
+		flags |= flagRawMeans
+	}
+	dst = append(dst, sketchVersion, flags)
+	dst = binary.AppendUvarint(dst, uint64(s.compression))
+	dst = binary.AppendUvarint(dst, s.count)
+	dst = binary.AppendUvarint(dst, uint64(len(s.means)))
+	if s.count == 0 {
+		return dst
+	}
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.min))
+	dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(s.max))
+	if raw {
+		for _, m := range s.means {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(m))
+		}
+	} else {
+		prev := uint64(0)
+		for i, m := range s.means {
+			bits := math.Float64bits(m)
+			if i == 0 {
+				dst = binary.LittleEndian.AppendUint64(dst, bits)
+			} else {
+				dst = binary.AppendUvarint(dst, bits-prev)
+			}
+			prev = bits
+		}
+	}
+	for _, w := range s.weights {
+		dst = binary.AppendUvarint(dst, w)
+	}
+	return dst
+}
+
+// Decode parses one serialized sketch from the front of b, returning
+// the sketch and the unconsumed remainder. Every structural invariant
+// is validated — a decoded sketch is safe to merge and query.
+func Decode(b []byte) (*Sketch, []byte, error) {
+	if len(b) < 2 {
+		return nil, nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	if b[0] != sketchVersion {
+		return nil, nil, fmt.Errorf("%w: version %d", ErrCorrupt, b[0])
+	}
+	flags := b[1]
+	if flags&^flagRawMeans != 0 {
+		return nil, nil, fmt.Errorf("%w: unknown flags %#x", ErrCorrupt, flags)
+	}
+	b = b[2:]
+	compression, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if compression < minCompression || compression > maxCompression {
+		return nil, nil, fmt.Errorf("%w: compression %d out of range", ErrCorrupt, compression)
+	}
+	count, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxCentroids {
+		return nil, nil, fmt.Errorf("%w: %d centroids exceeds limit", ErrCorrupt, n)
+	}
+	if (count == 0) != (n == 0) {
+		return nil, nil, fmt.Errorf("%w: count %d with %d centroids", ErrCorrupt, count, n)
+	}
+	s := New(int(compression))
+	if count == 0 {
+		return s, b, nil
+	}
+	if len(b) < 16 {
+		return nil, nil, fmt.Errorf("%w: truncated min/max", ErrCorrupt)
+	}
+	s.min = math.Float64frombits(binary.LittleEndian.Uint64(b))
+	s.max = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	b = b[16:]
+	if math.IsNaN(s.min) || math.IsInf(s.min, 0) || math.IsNaN(s.max) || math.IsInf(s.max, 0) || s.min > s.max {
+		return nil, nil, fmt.Errorf("%w: bad min/max", ErrCorrupt)
+	}
+	s.means = make([]float64, n)
+	if flags&flagRawMeans != 0 {
+		if uint64(len(b)) < 8*n {
+			return nil, nil, fmt.Errorf("%w: truncated means", ErrCorrupt)
+		}
+		for i := range s.means {
+			s.means[i] = math.Float64frombits(binary.LittleEndian.Uint64(b))
+			b = b[8:]
+		}
+	} else {
+		if len(b) < 8 {
+			return nil, nil, fmt.Errorf("%w: truncated means", ErrCorrupt)
+		}
+		bits := binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		s.means[0] = math.Float64frombits(bits)
+		for i := uint64(1); i < n; i++ {
+			var d uint64
+			d, b, err = readUvarint(b)
+			if err != nil {
+				return nil, nil, err
+			}
+			next, carry := bits+d, bits > math.MaxUint64-d
+			if carry {
+				return nil, nil, fmt.Errorf("%w: mean bits overflow", ErrCorrupt)
+			}
+			bits = next
+			s.means[i] = math.Float64frombits(bits)
+		}
+	}
+	var sum uint64
+	for i := uint64(0); i < n; i++ {
+		var w uint64
+		w, b, err = readUvarint(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		if w == 0 {
+			return nil, nil, fmt.Errorf("%w: zero centroid weight", ErrCorrupt)
+		}
+		if w > math.MaxUint64-sum {
+			return nil, nil, fmt.Errorf("%w: weight overflow", ErrCorrupt)
+		}
+		sum += w
+		s.weights = append(s.weights, w)
+	}
+	if sum != count {
+		return nil, nil, fmt.Errorf("%w: weights sum %d, count %d", ErrCorrupt, sum, count)
+	}
+	for i := range s.means {
+		if math.IsNaN(s.means[i]) || math.IsInf(s.means[i], 0) {
+			return nil, nil, fmt.Errorf("%w: non-finite mean", ErrCorrupt)
+		}
+		if i > 0 && s.means[i] < s.means[i-1] {
+			return nil, nil, fmt.Errorf("%w: means not sorted", ErrCorrupt)
+		}
+	}
+	if s.means[0] < s.min || s.means[n-1] > s.max {
+		return nil, nil, fmt.Errorf("%w: means escape [min, max]", ErrCorrupt)
+	}
+	s.count = count
+	return s, b, nil
+}
+
+func readUvarint(b []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("%w: truncated varint", ErrCorrupt)
+	}
+	return v, b[n:], nil
+}

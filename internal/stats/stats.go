@@ -353,6 +353,21 @@ func (w *Welford) Merge(other *Welford) {
 	}
 }
 
+// WelfordFromMoments rebuilds an accumulator from previously extracted
+// moments — the deserialization half of Moments. Round-tripping an
+// accumulator through (Moments, WelfordFromMoments) is bit-exact, which
+// the on-disk segment format relies on to reproduce store summaries
+// identically after a reload.
+func WelfordFromMoments(n int, mean, m2, min, max float64) Welford {
+	return Welford{n: n, mean: mean, m2: m2, min: min, max: max}
+}
+
+// Moments extracts the accumulator's raw state (count, mean, sum of
+// squared deviations, min, max) for serialization.
+func (w *Welford) Moments() (n int, mean, m2, min, max float64) {
+	return w.n, w.mean, w.m2, w.min, w.max
+}
+
 // N returns the number of observations.
 func (w *Welford) N() int { return w.n }
 

@@ -316,9 +316,15 @@ func (s *Store) Changepoint(platform string, at, width int) []ChangepointEntry {
 		}
 		after.To = at + width
 	}
-	pre := s.PairSamples(platform, before)
-	post := s.PairSamples(platform, after)
+	return ChangepointFrom(s.PairSamples(platform, before), s.PairSamples(platform, after))
+}
 
+// ChangepointFrom scores and ranks the changepoint comparison given
+// the per-pair sorted sample vectors on either side of the cycle. It
+// is the pure tail of Changepoint, shared with the segment reader
+// (internal/segment) so both store backends produce bit-identical
+// rankings from the same vectors.
+func ChangepointFrom(pre, post map[string][]float64) []ChangepointEntry {
 	names := make(map[string]struct{}, len(pre)+len(post))
 	for n := range pre {
 		names[n] = struct{}{}

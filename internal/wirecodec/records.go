@@ -26,8 +26,18 @@ func NewEncoder() *Encoder {
 	return &Encoder{dict: make(map[string]uint64, 256)}
 }
 
-func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
-func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+// Zigzag maps a signed delta onto the unsigned varint space (small
+// magnitudes of either sign stay short). It is shared with the on-disk
+// segment format (internal/segment), which delta-codes its cycle
+// columns with the same primitive so both binary formats agree on what
+// a signed varint means.
+func Zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// Unzigzag inverts Zigzag.
+func Unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+func zigzag(v int64) uint64   { return Zigzag(v) }
+func unzigzag(u uint64) int64 { return Unzigzag(u) }
 
 // appendString emits a dictionary reference: known strings cost one
 // varint; a first sighting is sent inline and assigned the next id.
